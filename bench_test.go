@@ -1,0 +1,398 @@
+package performa
+
+// Benchmark harness: one benchmark per experiment table of EXPERIMENTS.md
+// (E1–E8 reproduce the paper's evaluation artifacts, A1–A4 are design
+// ablations), plus micro-benchmarks of the analytic kernels. Run with
+//
+//	go test -bench=. -benchmem
+//
+// and regenerate the full tables with cmd/wfmsbench.
+
+import (
+	"math/rand"
+	"testing"
+
+	"performa/internal/avail"
+	"performa/internal/config"
+	"performa/internal/ctmc"
+	"performa/internal/experiments"
+	"performa/internal/perf"
+	"performa/internal/performability"
+	"performa/internal/sim"
+	"performa/internal/spec"
+	"performa/internal/workload"
+)
+
+// BenchmarkE1AvailabilityExample regenerates the Section 5.2 worked
+// example (71 h/yr → 10 s/yr → < 1 min/yr).
+func BenchmarkE1AvailabilityExample(b *testing.B) {
+	env := workload.PaperEnvironment()
+	params, err := avail.ParamsFromEnvironment(env, []int{2, 2, 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var downtime float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := avail.Evaluate(params, avail.IndependentRepair)
+		if err != nil {
+			b.Fatal(err)
+		}
+		downtime = rep.DowntimeHoursPerYear
+	}
+	b.ReportMetric(downtime*3600, "downtime-s/yr")
+}
+
+// BenchmarkE2EPWorkflow regenerates the Figure 4 CTMC analysis.
+func BenchmarkE2EPWorkflow(b *testing.B) {
+	env := workload.PaperEnvironment()
+	w := workload.EPWorkflow(1)
+	var turnaround float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := spec.Build(w, env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		turnaround = m.Turnaround()
+	}
+	b.ReportMetric(turnaround, "turnaround-min")
+}
+
+// BenchmarkE3Throughput regenerates the load/throughput table.
+func BenchmarkE3Throughput(b *testing.B) {
+	env := workload.PaperEnvironment()
+	m, err := spec.Build(workload.EPWorkflow(10), env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := perf.NewAnalysis(env, []*spec.Model{m})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var maxTp float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := a.Evaluate(perf.Config{Replicas: []int{2, 2, 2}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxTp = rep.MaxWorkflowThroughput
+	}
+	b.ReportMetric(maxTp, "max-wf/min")
+}
+
+// BenchmarkE4WaitingCurve regenerates the M/G/1 waiting curve.
+func BenchmarkE4WaitingCurve(b *testing.B) {
+	env := workload.PaperEnvironment()
+	rhos := []float64{0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 0.99}
+	var w95 float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		curve := perf.WaitingCurve(env.Type(1), rhos)
+		w95 = curve[6]
+	}
+	b.ReportMetric(w95, "w(rho=0.95)-min")
+}
+
+// BenchmarkE5Performability regenerates the W^Y evaluation for (2,2,3).
+func BenchmarkE5Performability(b *testing.B) {
+	env := workload.PaperEnvironment()
+	m, err := spec.Build(workload.EPWorkflow(5), env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := perf.NewAnalysis(env, []*spec.Model{m})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var wy float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := performability.Evaluate(a, perf.Config{Replicas: []int{2, 2, 3}},
+			performability.Options{Policy: performability.ExcludeDown})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wy = res.MaxWaiting()
+	}
+	b.ReportMetric(wy, "Wy-min")
+}
+
+// BenchmarkE6Greedy regenerates a greedy planning run.
+func BenchmarkE6Greedy(b *testing.B) {
+	env := workload.PaperEnvironment()
+	m, err := spec.Build(workload.EPWorkflow(5), env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := perf.NewAnalysis(env, []*spec.Model{m})
+	if err != nil {
+		b.Fatal(err)
+	}
+	goals := config.Goals{MaxWaiting: 0.001, MaxUnavailability: 1e-5}
+	var cost int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := config.Greedy(a, goals, config.Constraints{}, config.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cost = rec.Cost
+	}
+	b.ReportMetric(float64(cost), "servers")
+}
+
+// BenchmarkE6Exhaustive is the optimal-baseline search for the same goals.
+func BenchmarkE6Exhaustive(b *testing.B) {
+	env := workload.PaperEnvironment()
+	m, err := spec.Build(workload.EPWorkflow(5), env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := perf.NewAnalysis(env, []*spec.Model{m})
+	if err != nil {
+		b.Fatal(err)
+	}
+	goals := config.Goals{MaxWaiting: 0.001, MaxUnavailability: 1e-5}
+	cons := config.Constraints{MaxReplicas: []int{6, 6, 6}}
+	var cost int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := config.Exhaustive(a, goals, cons, config.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cost = rec.Cost
+	}
+	b.ReportMetric(float64(cost), "servers")
+}
+
+// BenchmarkE7Validation runs a short analytic-versus-simulation
+// comparison (the full table comes from cmd/wfmsbench -exp e7).
+func BenchmarkE7Validation(b *testing.B) {
+	env := workload.PaperEnvironment()
+	m, err := spec.Build(workload.EPWorkflow(3), env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var waiting float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Params{
+			Env: env, Models: []*spec.Model{m},
+			Replicas: []int{2, 2, 2},
+			Seed:     uint64(i), Horizon: 2000, Warmup: 200,
+			Dispatch: sim.Random,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		waiting = res.Waiting[2].Mean
+	}
+	b.ReportMetric(waiting, "w-app-sim-min")
+}
+
+// BenchmarkE8Calibration runs the mapping→execution→calibration loop on
+// a small instance count.
+func BenchmarkE8Calibration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E8Calibration(experiments.E8Options{
+			Seed: uint64(i), Instances: 100,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9Quantile measures one turnaround-percentile evaluation on
+// the EP chain (uniformized transient analysis + bisection).
+func BenchmarkE9Quantile(b *testing.B) {
+	env := workload.PaperEnvironment()
+	m, err := spec.Build(workload.EPWorkflow(1), env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var p95 float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p95, err = m.TurnaroundQuantile(0.95)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(p95, "p95-min")
+}
+
+// BenchmarkE10SparseChain measures the sparse first-passage solve on a
+// 2500-state synthetic chain.
+func BenchmarkE10SparseChain(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	big := syntheticBenchChain(2500, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := big.MeanTurnaround(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func syntheticBenchChain(n int, rng *rand.Rand) *ctmc.BigChain {
+	c := &ctmc.BigChain{Arcs: make([][]ctmc.Arc, n+1), H: make([]float64, n+1)}
+	for i := 0; i < n; i++ {
+		c.H[i] = 0.5 + rng.Float64()
+		if i > 1 && rng.Float64() < 0.2 {
+			c.Arcs[i] = []ctmc.Arc{{To: i + 1, Prob: 0.8}, {To: i - 1, Prob: 0.2}}
+		} else {
+			c.Arcs[i] = []ctmc.Arc{{To: i + 1, Prob: 1}}
+		}
+	}
+	return c
+}
+
+// BenchmarkE11Planners measures branch-and-bound against the exhaustive
+// baseline (see BenchmarkE6* for greedy and exhaustive).
+func BenchmarkE11BranchAndBound(b *testing.B) {
+	env := workload.PaperEnvironment()
+	m, err := spec.Build(workload.EPWorkflow(5), env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := perf.NewAnalysis(env, []*spec.Model{m})
+	if err != nil {
+		b.Fatal(err)
+	}
+	goals := config.Goals{MaxWaiting: 0.001, MaxUnavailability: 1e-5}
+	cons := config.Constraints{MaxReplicas: []int{6, 6, 6}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := config.BranchAndBound(a, goals, cons, config.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA1SeriesVsExact compares the truncated series against the
+// direct solve on the EP chain.
+func BenchmarkA1SeriesVsExact(b *testing.B) {
+	env := workload.PaperEnvironment()
+	m, err := spec.Build(workload.EPWorkflow(1), env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("series-99.99", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ctmc.ExpectedVisitsSeries(m.Chain, ctmc.SeriesOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exact-solve", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ctmc.ExpectedVisits(m.Chain); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkA2AvailabilitySolvers contrasts the exact joint CTMC with the
+// product form as the state space grows.
+func BenchmarkA2AvailabilitySolvers(b *testing.B) {
+	env := workload.PaperEnvironment()
+	for _, y := range []int{2, 4, 6} {
+		params, err := avail.ParamsFromEnvironment(env, []int{y, y, y})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("exact-Y"+string(rune('0'+y)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := avail.Evaluate(params, avail.IndependentRepair); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("product-Y"+string(rune('0'+y)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := avail.EvaluateProductForm(params, avail.IndependentRepair, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFirstPassage measures the Section 4.1 linear solve on the EP
+// chain.
+func BenchmarkFirstPassage(b *testing.B) {
+	env := workload.PaperEnvironment()
+	m, err := spec.Build(workload.EPWorkflow(1), env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctmc.FirstPassageTimes(m.Chain); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSteadyState measures the availability steady-state solve at a
+// 125-state system CTMC.
+func BenchmarkSteadyState(b *testing.B) {
+	env := workload.PaperEnvironment()
+	params, err := avail.ParamsFromEnvironment(env, []int{4, 4, 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := avail.NewModel(params, avail.IndependentRepair)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.SteadyState(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSystemAssess measures a full three-model assessment.
+func BenchmarkSystemAssess(b *testing.B) {
+	sys, err := NewSystem(workload.PaperEnvironment(),
+		workload.EPWorkflow(3), workload.OrderWorkflow(2), workload.LoanWorkflow(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Configuration{Replicas: []int{2, 2, 3}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Assess(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorEvents measures raw simulator event throughput.
+func BenchmarkSimulatorEvents(b *testing.B) {
+	env := workload.PaperEnvironment()
+	m, err := spec.Build(workload.EPWorkflow(10), env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Params{
+			Env: env, Models: []*spec.Model{m},
+			Replicas: []int{2, 2, 2},
+			Seed:     uint64(i), Horizon: 1000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events), "events/run")
+}

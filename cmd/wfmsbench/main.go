@@ -1,0 +1,83 @@
+// Command wfmsbench regenerates the experiment tables of EXPERIMENTS.md:
+// every table and figure-equivalent of the paper's evaluation plus the
+// ablation series.
+//
+// Usage:
+//
+//	wfmsbench -exp all
+//	wfmsbench -exp e1,e6
+//	wfmsbench -exp e7 -seed 7 -horizon 40000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"performa/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "comma-separated experiment ids: e1..e8, a1..a4, or all")
+		seed    = flag.Uint64("seed", 42, "seed for simulation-backed experiments")
+		horizon = flag.Float64("horizon", 20000, "simulation horizon in model minutes (e7)")
+	)
+	flag.Parse()
+
+	runners := map[string]func() (*experiments.Table, error){
+		"e1": experiments.E1Availability,
+		"e2": experiments.E2EPWorkflow,
+		"e3": experiments.E3Throughput,
+		"e4": experiments.E4WaitingCurve,
+		"e5": experiments.E5Performability,
+		"e6": experiments.E6Greedy,
+		"e7": func() (*experiments.Table, error) {
+			return experiments.E7Validation(experiments.E7Options{Seed: *seed, Horizon: *horizon})
+		},
+		"e8": func() (*experiments.Table, error) {
+			return experiments.E8Calibration(experiments.E8Options{Seed: *seed})
+		},
+		"e9":  experiments.E9Distribution,
+		"e10": experiments.E10Scalability,
+		"e11": experiments.E11Planners,
+		"e12": experiments.E12Extended,
+		"e13": func() (*experiments.Table, error) { return experiments.E13Discovery(*seed) },
+		"a1":  experiments.AblationSeries,
+		"a2":  experiments.AblationAvailabilitySolvers,
+		"a3":  experiments.AblationRepairDiscipline,
+		"a4":  func() (*experiments.Table, error) { return experiments.AblationDispatch(*seed) },
+		"a5":  experiments.AblationHeterogeneous,
+		"a6":  experiments.AblationTransient,
+		"a7":  func() (*experiments.Table, error) { return experiments.AblationPooling(*seed) },
+	}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+		"a1", "a2", "a3", "a4", "a5", "a6", "a7"}
+
+	var ids []string
+	if *exp == "all" {
+		ids = order
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.ToLower(strings.TrimSpace(id))
+			if _, ok := runners[id]; !ok {
+				fmt.Fprintf(os.Stderr, "wfmsbench: unknown experiment %q (known: %s, all)\n", id, strings.Join(order, ", "))
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	for i, id := range ids {
+		tbl, err := runners[id]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wfmsbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(tbl.Format())
+	}
+}

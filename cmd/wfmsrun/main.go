@@ -1,0 +1,93 @@
+// Command wfmsrun executes workflow instances on the mini-WFMS runtime
+// and writes the audit trail as JSON lines — the raw material for
+// wfmsadvisor's recalibration and for calibrate.DiscoverWorkflow.
+//
+// Usage:
+//
+//	wfmsconfig -workload loan -rate 1 -export-spec > system.json
+//	wfmsrun -spec system.json -instances 500 -trail audit.jsonl
+//	wfmsadvisor -spec system.json -config 2,2,3 -trail audit.jsonl -max-unavail 1e-5
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"performa/internal/engine"
+	"performa/internal/wfjson"
+)
+
+func main() {
+	var (
+		specFile  = flag.String("spec", "", "JSON system specification (required)")
+		wfIndex   = flag.Int("workflow", 0, "workflow index within the spec")
+		instances = flag.Int("instances", 200, "instances to execute")
+		trailFile = flag.String("trail", "", "output JSON-lines trail path (default stdout)")
+		timeScale = flag.Float64("time-scale", 0.001, "wall seconds per model time unit")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		workers   = flag.Int("workers", 256, "application workers, worklist users, and replica slots per type")
+	)
+	flag.Parse()
+	if *specFile == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*specFile)
+	if err != nil {
+		fail(err)
+	}
+	env, flows, err := wfjson.Decode(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+	if *wfIndex < 0 || *wfIndex >= len(flows) {
+		fail(fmt.Errorf("workflow index %d out of range [0,%d)", *wfIndex, len(flows)))
+	}
+	flow := flows[*wfIndex]
+
+	appWorkers := map[string]int{}
+	slots := map[string]int{}
+	for _, st := range env.Types() {
+		appWorkers[st.Name] = *workers
+		slots[st.Name] = *workers
+	}
+	rt := engine.New(env, engine.Options{
+		TimeScale:      *timeScale,
+		Seed:           *seed,
+		AppWorkers:     appWorkers,
+		Users:          *workers,
+		ServerReplicas: slots,
+	})
+
+	interarrival := 0.0
+	if flow.ArrivalRate > 0 {
+		interarrival = 1 / flow.ArrivalRate
+	}
+	done, err := rt.RunInstances(context.Background(), flow, *instances, interarrival)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "wfmsrun: executed %d/%d instances of %q (%d audit records)\n",
+		done, *instances, flow.Name, rt.Trail().Len())
+
+	out := os.Stdout
+	if *trailFile != "" {
+		out, err = os.Create(*trailFile)
+		if err != nil {
+			fail(err)
+		}
+		defer out.Close()
+	}
+	if err := rt.Trail().WriteJSONLines(out); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "wfmsrun:", err)
+	os.Exit(1)
+}

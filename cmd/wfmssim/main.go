@@ -1,0 +1,165 @@
+// Command wfmssim runs the discrete-event WFMS simulator against a
+// configuration and prints measured versus analytically predicted
+// metrics, standing in for the testbed measurements of the paper's
+// Section 8.
+//
+// Usage:
+//
+//	wfmssim -workload ep -rate 3 -config 2,2,2 -horizon 20000
+//	wfmssim -workload mix -rate 6 -config 2,2,3 -failures -accel 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"performa"
+	"performa/internal/sim"
+	"performa/internal/spec"
+	"performa/internal/wfjson"
+	"performa/internal/workload"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "ep", "built-in workflow mix: ep, order, loan, or mix")
+		specFile     = flag.String("spec", "", "JSON system specification (overrides -workload/-rate/-accel; see internal/wfjson)")
+		rate         = flag.Float64("rate", 3, "total workflow arrival rate per minute")
+		configSpec   = flag.String("config", "2,2,2", "configuration to simulate (e.g. 2,2,3)")
+		horizon      = flag.Float64("horizon", 20000, "simulated minutes")
+		warmup       = flag.Float64("warmup", 0, "warm-up minutes to discard (default horizon/10)")
+		seed         = flag.Uint64("seed", 42, "random seed")
+		failures     = flag.Bool("failures", false, "enable server failures and repairs")
+		accel        = flag.Float64("accel", 1, "failure-rate acceleration factor (for sampling downtime in short runs)")
+		dispatch     = flag.String("dispatch", "random", "load partitioning: random, rr (round-robin), or shared (one queue per type)")
+	)
+	flag.Parse()
+	if *warmup <= 0 {
+		*warmup = *horizon / 10
+	}
+
+	var env *spec.Environment
+	var flows []*spec.Workflow
+	var err error
+	if *specFile != "" {
+		f, ferr := os.Open(*specFile)
+		if ferr != nil {
+			fail(ferr)
+		}
+		env, flows, err = wfjson.Decode(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		env = workload.PaperEnvironment()
+		if *accel != 1 {
+			types := env.Types()
+			for i := range types {
+				types[i].FailureRate *= *accel
+			}
+			env = spec.MustEnvironment(types...)
+		}
+		flows, err = buildWorkflows(*workloadName, *rate)
+		if err != nil {
+			fail(err)
+		}
+	}
+	sys, err := performa.NewSystem(env, flows...)
+	if err != nil {
+		fail(err)
+	}
+	cfg, err := parseConfig(*configSpec, env.K())
+	if err != nil {
+		fail(err)
+	}
+
+	params := performa.SimParams{
+		Replicas:       cfg.Replicas,
+		Seed:           *seed,
+		Horizon:        *horizon,
+		Warmup:         *warmup,
+		EnableFailures: *failures,
+	}
+	switch strings.ToLower(*dispatch) {
+	case "random":
+		params.Dispatch = sim.Random
+	case "rr", "round-robin":
+		params.Dispatch = sim.RoundRobin
+	case "shared", "shared-queue":
+		params.Dispatch = sim.SharedQueue
+	default:
+		fail(fmt.Errorf("unknown dispatch policy %q (want random, rr, or shared)", *dispatch))
+	}
+	res, err := sys.Simulate(params)
+	if err != nil {
+		fail(err)
+	}
+	rep, err := sys.Analysis().Evaluate(cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("simulated %s for %.0f min (warm-up %.0f, %d events, seed %d)\n",
+		cfg, *horizon, *warmup, res.Events, *seed)
+	fmt.Printf("  %-12s %-12s %-12s %-14s %-14s %-12s %-10s\n",
+		"server type", "util (sim)", "util (model)", "wait (sim)", "wait (model)", "wait p95", "requests")
+	for x := 0; x < env.K(); x++ {
+		fmt.Printf("  %-12s %-12.4f %-12.4f %-14.5g %-14.5g %-12.5g %-10d\n",
+			env.Type(x).Name,
+			res.Utilization[x], rep.Utilization[x],
+			res.Waiting[x].Mean, rep.Waiting[x],
+			res.WaitingP95[x],
+			res.RequestsServed[x])
+	}
+	for i, m := range sys.Models() {
+		fmt.Printf("  workflow %-8s turnaround (sim) %.4f vs (model) %.4f min; %d completed\n",
+			m.Workflow.Name, res.Turnaround[i].Mean, m.Turnaround(), res.Completed[i])
+	}
+	if *failures {
+		fmt.Printf("  observed unavailability: %.6g\n", res.Unavailability)
+	}
+}
+
+func buildWorkflows(name string, rate float64) ([]*spec.Workflow, error) {
+	switch strings.ToLower(name) {
+	case "ep":
+		return []*spec.Workflow{workload.EPWorkflow(rate)}, nil
+	case "order":
+		return []*spec.Workflow{workload.OrderWorkflow(rate)}, nil
+	case "loan":
+		return []*spec.Workflow{workload.LoanWorkflow(rate)}, nil
+	case "mix":
+		return []*spec.Workflow{
+			workload.EPWorkflow(rate * 0.5),
+			workload.OrderWorkflow(rate * 0.3),
+			workload.LoanWorkflow(rate * 0.2),
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func parseConfig(s string, k int) (performa.Configuration, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != k {
+		return performa.Configuration{}, fmt.Errorf("configuration %q has %d entries for %d server types", s, len(parts), k)
+	}
+	replicas := make([]int, k)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 0 {
+			return performa.Configuration{}, fmt.Errorf("bad replication degree %q", p)
+		}
+		replicas[i] = v
+	}
+	return performa.Configuration{Replicas: replicas}, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "wfmssim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+// Autopilot: the closed configuration loop of the paper's Section 7 —
+// the advisor owns the workflow specifications and goals, the mini-WFMS
+// executes the real (different!) workload, and each observation cycle
+// recalibrates the models and re-decides whether the running
+// configuration still meets the goals.
+//
+//	go run ./examples/autopilot
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"performa/internal/advisor"
+	"performa/internal/config"
+	"performa/internal/engine"
+	"performa/internal/perf"
+	"performa/internal/performability"
+	"performa/internal/spec"
+	"performa/internal/workload"
+)
+
+func main() {
+	env := workload.PaperEnvironment()
+
+	// The designer's estimate: a quiet shop, 0.2 orders/min.
+	designed := workload.EPWorkflow(0.2)
+	adv, err := advisor.New(env, []*spec.Workflow{designed}, advisor.Options{
+		Goals: config.Goals{
+			MaxWaiting:        5e-5, // 3 ms
+			MaxUnavailability: 1e-5,
+		},
+		Planner: config.Options{
+			Performability: performability.Options{Policy: performability.ExcludeDown},
+		},
+		AllowShrink: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Initial deployment for the estimated load.
+	current := perf.Config{Replicas: []int{2, 2, 3}}
+	decide(adv, &current, "initial deployment (designed for 0.2 orders/min)")
+
+	// Reality check 1: a promotion took off — 30 orders/min hit the
+	// running system. The engine executes the real workload and the
+	// advisor observes the audit trail.
+	observe(adv, env, 30, 300)
+	decide(adv, &current, "after observing a surge of ~30 orders/min")
+
+	// Reality check 2: the market cooled to 2 orders/min.
+	observe(adv, env, 2, 120)
+	decide(adv, &current, "after observing ~2 orders/min")
+}
+
+// observe executes `instances` real workflow instances at the given rate
+// (per minute) on the mini-WFMS and feeds the trail to the advisor.
+func observe(adv *advisor.Advisor, env *spec.Environment, rate float64, instances int) {
+	truth := workload.EPWorkflow(rate)
+	rt := engine.New(env, engine.Options{
+		TimeScale:      0.001,
+		Seed:           uint64(instances),
+		AppWorkers:     map[string]int{workload.AppType: 512},
+		Users:          512,
+		ServerReplicas: map[string]int{workload.ORB: 512, workload.EngineType: 512, workload.AppType: 512},
+	})
+	if _, err := rt.RunInstances(context.Background(), truth, instances, 1/rate); err != nil {
+		log.Fatal(err)
+	}
+	if err := adv.Observe(rt.Trail()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nobserved %d instances (%d audit records); models recalibrated (#%d)\n",
+		instances, rt.Trail().Len(), adv.Calibrations())
+}
+
+// decide asks the advisor about the current configuration and applies
+// its recommendation.
+func decide(adv *advisor.Advisor, current *perf.Config, label string) {
+	d, err := adv.Recommend(*current)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s:\n", label)
+	fmt.Printf("  running %s — verdict: %s\n", current, d.Verdict)
+	for _, r := range d.Reasons {
+		fmt.Printf("    %s\n", r)
+	}
+	if d.Verdict != advisor.Keep {
+		fmt.Printf("  reconfigure %s → %s (%d servers)\n", current, d.Target, d.TargetCost)
+		*current = d.Target
+	}
+}

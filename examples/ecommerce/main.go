@@ -1,0 +1,114 @@
+// E-commerce capacity study: analyze the electronic-purchase workflow of
+// the paper's Figure 3/4, sweep the arrival rate to find where each
+// configuration saturates, plan configurations for a seasonal peak, and
+// validate the analytic predictions against the discrete-event simulator.
+//
+//	go run ./examples/ecommerce
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"performa"
+	"performa/internal/performability"
+	"performa/internal/sim"
+	"performa/internal/workload"
+)
+
+func main() {
+	env := workload.PaperEnvironment()
+
+	// --- 1. Workflow analysis (the Figure 4 CTMC) -------------------
+	sys, err := performa.NewSystem(env, workload.EPWorkflow(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := sys.Models()[0]
+	fmt.Println("EP workflow analysis:")
+	fmt.Printf("  mean turnaround:   %.2f min\n", m.Turnaround())
+	visits := m.ExpectedVisits()
+	fmt.Println("  expected visits per state:")
+	for i, name := range m.StateNames {
+		if i == m.Chain.Absorbing() {
+			continue
+		}
+		fmt.Printf("    %-22s %.4f (residence %.1f min)\n", name, visits[i], m.Chain.H[i])
+	}
+	r := m.ExpectedRequests()
+	fmt.Printf("  service requests per instance: orb %.2f, engine %.2f, appsrv %.2f\n\n", r[0], r[1], r[2])
+
+	// --- 2. Arrival-rate sweep: when does each config saturate? -----
+	fmt.Println("waiting time [min] by arrival rate and configuration:")
+	fmt.Printf("  %-12s", "rate [1/min]")
+	configs := []performa.Configuration{
+		{Replicas: []int{1, 1, 1}},
+		{Replicas: []int{2, 2, 2}},
+		{Replicas: []int{4, 4, 4}},
+	}
+	for _, c := range configs {
+		fmt.Printf("  %-10s", c.String())
+	}
+	fmt.Println()
+	for _, rate := range []float64{5, 10, 20, 40, 60, 80} {
+		s, err := performa.NewSystem(env, workload.EPWorkflow(rate))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12.0f", rate)
+		for _, c := range configs {
+			rep, err := s.Analysis().Evaluate(c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if rep.Saturated() {
+				fmt.Printf("  %-10s", "saturated")
+			} else {
+				fmt.Printf("  %-10.5f", rep.MaxWaiting())
+			}
+		}
+		fmt.Println()
+	}
+
+	// --- 3. Plan for the seasonal peak -------------------------------
+	peak, err := performa.NewSystem(env, workload.EPWorkflow(60))
+	if err != nil {
+		log.Fatal(err)
+	}
+	goals := performa.Goals{MaxWaiting: 0.002, MaxUnavailability: 1e-5}
+	rec, err := peak.Plan(goals, performa.Constraints{}, performa.PlannerOptions{
+		Performability: performability.Options{Policy: performability.ExcludeDown},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npeak-season plan (60 orders/min, wait ≤ 0.12 s, unavail ≤ 1e-5): %s, %d servers\n",
+		rec.Config, rec.Cost)
+
+	// --- 4. Validate against the simulator ---------------------------
+	fmt.Println("\nvalidation against discrete-event simulation (3 orders/min, (2,2,2)):")
+	val, err := performa.NewSystem(env, workload.EPWorkflow(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := val.Simulate(performa.SimParams{
+		Replicas: []int{2, 2, 2},
+		Seed:     1,
+		Horizon:  20000,
+		Warmup:   2000,
+		Dispatch: sim.Random,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := val.Analysis().Evaluate(performa.Configuration{Replicas: []int{2, 2, 2}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-10s %-14s %-14s\n", "type", "w model [min]", "w simulated")
+	for x := 0; x < env.K(); x++ {
+		fmt.Printf("  %-10s %-14.6f %-14.6f\n", env.Type(x).Name, rep.Waiting[x], res.Waiting[x].Mean)
+	}
+	fmt.Printf("  turnaround: model %.2f vs simulated %.2f min (%d instances)\n",
+		val.Models()[0].Turnaround(), res.Turnaround[0].Mean, res.Completed[0])
+}

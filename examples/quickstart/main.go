@@ -1,0 +1,60 @@
+// Quickstart: assess a configuration of a distributed WFMS and let the
+// planner recommend a cheaper or better one.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"performa"
+	"performa/internal/performability"
+	"performa/internal/workload"
+)
+
+func main() {
+	// The paper's environment: one ORB-style communication server type,
+	// one workflow-engine type, one application-server type, failing
+	// monthly / weekly / daily with 10-minute repairs (time unit:
+	// minutes).
+	env := workload.PaperEnvironment()
+
+	// The electronic-purchase workflow of the paper's Figure 3, with
+	// one new instance per minute.
+	sys, err := performa.NewSystem(env, workload.EPWorkflow(1.0))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Assess the unreplicated system.
+	as, err := sys.Assess(performa.Configuration{Replicas: []int{1, 1, 1}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("unreplicated system (1,1,1):")
+	fmt.Printf("  downtime per year:      %.1f hours\n", as.Availability.DowntimeHoursPerYear)
+	fmt.Printf("  max waiting time:       %.4g min\n", as.Performance.MaxWaiting())
+	fmt.Printf("  max throughput:         %.1f workflows/min\n", as.Performance.MaxWorkflowThroughput)
+
+	// Ask the planner for the cheapest configuration with at most ~30
+	// seconds of downtime per year and sub-second waiting.
+	goals := performa.Goals{
+		MaxWaiting:        0.01, // 0.6 s
+		MaxUnavailability: 1e-6, // ≈ 32 s/year
+	}
+	rec, err := sys.Plan(goals, performa.Constraints{}, performa.PlannerOptions{
+		Performability: performability.Options{Policy: performability.ExcludeDown},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrecommended configuration: %s (%d servers)\n", rec.Config, rec.Cost)
+
+	final, err := sys.Assess(rec.Config)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  downtime per year:      %.1f seconds\n", final.Availability.DowntimeSecondsPerYear())
+	fmt.Printf("  performability waiting: %.4g min\n", final.Performability.MaxWaiting())
+}

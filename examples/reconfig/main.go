@@ -1,0 +1,128 @@
+// Dynamic reconfiguration: the workload of a running WFMS evolves — the
+// order volume triples and a new workflow type is rolled out — and the
+// configuration tool detects the goal violations and recommends the
+// incremental reconfiguration (the paper's motivating scenario for
+// reconfiguring a WFMS dynamically rather than only at design time).
+//
+//	go run ./examples/reconfig
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"performa"
+	"performa/internal/performability"
+	"performa/internal/spec"
+	"performa/internal/workload"
+)
+
+var goals = performa.Goals{
+	MaxWaiting:        0.0005, // 30 ms
+	MaxUnavailability: 1e-5,   // ≈ 5.3 min/year
+}
+
+func plannerOpts() performa.PlannerOptions {
+	return performa.PlannerOptions{
+		Performability: performability.Options{Policy: performability.ExcludeDown},
+	}
+}
+
+func main() {
+	env := workload.PaperEnvironment()
+
+	// --- Phase 1: initial deployment ---------------------------------
+	phase1 := []*spec.Workflow{
+		workload.EPWorkflow(20),
+		workload.OrderWorkflow(10),
+	}
+	sys1, err := performa.NewSystem(env, phase1...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec1, err := sys1.Plan(goals, performa.Constraints{}, plannerOpts())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase 1 (EP @ 20/min, Order @ 10/min): deploy %s (%d servers)\n", rec1.Config, rec1.Cost)
+
+	// --- Phase 2: the order volume triples ---------------------------
+	phase2 := []*spec.Workflow{
+		workload.EPWorkflow(60),
+		workload.OrderWorkflow(30),
+	}
+	sys2, err := performa.NewSystem(env, phase2...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(sys2, rec1.Config, "phase 2 (volume ×3) on the phase-1 configuration")
+	rec2, err := sys2.Plan(goals, performa.Constraints{MinReplicas: rec1.Config.Replicas}, plannerOpts())
+	if err != nil {
+		log.Fatal(err)
+	}
+	printDelta(env, rec1.Config, rec2.Config)
+
+	// --- Phase 3: a new workflow type is rolled out -------------------
+	phase3 := append(phase2, workload.LoanWorkflow(40))
+	sys3, err := performa.NewSystem(env, phase3...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(sys3, rec2.Config, "phase 3 (loan workflow added @ 40/min) on the phase-2 configuration")
+	// Only grow, never shrink a running system: the current replicas
+	// are the lower bound (the paper's constraint mechanism).
+	rec3, err := sys3.Plan(goals, performa.Constraints{MinReplicas: rec2.Config.Replicas}, plannerOpts())
+	if err != nil {
+		log.Fatal(err)
+	}
+	printDelta(env, rec2.Config, rec3.Config)
+
+	final, err := sys3.Assess(rec3.Config)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal configuration %s: W^Y = %.5g min, downtime %.1f s/year, headroom ×%.1f\n",
+		rec3.Config, final.Performability.MaxWaiting(),
+		final.Availability.DowntimeSecondsPerYear(),
+		final.Performance.ThroughputScale)
+}
+
+// report checks the goals of an existing configuration under a new load.
+func report(sys *performa.System, cfg performa.Configuration, label string) {
+	as, err := sys.Assess(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	waitOK := as.Performability.MaxWaiting() <= goals.MaxWaiting
+	availOK := 1-as.Availability.Availability <= goals.MaxUnavailability
+	fmt.Printf("\n%s:\n", label)
+	fmt.Printf("  max waiting %.5g min (goal %.5g): %s\n",
+		as.Performability.MaxWaiting(), goals.MaxWaiting, okString(waitOK))
+	fmt.Printf("  unavailability %.3e (goal %.0e): %s\n",
+		1-as.Availability.Availability, goals.MaxUnavailability, okString(availOK))
+	if as.Performance.Saturated() {
+		fmt.Println("  WARNING: at least one server type is saturated")
+	}
+}
+
+func okString(ok bool) string {
+	if ok {
+		return "OK"
+	}
+	return "VIOLATED — reconfiguration needed"
+}
+
+func printDelta(env *spec.Environment, from, to performa.Configuration) {
+	fmt.Printf("  reconfigure %s → %s:", from, to)
+	changed := false
+	for x := range to.Replicas {
+		if d := to.Replicas[x] - from.Replicas[x]; d > 0 {
+			fmt.Printf(" +%d %s", d, env.Type(x).Name)
+			changed = true
+		}
+	}
+	if !changed {
+		fmt.Print(" no change needed")
+	}
+	fmt.Println()
+}

@@ -1,0 +1,3 @@
+module performa
+
+go 1.22

@@ -1,0 +1,256 @@
+// Package advisor is the closed-loop configuration tool of the paper's
+// Section 7: it owns the workflow specifications and goals, ingests audit
+// trails from the running system (the calibration component), re-derives
+// the stochastic models (the mapping component), evaluates the current
+// configuration against the goals (the evaluation component), and emits
+// reconfiguration recommendations (the recommendation component) — "the
+// ultimate step, automatically recommending a reconfiguration of a
+// running WFMS".
+package advisor
+
+import (
+	"fmt"
+	"time"
+
+	"performa/internal/audit"
+	"performa/internal/calibrate"
+	"performa/internal/config"
+	"performa/internal/perf"
+	"performa/internal/spec"
+)
+
+// Options configures the advisor.
+type Options struct {
+	// Goals are the performability and availability targets.
+	Goals config.Goals
+	// Constraints bound the recommendation search. The advisor always
+	// adds the current configuration as the lower bound (a running
+	// system is grown, not shrunk, unless AllowShrink is set).
+	Constraints config.Constraints
+	// Planner tunes the candidate evaluation.
+	Planner config.Options
+	// Calibration tunes how estimates rewrite the specifications.
+	Calibration calibrate.Options
+	// MinObservedInstances defers recalibration until at least this
+	// many instances completed in the observed trail (default 50);
+	// premature recalibration from a handful of instances would thrash
+	// the model.
+	MinObservedInstances int
+	// AllowShrink permits recommending fewer replicas than currently
+	// deployed when the goals hold with headroom.
+	AllowShrink bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinObservedInstances <= 0 {
+		o.MinObservedInstances = 50
+	}
+	return o
+}
+
+// Advisor maintains calibrated workflow models and advises on
+// configurations.
+type Advisor struct {
+	env       *spec.Environment
+	workflows []*spec.Workflow
+	opts      Options
+
+	analysis      *perf.Analysis
+	calibrations  int
+	lastEstimates *calibrate.Estimates
+}
+
+// New builds an advisor over designer-estimated workflow specifications.
+// The workflows are deep-owned: Observe rewrites their parameters in
+// place as trails arrive.
+func New(env *spec.Environment, workflows []*spec.Workflow, opts Options) (*Advisor, error) {
+	a := &Advisor{env: env, workflows: workflows, opts: opts.withDefaults()}
+	if err := a.rebuild(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func (a *Advisor) rebuild() error {
+	models := make([]*spec.Model, 0, len(a.workflows))
+	for _, w := range a.workflows {
+		m, err := spec.Build(w, a.env)
+		if err != nil {
+			return err
+		}
+		models = append(models, m)
+	}
+	analysis, err := perf.NewAnalysis(a.env, models)
+	if err != nil {
+		return err
+	}
+	a.analysis = analysis
+	return nil
+}
+
+// Analysis returns the current (possibly recalibrated) analysis.
+func (a *Advisor) Analysis() *perf.Analysis { return a.analysis }
+
+// Calibrations returns how many trails have been folded into the models.
+func (a *Advisor) Calibrations() int { return a.calibrations }
+
+// Observe folds an audit trail into the workflow models: transition
+// probabilities, activity durations, and arrival rates are re-estimated
+// and the stochastic models rebuilt. Trails with too few completed
+// instances are rejected (ErrTooFewObservations) so sparse data cannot
+// thrash the model.
+func (a *Advisor) Observe(trail *audit.Trail) error {
+	est, err := calibrate.FromTrail(trail)
+	if err != nil {
+		return err
+	}
+	var observed uint64
+	for _, mp := range est.Turnarounds {
+		observed += mp.N
+	}
+	if observed < uint64(a.opts.MinObservedInstances) {
+		return fmt.Errorf("%w: %d completed instances, need %d", ErrTooFewObservations, observed, a.opts.MinObservedInstances)
+	}
+	for _, w := range a.workflows {
+		if err := est.ApplyToWorkflow(w, a.env, a.opts.Calibration); err != nil {
+			return err
+		}
+		if rate, ok := est.ArrivalRates[w.Name]; ok && rate > 0 {
+			w.ArrivalRate = rate
+		}
+	}
+	if err := a.rebuild(); err != nil {
+		return err
+	}
+	a.calibrations++
+	a.lastEstimates = est
+	return nil
+}
+
+// ErrTooFewObservations reports a trail below the calibration threshold.
+var ErrTooFewObservations = fmt.Errorf("advisor: too few observations")
+
+// Verdict classifies a configuration against the goals.
+type Verdict int
+
+const (
+	// Keep: the current configuration meets the goals.
+	Keep Verdict = iota
+	// Grow: the goals are violated; the decision carries the target.
+	Grow
+	// Shrink: the goals hold with enough headroom that a cheaper
+	// configuration also meets them (only with AllowShrink).
+	Shrink
+)
+
+// String returns the verdict's name.
+func (v Verdict) String() string {
+	switch v {
+	case Keep:
+		return "keep"
+	case Grow:
+		return "grow"
+	case Shrink:
+		return "shrink"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Decision is the advisor's recommendation for a running system.
+type Decision struct {
+	// Verdict classifies the outcome.
+	Verdict Verdict
+	// Current echoes the running configuration and its assessment.
+	Current *config.Assessment
+	// Target is the recommended configuration (equal to Current's for
+	// Keep).
+	Target perf.Config
+	// TargetCost is the server count of the target.
+	TargetCost int
+	// Delta lists per-type replica changes (target − current).
+	Delta []int
+	// Reasons explains the verdict for operators.
+	Reasons []string
+	// EvaluatedAt timestamps the decision.
+	EvaluatedAt time.Time
+}
+
+// Recommend evaluates the current configuration against the goals and,
+// if they are violated (or over-satisfied with AllowShrink), searches for
+// the new configuration.
+func (a *Advisor) Recommend(current perf.Config) (*Decision, error) {
+	k := a.env.K()
+	if len(current.Replicas) != k {
+		return nil, fmt.Errorf("advisor: configuration has %d entries for %d server types", len(current.Replicas), k)
+	}
+	d := &Decision{EvaluatedAt: time.Now()}
+	as, err := config.Assess(a.analysis, current, a.opts.Goals, a.opts.Planner)
+	if err != nil {
+		return nil, err
+	}
+	d.Current = as
+
+	if !as.Feasible() {
+		cons := a.opts.Constraints
+		// Never shrink below the running system while growing.
+		cons.MinReplicas = mergeMin(cons.MinReplicas, current.Replicas)
+		rec, err := config.Greedy(a.analysis, a.opts.Goals, cons, a.opts.Planner)
+		if err != nil {
+			return nil, fmt.Errorf("advisor: goals violated and no feasible growth found: %w", err)
+		}
+		d.Verdict = Grow
+		d.Target = rec.Config
+		d.TargetCost = rec.Cost
+		d.Delta = delta(current.Replicas, rec.Config.Replicas)
+		if !as.PerfOK {
+			d.Reasons = append(d.Reasons,
+				fmt.Sprintf("waiting-time goal violated: max W^Y = %.4g", as.Perf.MaxWaiting()))
+		}
+		if !as.AvailOK {
+			d.Reasons = append(d.Reasons,
+				fmt.Sprintf("availability goal violated: unavailability = %.3e", as.Unavailability))
+		}
+		return d, nil
+	}
+
+	if a.opts.AllowShrink {
+		rec, err := config.Greedy(a.analysis, a.opts.Goals, a.opts.Constraints, a.opts.Planner)
+		if err == nil && rec.Cost < current.TotalServers() {
+			d.Verdict = Shrink
+			d.Target = rec.Config
+			d.TargetCost = rec.Cost
+			d.Delta = delta(current.Replicas, rec.Config.Replicas)
+			d.Reasons = append(d.Reasons,
+				fmt.Sprintf("goals hold at %d servers instead of %d", rec.Cost, current.TotalServers()))
+			return d, nil
+		}
+	}
+
+	d.Verdict = Keep
+	d.Target = current.Clone()
+	d.TargetCost = current.TotalServers()
+	d.Delta = make([]int, k)
+	d.Reasons = append(d.Reasons, "all goals met")
+	return d, nil
+}
+
+func mergeMin(base, current []int) []int {
+	out := append([]int(nil), current...)
+	if base != nil {
+		for i := range out {
+			if i < len(base) && base[i] > out[i] {
+				out[i] = base[i]
+			}
+		}
+	}
+	return out
+}
+
+func delta(from, to []int) []int {
+	out := make([]int, len(from))
+	for i := range from {
+		out[i] = to[i] - from[i]
+	}
+	return out
+}

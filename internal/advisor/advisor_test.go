@@ -1,0 +1,201 @@
+package advisor
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"performa/internal/config"
+	"performa/internal/engine"
+	"performa/internal/perf"
+	"performa/internal/performability"
+	"performa/internal/spec"
+	"performa/internal/workload"
+)
+
+func newAdvisor(t *testing.T, goals config.Goals, opts Options) *Advisor {
+	t.Helper()
+	env := workload.PaperEnvironment()
+	a, err := New(env, []*spec.Workflow{workload.EPWorkflow(1)}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func defaultOpts(goals config.Goals) Options {
+	return Options{
+		Goals: goals,
+		Planner: config.Options{
+			Performability: performability.Options{Policy: performability.ExcludeDown},
+		},
+	}
+}
+
+func TestRecommendKeep(t *testing.T) {
+	goals := config.Goals{MaxWaiting: 0.01, MaxUnavailability: 1e-5}
+	a := newAdvisor(t, goals, defaultOpts(goals))
+	d, err := a.Recommend(perf.Config{Replicas: []int{2, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Verdict != Keep {
+		t.Fatalf("verdict = %v, want keep (reasons %v)", d.Verdict, d.Reasons)
+	}
+	for _, dx := range d.Delta {
+		if dx != 0 {
+			t.Errorf("keep decision has nonzero delta %v", d.Delta)
+		}
+	}
+	if d.TargetCost != 7 {
+		t.Errorf("target cost = %d", d.TargetCost)
+	}
+}
+
+func TestRecommendGrowOnAvailability(t *testing.T) {
+	goals := config.Goals{MaxUnavailability: 1.5e-6}
+	a := newAdvisor(t, goals, defaultOpts(goals))
+	d, err := a.Recommend(perf.Config{Replicas: []int{1, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Verdict != Grow {
+		t.Fatalf("verdict = %v, want grow", d.Verdict)
+	}
+	// Growth never shrinks a type.
+	for x, dx := range d.Delta {
+		if dx < 0 {
+			t.Errorf("delta[%d] = %d shrinks a running system", x, dx)
+		}
+	}
+	// The known optimum from E1/E6: (2,2,3).
+	want := []int{2, 2, 3}
+	for x := range want {
+		if d.Target.Replicas[x] != want[x] {
+			t.Errorf("target = %v, want %v", d.Target.Replicas, want)
+			break
+		}
+	}
+	if len(d.Reasons) == 0 || !strings.Contains(d.Reasons[0], "availability") {
+		t.Errorf("reasons = %v", d.Reasons)
+	}
+}
+
+func TestRecommendShrink(t *testing.T) {
+	goals := config.Goals{MaxUnavailability: 1e-4}
+	opts := defaultOpts(goals)
+	opts.AllowShrink = true
+	a := newAdvisor(t, goals, opts)
+	d, err := a.Recommend(perf.Config{Replicas: []int{4, 4, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Verdict != Shrink {
+		t.Fatalf("verdict = %v, want shrink", d.Verdict)
+	}
+	if d.TargetCost >= 12 {
+		t.Errorf("target cost = %d, want below 12", d.TargetCost)
+	}
+	// Without AllowShrink the same situation is a keep.
+	a2 := newAdvisor(t, goals, defaultOpts(goals))
+	d2, err := a2.Recommend(perf.Config{Replicas: []int{4, 4, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Verdict != Keep {
+		t.Errorf("verdict without AllowShrink = %v", d2.Verdict)
+	}
+}
+
+func TestObserveRecalibratesAndChangesDecision(t *testing.T) {
+	// The designer underestimated the arrival rate and the reminder
+	// loop; the observed trail corrects both, pushing the engine-side
+	// load up. Feed a trail from the mini-WFMS and check the advisor's
+	// model moved towards the observations.
+	env := workload.PaperEnvironment()
+	designed := workload.EPWorkflow(0.05) // designer guessed 0.05/min
+	goals := config.Goals{MaxUnavailability: 1e-4}
+	adv, err := New(env, []*spec.Workflow{designed}, defaultOpts(goals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := adv.Analysis().RequestArrivalRates()
+
+	// Reality: ~0.5 instances/min, executed on the engine runtime.
+	truth := workload.EPWorkflow(0.5)
+	rt := engine.New(env, engine.Options{
+		TimeScale:      0.004, // 8 ms spacing: robust to scheduler jitter under parallel test load
+		Seed:           3,
+		AppWorkers:     map[string]int{workload.AppType: 256},
+		Users:          256,
+		ServerReplicas: map[string]int{workload.ORB: 256, workload.EngineType: 256, workload.AppType: 256},
+	})
+	if _, err := rt.RunInstances(context.Background(), truth, 120, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := adv.Observe(rt.Trail()); err != nil {
+		t.Fatal(err)
+	}
+	if adv.Calibrations() != 1 {
+		t.Errorf("calibrations = %d", adv.Calibrations())
+	}
+	after := adv.Analysis().RequestArrivalRates()
+	if after[1] <= before[1]*2 {
+		t.Errorf("engine load %v did not grow from %v after observing a 10x busier reality", after[1], before[1])
+	}
+	// The calibrated arrival rate is near the truth (instances spaced
+	// 2 minutes apart → ≈0.5/min); wall-clock jitter under parallel
+	// test load can stretch the spacing, so the bound is one-sided
+	// tight and generous below.
+	rate := adv.workflows[0].ArrivalRate
+	if rate < 0.25 || rate > 0.6 {
+		t.Errorf("calibrated arrival rate = %v, want ≈0.5", rate)
+	}
+}
+
+func TestObserveRejectsSparseTrails(t *testing.T) {
+	env := workload.PaperEnvironment()
+	adv, err := New(env, []*spec.Workflow{workload.EPWorkflow(1)}, defaultOpts(config.Goals{MaxUnavailability: 1e-4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := engine.New(env, engine.Options{TimeScale: 0.0005, Seed: 1, Users: 32,
+		AppWorkers: map[string]int{workload.AppType: 32}})
+	if _, err := rt.RunInstances(context.Background(), workload.EPWorkflow(1), 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	err = adv.Observe(rt.Trail())
+	if !errors.Is(err, ErrTooFewObservations) {
+		t.Errorf("err = %v, want ErrTooFewObservations", err)
+	}
+	if adv.Calibrations() != 0 {
+		t.Errorf("calibrations = %d", adv.Calibrations())
+	}
+}
+
+func TestRecommendValidation(t *testing.T) {
+	goals := config.Goals{MaxUnavailability: 1e-4}
+	a := newAdvisor(t, goals, defaultOpts(goals))
+	if _, err := a.Recommend(perf.Config{Replicas: []int{1}}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Keep.String() != "keep" || Grow.String() != "grow" || Shrink.String() != "shrink" {
+		t.Error("verdict strings wrong")
+	}
+	if Verdict(9).String() == "" {
+		t.Error("unknown verdict empty")
+	}
+}
+
+func TestNewRejectsInvalidWorkflow(t *testing.T) {
+	env := workload.PaperEnvironment()
+	w := workload.EPWorkflow(1)
+	delete(w.Profiles, "NewOrder")
+	if _, err := New(env, []*spec.Workflow{w}, defaultOpts(config.Goals{MaxUnavailability: 1e-4})); err == nil {
+		t.Error("invalid workflow accepted")
+	}
+}

@@ -1,0 +1,143 @@
+// Package audit defines the audit-trail record format of the WFMS and an
+// in-memory/JSON-lines trail store. Audit trails are the calibration
+// source of the configuration tool (Sections 3.2 and 7.1): transition
+// probabilities, state residence times, and service-time moments are
+// estimated from them once the system is operational.
+package audit
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// EventKind enumerates audit record types.
+type EventKind string
+
+const (
+	// InstanceStarted records the creation of a workflow instance.
+	InstanceStarted EventKind = "instance_started"
+	// InstanceCompleted records the termination of a workflow instance.
+	InstanceCompleted EventKind = "instance_completed"
+	// StateEntered records the control flow entering a statechart
+	// state.
+	StateEntered EventKind = "state_entered"
+	// StateLeft records the control flow leaving a state.
+	StateLeft EventKind = "state_left"
+	// ActivityStarted records an activity invocation.
+	ActivityStarted EventKind = "activity_started"
+	// ActivityCompleted records an activity termination.
+	ActivityCompleted EventKind = "activity_completed"
+	// ServiceRequest records one service request processed by a server,
+	// with its waiting and service durations.
+	ServiceRequest EventKind = "service_request"
+)
+
+// Record is one audit-trail entry. Timestamps are in the deployment's
+// time unit (seconds for the engine runtime).
+type Record struct {
+	// Kind classifies the record.
+	Kind EventKind `json:"kind"`
+	// Time is the event timestamp.
+	Time float64 `json:"time"`
+	// Workflow is the workflow type name.
+	Workflow string `json:"workflow,omitempty"`
+	// Instance identifies the workflow instance.
+	Instance uint64 `json:"instance,omitempty"`
+	// Chart is the (sub)chart name for state events.
+	Chart string `json:"chart,omitempty"`
+	// State is the state name for state events.
+	State string `json:"state,omitempty"`
+	// Activity is the activity type for activity events.
+	Activity string `json:"activity,omitempty"`
+	// ServerType is the server-type name for service requests.
+	ServerType string `json:"server_type,omitempty"`
+	// Server is the replica id for service requests.
+	Server int `json:"server,omitempty"`
+	// Waiting is the request's queueing delay (ServiceRequest only).
+	Waiting float64 `json:"waiting,omitempty"`
+	// Service is the request's service duration (ServiceRequest only).
+	Service float64 `json:"service,omitempty"`
+}
+
+// Trail is a concurrency-safe collector of audit records.
+type Trail struct {
+	mu      sync.Mutex
+	records []Record
+}
+
+// NewTrail returns an empty trail.
+func NewTrail() *Trail { return &Trail{} }
+
+// Append adds one record.
+func (t *Trail) Append(r Record) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.records = append(t.records, r)
+}
+
+// Len returns the number of records.
+func (t *Trail) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.records)
+}
+
+// Records returns a copy of all records in time order (stable for equal
+// timestamps).
+func (t *Trail) Records() []Record {
+	t.mu.Lock()
+	out := append([]Record(nil), t.records...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// Filter returns the records of one kind, in time order.
+func (t *Trail) Filter(kind EventKind) []Record {
+	var out []Record
+	for _, r := range t.Records() {
+		if r.Kind == kind {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// WriteJSONLines streams the trail as one JSON object per line.
+func (t *Trail) WriteJSONLines(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range t.Records() {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("audit: encoding record: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONLines parses a JSON-lines stream into a trail.
+func ReadJSONLines(r io.Reader) (*Trail, error) {
+	t := NewTrail()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("audit: line %d: %w", line, err)
+		}
+		t.Append(rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("audit: reading trail: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,98 @@
+package audit
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func sampleTrail() *Trail {
+	t := NewTrail()
+	t.Append(Record{Kind: StateEntered, Time: 2, Workflow: "EP", Instance: 1, Chart: "EP", State: "NewOrder"})
+	t.Append(Record{Kind: InstanceStarted, Time: 1, Workflow: "EP", Instance: 1})
+	t.Append(Record{Kind: ServiceRequest, Time: 3, ServerType: "orb", Server: 0, Waiting: 0.5, Service: 0.1})
+	t.Append(Record{Kind: InstanceCompleted, Time: 9, Workflow: "EP", Instance: 1})
+	return t
+}
+
+func TestRecordsSortedByTime(t *testing.T) {
+	tr := sampleTrail()
+	recs := tr.Records()
+	if len(recs) != 4 {
+		t.Fatalf("len = %d", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Time < recs[i-1].Time {
+			t.Errorf("records out of order at %d", i)
+		}
+	}
+	if recs[0].Kind != InstanceStarted {
+		t.Errorf("first record = %v", recs[0].Kind)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	tr := sampleTrail()
+	svc := tr.Filter(ServiceRequest)
+	if len(svc) != 1 || svc[0].ServerType != "orb" {
+		t.Errorf("Filter = %+v", svc)
+	}
+	if got := tr.Filter("nonexistent"); len(got) != 0 {
+		t.Errorf("Filter(nonexistent) = %v", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := sampleTrail()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONLines(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 4 {
+		t.Errorf("wrote %d lines", lines)
+	}
+	back, err := ReadJSONLines(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Records(), back.Records()) {
+		t.Error("round trip lost data")
+	}
+}
+
+func TestReadJSONLinesSkipsBlank(t *testing.T) {
+	in := `{"kind":"instance_started","time":1}` + "\n\n" + `{"kind":"instance_completed","time":2}` + "\n"
+	tr, err := ReadJSONLines(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestReadJSONLinesBadInput(t *testing.T) {
+	if _, err := ReadJSONLines(strings.NewReader("not json\n")); err == nil {
+		t.Error("bad input accepted")
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	tr := NewTrail()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Append(Record{Kind: ServiceRequest, Time: float64(g*100 + i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Len() != 800 {
+		t.Errorf("Len = %d, want 800", tr.Len())
+	}
+}

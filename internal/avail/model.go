@@ -1,0 +1,319 @@
+package avail
+
+import (
+	"fmt"
+	"math"
+
+	"performa/internal/ctmc"
+	"performa/internal/linalg"
+	"performa/internal/spec"
+)
+
+// HoursPerYear converts a steady-state unavailability into expected
+// downtime hours per year, the unit of the paper's worked example.
+const HoursPerYear = 8760.0
+
+// Model is the availability model of one configuration: the system-state
+// CTMC over all (X_1, ..., X_k) with X ≤ Y.
+type Model struct {
+	params     []TypeParams
+	discipline RepairDiscipline
+	enc        *ctmc.StateEncoder
+}
+
+// NewModel builds the availability model for the given per-type
+// parameters.
+func NewModel(params []TypeParams, discipline RepairDiscipline) (*Model, error) {
+	if len(params) == 0 {
+		return nil, fmt.Errorf("avail: model needs at least one server type")
+	}
+	caps := make([]int, len(params))
+	for x, p := range params {
+		if err := p.validate(); err != nil {
+			return nil, fmt.Errorf("avail: type %d: %w", x, err)
+		}
+		if p.RepairStages > 1 {
+			return nil, fmt.Errorf("avail: type %d: the exact joint model supports exponential repairs only; use the product-form path for Erlang stages", x)
+		}
+		caps[x] = p.Replicas
+	}
+	return &Model{
+		params:     append([]TypeParams(nil), params...),
+		discipline: discipline,
+		enc:        ctmc.NewStateEncoder(caps),
+	}, nil
+}
+
+// ParamsFromEnvironment extracts per-type availability parameters from an
+// environment and a replication vector.
+func ParamsFromEnvironment(env *spec.Environment, replicas []int) ([]TypeParams, error) {
+	if len(replicas) != env.K() {
+		return nil, fmt.Errorf("avail: %d replication degrees for %d server types", len(replicas), env.K())
+	}
+	params := make([]TypeParams, env.K())
+	for x := 0; x < env.K(); x++ {
+		st := env.Type(x)
+		params[x] = TypeParams{
+			Replicas:    replicas[x],
+			FailureRate: st.FailureRate,
+			RepairRate:  st.RepairRate,
+		}
+	}
+	return params, nil
+}
+
+// Encoder returns the mixed-radix state encoder of the model.
+func (m *Model) Encoder() *ctmc.StateEncoder { return m.enc }
+
+// StateCount returns the number of system states Π (Y_x + 1).
+func (m *Model) StateCount() int { return m.enc.Size() }
+
+// Generator builds the infinitesimal generator of the system-state CTMC:
+// a failure of type x moves (… X_x …) to (… X_x−1 …) at the per-state
+// failure rate, a repair completion moves it to (… X_x+1 …) at the
+// discipline-dependent repair rate.
+func (m *Model) Generator() *linalg.Matrix {
+	n := m.enc.Size()
+	q := linalg.NewMatrix(n, n)
+	m.enc.Each(func(code int, x []int) {
+		for t, p := range m.params {
+			// Failure: X_t available servers each fail at rate λ.
+			if x[t] > 0 && p.FailureRate > 0 {
+				rate := float64(x[t]) * p.FailureRate
+				x[t]--
+				to := m.enc.Encode(x)
+				x[t]++
+				q.Add(code, to, rate)
+				q.Add(code, code, -rate)
+			}
+			// Repair: failed servers come back.
+			if failed := p.Replicas - x[t]; failed > 0 && p.RepairRate > 0 {
+				rate := p.RepairRate
+				if m.discipline == IndependentRepair {
+					rate *= float64(failed)
+				}
+				x[t]++
+				to := m.enc.Encode(x)
+				x[t]--
+				q.Add(code, to, rate)
+				q.Add(code, code, -rate)
+			}
+		}
+	})
+	return q
+}
+
+// SteadyState solves the system-state CTMC exactly. Types that never
+// fail (λ = 0) pin their dimension at X = Y; their unreachable states get
+// probability zero by construction of the reachable subchain.
+func (m *Model) SteadyState() (linalg.Vector, error) {
+	// Dimensions that never fail or have no replicas are frozen at a
+	// single value; solving over the full encoding would make the chain
+	// reducible. Solve over the reachable subspace and embed.
+	frozen := make([]bool, len(m.params))
+	anyLive := false
+	for t, p := range m.params {
+		if p.Replicas == 0 || p.FailureRate == 0 {
+			frozen[t] = true
+		} else {
+			anyLive = true
+		}
+	}
+	if !anyLive {
+		// Deterministic system: all mass on the single reachable state.
+		pi := linalg.NewVector(m.enc.Size())
+		x := make([]int, len(m.params))
+		for t, p := range m.params {
+			x[t] = p.Replicas
+		}
+		pi[m.enc.Encode(x)] = 1
+		return pi, nil
+	}
+
+	liveIdx := make([]int, 0, len(m.params))
+	liveCaps := make([]int, 0, len(m.params))
+	for t, p := range m.params {
+		if !frozen[t] {
+			liveIdx = append(liveIdx, t)
+			liveCaps = append(liveCaps, p.Replicas)
+		}
+	}
+	liveEnc := ctmc.NewStateEncoder(liveCaps)
+	q := linalg.NewMatrix(liveEnc.Size(), liveEnc.Size())
+	liveEnc.Each(func(code int, x []int) {
+		for li, t := range liveIdx {
+			p := m.params[t]
+			if x[li] > 0 {
+				rate := float64(x[li]) * p.FailureRate
+				x[li]--
+				to := liveEnc.Encode(x)
+				x[li]++
+				q.Add(code, to, rate)
+				q.Add(code, code, -rate)
+			}
+			if failed := p.Replicas - x[li]; failed > 0 {
+				rate := p.RepairRate
+				if m.discipline == IndependentRepair {
+					rate *= float64(failed)
+				}
+				x[li]++
+				to := liveEnc.Encode(x)
+				x[li]--
+				q.Add(code, to, rate)
+				q.Add(code, code, -rate)
+			}
+		}
+	})
+	livePi, err := ctmc.SteadyState(q)
+	if err != nil {
+		return nil, fmt.Errorf("avail: steady state of %d-state availability CTMC: %w", liveEnc.Size(), err)
+	}
+
+	// Embed into the full encoding with frozen dimensions pinned.
+	pi := linalg.NewVector(m.enc.Size())
+	full := make([]int, len(m.params))
+	for t, p := range m.params {
+		full[t] = p.Replicas // frozen default
+	}
+	liveEnc.Each(func(code int, x []int) {
+		for li, t := range liveIdx {
+			full[t] = x[li]
+		}
+		pi[m.enc.Encode(full)] = livePi[code]
+	})
+	return pi, nil
+}
+
+// Report summarizes the availability assessment of one configuration.
+type Report struct {
+	// Replicas echoes the evaluated replication vector.
+	Replicas []int
+	// Availability is the steady-state probability that at least one
+	// server of every type is up.
+	Availability float64
+	// Unavailability is 1 − Availability.
+	Unavailability float64
+	// DowntimeHoursPerYear is Unavailability · 8760 h.
+	DowntimeHoursPerYear float64
+	// TypeMarginals[x][j] is P(X_x = j).
+	TypeMarginals []linalg.Vector
+	// StateProbs is the steady-state distribution over the mixed-radix
+	// system states; nil when produced by the pure product-form fast
+	// path with JointProbs disabled.
+	StateProbs linalg.Vector
+	// Encoder decodes StateProbs indices; nil iff StateProbs is nil.
+	Encoder *ctmc.StateEncoder
+}
+
+// DowntimeSecondsPerYear returns the expected downtime in seconds/year.
+func (r *Report) DowntimeSecondsPerYear() float64 {
+	return r.DowntimeHoursPerYear * 3600
+}
+
+// Evaluate solves the exact joint CTMC and derives the availability
+// report. The rates in params must share one time unit; availability is
+// unit-free.
+func Evaluate(params []TypeParams, discipline RepairDiscipline) (*Report, error) {
+	m, err := NewModel(params, discipline)
+	if err != nil {
+		return nil, err
+	}
+	pi, err := m.SteadyState()
+	if err != nil {
+		return nil, err
+	}
+	return reportFromStateProbs(params, pi, m.enc), nil
+}
+
+func reportFromStateProbs(params []TypeParams, pi linalg.Vector, enc *ctmc.StateEncoder) *Report {
+	rep := &Report{
+		Replicas:   make([]int, len(params)),
+		StateProbs: pi,
+		Encoder:    enc,
+	}
+	for x, p := range params {
+		rep.Replicas[x] = p.Replicas
+		rep.TypeMarginals = append(rep.TypeMarginals, linalg.NewVector(p.Replicas+1))
+	}
+	var up float64
+	enc.Each(func(code int, x []int) {
+		p := pi[code]
+		if p == 0 {
+			return
+		}
+		down := false
+		for t := range params {
+			rep.TypeMarginals[t][x[t]] += p
+			if x[t] == 0 {
+				down = true
+			}
+		}
+		if !down {
+			up += p
+		}
+	})
+	rep.Availability = up
+	rep.Unavailability = 1 - up
+	if rep.Unavailability < 0 {
+		rep.Unavailability = 0
+	}
+	rep.DowntimeHoursPerYear = rep.Unavailability * HoursPerYear
+	return rep
+}
+
+// EvaluateProductForm derives the availability report from per-type
+// marginals, exploiting the independence of server types. This is exact
+// for the models in this package (failures and repairs never couple
+// types) and exponentially cheaper than the joint CTMC. It also accepts
+// Erlang repair stages (with SingleCrew).
+//
+// If buildJoint is true, the full joint distribution over system states
+// is materialized (as the product of marginals) so the report can feed
+// the performability model; otherwise StateProbs is nil.
+func EvaluateProductForm(params []TypeParams, discipline RepairDiscipline, buildJoint bool) (*Report, error) {
+	if len(params) == 0 {
+		return nil, fmt.Errorf("avail: model needs at least one server type")
+	}
+	rep := &Report{Replicas: make([]int, len(params))}
+	availability := 1.0
+	caps := make([]int, len(params))
+	for x, p := range params {
+		marginal, err := TypeMarginal(p, discipline)
+		if err != nil {
+			return nil, fmt.Errorf("avail: type %d: %w", x, err)
+		}
+		rep.Replicas[x] = p.Replicas
+		rep.TypeMarginals = append(rep.TypeMarginals, marginal)
+		availability *= 1 - marginal[0]
+		caps[x] = p.Replicas
+	}
+	rep.Availability = availability
+	rep.Unavailability = 1 - availability
+	rep.DowntimeHoursPerYear = rep.Unavailability * HoursPerYear
+
+	if buildJoint {
+		enc := ctmc.NewStateEncoder(caps)
+		pi := linalg.NewVector(enc.Size())
+		enc.Each(func(code int, x []int) {
+			p := 1.0
+			for t := range params {
+				p *= rep.TypeMarginals[t][x[t]]
+			}
+			pi[code] = p
+		})
+		rep.StateProbs = pi
+		rep.Encoder = enc
+	}
+	return rep, nil
+}
+
+// MTBFMTTRSummary returns, for reporting, the mean time between
+// system-level failures implied by an unavailability u and a mean repair
+// time (assuming the system alternates up/down with the given mean
+// downtime): MTBF = downtime·(1−u)/u. It returns +Inf for u = 0.
+func MTBFMTTRSummary(unavailability, meanDowntime float64) float64 {
+	if unavailability <= 0 {
+		return math.Inf(1)
+	}
+	return meanDowntime * (1 - unavailability) / unavailability
+}

@@ -1,0 +1,87 @@
+package avail
+
+import (
+	"fmt"
+
+	"performa/internal/ctmc"
+	"performa/internal/linalg"
+)
+
+// TransientUnavailability computes the probability that the WFMS is down
+// at each requested time, starting from all servers up — the
+// time-dependent counterpart of the steady-state availability. Because
+// the server types fail and repair independently, the joint probability
+// factorizes into per-type transient solutions, which uniformization
+// delivers on each type's small birth-death chain (Erlang repair phases
+// included, per TypeMarginal's state layout).
+//
+// A(0) = 1 always; as t grows the curve converges to the steady-state
+// availability, the time constant being the per-type relaxation times
+// (≈ 1/(λ+μ) per server). For configurations of reliable servers the
+// steady state is a fine summary; the transient curve answers "how long
+// after a cold start is the steady-state number meaningful?".
+func TransientUnavailability(params []TypeParams, discipline RepairDiscipline, times []float64) ([]float64, error) {
+	if len(params) == 0 {
+		return nil, fmt.Errorf("avail: model needs at least one server type")
+	}
+	for x, p := range params {
+		if err := p.validate(); err != nil {
+			return nil, fmt.Errorf("avail: type %d: %w", x, err)
+		}
+		if p.RepairStages > 1 {
+			return nil, fmt.Errorf("avail: type %d: transient analysis supports exponential repairs only", x)
+		}
+	}
+	out := make([]float64, len(times))
+	for ti, t := range times {
+		if t < 0 {
+			return nil, fmt.Errorf("avail: negative time %v", t)
+		}
+		availability := 1.0
+		for x, p := range params {
+			downProb, err := transientDown(p, discipline, t)
+			if err != nil {
+				return nil, fmt.Errorf("avail: type %d: %w", x, err)
+			}
+			availability *= 1 - downProb
+		}
+		out[ti] = 1 - availability
+	}
+	return out, nil
+}
+
+// transientDown returns P(X(t) = 0 | X(0) = Y) for one type.
+func transientDown(p TypeParams, discipline RepairDiscipline, t float64) (float64, error) {
+	y := p.Replicas
+	if y == 0 {
+		return 1, nil
+	}
+	if p.FailureRate == 0 {
+		return 0, nil
+	}
+	// Birth-death generator over 0..Y available servers.
+	n := y + 1
+	q := linalg.NewMatrix(n, n)
+	for j := 0; j <= y; j++ {
+		if j > 0 { // failures
+			rate := float64(j) * p.FailureRate
+			q.Add(j, j-1, rate)
+			q.Add(j, j, -rate)
+		}
+		if failed := y - j; failed > 0 { // repairs
+			rate := p.RepairRate
+			if discipline == IndependentRepair {
+				rate *= float64(failed)
+			}
+			q.Add(j, j+1, rate)
+			q.Add(j, j, -rate)
+		}
+	}
+	pi0 := linalg.NewVector(n)
+	pi0[y] = 1
+	pi, err := ctmc.TransientGenerator(q, pi0, t)
+	if err != nil {
+		return 0, err
+	}
+	return pi[0], nil
+}

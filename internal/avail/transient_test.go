@@ -1,0 +1,142 @@
+package avail
+
+import (
+	"math"
+	"testing"
+
+	"performa/internal/ctmc"
+	"performa/internal/linalg"
+)
+
+func TestTransientUnavailabilityBoundaries(t *testing.T) {
+	params := paperParams(2, 2, 2)
+	u, err := TransientUnavailability(params, IndependentRepair, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u[0] != 0 {
+		t.Errorf("U(0) = %v, want 0 (all up at start)", u[0])
+	}
+	// Far beyond the relaxation time (~10 min per repair), the curve
+	// reaches the steady state.
+	steady, err := EvaluateProductForm(params, IndependentRepair, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err = TransientUnavailability(params, IndependentRepair, []float64{1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u[0]-steady.Unavailability)/steady.Unavailability > 1e-6 {
+		t.Errorf("U(∞) = %v, steady state %v", u[0], steady.Unavailability)
+	}
+}
+
+func TestTransientUnavailabilityMonotoneFromFullUp(t *testing.T) {
+	params := paperParams(1, 1, 1)
+	times := []float64{0, 1, 5, 10, 50, 100, 1000, 100000}
+	u, err := TransientUnavailability(params, IndependentRepair, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(u); i++ {
+		if u[i] < u[i-1]-1e-12 {
+			t.Errorf("U not monotone at t=%v: %v < %v", times[i], u[i], u[i-1])
+		}
+	}
+}
+
+func TestTransientSingleServerClosedForm(t *testing.T) {
+	// One server: P(down at t) = u·(1 − e^{−(λ+μ)t}) with
+	// u = λ/(λ+μ).
+	lambda, mu := 0.02, 0.2
+	params := []TypeParams{{Replicas: 1, FailureRate: lambda, RepairRate: mu}}
+	times := []float64{0.5, 2, 5, 20, 100}
+	u, err := TransientUnavailability(params, IndependentRepair, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uss := lambda / (lambda + mu)
+	for i, tt := range times {
+		want := uss * (1 - math.Exp(-(lambda+mu)*tt))
+		if math.Abs(u[i]-want) > 1e-9 {
+			t.Errorf("t=%v: U = %v, want %v", tt, u[i], want)
+		}
+	}
+}
+
+func TestTransientValidation(t *testing.T) {
+	if _, err := TransientUnavailability(nil, IndependentRepair, []float64{1}); err == nil {
+		t.Error("empty params accepted")
+	}
+	params := []TypeParams{{Replicas: 1, FailureRate: 1, RepairRate: 1, RepairStages: 2}}
+	if _, err := TransientUnavailability(params, SingleCrew, []float64{1}); err == nil {
+		t.Error("Erlang repair accepted")
+	}
+	ok := []TypeParams{{Replicas: 1, FailureRate: 1, RepairRate: 1}}
+	if _, err := TransientUnavailability(ok, IndependentRepair, []float64{-1}); err == nil {
+		t.Error("negative time accepted")
+	}
+}
+
+func TestTransientFrozenAndZeroReplicaTypes(t *testing.T) {
+	params := []TypeParams{
+		{Replicas: 2}, // never fails
+		{Replicas: 0, FailureRate: 0.1, RepairRate: 1}, // permanently down
+	}
+	u, err := TransientUnavailability(params, IndependentRepair, []float64{0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range u {
+		if v != 1 {
+			t.Errorf("u[%d] = %v, want 1 (a zero-replica type is always down)", i, v)
+		}
+	}
+}
+
+func TestTransientGeneratorAgainstSteadyState(t *testing.T) {
+	// Generic two-state generator: long-horizon transient equals the
+	// steady state from either start state.
+	q := linalg.MatrixFromRows([][]float64{{-2, 2}, {3, -3}})
+	steady, err := ctmc.SteadyState(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for start := 0; start < 2; start++ {
+		pi0 := linalg.NewVector(2)
+		pi0[start] = 1
+		pi, err := ctmc.TransientGenerator(q, pi0, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range pi {
+			if math.Abs(pi[i]-steady[i]) > 1e-9 {
+				t.Errorf("start %d state %d: %v vs steady %v", start, i, pi[i], steady[i])
+			}
+		}
+	}
+}
+
+func TestTransientGeneratorValidation(t *testing.T) {
+	q := linalg.MatrixFromRows([][]float64{{-1, 1}, {1, -1}})
+	if _, err := ctmc.TransientGenerator(q, linalg.Vector{1}, 1); err == nil {
+		t.Error("bad pi0 accepted")
+	}
+	if _, err := ctmc.TransientGenerator(q, linalg.Vector{1, 0}, -1); err == nil {
+		t.Error("negative time accepted")
+	}
+	bad := linalg.MatrixFromRows([][]float64{{-1, 2}, {1, -1}})
+	if _, err := ctmc.TransientGenerator(bad, linalg.Vector{1, 0}, 1); err == nil {
+		t.Error("invalid generator accepted")
+	}
+	// Zero generator: distribution unchanged.
+	zero := linalg.NewMatrix(2, 2)
+	pi, err := ctmc.TransientGenerator(zero, linalg.Vector{0.3, 0.7}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi[0] != 0.3 || pi[1] != 0.7 {
+		t.Errorf("pi = %v", pi)
+	}
+}

@@ -1,0 +1,217 @@
+// Package avail implements the availability model of Section 5: the CTMC
+// over system states (X_1, ..., X_k) of currently available replicas per
+// server type, its steady-state analysis, and the resulting availability
+// and downtime metrics.
+//
+// Two solution paths are provided and cross-checked by tests:
+//
+//   - the exact joint CTMC the paper prescribes (Section 5.2), whose
+//     state space is the mixed-radix encoding of all X ≤ Y;
+//   - a product-form path exploiting that failures and repairs of
+//     different server types are independent, so the joint steady state
+//     factorizes into per-type birth-death marginals. This path also
+//     carries the paper's phase-expansion idea (Section 5.1): per-type
+//     chains can use Erlang-k repair stages to model non-exponential
+//     repair times.
+package avail
+
+import (
+	"fmt"
+	"math"
+
+	"performa/internal/ctmc"
+	"performa/internal/linalg"
+)
+
+// RepairDiscipline selects how many failed servers of one type can be in
+// repair simultaneously.
+type RepairDiscipline int
+
+const (
+	// IndependentRepair repairs every failed server concurrently (one
+	// crew per server). This matches the paper's worked example, whose
+	// per-type unavailability is (λ/(λ+μ))^Y.
+	IndependentRepair RepairDiscipline = iota
+	// SingleCrew repairs one failed server of a type at a time.
+	SingleCrew
+)
+
+// String returns the discipline's name.
+func (d RepairDiscipline) String() string {
+	switch d {
+	case IndependentRepair:
+		return "independent-repair"
+	case SingleCrew:
+		return "single-crew"
+	default:
+		return fmt.Sprintf("RepairDiscipline(%d)", int(d))
+	}
+}
+
+// TypeParams are the availability parameters of one server type.
+type TypeParams struct {
+	// Replicas is Y_x, the configured number of servers.
+	Replicas int
+	// FailureRate is λ_x per server; zero means the type never fails.
+	FailureRate float64
+	// RepairRate is μ_x per repair in progress.
+	RepairRate float64
+	// RepairStages expands the repair time into an Erlang-k phase
+	// sequence with the same mean (Section 5.1's treatment of
+	// non-exponential repair times). Zero or one means exponential.
+	// Stages beyond one are only supported with SingleCrew, where the
+	// crew's single in-progress repair carries the phase.
+	//
+	// No analogous knob exists for the failure-time shape, on purpose:
+	// under independent repair each server is an alternating renewal
+	// process whose stationary up-probability is MTTF/(MTTF+MTTR)
+	// regardless of either distribution's shape (renewal-reward
+	// insensitivity), so Erlang failure phases could not change any
+	// metric this package reports. Shape only matters where failed
+	// servers contend — i.e. for the repair time under SingleCrew,
+	// which is exactly what RepairStages models. Tests
+	// (TestErlangSingleServerInsensitivity and
+	// TestFailureShapeInsensitivity in the simulator) pin this down.
+	RepairStages int
+}
+
+func (p TypeParams) validate() error {
+	if p.Replicas < 0 {
+		return fmt.Errorf("avail: negative replica count %d", p.Replicas)
+	}
+	if p.FailureRate < 0 {
+		return fmt.Errorf("avail: negative failure rate %v", p.FailureRate)
+	}
+	if p.FailureRate > 0 && !(p.RepairRate > 0) {
+		return fmt.Errorf("avail: failing type needs positive repair rate, got %v", p.RepairRate)
+	}
+	if p.RepairStages < 0 {
+		return fmt.Errorf("avail: negative repair stage count %d", p.RepairStages)
+	}
+	return nil
+}
+
+// TypeMarginal computes the steady-state distribution of the number of
+// available servers of one type in isolation: P(X = j) for j = 0..Y.
+func TypeMarginal(p TypeParams, discipline RepairDiscipline) (linalg.Vector, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	y := p.Replicas
+	out := linalg.NewVector(y + 1)
+	if y == 0 {
+		out[0] = 1
+		return out, nil
+	}
+	if p.FailureRate == 0 {
+		out[y] = 1
+		return out, nil
+	}
+	stages := p.RepairStages
+	if stages <= 1 {
+		return exponentialMarginal(p, discipline), nil
+	}
+	if discipline != SingleCrew {
+		return nil, fmt.Errorf("avail: Erlang repair stages require the single-crew discipline (the phase belongs to the one in-progress repair)")
+	}
+	return erlangSingleCrewMarginal(p)
+}
+
+// exponentialMarginal solves the per-type birth-death chain analytically:
+// failure rate from state j is j·λ, repair rate into state j+1 is
+// (Y-j)·μ for independent repair or μ for a single crew.
+func exponentialMarginal(p TypeParams, discipline RepairDiscipline) linalg.Vector {
+	y := p.Replicas
+	lambda, mu := p.FailureRate, p.RepairRate
+	if discipline == IndependentRepair {
+		// Independent servers: binomial with availability μ/(λ+μ).
+		up := mu / (lambda + mu)
+		out := linalg.NewVector(y + 1)
+		for j := 0; j <= y; j++ {
+			out[j] = binom(y, j) * math.Pow(up, float64(j)) * math.Pow(1-up, float64(y-j))
+		}
+		return out
+	}
+	// Single crew: birth-death with birth rate μ (j < y) and death rate
+	// j·λ. Detailed balance: π_{j-1}·μ = π_j·j·λ ⇒
+	// π_j = π_y · y!/j! · (μ/λ)^{j-y} reading downwards from j = y.
+	weights := linalg.NewVector(y + 1)
+	weights[y] = 1
+	for j := y - 1; j >= 0; j-- {
+		// π_j = π_{j+1} · (j+1)·λ / μ.
+		weights[j] = weights[j+1] * float64(j+1) * lambda / mu
+	}
+	return weights.Normalize()
+}
+
+// erlangSingleCrewMarginal builds the phase-expanded per-type chain:
+// states (j, ph) with j available servers and the crew's repair in phase
+// ph (0 = idle, only when j = Y; 1..k otherwise). Each stage has rate
+// k·μ so the total repair time keeps mean 1/μ.
+func erlangSingleCrewMarginal(p TypeParams) (linalg.Vector, error) {
+	y, k := p.Replicas, p.RepairStages
+	lambda, mu := p.FailureRate, p.RepairRate
+	stageRate := float64(k) * mu
+
+	// State encoding: (y, idle) is state 0; (j, ph) for j = 0..y-1,
+	// ph = 1..k is state 1 + j·k + (ph-1).
+	idx := func(j, ph int) int {
+		if j == y {
+			return 0
+		}
+		return 1 + j*k + (ph - 1)
+	}
+	n := 1 + y*k
+	q := linalg.NewMatrix(n, n)
+	add := func(from, to int, rate float64) {
+		q.Add(from, to, rate)
+		q.Add(from, from, -rate)
+	}
+	// Full state: failures only.
+	add(idx(y, 0), idx(y-1, 1), float64(y)*lambda)
+	for j := 0; j < y; j++ {
+		for ph := 1; ph <= k; ph++ {
+			from := idx(j, ph)
+			if j > 0 {
+				add(from, idx(j-1, ph), float64(j)*lambda)
+			}
+			if ph < k {
+				add(from, idx(j, ph+1), stageRate)
+				continue
+			}
+			// Final stage completes: one server comes back.
+			if j+1 == y {
+				add(from, idx(y, 0), stageRate)
+			} else {
+				add(from, idx(j+1, 1), stageRate)
+			}
+		}
+	}
+	pi, err := ctmc.SteadyState(q)
+	if err != nil {
+		return nil, fmt.Errorf("avail: phase-expanded chain: %w", err)
+	}
+	out := linalg.NewVector(y + 1)
+	out[y] = pi[0]
+	for j := 0; j < y; j++ {
+		for ph := 1; ph <= k; ph++ {
+			out[j] += pi[idx(j, ph)]
+		}
+	}
+	return out, nil
+}
+
+// binom returns the binomial coefficient C(n, k) as a float64.
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c = c * float64(n-i) / float64(i+1)
+	}
+	return c
+}

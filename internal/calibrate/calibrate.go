@@ -1,0 +1,330 @@
+// Package calibrate turns audit trails into model parameters: transition
+// probabilities and state residence times (Section 3.2), activity
+// durations, per-server-type service-time moments (Section 4.4), and
+// workflow arrival rates. It is the calibration component of the
+// configuration tool (Section 7.1): after the system has been operational
+// for a while, intellectually estimated parameters are replaced by
+// measured ones.
+package calibrate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"performa/internal/audit"
+	"performa/internal/spec"
+	"performa/internal/statechart"
+)
+
+// MomentPair is a sample mean and second moment.
+type MomentPair struct {
+	N            uint64
+	Mean         float64
+	SecondMoment float64
+}
+
+func (m *MomentPair) add(x float64) {
+	m.N++
+	d := float64(m.N)
+	m.Mean += (x - m.Mean) / d
+	m.SecondMoment += (x*x - m.SecondMoment) / d
+}
+
+// TransitionKey identifies a chart transition.
+type TransitionKey struct {
+	Chart    string
+	From, To string
+}
+
+// Estimates holds every parameter estimated from a trail.
+type Estimates struct {
+	// TransitionCounts counts observed control-flow transitions.
+	TransitionCounts map[TransitionKey]uint64
+	// Departures counts observed departures per (chart, state).
+	Departures map[[2]string]uint64
+	// Residence holds per-(chart, state) residence-time moments.
+	Residence map[[2]string]*MomentPair
+	// ActivityDurations holds per-activity turnaround moments.
+	ActivityDurations map[string]*MomentPair
+	// ServiceMoments holds per-server-type service-time moments.
+	ServiceMoments map[string]*MomentPair
+	// WaitingMoments holds per-server-type request waiting moments,
+	// the observable the model's predictions are compared against.
+	WaitingMoments map[string]*MomentPair
+	// Turnarounds holds per-workflow instance turnaround moments.
+	Turnarounds map[string]*MomentPair
+	// ArrivalRates estimates ξ_t per workflow type.
+	ArrivalRates map[string]float64
+	// Window is the observation window (first to last record time).
+	Window float64
+}
+
+// FromTrail scans a trail and produces estimates. The trail may contain
+// interleaved records of many concurrent instances.
+func FromTrail(trail *audit.Trail) (*Estimates, error) {
+	recs := trail.Records()
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("calibrate: empty trail")
+	}
+	e := &Estimates{
+		TransitionCounts:  map[TransitionKey]uint64{},
+		Departures:        map[[2]string]uint64{},
+		Residence:         map[[2]string]*MomentPair{},
+		ActivityDurations: map[string]*MomentPair{},
+		ServiceMoments:    map[string]*MomentPair{},
+		WaitingMoments:    map[string]*MomentPair{},
+		Turnarounds:       map[string]*MomentPair{},
+		ArrivalRates:      map[string]float64{},
+	}
+
+	type instChart struct {
+		instance uint64
+		chart    string
+	}
+	lastLeft := map[instChart]string{}           // last state left, awaiting the next entry
+	entered := map[instChart]float64{}           // entry time of the current state
+	curState := map[instChart]string{}           // current state
+	actStart := map[[2]interface{}]([]float64){} // (instance, activity) → start-time FIFO
+	instStart := map[uint64]float64{}
+	instWorkflow := map[uint64]string{}
+	startCount := map[string]uint64{}
+	firstStart := map[string]float64{}
+	lastStart := map[string]float64{}
+
+	first, last := recs[0].Time, recs[0].Time
+	for _, r := range recs {
+		if r.Time < first {
+			first = r.Time
+		}
+		if r.Time > last {
+			last = r.Time
+		}
+		switch r.Kind {
+		case audit.InstanceStarted:
+			instStart[r.Instance] = r.Time
+			instWorkflow[r.Instance] = r.Workflow
+			if startCount[r.Workflow] == 0 || r.Time < firstStart[r.Workflow] {
+				firstStart[r.Workflow] = r.Time
+			}
+			if r.Time > lastStart[r.Workflow] {
+				lastStart[r.Workflow] = r.Time
+			}
+			startCount[r.Workflow]++
+		case audit.InstanceCompleted:
+			if t0, ok := instStart[r.Instance]; ok {
+				wf := r.Workflow
+				if wf == "" {
+					wf = instWorkflow[r.Instance]
+				}
+				mp := e.Turnarounds[wf]
+				if mp == nil {
+					mp = &MomentPair{}
+					e.Turnarounds[wf] = mp
+				}
+				mp.add(r.Time - t0)
+			}
+		case audit.StateEntered:
+			key := instChart{r.Instance, r.Chart}
+			if from, ok := lastLeft[key]; ok {
+				e.TransitionCounts[TransitionKey{r.Chart, from, r.State}]++
+				e.Departures[[2]string{r.Chart, from}]++
+				delete(lastLeft, key)
+			}
+			entered[key] = r.Time
+			curState[key] = r.State
+		case audit.StateLeft:
+			key := instChart{r.Instance, r.Chart}
+			if t0, ok := entered[key]; ok && curState[key] == r.State {
+				sk := [2]string{r.Chart, r.State}
+				mp := e.Residence[sk]
+				if mp == nil {
+					mp = &MomentPair{}
+					e.Residence[sk] = mp
+				}
+				mp.add(r.Time - t0)
+				delete(entered, key)
+			}
+			lastLeft[key] = r.State
+		case audit.ActivityStarted:
+			k := [2]interface{}{r.Instance, r.Activity}
+			actStart[k] = append(actStart[k], r.Time)
+		case audit.ActivityCompleted:
+			k := [2]interface{}{r.Instance, r.Activity}
+			if starts := actStart[k]; len(starts) > 0 {
+				mp := e.ActivityDurations[r.Activity]
+				if mp == nil {
+					mp = &MomentPair{}
+					e.ActivityDurations[r.Activity] = mp
+				}
+				mp.add(r.Time - starts[0])
+				actStart[k] = starts[1:]
+			}
+		case audit.ServiceRequest:
+			mp := e.ServiceMoments[r.ServerType]
+			if mp == nil {
+				mp = &MomentPair{}
+				e.ServiceMoments[r.ServerType] = mp
+			}
+			mp.add(r.Service)
+			wp := e.WaitingMoments[r.ServerType]
+			if wp == nil {
+				wp = &MomentPair{}
+				e.WaitingMoments[r.ServerType] = wp
+			}
+			wp.add(r.Waiting)
+		}
+	}
+	e.Window = last - first
+	// Arrival rate: (n−1) inter-arrival gaps over the start-to-start
+	// span. Dividing n by the full trail window would bias the estimate
+	// low by the drain tail after the last arrival.
+	for wf, n := range startCount {
+		if span := lastStart[wf] - firstStart[wf]; n >= 2 && span > 0 {
+			e.ArrivalRates[wf] = float64(n-1) / span
+		}
+	}
+	return e, nil
+}
+
+// TransitionProb returns the estimated probability of the transition with
+// optional Laplace smoothing over the state's fanout: (count + α) /
+// (departures + α·fanout). The boolean reports whether any departure from
+// the source state was observed.
+func (e *Estimates) TransitionProb(chart, from, to string, fanout int, alpha float64) (float64, bool) {
+	dep := e.Departures[[2]string{chart, from}]
+	if dep == 0 && alpha == 0 {
+		return 0, false
+	}
+	count := e.TransitionCounts[TransitionKey{chart, from, to}]
+	return (float64(count) + alpha) / (float64(dep) + alpha*float64(fanout)), dep > 0
+}
+
+// Options tunes ApplyToWorkflow.
+type Options struct {
+	// Smoothing is the Laplace α added per outgoing transition when
+	// re-estimating branch probabilities, keeping never-observed
+	// branches possible. Zero keeps raw relative frequencies and fails
+	// when a branch was never taken but a sibling was.
+	Smoothing float64
+	// MinObservations skips re-estimating a state's branching or an
+	// activity's duration unless at least this many observations exist
+	// (default 1).
+	MinObservations uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinObservations == 0 {
+		o.MinObservations = 1
+	}
+	return o
+}
+
+// ApplyToWorkflow rewrites the workflow's transition probabilities and
+// activity durations in place using the estimates, leaving parameters
+// without sufficient observations untouched. Nested subcharts are
+// processed recursively (they appear in the trail under their own chart
+// names). The rewritten workflow is re-validated.
+func (e *Estimates) ApplyToWorkflow(w *spec.Workflow, env *spec.Environment, opts Options) error {
+	opts = opts.withDefaults()
+	if err := e.applyChart(w, w.Chart, opts); err != nil {
+		return err
+	}
+	for act, mp := range e.ActivityDurations {
+		if mp.N < opts.MinObservations {
+			continue
+		}
+		if prof, ok := w.Profiles[act]; ok {
+			prof.MeanDuration = mp.Mean
+			w.Profiles[act] = prof
+		}
+	}
+	if err := w.Validate(env); err != nil {
+		return fmt.Errorf("calibrate: workflow invalid after applying estimates (consider Smoothing > 0): %w", err)
+	}
+	return nil
+}
+
+func (e *Estimates) applyChart(w *spec.Workflow, chart *statechart.Chart, opts Options) error {
+	// Re-estimate branch probabilities state by state: only states with
+	// enough observed departures are touched, and all outgoing
+	// transitions of such a state are rewritten together so they keep
+	// summing to one.
+	for state := range chart.States {
+		out := chart.Outgoing(state)
+		if len(out) == 0 {
+			continue
+		}
+		dep := e.Departures[[2]string{chart.Name, state}]
+		if dep < opts.MinObservations {
+			continue
+		}
+		var sum float64
+		for _, tr := range out {
+			p, _ := e.TransitionProb(chart.Name, tr.From, tr.To, len(out), opts.Smoothing)
+			tr.Prob = p
+			sum += p
+		}
+		if sum <= 0 {
+			return fmt.Errorf("calibrate: state %q of chart %q has departures but no usable branch estimates", state, chart.Name)
+		}
+		for _, tr := range out {
+			tr.Prob /= sum
+		}
+	}
+	for _, s := range chart.States {
+		for _, sub := range s.Subcharts {
+			if err := e.applyChart(w, sub, opts); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ServerTypesWithMeasuredService returns a copy of the environment's
+// server types with service-time moments replaced by measured ones where
+// available.
+func (e *Estimates) ServerTypesWithMeasuredService(env *spec.Environment) []spec.ServerType {
+	types := env.Types()
+	for i := range types {
+		if mp, ok := e.ServiceMoments[types[i].Name]; ok && mp.N > 0 {
+			types[i].MeanService = mp.Mean
+			types[i].ServiceSecondMoment = mp.SecondMoment
+		}
+	}
+	return types
+}
+
+// ObservedServerTypes lists server types seen in the trail, sorted.
+func (e *Estimates) ObservedServerTypes() []string {
+	out := make([]string, 0, len(e.ServiceMoments))
+	for name := range e.ServiceMoments {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// relErr is a helper for accuracy reporting: |a−b| / max(|b|, eps).
+func relErr(a, b float64) float64 {
+	denom := math.Abs(b)
+	if denom < 1e-12 {
+		denom = 1e-12
+	}
+	return math.Abs(a-b) / denom
+}
+
+// Accuracy compares estimated against reference values and returns the
+// worst relative error, used by the calibration-loop experiment.
+func Accuracy(estimated, reference map[string]float64) float64 {
+	var worst float64
+	for k, ref := range reference {
+		if est, ok := estimated[k]; ok {
+			if e := relErr(est, ref); e > worst {
+				worst = e
+			}
+		}
+	}
+	return worst
+}

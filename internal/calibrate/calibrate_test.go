@@ -1,0 +1,272 @@
+package calibrate
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"performa/internal/audit"
+	"performa/internal/spec"
+	"performa/internal/statechart"
+)
+
+func testEnv(t *testing.T) *spec.Environment {
+	t.Helper()
+	b, b2 := spec.ExpServiceMoments(0.1)
+	env, err := spec.NewEnvironment(
+		spec.ServerType{Name: "eng", Kind: spec.Engine, MeanService: b, ServiceSecondMoment: b2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// branchWorkflow: init → a; a → b (0.5) | c (0.5); b → done; c → done.
+func branchWorkflow() *spec.Workflow {
+	chart := statechart.NewBuilder("wf").
+		Initial("init").
+		Activity("a", "A").
+		Activity("b", "B").
+		Activity("c", "C").
+		Final("done").
+		Transition("init", "a", 1).
+		Transition("a", "b", 0.5).
+		Transition("a", "c", 0.5).
+		Transition("b", "done", 1).
+		Transition("c", "done", 1).
+		MustBuild()
+	return &spec.Workflow{
+		Name:  "wf",
+		Chart: chart,
+		Profiles: map[string]spec.ActivityProfile{
+			"A": {Name: "A", MeanDuration: 1, Load: map[string]float64{"eng": 1}},
+			"B": {Name: "B", MeanDuration: 1, Load: map[string]float64{"eng": 1}},
+			"C": {Name: "C", MeanDuration: 1, Load: map[string]float64{"eng": 1}},
+		},
+	}
+}
+
+// syntheticTrail emits nA instances taking the a→b branch and nC taking
+// a→c, with fixed residence times.
+func syntheticTrail(nB, nC int) *audit.Trail {
+	tr := audit.NewTrail()
+	var now float64
+	inst := uint64(0)
+	emit := func(branch string) {
+		inst++
+		start := now
+		tr.Append(audit.Record{Kind: audit.InstanceStarted, Time: now, Workflow: "wf", Instance: inst})
+		tr.Append(audit.Record{Kind: audit.StateEntered, Time: now, Workflow: "wf", Instance: inst, Chart: "wf", State: "a"})
+		tr.Append(audit.Record{Kind: audit.ActivityStarted, Time: now, Instance: inst, Activity: "A"})
+		now += 2 // activity A takes 2
+		tr.Append(audit.Record{Kind: audit.ActivityCompleted, Time: now, Instance: inst, Activity: "A"})
+		tr.Append(audit.Record{Kind: audit.StateLeft, Time: now, Workflow: "wf", Instance: inst, Chart: "wf", State: "a"})
+		tr.Append(audit.Record{Kind: audit.StateEntered, Time: now, Workflow: "wf", Instance: inst, Chart: "wf", State: branch})
+		now += 3
+		tr.Append(audit.Record{Kind: audit.StateLeft, Time: now, Workflow: "wf", Instance: inst, Chart: "wf", State: branch})
+		tr.Append(audit.Record{Kind: audit.InstanceCompleted, Time: now, Workflow: "wf", Instance: inst})
+		tr.Append(audit.Record{Kind: audit.ServiceRequest, Time: now, ServerType: "eng", Waiting: 0.5, Service: 0.2})
+		now += 5 // inter-arrival
+		_ = start
+	}
+	for i := 0; i < nB; i++ {
+		emit("b")
+	}
+	for i := 0; i < nC; i++ {
+		emit("c")
+	}
+	return tr
+}
+
+func TestFromTrailEmpty(t *testing.T) {
+	if _, err := FromTrail(audit.NewTrail()); err == nil {
+		t.Error("empty trail accepted")
+	}
+}
+
+func TestTransitionEstimation(t *testing.T) {
+	e, err := FromTrail(syntheticTrail(30, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pB, ok := e.TransitionProb("wf", "a", "b", 2, 0)
+	if !ok {
+		t.Fatal("no departures observed from a")
+	}
+	if math.Abs(pB-0.75) > 1e-12 {
+		t.Errorf("P(a→b) = %v, want 0.75", pB)
+	}
+	pC, _ := e.TransitionProb("wf", "a", "c", 2, 0)
+	if math.Abs(pC-0.25) > 1e-12 {
+		t.Errorf("P(a→c) = %v, want 0.25", pC)
+	}
+	// Smoothing pulls towards uniform.
+	pSmooth, _ := e.TransitionProb("wf", "a", "b", 2, 5)
+	if pSmooth >= pB || pSmooth <= 0.5 {
+		t.Errorf("smoothed P = %v, want between 0.5 and %v", pSmooth, pB)
+	}
+}
+
+func TestTransitionProbUnobserved(t *testing.T) {
+	e, err := FromTrail(syntheticTrail(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.TransitionProb("wf", "zzz", "b", 2, 0); ok {
+		t.Error("unobserved state reported observed")
+	}
+	// With smoothing, an unobserved transition still gets mass.
+	p, _ := e.TransitionProb("wf", "a", "c", 2, 1)
+	if p <= 0 {
+		t.Errorf("smoothed unobserved prob = %v", p)
+	}
+}
+
+func TestResidenceAndActivityEstimates(t *testing.T) {
+	e, err := FromTrail(syntheticTrail(5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp := e.Residence[[2]string{"wf", "a"}]; mp == nil || math.Abs(mp.Mean-2) > 1e-12 {
+		t.Errorf("residence(a) = %+v, want mean 2", mp)
+	}
+	if mp := e.ActivityDurations["A"]; mp == nil || math.Abs(mp.Mean-2) > 1e-12 {
+		t.Errorf("duration(A) = %+v, want mean 2", mp)
+	}
+	if mp := e.Turnarounds["wf"]; mp == nil || math.Abs(mp.Mean-5) > 1e-12 {
+		t.Errorf("turnaround = %+v, want mean 5", mp)
+	}
+}
+
+func TestServiceAndWaitingMoments(t *testing.T) {
+	e, err := FromTrail(syntheticTrail(4, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := e.ServiceMoments["eng"]
+	if sm == nil || math.Abs(sm.Mean-0.2) > 1e-12 || math.Abs(sm.SecondMoment-0.04) > 1e-12 {
+		t.Errorf("service moments = %+v", sm)
+	}
+	wm := e.WaitingMoments["eng"]
+	if wm == nil || math.Abs(wm.Mean-0.5) > 1e-12 {
+		t.Errorf("waiting moments = %+v", wm)
+	}
+	if got := e.ObservedServerTypes(); len(got) != 1 || got[0] != "eng" {
+		t.Errorf("observed types = %v", got)
+	}
+}
+
+func TestArrivalRateEstimate(t *testing.T) {
+	e, err := FromTrail(syntheticTrail(10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starts are spaced 10 apart (2 + 3 + 5 inter-arrival), so the 19
+	// inter-start gaps span 190: rate = 19/190 = 0.1 exactly, unbiased
+	// by the drain tail after the last start.
+	if rate := e.ArrivalRates["wf"]; math.Abs(rate-0.1) > 1e-9 {
+		t.Errorf("arrival rate = %v, want 0.1", rate)
+	}
+}
+
+func TestApplyToWorkflowRewritesParameters(t *testing.T) {
+	env := testEnv(t)
+	w := branchWorkflow()
+	e, err := FromTrail(syntheticTrail(30, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ApplyToWorkflow(w, env, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Branch probabilities re-estimated to 0.75/0.25.
+	for _, tr := range w.Chart.Outgoing("a") {
+		want := 0.75
+		if tr.To == "c" {
+			want = 0.25
+		}
+		if math.Abs(tr.Prob-want) > 1e-9 {
+			t.Errorf("P(a→%s) = %v, want %v", tr.To, tr.Prob, want)
+		}
+	}
+	// Activity A duration re-estimated to 2.
+	if got := w.Profiles["A"].MeanDuration; math.Abs(got-2) > 1e-12 {
+		t.Errorf("duration(A) = %v, want 2", got)
+	}
+	// Unobserved activities B and C keep their designer estimates.
+	if got := w.Profiles["B"].MeanDuration; got != 1 {
+		t.Errorf("duration(B) = %v, want untouched 1", got)
+	}
+	// The rewritten workflow still builds.
+	if _, err := spec.Build(w, env); err != nil {
+		t.Errorf("workflow no longer builds: %v", err)
+	}
+}
+
+func TestApplyToWorkflowOneSidedBranchNeedsSmoothing(t *testing.T) {
+	env := testEnv(t)
+	w := branchWorkflow()
+	e, err := FromTrail(syntheticTrail(10, 0)) // branch c never taken
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.ApplyToWorkflow(w, env, Options{})
+	if err == nil || !strings.Contains(err.Error(), "Smoothing") {
+		t.Fatalf("err = %v, want smoothing hint", err)
+	}
+	// With smoothing it works and keeps branch c possible.
+	w2 := branchWorkflow()
+	if err := e.ApplyToWorkflow(w2, env, Options{Smoothing: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range w2.Chart.Outgoing("a") {
+		if tr.Prob <= 0 || tr.Prob >= 1 {
+			t.Errorf("P(a→%s) = %v", tr.To, tr.Prob)
+		}
+	}
+}
+
+func TestApplyToWorkflowMinObservations(t *testing.T) {
+	env := testEnv(t)
+	w := branchWorkflow()
+	e, err := FromTrail(syntheticTrail(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ApplyToWorkflow(w, env, Options{MinObservations: 100}); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing rewritten: designer values survive.
+	for _, tr := range w.Chart.Outgoing("a") {
+		if tr.Prob != 0.5 {
+			t.Errorf("P(a→%s) = %v, want untouched 0.5", tr.To, tr.Prob)
+		}
+	}
+}
+
+func TestServerTypesWithMeasuredService(t *testing.T) {
+	env := testEnv(t)
+	e, err := FromTrail(syntheticTrail(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := e.ServerTypesWithMeasuredService(env)
+	if math.Abs(types[0].MeanService-0.2) > 1e-12 {
+		t.Errorf("measured mean service = %v, want 0.2", types[0].MeanService)
+	}
+	// The environment itself is untouched.
+	if env.Type(0).MeanService != 0.1 {
+		t.Error("environment mutated")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	got := Accuracy(map[string]float64{"a": 1.1, "b": 2}, map[string]float64{"a": 1, "b": 2, "c": 5})
+	if math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("accuracy = %v, want 0.1", got)
+	}
+	if Accuracy(nil, map[string]float64{"x": 1}) != 0 {
+		t.Error("missing keys should not count")
+	}
+}

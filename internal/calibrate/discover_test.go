@@ -1,0 +1,171 @@
+package calibrate
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"performa/internal/audit"
+	"performa/internal/engine"
+	"performa/internal/spec"
+	"performa/internal/workload"
+)
+
+// runLoan executes the loan workflow (flat: no nested subcharts) on the
+// mini-WFMS and returns its trail.
+func runLoan(t *testing.T, n int) *audit.Trail {
+	t.Helper()
+	env := workload.PaperEnvironment()
+	rt := engine.New(env, engine.Options{
+		TimeScale:  0.0025,
+		Seed:       31,
+		AppWorkers: map[string]int{workload.AppType: 256},
+		Users:      256,
+		ServerReplicas: map[string]int{
+			workload.ORB: 256, workload.EngineType: 256, workload.AppType: 256,
+		},
+	})
+	done, err := rt.RunInstances(context.Background(), workload.LoanWorkflow(1), n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != n {
+		t.Fatalf("completed %d of %d", done, n)
+	}
+	return rt.Trail()
+}
+
+func TestDiscoverWorkflowFromEngineTrail(t *testing.T) {
+	env := workload.PaperEnvironment()
+	trail := runLoan(t, 500)
+	discovered, err := DiscoverWorkflow(trail, "Loan", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := workload.LoanWorkflow(1)
+
+	// Topology: same execution states (modulo pseudo init/final).
+	wantStates := map[string]bool{}
+	for name, s := range truth.Chart.States {
+		if s.Activity != "" {
+			wantStates[name] = true
+		}
+	}
+	gotStates := map[string]bool{}
+	for name, s := range discovered.Chart.States {
+		if s.Activity != "" {
+			gotStates[name] = true
+			if truth.Chart.States[name] == nil || truth.Chart.States[name].Activity != s.Activity {
+				t.Errorf("state %q has activity %q", name, s.Activity)
+			}
+		}
+	}
+	if len(gotStates) != len(wantStates) {
+		t.Errorf("discovered states %v, want %v", gotStates, wantStates)
+	}
+
+	// Branch probabilities out of credit scoring within sampling error
+	// of the specification (0.55 / 0.2 / 0.25 at n = 500).
+	for _, tr := range discovered.Chart.Outgoing("Score_S") {
+		var want float64
+		for _, tt := range truth.Chart.Outgoing("Score_S") {
+			if tt.To == tr.To {
+				want = tt.Prob
+			}
+		}
+		if math.Abs(tr.Prob-want) > 0.07 {
+			t.Errorf("P(Score→%s) = %v, want ≈%v", tr.To, tr.Prob, want)
+		}
+	}
+
+	// Durations within 25% of the specification.
+	for act, wantProf := range truth.Profiles {
+		got, ok := discovered.Profiles[act]
+		if !ok {
+			t.Errorf("activity %q not discovered", act)
+			continue
+		}
+		// Wall-clock execution adds a fixed per-activity overhead of
+		// up to ~1 ms (≈ 0.5 model minutes at this time scale), so
+		// short activities get an absolute allowance on top of the
+		// relative tolerance.
+		if d := math.Abs(got.MeanDuration - wantProf.MeanDuration); d > 0.25*wantProf.MeanDuration && d > 0.6 {
+			t.Errorf("duration(%s) = %v, want ≈%v", act, got.MeanDuration, wantProf.MeanDuration)
+		}
+		// Load vectors: expected requests per execution match the
+		// specified integers within sampling noise.
+		for serverType, wantLoad := range wantProf.Load {
+			if math.Abs(got.Load[serverType]-wantLoad) > 0.2 {
+				t.Errorf("load(%s, %s) = %v, want ≈%v", act, serverType, got.Load[serverType], wantLoad)
+			}
+		}
+	}
+
+	// The discovered model's headline metrics track the truth.
+	truthModel, err := spec.Build(truth, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	discModel, err := spec.Build(discovered, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(discModel.Turnaround()-truthModel.Turnaround()) / truthModel.Turnaround(); rel > 0.15 {
+		t.Errorf("turnaround %v vs truth %v (%.0f%% off)",
+			discModel.Turnaround(), truthModel.Turnaround(), rel*100)
+	}
+	rd, rt2 := discModel.ExpectedRequests(), truthModel.ExpectedRequests()
+	for x := range rd {
+		if rt2[x] == 0 {
+			continue
+		}
+		if rel := math.Abs(rd[x]-rt2[x]) / rt2[x]; rel > 0.15 {
+			t.Errorf("requests[%d] %v vs truth %v", x, rd[x], rt2[x])
+		}
+	}
+	if discovered.ArrivalRate <= 0 {
+		t.Error("arrival rate not discovered")
+	}
+}
+
+func TestDiscoverRejectsNestedWorkflows(t *testing.T) {
+	env := workload.PaperEnvironment()
+	rt := engine.New(env, engine.Options{
+		TimeScale:  0.0002,
+		Seed:       5,
+		AppWorkers: map[string]int{workload.AppType: 64},
+		Users:      64,
+	})
+	if _, err := rt.RunInstances(context.Background(), workload.EPWorkflow(1), 20, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, err := DiscoverWorkflow(rt.Trail(), "EP", env)
+	if err == nil || !strings.Contains(err.Error(), "nested") {
+		t.Errorf("err = %v, want nested-chart rejection", err)
+	}
+}
+
+func TestDiscoverEmptyTrail(t *testing.T) {
+	env := workload.PaperEnvironment()
+	if _, err := DiscoverWorkflow(audit.NewTrail(), "x", env); err == nil {
+		t.Error("empty trail accepted")
+	}
+	// A trail for a different workflow has no matching records.
+	trail := runLoan(t, 10)
+	if _, err := DiscoverWorkflow(trail, "Nope", env); err == nil {
+		t.Error("foreign workflow name accepted")
+	}
+}
+
+func TestUniqueKey(t *testing.T) {
+	if _, err := uniqueKey(nil, "x"); err == nil {
+		t.Error("empty accepted")
+	}
+	if got, err := uniqueKey(map[string]uint64{"a": 3, "b": 1}, "x"); err != nil || got != "a" {
+		t.Errorf("got %q, %v", got, err)
+	}
+	if _, err := uniqueKey(map[string]uint64{"a": 1, "b": 1}, "x"); err == nil {
+		t.Error("tie accepted")
+	}
+}

@@ -1,0 +1,204 @@
+package ctmc
+
+import (
+	"fmt"
+	"math"
+
+	"performa/internal/linalg"
+)
+
+// Arc is one outgoing transition of a BigChain state.
+type Arc struct {
+	// To is the target state index.
+	To int
+	// Prob is the embedded-chain transition probability.
+	Prob float64
+}
+
+// BigChain is the sparse counterpart of Chain for workflow CTMCs with
+// thousands of states, where dense O(n²) transition storage and O(n³)
+// solves stop being viable. States are indexed 0..N-1 with state 0
+// initial and state N-1 absorbing, as in Chain; transitions are stored
+// as per-state adjacency lists.
+type BigChain struct {
+	// Arcs[i] lists the outgoing transitions of transient state i.
+	// The absorbing state's slot must be empty.
+	Arcs [][]Arc
+	// H is the vector of mean residence times (absorbing entry
+	// ignored).
+	H linalg.Vector
+}
+
+// N returns the number of states including the absorbing state.
+func (c *BigChain) N() int { return len(c.H) }
+
+// Absorbing returns the absorbing state's index.
+func (c *BigChain) Absorbing() int { return c.N() - 1 }
+
+// FromChain converts a dense Chain into a BigChain.
+func FromChain(c *Chain) *BigChain {
+	n := c.N()
+	big := &BigChain{Arcs: make([][]Arc, n), H: c.H.Clone()}
+	for i := 0; i < c.Absorbing(); i++ {
+		row := c.P.Row(i)
+		for j, p := range row {
+			if p > 0 {
+				big.Arcs[i] = append(big.Arcs[i], Arc{To: j, Prob: p})
+			}
+		}
+	}
+	return big
+}
+
+// Validate checks the same invariants as Chain.Validate on the sparse
+// representation.
+func (c *BigChain) Validate() error {
+	n := c.N()
+	if n < 2 {
+		return fmt.Errorf("ctmc: big chain needs at least one transient and one absorbing state, got %d states", n)
+	}
+	if len(c.Arcs) != n {
+		return fmt.Errorf("ctmc: big chain has %d arc slots for %d states", len(c.Arcs), n)
+	}
+	abs := c.Absorbing()
+	if len(c.Arcs[abs]) != 0 {
+		return fmt.Errorf("ctmc: absorbing state has %d outgoing arcs", len(c.Arcs[abs]))
+	}
+	for i := 0; i < abs; i++ {
+		if !(c.H[i] > 0) || math.IsInf(c.H[i], 0) {
+			return fmt.Errorf("ctmc: residence time H[%d] = %v must be positive and finite", i, c.H[i])
+		}
+		var sum float64
+		for _, a := range c.Arcs[i] {
+			if a.To < 0 || a.To >= n {
+				return fmt.Errorf("ctmc: state %d has arc to unknown state %d", i, a.To)
+			}
+			if a.To == i {
+				return fmt.Errorf("ctmc: embedded chain has self-loop at state %d; fold it into the residence time", i)
+			}
+			if a.Prob <= 0 || a.Prob > 1 || math.IsNaN(a.Prob) {
+				return fmt.Errorf("ctmc: arc %d→%d has probability %v", i, a.To, a.Prob)
+			}
+			sum += a.Prob
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("ctmc: state %d outgoing probabilities sum to %v, want 1", i, sum)
+		}
+	}
+	if !c.absorbingReachable() {
+		return fmt.Errorf("ctmc: absorbing state unreachable from some transient state")
+	}
+	return nil
+}
+
+func (c *BigChain) absorbingReachable() bool {
+	n := c.N()
+	// Backwards reachability needs reverse adjacency.
+	rev := make([][]int, n)
+	for i, arcs := range c.Arcs {
+		for _, a := range arcs {
+			rev[a.To] = append(rev[a.To], i)
+		}
+	}
+	canReach := make([]bool, n)
+	abs := c.Absorbing()
+	canReach[abs] = true
+	queue := []int{abs}
+	for len(queue) > 0 {
+		j := queue[0]
+		queue = queue[1:]
+		for _, i := range rev[j] {
+			if !canReach[i] {
+				canReach[i] = true
+				queue = append(queue, i)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !canReach[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstPassageTimes solves the Section 4.1 system on the sparse chain
+// with sparse Gauss-Seidel; (I − P_T) is an M-matrix for substochastic
+// P_T, for which the iteration provably converges.
+func (c *BigChain) FirstPassageTimes() (linalg.Vector, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	abs := c.Absorbing()
+	b := linalg.NewSparseBuilder(abs)
+	rhs := linalg.NewVector(abs)
+	for i := 0; i < abs; i++ {
+		b.Add(i, i, 1)
+		for _, a := range c.Arcs[i] {
+			if a.To != abs {
+				b.Add(i, a.To, -a.Prob)
+			}
+		}
+		rhs[i] = c.H[i]
+	}
+	m, _, err := linalg.SparseGaussSeidel(b.Build(), rhs, nil, linalg.GaussSeidelOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("ctmc: sparse first-passage solve: %w", err)
+	}
+	out := linalg.NewVector(c.N())
+	copy(out, m)
+	return out, nil
+}
+
+// MeanTurnaround returns the mean first-passage time from state 0 into
+// the absorbing state.
+func (c *BigChain) MeanTurnaround() (float64, error) {
+	m, err := c.FirstPassageTimes()
+	if err != nil {
+		return 0, err
+	}
+	return m[0], nil
+}
+
+// ExpectedVisits solves the transposed visit-count system sparsely.
+func (c *BigChain) ExpectedVisits() (linalg.Vector, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	abs := c.Absorbing()
+	b := linalg.NewSparseBuilder(abs)
+	rhs := linalg.NewVector(abs)
+	for i := 0; i < abs; i++ {
+		b.Add(i, i, 1)
+		for _, a := range c.Arcs[i] {
+			if a.To != abs {
+				b.Add(a.To, i, -a.Prob) // transpose
+			}
+		}
+	}
+	rhs[0] = 1
+	n, _, err := linalg.SparseGaussSeidel(b.Build(), rhs, nil, linalg.GaussSeidelOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("ctmc: sparse expected-visits solve: %w", err)
+	}
+	out := linalg.NewVector(c.N())
+	copy(out, n)
+	return out, nil
+}
+
+// RewardUntilAbsorption computes Σ visits_i · reward_i on the sparse
+// chain.
+func (c *BigChain) RewardUntilAbsorption(reward linalg.Vector) (float64, error) {
+	if len(reward) != c.N() {
+		return 0, fmt.Errorf("ctmc: reward vector length %d does not match %d states", len(reward), c.N())
+	}
+	visits, err := c.ExpectedVisits()
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for i := 0; i < c.Absorbing(); i++ {
+		total += visits[i] * reward[i]
+	}
+	return total, nil
+}

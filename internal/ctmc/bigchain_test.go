@@ -1,0 +1,186 @@
+package ctmc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"performa/internal/linalg"
+)
+
+func TestBigChainFromChainAgrees(t *testing.T) {
+	chains := []*Chain{
+		twoState(1.5),
+		loopChain(0.3, 1, 2),
+		branchChain(0.4),
+		randomChain(rand.New(rand.NewSource(4)), 10),
+	}
+	for ci, c := range chains {
+		big := FromChain(c)
+		if err := big.Validate(); err != nil {
+			t.Fatalf("chain %d: %v", ci, err)
+		}
+		denseR, err := MeanTurnaround(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sparseR, err := big.MeanTurnaround()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(denseR-sparseR) > 1e-8*(1+denseR) {
+			t.Errorf("chain %d: turnaround dense %v vs sparse %v", ci, denseR, sparseR)
+		}
+		denseV, err := ExpectedVisits(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sparseV, err := big.ExpectedVisits()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range denseV {
+			if math.Abs(denseV[i]-sparseV[i]) > 1e-8*(1+denseV[i]) {
+				t.Errorf("chain %d state %d: visits dense %v vs sparse %v", ci, i, denseV[i], sparseV[i])
+			}
+		}
+	}
+}
+
+func TestBigChainValidation(t *testing.T) {
+	// Self-loop.
+	bad := &BigChain{
+		Arcs: [][]Arc{{{To: 0, Prob: 1}}, nil},
+		H:    linalg.Vector{1, 0},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("self-loop accepted")
+	}
+	// Probability sum.
+	half := &BigChain{
+		Arcs: [][]Arc{{{To: 1, Prob: 0.5}}, nil},
+		H:    linalg.Vector{1, 0},
+	}
+	if err := half.Validate(); err == nil {
+		t.Error("sub-stochastic row accepted")
+	}
+	// Absorbing with arcs.
+	absArc := &BigChain{
+		Arcs: [][]Arc{{{To: 1, Prob: 1}}, {{To: 0, Prob: 1}}},
+		H:    linalg.Vector{1, 0},
+	}
+	if err := absArc.Validate(); err == nil {
+		t.Error("absorbing outflow accepted")
+	}
+	// Unreachable absorption.
+	loop := &BigChain{
+		Arcs: [][]Arc{{{To: 1, Prob: 1}}, {{To: 0, Prob: 1}}, nil},
+		H:    linalg.Vector{1, 1, 0},
+	}
+	if err := loop.Validate(); err == nil {
+		t.Error("unreachable absorption accepted")
+	}
+	// Bad residence.
+	badH := &BigChain{
+		Arcs: [][]Arc{{{To: 1, Prob: 1}}, nil},
+		H:    linalg.Vector{0, 0},
+	}
+	if err := badH.Validate(); err == nil {
+		t.Error("zero residence accepted")
+	}
+	// Unknown target.
+	badTo := &BigChain{
+		Arcs: [][]Arc{{{To: 7, Prob: 1}}, nil},
+		H:    linalg.Vector{1, 0},
+	}
+	if err := badTo.Validate(); err == nil {
+		t.Error("unknown target accepted")
+	}
+}
+
+// bigSequentialChain builds an n-state forward chain with skip edges and
+// occasional back edges, entirely sparse.
+func bigSequentialChain(n int, rng *rand.Rand) *BigChain {
+	c := &BigChain{Arcs: make([][]Arc, n+1), H: linalg.NewVector(n + 1)}
+	for i := 0; i < n; i++ {
+		c.H[i] = 0.5 + rng.Float64()
+		next := i + 1
+		arcs := []Arc{{To: next, Prob: 1}}
+		if i > 1 && rng.Float64() < 0.2 {
+			arcs = []Arc{{To: next, Prob: 0.8}, {To: i - 1, Prob: 0.2}}
+		} else if i+2 <= n && rng.Float64() < 0.3 {
+			arcs = []Arc{{To: next, Prob: 0.6}, {To: i + 2, Prob: 0.4}}
+		}
+		c.Arcs[i] = arcs
+	}
+	return c
+}
+
+func TestBigChainLargeSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	c := bigSequentialChain(3000, rng)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.MeanTurnaround()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forward chain of ~3000 states with mean residence ~1: turnaround
+	// in the low thousands.
+	if r < 1000 || r > 10000 {
+		t.Errorf("turnaround = %v", r)
+	}
+	visits, err := c.ExpectedVisits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(visits[0]-1) > 0.3 {
+		t.Errorf("visits[0] = %v (only back edges can revisit the start)", visits[0])
+	}
+	// Identity: R = Σ visits·H.
+	var sum float64
+	for i := 0; i < c.Absorbing(); i++ {
+		sum += visits[i] * c.H[i]
+	}
+	if math.Abs(sum-r)/r > 1e-6 {
+		t.Errorf("R = %v but Σ visits·H = %v", r, sum)
+	}
+}
+
+func TestBigChainReward(t *testing.T) {
+	c := FromChain(branchChain(0.5))
+	reward := linalg.Vector{2, 4, 6, 0}
+	got, err := c.RewardUntilAbsorption(reward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 + 0.5*4 + 0.5*6
+	if math.Abs(got-want) > 1e-8 {
+		t.Errorf("reward = %v, want %v", got, want)
+	}
+	if _, err := c.RewardUntilAbsorption(linalg.Vector{1}); err == nil {
+		t.Error("bad reward length accepted")
+	}
+}
+
+func TestQuickBigChainMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomChain(rng, 2+rng.Intn(12))
+		big := FromChain(c)
+		d, err := MeanTurnaround(c)
+		if err != nil {
+			return false
+		}
+		s, err := big.MeanTurnaround()
+		if err != nil {
+			return false
+		}
+		return math.Abs(d-s) < 1e-7*(1+d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

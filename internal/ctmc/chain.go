@@ -1,0 +1,187 @@
+// Package ctmc implements the continuous-time Markov chain machinery the
+// paper's models are built on: absorbing chains describing workflow
+// control flow (Section 3), their transient analysis — first-passage
+// times, uniformization, taboo probabilities, expected visit counts, and
+// Markov reward models (Section 4) — and ergodic chains given by a
+// generator matrix with steady-state analysis (Section 5).
+package ctmc
+
+import (
+	"fmt"
+	"math"
+
+	"performa/internal/linalg"
+)
+
+// Chain is an absorbing continuous-time Markov chain describing one
+// workflow type. States are indexed 0..N-1; state 0 is the initial state
+// and state N-1 is the single artificial absorbing state s_A the paper
+// introduces (Section 3.2). The chain is described, as in the paper, by
+// the embedded transition-probability matrix P and the vector H of mean
+// state residence times.
+type Chain struct {
+	// P is the N-by-N one-step transition-probability matrix of the
+	// embedded jump chain. Row A (the absorbing state) is all zero.
+	P *linalg.Matrix
+	// H is the vector of mean residence times H_i > 0 for the
+	// transient states; H[A] is ignored (conceptually infinite).
+	H linalg.Vector
+	// Names optionally labels states for reporting; may be nil.
+	Names []string
+}
+
+// N returns the number of states including the absorbing state.
+func (c *Chain) N() int { return len(c.H) }
+
+// Absorbing returns the index of the absorbing state (always the last).
+func (c *Chain) Absorbing() int { return c.N() - 1 }
+
+// Name returns the label of state i, falling back to "s<i>".
+func (c *Chain) Name(i int) string {
+	if c.Names != nil && i < len(c.Names) && c.Names[i] != "" {
+		return c.Names[i]
+	}
+	if i == c.Absorbing() {
+		return "s_A"
+	}
+	return fmt.Sprintf("s%d", i)
+}
+
+// Validate checks the structural invariants the models rely on:
+// stochastic rows for transient states, a zero row for the absorbing
+// state, positive residence times, and reachability of the absorbing
+// state from every transient state (so first-passage times are finite).
+func (c *Chain) Validate() error {
+	n := c.N()
+	if n < 2 {
+		return fmt.Errorf("ctmc: chain needs at least one transient and one absorbing state, got %d states", n)
+	}
+	if c.P.Rows() != n || c.P.Cols() != n {
+		return fmt.Errorf("ctmc: P is %dx%d but chain has %d states", c.P.Rows(), c.P.Cols(), n)
+	}
+	abs := c.Absorbing()
+	for i := 0; i < n; i++ {
+		row := c.P.Row(i)
+		var sum float64
+		for j, p := range row {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return fmt.Errorf("ctmc: P[%d][%d] = %v is not a probability", i, j, p)
+			}
+			sum += p
+		}
+		if i == abs {
+			if sum != 0 {
+				return fmt.Errorf("ctmc: absorbing state %d has outgoing probability %v", i, sum)
+			}
+			continue
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("ctmc: row %d (%s) sums to %v, want 1", i, c.Name(i), sum)
+		}
+		if c.P.At(i, i) != 0 {
+			return fmt.Errorf("ctmc: embedded chain has self-loop at state %d (%s); fold it into the residence time", i, c.Name(i))
+		}
+		if !(c.H[i] > 0) || math.IsInf(c.H[i], 0) {
+			return fmt.Errorf("ctmc: residence time H[%d] = %v must be positive and finite", i, c.H[i])
+		}
+	}
+	if !c.absorbingReachable() {
+		return fmt.Errorf("ctmc: absorbing state unreachable from some transient state; first-passage times would be infinite")
+	}
+	return nil
+}
+
+// absorbingReachable reports whether every transient state can reach the
+// absorbing state (backwards BFS from s_A).
+func (c *Chain) absorbingReachable() bool {
+	n := c.N()
+	abs := c.Absorbing()
+	canReach := make([]bool, n)
+	canReach[abs] = true
+	queue := []int{abs}
+	for len(queue) > 0 {
+		j := queue[0]
+		queue = queue[1:]
+		for i := 0; i < n; i++ {
+			if !canReach[i] && c.P.At(i, j) > 0 {
+				canReach[i] = true
+				queue = append(queue, i)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !canReach[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Rates returns the vector of departure rates v_i = 1/H_i for transient
+// states; the absorbing entry is zero.
+func (c *Chain) Rates() linalg.Vector {
+	v := linalg.NewVector(c.N())
+	for i := 0; i < c.Absorbing(); i++ {
+		v[i] = 1 / c.H[i]
+	}
+	return v
+}
+
+// MaxRate returns v = max_i v_i, the uniformization rate of Section 4.2.1.
+func (c *Chain) MaxRate() float64 {
+	var v float64
+	for i := 0; i < c.Absorbing(); i++ {
+		if r := 1 / c.H[i]; r > v {
+			v = r
+		}
+	}
+	return v
+}
+
+// Generator returns the infinitesimal generator matrix Q of the chain,
+// with q_ij = v_i * p_ij for i != j and q_ii = -v_i for transient states.
+func (c *Chain) Generator() *linalg.Matrix {
+	n := c.N()
+	v := c.Rates()
+	q := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		if v[i] == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if j == i {
+				q.Set(i, i, -v[i])
+			} else {
+				q.Set(i, j, v[i]*c.P.At(i, j))
+			}
+		}
+	}
+	return q
+}
+
+// Uniformized returns the one-step transition-probability matrix of the
+// uniformized discrete-time chain restricted to transient states, per the
+// formula in Section 4.2.1:
+//
+//	p̄_ab = (v_a / v) p_ab          for b != a
+//	p̄_aa = 1 - v_a / v
+//
+// Transitions into the absorbing state are dropped (taboo form), so rows
+// may sum to less than one; the deficit is the per-step absorption
+// probability. The uniformization rate v is returned alongside.
+func (c *Chain) Uniformized() (*linalg.Matrix, float64) {
+	abs := c.Absorbing()
+	v := c.MaxRate()
+	pb := linalg.NewMatrix(abs, abs)
+	for a := 0; a < abs; a++ {
+		va := 1 / c.H[a]
+		for b := 0; b < abs; b++ {
+			if b == a {
+				pb.Set(a, a, 1-va/v)
+			} else {
+				pb.Set(a, b, va/v*c.P.At(a, b))
+			}
+		}
+	}
+	return pb, v
+}

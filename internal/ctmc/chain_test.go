@@ -1,0 +1,166 @@
+package ctmc
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"performa/internal/linalg"
+)
+
+// twoState returns the simplest chain: s0 → s_A with residence time h.
+func twoState(h float64) *Chain {
+	p := linalg.NewMatrix(2, 2)
+	p.Set(0, 1, 1)
+	return &Chain{P: p, H: linalg.Vector{h, 0}}
+}
+
+// loopChain returns s0 → s1 (prob 1-q) or s0 → s_A (prob q), s1 → s0,
+// modelling a retry loop.
+func loopChain(q, h0, h1 float64) *Chain {
+	p := linalg.NewMatrix(3, 3)
+	p.Set(0, 1, 1-q)
+	p.Set(0, 2, q)
+	p.Set(1, 0, 1)
+	return &Chain{P: p, H: linalg.Vector{h0, h1, 0}, Names: []string{"work", "retry", ""}}
+}
+
+// branchChain returns a 4-state chain with a probabilistic branch:
+// s0 → s1 (p) | s2 (1-p); s1 → s_A; s2 → s_A.
+func branchChain(p float64) *Chain {
+	m := linalg.NewMatrix(4, 4)
+	m.Set(0, 1, p)
+	m.Set(0, 2, 1-p)
+	m.Set(1, 3, 1)
+	m.Set(2, 3, 1)
+	return &Chain{P: m, H: linalg.Vector{1, 2, 3, 0}}
+}
+
+func TestChainValidateOK(t *testing.T) {
+	for _, c := range []*Chain{twoState(1), loopChain(0.5, 1, 2), branchChain(0.3)} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate: %v", err)
+		}
+	}
+}
+
+func TestChainValidateRejectsBadRows(t *testing.T) {
+	c := twoState(1)
+	c.P.Set(0, 1, 0.5) // row no longer stochastic
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "sums to") {
+		t.Errorf("err = %v, want row-sum error", err)
+	}
+}
+
+func TestChainValidateRejectsSelfLoop(t *testing.T) {
+	p := linalg.NewMatrix(2, 2)
+	p.Set(0, 0, 0.5)
+	p.Set(0, 1, 0.5)
+	c := &Chain{P: p, H: linalg.Vector{1, 0}}
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "self-loop") {
+		t.Errorf("err = %v, want self-loop error", err)
+	}
+}
+
+func TestChainValidateRejectsNonPositiveResidence(t *testing.T) {
+	c := twoState(0)
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "residence") {
+		t.Errorf("err = %v, want residence-time error", err)
+	}
+}
+
+func TestChainValidateRejectsAbsorbingOutflow(t *testing.T) {
+	c := twoState(1)
+	c.P.Set(1, 0, 1)
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "absorbing") {
+		t.Errorf("err = %v, want absorbing-outflow error", err)
+	}
+}
+
+func TestChainValidateRejectsUnreachableAbsorption(t *testing.T) {
+	// s0 → s1 → s0: absorbing state unreachable.
+	p := linalg.NewMatrix(3, 3)
+	p.Set(0, 1, 1)
+	p.Set(1, 0, 1)
+	c := &Chain{P: p, H: linalg.Vector{1, 1, 0}}
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Errorf("err = %v, want unreachable error", err)
+	}
+}
+
+func TestChainValidateRejectsNegativeProbability(t *testing.T) {
+	p := linalg.NewMatrix(2, 2)
+	p.Set(0, 1, 1.5)
+	c := &Chain{P: p, H: linalg.Vector{1, 0}}
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "probability") {
+		t.Errorf("err = %v, want probability error", err)
+	}
+}
+
+func TestChainValidateRejectsTinyChain(t *testing.T) {
+	c := &Chain{P: linalg.NewMatrix(1, 1), H: linalg.Vector{0}}
+	if err := c.Validate(); err == nil {
+		t.Error("single-state chain accepted")
+	}
+}
+
+func TestChainNames(t *testing.T) {
+	c := loopChain(0.5, 1, 1)
+	if got := c.Name(0); got != "work" {
+		t.Errorf("Name(0) = %q", got)
+	}
+	if got := c.Name(2); got != "s_A" {
+		t.Errorf("Name(2) = %q", got)
+	}
+	unnamed := twoState(1)
+	if got := unnamed.Name(0); got != "s0" {
+		t.Errorf("Name(0) = %q", got)
+	}
+	if got := unnamed.Name(1); got != "s_A" {
+		t.Errorf("Name(absorbing) = %q", got)
+	}
+}
+
+func TestChainRatesAndMaxRate(t *testing.T) {
+	c := loopChain(0.5, 2, 4)
+	v := c.Rates()
+	if v[0] != 0.5 || v[1] != 0.25 || v[2] != 0 {
+		t.Errorf("Rates = %v", v)
+	}
+	if got := c.MaxRate(); got != 0.5 {
+		t.Errorf("MaxRate = %v, want 0.5", got)
+	}
+}
+
+func TestChainGeneratorRowsSumToZeroForTransient(t *testing.T) {
+	c := branchChain(0.25)
+	q := c.Generator()
+	sums := q.RowSums()
+	for i := 0; i < c.Absorbing(); i++ {
+		if math.Abs(sums[i]) > 1e-12 {
+			t.Errorf("generator row %d sums to %v", i, sums[i])
+		}
+	}
+	if sums[c.Absorbing()] != 0 {
+		t.Errorf("absorbing generator row sums to %v", sums[c.Absorbing()])
+	}
+}
+
+func TestChainUniformizedStochasticWithAbsorptionDeficit(t *testing.T) {
+	c := branchChain(0.5)
+	pb, v := c.Uniformized()
+	if v != 1 {
+		t.Errorf("uniformization rate = %v, want 1 (max of 1, 0.5, 1/3)", v)
+	}
+	// Row 0 has no absorption, so it must sum to 1; rows 1 and 2 lose
+	// their absorption probability.
+	sums := pb.RowSums()
+	if math.Abs(sums[0]-1) > 1e-12 {
+		t.Errorf("row 0 sums to %v, want 1", sums[0])
+	}
+	// State 1: v_1 = 0.5, jumps to s_A with prob 1. Taboo row keeps
+	// only the self-loop 1 - v_1/v = 0.5.
+	if math.Abs(sums[1]-0.5) > 1e-12 {
+		t.Errorf("row 1 sums to %v, want 0.5", sums[1])
+	}
+}

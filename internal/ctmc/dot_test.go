@@ -1,0 +1,27 @@
+package ctmc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChainDOT(t *testing.T) {
+	c := loopChain(0.4, 1, 2)
+	dot := c.DOT()
+	for _, want := range []string{
+		"digraph ctmc",
+		"work",               // state name
+		"H=1",                // residence annotation
+		"shape=doublecircle", // absorbing
+		"0 -> 1",
+		"0.6", // transition probability 1-q
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// No edges out of the absorbing state.
+	if strings.Contains(dot, "2 ->") {
+		t.Error("absorbing state has outgoing edges in DOT")
+	}
+}

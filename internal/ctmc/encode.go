@@ -1,0 +1,92 @@
+package ctmc
+
+import "fmt"
+
+// StateEncoder maps k-tuples (X_1, ..., X_k) with 0 <= X_j <= Y_j to the
+// consecutive integers the availability CTMC of Section 5.2 is indexed
+// by, using the paper's mixed-radix encoding:
+//
+//	(X_1,...,X_k) ↦ Σ_j X_j · Π_{l<j} (Y_l + 1)
+//
+// so, e.g., with three server types of two servers each, (0,0,0) ↦ 0,
+// (1,0,0) ↦ 1, (2,0,0) ↦ 2, (0,1,0) ↦ 3, and so on.
+type StateEncoder struct {
+	caps    []int // Y_j per dimension
+	weights []int // Π_{l<j} (Y_l + 1)
+	size    int
+}
+
+// NewStateEncoder returns an encoder for tuples bounded by the given
+// capacities (the configuration vector Y). It panics if any capacity is
+// negative or the state space would overflow an int.
+func NewStateEncoder(caps []int) *StateEncoder {
+	e := &StateEncoder{caps: append([]int(nil), caps...), weights: make([]int, len(caps))}
+	size := 1
+	for j, y := range caps {
+		if y < 0 {
+			panic(fmt.Sprintf("ctmc: negative capacity Y[%d] = %d", j, y))
+		}
+		e.weights[j] = size
+		if size > (1<<62)/(y+1) {
+			panic("ctmc: state space too large to encode")
+		}
+		size *= y + 1
+	}
+	e.size = size
+	return e
+}
+
+// Size returns the number of encodable states Π (Y_j + 1).
+func (e *StateEncoder) Size() int { return e.size }
+
+// Dims returns the number of dimensions k.
+func (e *StateEncoder) Dims() int { return len(e.caps) }
+
+// Cap returns Y_j for dimension j.
+func (e *StateEncoder) Cap(j int) int { return e.caps[j] }
+
+// Encode maps a tuple to its integer code. It panics if the tuple has the
+// wrong arity or an out-of-range component.
+func (e *StateEncoder) Encode(x []int) int {
+	if len(x) != len(e.caps) {
+		panic(fmt.Sprintf("ctmc: encoding tuple of arity %d with %d dimensions", len(x), len(e.caps)))
+	}
+	code := 0
+	for j, xj := range x {
+		if xj < 0 || xj > e.caps[j] {
+			panic(fmt.Sprintf("ctmc: component X[%d] = %d out of range [0,%d]", j, xj, e.caps[j]))
+		}
+		code += xj * e.weights[j]
+	}
+	return code
+}
+
+// Decode maps an integer code back to its tuple. It panics if the code is
+// out of range.
+func (e *StateEncoder) Decode(code int) []int {
+	if code < 0 || code >= e.size {
+		panic(fmt.Sprintf("ctmc: code %d out of range [0,%d)", code, e.size))
+	}
+	x := make([]int, len(e.caps))
+	for j := range e.caps {
+		x[j] = code / e.weights[j] % (e.caps[j] + 1)
+	}
+	return x
+}
+
+// Each calls fn for every encodable tuple in code order. The tuple slice
+// is reused between calls; callers must copy it if they retain it.
+func (e *StateEncoder) Each(fn func(code int, x []int)) {
+	x := make([]int, len(e.caps))
+	for code := 0; code < e.size; code++ {
+		fn(code, x)
+		// Increment the mixed-radix counter.
+		for j := 0; j < len(x); j++ {
+			x[j]++
+			if x[j] <= e.caps[j] {
+				break
+			}
+			x[j] = 0
+		}
+	}
+}

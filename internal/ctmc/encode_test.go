@@ -1,0 +1,143 @@
+package ctmc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncoderPaperExample(t *testing.T) {
+	// Section 5.2: three server types, two servers each; (0,0,0),
+	// (1,0,0), (2,0,0), (0,1,0), ... encode as 0, 1, 2, 3, ...
+	e := NewStateEncoder([]int{2, 2, 2})
+	if e.Size() != 27 {
+		t.Fatalf("Size = %d, want 27", e.Size())
+	}
+	cases := []struct {
+		x    []int
+		code int
+	}{
+		{[]int{0, 0, 0}, 0},
+		{[]int{1, 0, 0}, 1},
+		{[]int{2, 0, 0}, 2},
+		{[]int{0, 1, 0}, 3},
+		{[]int{2, 2, 2}, 26},
+	}
+	for _, tc := range cases {
+		if got := e.Encode(tc.x); got != tc.code {
+			t.Errorf("Encode(%v) = %d, want %d", tc.x, got, tc.code)
+		}
+		dec := e.Decode(tc.code)
+		for j := range tc.x {
+			if dec[j] != tc.x[j] {
+				t.Errorf("Decode(%d) = %v, want %v", tc.code, dec, tc.x)
+			}
+		}
+	}
+}
+
+func TestEncoderDimsAndCaps(t *testing.T) {
+	e := NewStateEncoder([]int{3, 1})
+	if e.Dims() != 2 || e.Cap(0) != 3 || e.Cap(1) != 1 {
+		t.Errorf("Dims/Cap wrong: %d, %d, %d", e.Dims(), e.Cap(0), e.Cap(1))
+	}
+	if e.Size() != 8 {
+		t.Errorf("Size = %d, want 8", e.Size())
+	}
+}
+
+func TestEncoderEachVisitsAllInOrder(t *testing.T) {
+	e := NewStateEncoder([]int{1, 2})
+	var codes []int
+	var first []int
+	e.Each(func(code int, x []int) {
+		codes = append(codes, code)
+		if code == e.Encode(x) {
+			// consistent
+		} else {
+			t.Errorf("Each gave code %d for tuple %v (encodes to %d)", code, x, e.Encode(x))
+		}
+		if code == 0 {
+			first = append([]int(nil), x...)
+		}
+	})
+	if len(codes) != 6 {
+		t.Fatalf("visited %d states, want 6", len(codes))
+	}
+	for i, c := range codes {
+		if c != i {
+			t.Errorf("codes[%d] = %d", i, c)
+		}
+	}
+	if first[0] != 0 || first[1] != 0 {
+		t.Errorf("first tuple = %v", first)
+	}
+}
+
+func TestEncoderPanics(t *testing.T) {
+	e := NewStateEncoder([]int{1, 1})
+	for i, f := range []func(){
+		func() { NewStateEncoder([]int{-1}) },
+		func() { e.Encode([]int{0}) },
+		func() { e.Encode([]int{2, 0}) },
+		func() { e.Decode(4) },
+		func() { e.Decode(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuickEncoderRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(5)
+		caps := make([]int, k)
+		for j := range caps {
+			caps[j] = rng.Intn(4)
+		}
+		e := NewStateEncoder(caps)
+		x := make([]int, k)
+		for j := range x {
+			x[j] = rng.Intn(caps[j] + 1)
+		}
+		code := e.Encode(x)
+		if code < 0 || code >= e.Size() {
+			return false
+		}
+		dec := e.Decode(code)
+		for j := range x {
+			if dec[j] != x[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEncoderBijective(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(4)
+		caps := make([]int, k)
+		for j := range caps {
+			caps[j] = rng.Intn(3)
+		}
+		e := NewStateEncoder(caps)
+		seen := make(map[int]bool, e.Size())
+		e.Each(func(code int, x []int) { seen[code] = true })
+		return len(seen) == e.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

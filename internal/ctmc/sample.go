@@ -1,0 +1,47 @@
+package ctmc
+
+import (
+	"fmt"
+
+	"performa/internal/dist"
+)
+
+// SampleTurnaround draws one turnaround time by walking the chain from
+// state 0 to absorption with exponentially distributed residence times —
+// the Monte-Carlo counterpart of TransientDistribution, used to
+// cross-validate the uniformization series. maxSteps guards against
+// practically non-terminating chains (0 means 10 million).
+func SampleTurnaround(c *Chain, rng *dist.RNG, maxSteps int) (float64, error) {
+	if maxSteps <= 0 {
+		maxSteps = 10_000_000
+	}
+	abs := c.Absorbing()
+	state := 0
+	var total float64
+	for step := 0; step < maxSteps; step++ {
+		if state == abs {
+			return total, nil
+		}
+		total += rng.Exp(1 / c.H[state])
+		state = sampleNext(c, state, rng)
+	}
+	return 0, fmt.Errorf("ctmc: sample walk exceeded %d steps without absorbing", maxSteps)
+}
+
+func sampleNext(c *Chain, state int, rng *dist.RNG) int {
+	u := rng.Float64()
+	row := c.P.Row(state)
+	var cum float64
+	lastPositive := c.Absorbing()
+	for j, p := range row {
+		if p == 0 {
+			continue
+		}
+		cum += p
+		lastPositive = j
+		if u < cum {
+			return j
+		}
+	}
+	return lastPositive
+}

@@ -1,0 +1,247 @@
+package ctmc
+
+import (
+	"fmt"
+	"math"
+
+	"performa/internal/linalg"
+)
+
+// FirstPassageTimes computes the mean first-passage time m_iA from every
+// transient state into the absorbing state, by solving the linear system
+// of Section 4.1:
+//
+//	-v_i m_iA + Σ_{j≠A,j≠i} q_ij m_jA = -1
+//
+// which is equivalent to m_iA = H_i + Σ_{j≠A} p_ij m_jA. The returned
+// vector has length N with the absorbing entry zero.
+func FirstPassageTimes(c *Chain) (linalg.Vector, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	abs := c.Absorbing()
+	// Build (I - P_T) m = H over the transient states.
+	a := linalg.NewMatrix(abs, abs)
+	b := linalg.NewVector(abs)
+	for i := 0; i < abs; i++ {
+		for j := 0; j < abs; j++ {
+			v := -c.P.At(i, j)
+			if i == j {
+				v += 1
+			}
+			a.Set(i, j, v)
+		}
+		b[i] = c.H[i]
+	}
+	m, err := linalg.Solve(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("ctmc: first-passage solve: %w", err)
+	}
+	out := linalg.NewVector(c.N())
+	copy(out, m)
+	return out, nil
+}
+
+// MeanTurnaround returns R_t, the mean turnaround time of a workflow
+// instance: the mean first-passage time from the initial state into the
+// absorbing state.
+func MeanTurnaround(c *Chain) (float64, error) {
+	m, err := FirstPassageTimes(c)
+	if err != nil {
+		return 0, err
+	}
+	return m[0], nil
+}
+
+// ExpectedVisits computes, for each transient state, the expected number
+// of visits before absorption when starting in state 0, by the exact
+// linear-system method: n satisfies nᵀ = e_0ᵀ + nᵀ P_T, i.e.
+// (I - P_Tᵀ) n = e_0. The initial entry into state 0 counts as a visit.
+// The returned vector has length N with the absorbing entry zero.
+//
+// This is the direct counterpart of the paper's Markov-reward series
+// (see ExpectedVisitsSeries); the two agree in the limit z_max → ∞ and
+// tests assert their agreement.
+func ExpectedVisits(c *Chain) (linalg.Vector, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	abs := c.Absorbing()
+	a := linalg.NewMatrix(abs, abs)
+	b := linalg.NewVector(abs)
+	for i := 0; i < abs; i++ {
+		for j := 0; j < abs; j++ {
+			v := -c.P.At(j, i) // transpose
+			if i == j {
+				v += 1
+			}
+			a.Set(i, j, v)
+		}
+	}
+	b[0] = 1
+	n, err := linalg.Solve(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("ctmc: expected-visits solve: %w", err)
+	}
+	out := linalg.NewVector(c.N())
+	copy(out, n)
+	return out, nil
+}
+
+// SeriesOptions controls the truncated uniformized series of Section
+// 4.2.1.
+type SeriesOptions struct {
+	// ZMax caps the number of uniformized steps. Zero selects the
+	// adaptive rule of the paper: stop once the non-absorbed
+	// probability mass drops below 1 - Coverage.
+	ZMax int
+	// Coverage is the probability mass of transition counts the series
+	// must cover when ZMax is 0 (the paper suggests 99 percent). Zero
+	// means the default 0.9999, which keeps the truncation error well
+	// below the model's other approximations.
+	Coverage float64
+	// HardCap bounds the adaptive rule to protect against chains with
+	// near-1 self-loop mass. Zero means the default 1_000_000.
+	HardCap int
+}
+
+func (o SeriesOptions) withDefaults() SeriesOptions {
+	if o.Coverage <= 0 || o.Coverage >= 1 {
+		o.Coverage = 0.9999
+	}
+	if o.HardCap <= 0 {
+		o.HardCap = 1_000_000
+	}
+	return o
+}
+
+// SeriesResult reports the outcome of the truncated-series visit
+// computation.
+type SeriesResult struct {
+	// Visits is the expected visit count per state (length N, absorbing
+	// entry zero), including the initial entry into state 0.
+	Visits linalg.Vector
+	// Steps is the number of uniformized steps z actually summed.
+	Steps int
+	// ResidualMass is the probability that the process is still
+	// unabsorbed after Steps steps — the truncation error indicator.
+	ResidualMass float64
+}
+
+// ExpectedVisitsSeries computes expected visit counts by the paper's
+// uniformized taboo-probability recursion (Section 4.2.1): the taboo
+// probabilities p̄_0a(z) are iterated via the Chapman-Kolmogorov
+// equations, and each step accumulates the expected number of a→b jumps,
+// (1/v)·p̄_0a(z)·q_ab, into the visit count of b. The series is truncated
+// per opts.
+func ExpectedVisitsSeries(c *Chain, opts SeriesOptions) (*SeriesResult, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	abs := c.Absorbing()
+	pbar, v := c.Uniformized()
+
+	visits := linalg.NewVector(c.N())
+	visits[0] = 1 // the initial entry into state 0
+
+	// u holds p̄_0a(z); start with z = 0: all mass on state 0.
+	u := linalg.NewVector(abs)
+	u[0] = 1
+
+	// Precompute per-state transition rates q_ab = v_a p_ab for the
+	// real-jump accumulation. A real jump a→b (b≠a, b transient)
+	// happens during a uniformized step with probability (v_a/v)·p_ab,
+	// so the expected number of entries into b contributed at step z is
+	// Σ_a p̄_0a(z)·(v_a/v)·p_ab — exactly the paper's (1/v)·p̄_0a(z)·q_ab.
+	steps := 0
+	residual := 1.0
+	for z := 0; ; z++ {
+		if residual <= 1-opts.Coverage && opts.ZMax == 0 {
+			break
+		}
+		if opts.ZMax > 0 && z >= opts.ZMax {
+			break
+		}
+		if z >= opts.HardCap {
+			return nil, fmt.Errorf("ctmc: series did not absorb %.4g of the mass within %d steps", residual, opts.HardCap)
+		}
+		for a := 0; a < abs; a++ {
+			ua := u[a]
+			if ua == 0 {
+				continue
+			}
+			va := 1 / c.H[a]
+			for b := 0; b < abs; b++ {
+				if b == a {
+					continue
+				}
+				if p := c.P.At(a, b); p > 0 {
+					visits[b] += ua * (va / v) * p
+				}
+			}
+		}
+		// Advance the taboo distribution one uniformized step:
+		// p̄_0b(z+1) = Σ_a p̄_0a(z) p̄_ab.
+		u = pbar.VecMul(u)
+		steps = z + 1
+		residual = u.Sum()
+	}
+	return &SeriesResult{Visits: visits, Steps: steps, ResidualMass: residual}, nil
+}
+
+// RewardUntilAbsorption computes the expected total reward accumulated
+// until absorption for a per-visit reward vector (length N; the absorbing
+// entry is ignored): Σ_b visits_b · reward_b. This is the Markov reward
+// model of Section 4.2.1 with the reward interpreted as the number of
+// service requests generated upon each visit of a state.
+func RewardUntilAbsorption(c *Chain, reward linalg.Vector) (float64, error) {
+	if len(reward) != c.N() {
+		return 0, fmt.Errorf("ctmc: reward vector length %d does not match %d states", len(reward), c.N())
+	}
+	visits, err := ExpectedVisits(c)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for i := 0; i < c.Absorbing(); i++ {
+		total += visits[i] * reward[i]
+	}
+	return total, nil
+}
+
+// ZMaxForCoverage returns the paper's z_max: the smallest number of
+// uniformized transitions that covers at least the given probability mass
+// of the transition count within the expected runtime. The transition
+// count within time R in the uniformized chain is Poisson with mean v·R.
+func ZMaxForCoverage(c *Chain, coverage float64) (int, error) {
+	if coverage <= 0 || coverage >= 1 {
+		return 0, fmt.Errorf("ctmc: coverage must be in (0,1), got %v", coverage)
+	}
+	r, err := MeanTurnaround(c)
+	if err != nil {
+		return 0, err
+	}
+	return poissonQuantile(c.MaxRate()*r, coverage), nil
+}
+
+// poissonQuantile returns the smallest z with P(Poisson(mean) <= z) >=
+// coverage, computed by direct summation in log space for stability.
+func poissonQuantile(mean, coverage float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	// p(0) = exp(-mean); p(k) = p(k-1) * mean / k.
+	logp := -mean
+	cum := math.Exp(logp)
+	z := 0
+	for cum < coverage {
+		z++
+		logp += math.Log(mean) - math.Log(float64(z))
+		cum += math.Exp(logp)
+		if z > 100_000_000 {
+			break
+		}
+	}
+	return z
+}

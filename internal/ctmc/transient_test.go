@@ -1,0 +1,287 @@
+package ctmc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"performa/internal/linalg"
+)
+
+func TestFirstPassageTwoState(t *testing.T) {
+	m, err := FirstPassageTimes(twoState(2.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m[0]-2.5) > 1e-12 {
+		t.Errorf("m[0] = %v, want 2.5", m[0])
+	}
+	if m[1] != 0 {
+		t.Errorf("absorbing first-passage = %v, want 0", m[1])
+	}
+}
+
+func TestFirstPassageLoop(t *testing.T) {
+	// s0 → s1 w.p. 1-q then back; expected passes through s0 = 1/q.
+	// R = (1/q)·h0 + ((1-q)/q)·h1.
+	q, h0, h1 := 0.25, 1.0, 2.0
+	c := loopChain(q, h0, h1)
+	r, err := MeanTurnaround(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := h0/q + (1-q)/q*h1
+	if math.Abs(r-want) > 1e-9 {
+		t.Errorf("turnaround = %v, want %v", r, want)
+	}
+}
+
+func TestFirstPassageBranch(t *testing.T) {
+	// R = 1 + p*2 + (1-p)*3.
+	p := 0.3
+	r, err := MeanTurnaround(branchChain(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + p*2 + (1-p)*3
+	if math.Abs(r-want) > 1e-9 {
+		t.Errorf("turnaround = %v, want %v", r, want)
+	}
+}
+
+func TestFirstPassageRejectsInvalidChain(t *testing.T) {
+	if _, err := FirstPassageTimes(twoState(-1)); err == nil {
+		t.Error("invalid chain accepted")
+	}
+}
+
+func TestExpectedVisitsTwoState(t *testing.T) {
+	n, err := ExpectedVisits(twoState(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n[0]-1) > 1e-12 || n[1] != 0 {
+		t.Errorf("visits = %v, want [1 0]", n)
+	}
+}
+
+func TestExpectedVisitsLoop(t *testing.T) {
+	// Geometric: visits(s0) = 1/q, visits(s1) = (1-q)/q.
+	q := 0.2
+	n, err := ExpectedVisits(loopChain(q, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n[0]-1/q) > 1e-9 {
+		t.Errorf("visits(s0) = %v, want %v", n[0], 1/q)
+	}
+	if math.Abs(n[1]-(1-q)/q) > 1e-9 {
+		t.Errorf("visits(s1) = %v, want %v", n[1], (1-q)/q)
+	}
+}
+
+func TestExpectedVisitsBranch(t *testing.T) {
+	p := 0.7
+	n, err := ExpectedVisits(branchChain(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := linalg.Vector{1, p, 1 - p, 0}
+	for i := range want {
+		if math.Abs(n[i]-want[i]) > 1e-9 {
+			t.Errorf("visits[%d] = %v, want %v", i, n[i], want[i])
+		}
+	}
+}
+
+func TestSeriesMatchesExactVisits(t *testing.T) {
+	chains := []*Chain{
+		twoState(1),
+		loopChain(0.3, 1, 2),
+		branchChain(0.4),
+		randomChain(rand.New(rand.NewSource(7)), 8),
+	}
+	for ci, c := range chains {
+		exact, err := ExpectedVisits(c)
+		if err != nil {
+			t.Fatalf("chain %d exact: %v", ci, err)
+		}
+		res, err := ExpectedVisitsSeries(c, SeriesOptions{Coverage: 0.9999999})
+		if err != nil {
+			t.Fatalf("chain %d series: %v", ci, err)
+		}
+		for i := range exact {
+			if math.Abs(res.Visits[i]-exact[i]) > 1e-4 {
+				t.Errorf("chain %d state %d: series %v vs exact %v", ci, i, res.Visits[i], exact[i])
+			}
+		}
+		if res.ResidualMass > 1e-7+1e-12 {
+			t.Errorf("chain %d residual mass %v", ci, res.ResidualMass)
+		}
+	}
+}
+
+func TestSeriesTruncationUnderestimates(t *testing.T) {
+	c := loopChain(0.1, 1, 1) // many loop iterations expected
+	exact, err := ExpectedVisits(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := ExpectedVisitsSeries(c, SeriesOptions{ZMax: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Steps != 3 {
+		t.Errorf("Steps = %d, want 3", short.Steps)
+	}
+	if short.Visits[0] >= exact[0] {
+		t.Errorf("truncated series %v should underestimate exact %v", short.Visits[0], exact[0])
+	}
+	if short.ResidualMass <= 0 {
+		t.Errorf("residual mass = %v, want positive", short.ResidualMass)
+	}
+}
+
+func TestSeriesHardCap(t *testing.T) {
+	c := loopChain(1e-7, 1, 1)
+	if _, err := ExpectedVisitsSeries(c, SeriesOptions{Coverage: 0.999999999, HardCap: 10}); err == nil {
+		t.Error("hard cap not enforced")
+	}
+}
+
+func TestRewardUntilAbsorption(t *testing.T) {
+	c := branchChain(0.5)
+	// Reward = 2 per visit of s0, 4 of s1, 6 of s2.
+	got, err := RewardUntilAbsorption(c, linalg.Vector{2, 4, 6, 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 + 0.5*4 + 0.5*6
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("reward = %v, want %v", got, want)
+	}
+}
+
+func TestRewardLengthMismatch(t *testing.T) {
+	if _, err := RewardUntilAbsorption(twoState(1), linalg.Vector{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestZMaxForCoverage(t *testing.T) {
+	c := loopChain(0.5, 1, 1)
+	z99, err := ZMaxForCoverage(c, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z50, err := ZMaxForCoverage(c, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z99 <= z50 {
+		t.Errorf("z(0.99) = %d should exceed z(0.5) = %d", z99, z50)
+	}
+	if _, err := ZMaxForCoverage(c, 1.5); err == nil {
+		t.Error("coverage > 1 accepted")
+	}
+}
+
+func TestPoissonQuantile(t *testing.T) {
+	if got := poissonQuantile(0, 0.99); got != 0 {
+		t.Errorf("quantile(0) = %d", got)
+	}
+	// Poisson(1): P(X<=0)=.368, P(X<=1)=.736, P(X<=2)=.920, P(X<=3)=.981, P(X<=4)=.996.
+	if got := poissonQuantile(1, 0.99); got != 4 {
+		t.Errorf("quantile(1, .99) = %d, want 4", got)
+	}
+	// Large mean sanity: roughly mean + 2.33*sqrt(mean).
+	got := poissonQuantile(10000, 0.99)
+	if got < 10200 || got > 10300 {
+		t.Errorf("quantile(10000, .99) = %d, want ≈10233", got)
+	}
+}
+
+// randomChain builds a random valid absorbing chain with n states.
+func randomChain(rng *rand.Rand, n int) *Chain {
+	p := linalg.NewMatrix(n, n)
+	h := linalg.NewVector(n)
+	for i := 0; i < n-1; i++ {
+		h[i] = 0.1 + rng.Float64()*5
+		// Random weights to all other states, guaranteeing some
+		// absorption mass so the chain terminates.
+		weights := make([]float64, n)
+		var sum float64
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			w := rng.Float64()
+			if j == n-1 {
+				w += 0.2 // ensure reachability of absorption
+			}
+			weights[j] = w
+			sum += w
+		}
+		for j := 0; j < n; j++ {
+			if weights[j] > 0 {
+				p.Set(i, j, weights[j]/sum)
+			}
+		}
+	}
+	return &Chain{P: p, H: h}
+}
+
+func TestQuickSeriesAgreesWithExactOnRandomChains(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(9)
+		c := randomChain(rng, n)
+		if err := c.Validate(); err != nil {
+			return false
+		}
+		exact, err := ExpectedVisits(c)
+		if err != nil {
+			return false
+		}
+		res, err := ExpectedVisitsSeries(c, SeriesOptions{Coverage: 0.99999999})
+		if err != nil {
+			return false
+		}
+		for i := range exact {
+			if math.Abs(res.Visits[i]-exact[i]) > 1e-4*(1+exact[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTurnaroundEqualsVisitWeightedResidence(t *testing.T) {
+	// Identity: R = Σ_i visits_i · H_i. This ties the two transient
+	// analyses together.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(9)
+		c := randomChain(rng, n)
+		r, err := MeanTurnaround(c)
+		if err != nil {
+			return false
+		}
+		visits, err := ExpectedVisits(c)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for i := 0; i < c.Absorbing(); i++ {
+			sum += visits[i] * c.H[i]
+		}
+		return math.Abs(r-sum) < 1e-7*(1+r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

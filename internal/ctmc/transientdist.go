@@ -1,0 +1,220 @@
+package ctmc
+
+import (
+	"fmt"
+	"math"
+
+	"performa/internal/linalg"
+)
+
+// TransientDistribution computes the state-probability vector of the
+// chain at time t via uniformization:
+//
+//	π(t) = Σ_k Poisson(Λt; k) · π(0) P̄^k
+//
+// where P̄ is the uniformized one-step matrix including transitions into
+// the absorbing state. The Poisson series is truncated once the
+// accumulated weight exceeds 1 − 1e-12. This goes beyond the paper's
+// mean-value analysis: it yields the full turnaround-time distribution.
+func TransientDistribution(c *Chain, t float64) (linalg.Vector, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if t < 0 || math.IsNaN(t) {
+		return nil, fmt.Errorf("ctmc: transient distribution at invalid time %v", t)
+	}
+	n := c.N()
+	pi := linalg.NewVector(n)
+	pi[0] = 1
+	if t == 0 {
+		return pi, nil
+	}
+
+	// Uniformized one-step matrix over ALL states (absorbing included,
+	// with a self-loop of probability one).
+	lambda := c.MaxRate()
+	pbar := linalg.NewMatrix(n, n)
+	abs := c.Absorbing()
+	for a := 0; a < abs; a++ {
+		va := 1 / c.H[a]
+		for b := 0; b < n; b++ {
+			if b == a {
+				pbar.Set(a, a, 1-va/lambda)
+			} else {
+				pbar.Set(a, b, va/lambda*c.P.At(a, b))
+			}
+		}
+	}
+	pbar.Set(abs, abs, 1)
+
+	// Poisson-weighted sum of powers, evaluated incrementally.
+	mean := lambda * t
+	out := linalg.NewVector(n)
+	logw := -mean // log Poisson(mean; 0)
+	cum := 0.0
+	cur := pi
+	for k := 0; ; k++ {
+		if k > 0 {
+			logw += math.Log(mean) - math.Log(float64(k))
+			cur = pbar.VecMul(cur)
+		}
+		w := math.Exp(logw)
+		cum += w
+		out.AddScaled(w, cur)
+		if cum >= 1-1e-12 {
+			break
+		}
+		// Past the Poisson mode the weights decay geometrically; once
+		// they underflow, the remaining mass is round-off and the
+		// current iterate approximates the tail.
+		if float64(k) > mean && w < 1e-18 {
+			break
+		}
+		if k > 10_000_000 {
+			return nil, fmt.Errorf("ctmc: uniformization series did not converge (Λt = %v)", mean)
+		}
+	}
+	// Absorb the truncated tail into the current distribution shape so
+	// the result stays a distribution.
+	if rest := 1 - cum; rest > 0 {
+		out.AddScaled(rest, cur)
+	}
+	return out, nil
+}
+
+// TransientGenerator computes the state distribution at time t of a CTMC
+// given by its generator matrix q, starting from the distribution pi0,
+// via uniformization. This is the general-purpose transient solver used,
+// e.g., for the time-dependent availability A(t) of a configuration.
+func TransientGenerator(q *linalg.Matrix, pi0 linalg.Vector, t float64) (linalg.Vector, error) {
+	n := q.Rows()
+	if q.Cols() != n {
+		return nil, fmt.Errorf("ctmc: generator must be square, got %dx%d", n, q.Cols())
+	}
+	if len(pi0) != n {
+		return nil, fmt.Errorf("ctmc: initial distribution length %d for %d states", len(pi0), n)
+	}
+	if err := ValidateGenerator(q); err != nil {
+		return nil, err
+	}
+	if t < 0 || math.IsNaN(t) {
+		return nil, fmt.Errorf("ctmc: transient solution at invalid time %v", t)
+	}
+	if t == 0 {
+		return pi0.Clone(), nil
+	}
+	// Uniformization rate: max departure rate.
+	var lambda float64
+	for i := 0; i < n; i++ {
+		if r := -q.At(i, i); r > lambda {
+			lambda = r
+		}
+	}
+	if lambda == 0 {
+		return pi0.Clone(), nil // no transitions at all
+	}
+	// P̄ = I + Q/Λ.
+	pbar := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := q.At(i, j) / lambda
+			if i == j {
+				v += 1
+			}
+			pbar.Set(i, j, v)
+		}
+	}
+	mean := lambda * t
+	out := linalg.NewVector(n)
+	cur := pi0.Clone()
+	logw := -mean
+	cum := 0.0
+	for k := 0; ; k++ {
+		if k > 0 {
+			logw += math.Log(mean) - math.Log(float64(k))
+			cur = pbar.VecMul(cur)
+		}
+		w := math.Exp(logw)
+		cum += w
+		out.AddScaled(w, cur)
+		if cum >= 1-1e-12 {
+			break
+		}
+		// Past the Poisson mode the weights decay geometrically; once
+		// they underflow, the remaining mass is round-off and the
+		// current iterate approximates the tail.
+		if float64(k) > mean && w < 1e-18 {
+			break
+		}
+		if k > 10_000_000 {
+			return nil, fmt.Errorf("ctmc: uniformization series did not converge (Λt = %v)", mean)
+		}
+	}
+	if rest := 1 - cum; rest > 0 {
+		out.AddScaled(rest, cur)
+	}
+	return out, nil
+}
+
+// TurnaroundCDF returns P(turnaround ≤ t) for each requested time: the
+// probability that the chain has been absorbed by t.
+func TurnaroundCDF(c *Chain, times []float64) ([]float64, error) {
+	out := make([]float64, len(times))
+	abs := c.Absorbing()
+	for i, t := range times {
+		pi, err := TransientDistribution(c, t)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = pi[abs]
+	}
+	return out, nil
+}
+
+// TurnaroundQuantile returns the time t with P(turnaround ≤ t) ≈ q, by
+// bisection on the CDF. q must be in (0, 1).
+func TurnaroundQuantile(c *Chain, q float64) (float64, error) {
+	if q <= 0 || q >= 1 {
+		return 0, fmt.Errorf("ctmc: quantile level %v must be in (0,1)", q)
+	}
+	mean, err := MeanTurnaround(c)
+	if err != nil {
+		return 0, err
+	}
+	cdfAt := func(t float64) (float64, error) {
+		pi, err := TransientDistribution(c, t)
+		if err != nil {
+			return 0, err
+		}
+		return pi[c.Absorbing()], nil
+	}
+	// Bracket the quantile.
+	lo, hi := 0.0, mean
+	for iter := 0; ; iter++ {
+		v, err := cdfAt(hi)
+		if err != nil {
+			return 0, err
+		}
+		if v >= q {
+			break
+		}
+		lo = hi
+		hi *= 2
+		if iter > 60 {
+			return 0, fmt.Errorf("ctmc: quantile %v not bracketed below %v× the mean turnaround", q, hi/mean)
+		}
+	}
+	for iter := 0; iter < 200 && hi-lo > 1e-9*(1+hi); iter++ {
+		mid := (lo + hi) / 2
+		v, err := cdfAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if v < q {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}

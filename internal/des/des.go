@@ -1,0 +1,171 @@
+// Package des is a small discrete-event simulation kernel: a virtual
+// clock, an event heap with cancellation, and statistics collectors. The
+// WFMS simulator (package sim) runs on it; the analytic models are
+// validated against measurements taken from such simulations, standing in
+// for the testbed measurements of the paper's Section 8.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. It can be cancelled until it fires.
+type Event struct {
+	time      float64
+	seq       uint64
+	fn        func()
+	index     int // heap index, -1 once removed
+	cancelled bool
+}
+
+// Time returns the event's scheduled time.
+func (e *Event) Time() float64 { return e.time }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator advances a virtual clock through scheduled events.
+type Simulator struct {
+	now    float64
+	events eventHeap
+	seq    uint64
+	fired  uint64
+}
+
+// New returns a simulator with the clock at zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of scheduled, uncancelled events.
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, e := range s.events {
+		if !e.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule runs fn after the given delay. It panics on negative or NaN
+// delays, which always indicate a simulation bug.
+func (s *Simulator) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("des: scheduling with invalid delay %v", delay))
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// At runs fn at the given absolute time, which must not be in the past.
+func (s *Simulator) At(t float64, fn func()) *Event {
+	if t < s.now || math.IsNaN(t) {
+		panic(fmt.Sprintf("des: scheduling at %v with clock at %v", t, s.now))
+	}
+	e := &Event{time: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an already
+// fired or cancelled event is a no-op.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.cancelled || e.index < 0 {
+		if e != nil {
+			e.cancelled = true
+		}
+		return
+	}
+	e.cancelled = true
+	heap.Remove(&s.events, e.index)
+}
+
+// Step fires the next event, returning false when none remain.
+func (s *Simulator) Step() bool {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*Event)
+		if e.cancelled {
+			continue
+		}
+		s.now = e.time
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events until the clock would pass horizon or no events
+// remain; the clock is left at min(horizon, last event time) and events
+// scheduled beyond the horizon stay pending.
+func (s *Simulator) RunUntil(horizon float64) {
+	s.RunUntilCapped(horizon, math.MaxUint64)
+}
+
+// RunUntilCapped is RunUntil with a budget on fired events (counted over
+// the simulator's lifetime, compared against Fired). It returns true if
+// the horizon was reached within the budget; on false the clock stays at
+// the last fired event so the caller can diagnose the runaway.
+func (s *Simulator) RunUntilCapped(horizon float64, maxFired uint64) bool {
+	for len(s.events) > 0 {
+		next := s.events[0]
+		if next.cancelled {
+			heap.Pop(&s.events)
+			continue
+		}
+		if next.time > horizon {
+			break
+		}
+		if s.fired >= maxFired {
+			return false
+		}
+		s.Step()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+	return true
+}
+
+// Run fires events until none remain or maxEvents have fired.
+// It returns the number of events fired by this call.
+func (s *Simulator) Run(maxEvents uint64) uint64 {
+	var fired uint64
+	for fired < maxEvents && s.Step() {
+		fired++
+	}
+	return fired
+}

@@ -1,0 +1,221 @@
+package des
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(3, func() { order = append(order, 3) })
+	s.Schedule(1, func() { order = append(order, 1) })
+	s.Schedule(2, func() { order = append(order, 2) })
+	s.Run(100)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 3 {
+		t.Errorf("clock = %v, want 3", s.Now())
+	}
+	if s.Fired() != 3 {
+		t.Errorf("fired = %d", s.Fired())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Schedule(1, func() { order = append(order, i) })
+	}
+	s.Run(100)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestScheduleFromWithinEvent(t *testing.T) {
+	s := New()
+	var times []float64
+	s.Schedule(1, func() {
+		times = append(times, s.Now())
+		s.Schedule(2, func() { times = append(times, s.Now()) })
+	})
+	s.Run(100)
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.Schedule(1, func() { fired = true })
+	s.Cancel(e)
+	s.Run(100)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Double cancel and cancel after pop are no-ops.
+	s.Cancel(e)
+	s.Cancel(nil)
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(1, func() { order = append(order, 1) })
+	e := s.Schedule(2, func() { order = append(order, 2) })
+	s.Schedule(3, func() { order = append(order, 3) })
+	s.Cancel(e)
+	s.Run(100)
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestRunUntilLeavesFutureEvents(t *testing.T) {
+	s := New()
+	var fired []float64
+	s.Schedule(1, func() { fired = append(fired, s.Now()) })
+	s.Schedule(5, func() { fired = append(fired, s.Now()) })
+	s.RunUntil(3)
+	if len(fired) != 1 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if s.Now() != 3 {
+		t.Errorf("clock = %v, want 3 (advanced to horizon)", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+	s.RunUntil(10)
+	if len(fired) != 2 || s.Now() != 10 {
+		t.Errorf("fired = %v, clock = %v", fired, s.Now())
+	}
+}
+
+func TestRunMaxEvents(t *testing.T) {
+	s := New()
+	count := 0
+	var rearm func()
+	rearm = func() {
+		count++
+		s.Schedule(1, rearm)
+	}
+	s.Schedule(1, rearm)
+	if got := s.Run(10); got != 10 {
+		t.Errorf("Run returned %d", got)
+	}
+	if count != 10 {
+		t.Errorf("count = %d", count)
+	}
+}
+
+func TestInvalidSchedulesPanic(t *testing.T) {
+	s := New()
+	for i, f := range []func(){
+		func() { s.Schedule(-1, func() {}) },
+		func() { s.Schedule(math.NaN(), func() {}) },
+		func() { s.At(-1, func() {}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTallyMoments(t *testing.T) {
+	var ta Tally
+	if !math.IsNaN(ta.Mean()) || !math.IsNaN(ta.Variance()) || !math.IsNaN(ta.Min()) || !math.IsNaN(ta.Max()) {
+		t.Error("empty tally should report NaN")
+	}
+	for _, x := range []float64{1, 2, 3, 4} {
+		ta.Add(x)
+	}
+	if ta.N() != 4 || ta.Mean() != 2.5 {
+		t.Errorf("N=%d mean=%v", ta.N(), ta.Mean())
+	}
+	if got := ta.SecondMoment(); got != 7.5 {
+		t.Errorf("second moment = %v, want 7.5", got)
+	}
+	if got := ta.Variance(); math.Abs(got-5.0/3) > 1e-12 {
+		t.Errorf("variance = %v, want 5/3", got)
+	}
+	if ta.Min() != 1 || ta.Max() != 4 {
+		t.Errorf("min/max = %v/%v", ta.Min(), ta.Max())
+	}
+	if got := ta.StdErr(); math.Abs(got-math.Sqrt(5.0/3/4)) > 1e-12 {
+		t.Errorf("stderr = %v", got)
+	}
+	ta.Reset()
+	if ta.N() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestTallyConstantDataStdErr(t *testing.T) {
+	var ta Tally
+	for i := 0; i < 1000; i++ {
+		ta.Add(1e8) // large constant values stress cancellation
+	}
+	if se := ta.StdErr(); math.IsNaN(se) || se > 1 {
+		t.Errorf("stderr = %v on constant data", se)
+	}
+}
+
+func TestTimeWeightedAverage(t *testing.T) {
+	var w TimeWeighted
+	if !math.IsNaN(w.Average(10)) {
+		t.Error("unstarted average should be NaN")
+	}
+	w.Set(0, 1) // value 1 on [0,4)
+	w.Set(4, 3) // value 3 on [4,10)
+	if got := w.Average(10); math.Abs(got-(4*1+6*3)/10.0) > 1e-12 {
+		t.Errorf("average = %v, want 2.2", got)
+	}
+	if w.Value() != 3 {
+		t.Errorf("value = %v", w.Value())
+	}
+}
+
+func TestTimeWeightedResetAt(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 100) // garbage warm-up value
+	w.Set(5, 2)
+	w.ResetAt(10) // discard everything before t=10; value stays 2
+	w.Set(15, 4)
+	if got := w.Average(20); math.Abs(got-(5*2+5*4)/10.0) > 1e-12 {
+		t.Errorf("average = %v, want 3", got)
+	}
+}
+
+func TestQuickTallyMeanWithinRange(t *testing.T) {
+	f := func(raw []float64) bool {
+		var ta Tally
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			ta.Add(math.Mod(x, 1000))
+		}
+		if ta.N() == 0 {
+			return true
+		}
+		m := ta.Mean()
+		return m >= ta.Min()-1e-9 && m <= ta.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,73 @@
+package des
+
+import (
+	"math"
+	"sort"
+
+	"performa/internal/dist"
+)
+
+// Reservoir keeps a fixed-size uniform random sample of a stream
+// (Vitter's algorithm R) and reports empirical quantiles, so the
+// simulator can measure tail latencies without storing every
+// observation.
+type Reservoir struct {
+	capacity int
+	seen     uint64
+	values   []float64
+	rng      *dist.RNG
+	sorted   bool
+}
+
+// NewReservoir returns a reservoir keeping at most capacity samples
+// (default 4096 when capacity <= 0).
+func NewReservoir(capacity int, seed uint64) *Reservoir {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Reservoir{capacity: capacity, rng: dist.NewRNG(seed)}
+}
+
+// Add offers one observation to the reservoir.
+func (r *Reservoir) Add(x float64) {
+	r.seen++
+	r.sorted = false
+	if len(r.values) < r.capacity {
+		r.values = append(r.values, x)
+		return
+	}
+	// Replace a random element with probability capacity/seen.
+	if j := r.rng.Uint64() % r.seen; j < uint64(r.capacity) {
+		r.values[j] = x
+	}
+}
+
+// N returns the number of observations offered.
+func (r *Reservoir) N() uint64 { return r.seen }
+
+// Quantile returns the empirical q-quantile of the sample, or NaN when
+// empty. q is clamped to [0, 1].
+func (r *Reservoir) Quantile(q float64) float64 {
+	if len(r.values) == 0 {
+		return math.NaN()
+	}
+	if !r.sorted {
+		sort.Float64s(r.values)
+		r.sorted = true
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	idx := int(q * float64(len(r.values)-1))
+	return r.values[idx]
+}
+
+// Reset discards all samples.
+func (r *Reservoir) Reset() {
+	r.values = r.values[:0]
+	r.seen = 0
+	r.sorted = false
+}

@@ -1,0 +1,76 @@
+package des
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReservoirExactWhenSmall(t *testing.T) {
+	r := NewReservoir(100, 1)
+	for i := 1; i <= 10; i++ {
+		r.Add(float64(i))
+	}
+	if r.N() != 10 {
+		t.Errorf("N = %d", r.N())
+	}
+	if got := r.Quantile(0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := r.Quantile(1); got != 10 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := r.Quantile(0.5); got < 5 || got > 6 {
+		t.Errorf("median = %v", got)
+	}
+	// Clamping.
+	if got := r.Quantile(-1); got != 1 {
+		t.Errorf("q(-1) = %v", got)
+	}
+	if got := r.Quantile(2); got != 10 {
+		t.Errorf("q(2) = %v", got)
+	}
+}
+
+func TestReservoirEmpty(t *testing.T) {
+	r := NewReservoir(0, 1) // default capacity
+	if !math.IsNaN(r.Quantile(0.5)) {
+		t.Error("empty reservoir quantile not NaN")
+	}
+}
+
+func TestReservoirSamplingAccuracy(t *testing.T) {
+	// Uniform [0,1000) stream of 200k values through a 4096-slot
+	// reservoir: the p95 estimate must land near 950.
+	r := NewReservoir(4096, 7)
+	for i := 0; i < 200000; i++ {
+		r.Add(float64(i % 1000))
+	}
+	if got := r.Quantile(0.95); math.Abs(got-950) > 25 {
+		t.Errorf("p95 = %v, want ≈950", got)
+	}
+	if got := r.Quantile(0.5); math.Abs(got-500) > 30 {
+		t.Errorf("median = %v, want ≈500", got)
+	}
+}
+
+func TestReservoirInterleavedAddQuantile(t *testing.T) {
+	// Quantile sorts lazily; adding afterwards must keep working.
+	r := NewReservoir(16, 3)
+	for i := 0; i < 8; i++ {
+		r.Add(float64(i))
+	}
+	_ = r.Quantile(0.5)
+	r.Add(100)
+	if got := r.Quantile(1); got != 100 {
+		t.Errorf("max after interleave = %v", got)
+	}
+}
+
+func TestReservoirReset(t *testing.T) {
+	r := NewReservoir(8, 2)
+	r.Add(5)
+	r.Reset()
+	if r.N() != 0 || !math.IsNaN(r.Quantile(0.5)) {
+		t.Error("reset failed")
+	}
+}

@@ -1,0 +1,134 @@
+package des
+
+import "math"
+
+// Tally accumulates scalar observations and reports their moments.
+// The zero value is ready to use.
+type Tally struct {
+	n          uint64
+	sum, sumSq float64
+	min, max   float64
+}
+
+// Add records one observation.
+func (t *Tally) Add(x float64) {
+	if t.n == 0 {
+		t.min, t.max = x, x
+	} else {
+		if x < t.min {
+			t.min = x
+		}
+		if x > t.max {
+			t.max = x
+		}
+	}
+	t.n++
+	t.sum += x
+	t.sumSq += x * x
+}
+
+// N returns the number of observations.
+func (t *Tally) N() uint64 { return t.n }
+
+// Mean returns the sample mean, or NaN with no observations.
+func (t *Tally) Mean() float64 {
+	if t.n == 0 {
+		return math.NaN()
+	}
+	return t.sum / float64(t.n)
+}
+
+// SecondMoment returns the sample second moment E[X²].
+func (t *Tally) SecondMoment() float64 {
+	if t.n == 0 {
+		return math.NaN()
+	}
+	return t.sumSq / float64(t.n)
+}
+
+// Variance returns the unbiased sample variance, or NaN with fewer than
+// two observations.
+func (t *Tally) Variance() float64 {
+	if t.n < 2 {
+		return math.NaN()
+	}
+	n := float64(t.n)
+	return (t.sumSq - t.sum*t.sum/n) / (n - 1)
+}
+
+// StdErr returns the standard error of the mean.
+func (t *Tally) StdErr() float64 {
+	v := t.Variance()
+	if math.IsNaN(v) {
+		return math.NaN()
+	}
+	if v < 0 {
+		v = 0 // numeric round-off on near-constant data
+	}
+	return math.Sqrt(v / float64(t.n))
+}
+
+// Min returns the smallest observation, or NaN with none.
+func (t *Tally) Min() float64 {
+	if t.n == 0 {
+		return math.NaN()
+	}
+	return t.min
+}
+
+// Max returns the largest observation, or NaN with none.
+func (t *Tally) Max() float64 {
+	if t.n == 0 {
+		return math.NaN()
+	}
+	return t.max
+}
+
+// Reset discards all observations.
+func (t *Tally) Reset() { *t = Tally{} }
+
+// TimeWeighted tracks a piecewise-constant value over virtual time and
+// reports its time average, e.g. queue lengths or up/down indicators.
+type TimeWeighted struct {
+	started   bool
+	startTime float64
+	lastTime  float64
+	value     float64
+	integral  float64
+}
+
+// Set records that the tracked value changes to v at time now.
+func (w *TimeWeighted) Set(now, v float64) {
+	if !w.started {
+		w.started = true
+		w.startTime = now
+		w.lastTime = now
+		w.value = v
+		return
+	}
+	w.integral += w.value * (now - w.lastTime)
+	w.lastTime = now
+	w.value = v
+}
+
+// Value returns the current tracked value.
+func (w *TimeWeighted) Value() float64 { return w.value }
+
+// Average returns the time average over [start, now].
+func (w *TimeWeighted) Average(now float64) float64 {
+	if !w.started || now <= w.startTime {
+		return math.NaN()
+	}
+	return (w.integral + w.value*(now-w.lastTime)) / (now - w.startTime)
+}
+
+// ResetAt restarts the averaging window at time now, keeping the current
+// value. Used to discard warm-up transients.
+func (w *TimeWeighted) ResetAt(now float64) {
+	v := w.value
+	started := w.started
+	*w = TimeWeighted{}
+	if started {
+		w.Set(now, v)
+	}
+}

@@ -1,0 +1,221 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed gave different streams")
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams from different seeds collided %d/100 times", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		x := r.Float64()
+		if x < 0 || x >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", x)
+		}
+	}
+}
+
+func TestRNGFloat64Mean(t *testing.T) {
+	r := NewRNG(7)
+	var s float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		s += r.Float64()
+	}
+	if mean := s / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGSplitIndependent(t *testing.T) {
+	r := NewRNG(9)
+	a := r.Split()
+	b := r.Split()
+	if a.Uint64() == b.Uint64() {
+		t.Error("split streams start identically")
+	}
+}
+
+// sampleMoments estimates the first two moments of d with n samples.
+func sampleMoments(d Distribution, n int, seed uint64) (m1, m2 float64) {
+	r := NewRNG(seed)
+	for i := 0; i < n; i++ {
+		x := d.Sample(r)
+		m1 += x
+		m2 += x * x
+	}
+	return m1 / float64(n), m2 / float64(n)
+}
+
+func checkMoments(t *testing.T, d Distribution, relTol float64) {
+	t.Helper()
+	m1, m2 := sampleMoments(d, 400000, 12345)
+	if want := d.Mean(); math.Abs(m1-want)/want > relTol {
+		t.Errorf("%v: sample mean %v vs analytic %v", d, m1, want)
+	}
+	if want := d.SecondMoment(); math.Abs(m2-want)/want > relTol {
+		t.Errorf("%v: sample second moment %v vs analytic %v", d, m2, want)
+	}
+}
+
+func TestExponentialMoments(t *testing.T) { checkMoments(t, NewExponential(2), 0.02) }
+func TestErlangMoments(t *testing.T)      { checkMoments(t, NewErlang(3, 1.5), 0.02) }
+func TestUniformMoments(t *testing.T)     { checkMoments(t, NewUniform(1, 5), 0.02) }
+func TestLognormalMoments(t *testing.T)   { checkMoments(t, NewLognormal(0, 0.5), 0.03) }
+func TestHyperExpMoments(t *testing.T)    { checkMoments(t, NewHyperExp(0.3, 4, 0.8), 0.03) }
+func TestDeterministicMoments(t *testing.T) {
+	d := NewDeterministic(3)
+	if d.Sample(NewRNG(1)) != 3 || d.Mean() != 3 || d.SecondMoment() != 9 {
+		t.Error("deterministic distribution wrong")
+	}
+}
+
+func TestExponentialSCVIsOne(t *testing.T) {
+	if got := SCV(NewExponential(3)); math.Abs(got-1) > 1e-12 {
+		t.Errorf("SCV(exp) = %v, want 1", got)
+	}
+}
+
+func TestErlangSCVBelowOne(t *testing.T) {
+	if got := SCV(NewErlang(4, 1)); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("SCV(erlang-4) = %v, want 0.25", got)
+	}
+}
+
+func TestHyperExpFromMeanSCV(t *testing.T) {
+	for _, tc := range []struct{ mean, scv float64 }{
+		{1, 1}, {2, 4}, {0.5, 10},
+	} {
+		d := HyperExpFromMeanSCV(tc.mean, tc.scv)
+		if math.Abs(d.Mean()-tc.mean)/tc.mean > 1e-9 {
+			t.Errorf("HyperExpFromMeanSCV(%v,%v).Mean() = %v", tc.mean, tc.scv, d.Mean())
+		}
+		if math.Abs(SCV(d)-tc.scv)/tc.scv > 1e-9 {
+			t.Errorf("HyperExpFromMeanSCV(%v,%v) SCV = %v", tc.mean, tc.scv, SCV(d))
+		}
+	}
+}
+
+func TestLognormalFromMeanSCV(t *testing.T) {
+	d := LognormalFromMeanSCV(3, 2)
+	if math.Abs(d.Mean()-3)/3 > 1e-9 {
+		t.Errorf("mean = %v, want 3", d.Mean())
+	}
+	if math.Abs(SCV(d)-2)/2 > 1e-9 {
+		t.Errorf("scv = %v, want 2", SCV(d))
+	}
+}
+
+func TestErlangFromMean(t *testing.T) {
+	d := ErlangFromMean(5, 2.5)
+	if math.Abs(d.Mean()-2.5) > 1e-12 {
+		t.Errorf("mean = %v, want 2.5", d.Mean())
+	}
+}
+
+func TestExponentialFromMean(t *testing.T) {
+	d := ExponentialFromMean(4)
+	if math.Abs(d.Mean()-4) > 1e-12 {
+		t.Errorf("mean = %v, want 4", d.Mean())
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewExponential(0) },
+		func() { ExponentialFromMean(-1) },
+		func() { NewErlang(0, 1) },
+		func() { NewErlang(1, 0) },
+		func() { ErlangFromMean(2, 0) },
+		func() { NewHyperExp(-0.1, 1, 1) },
+		func() { NewHyperExp(0.5, 0, 1) },
+		func() { HyperExpFromMeanSCV(1, 0.5) },
+		func() { NewUniform(-1, 2) },
+		func() { NewUniform(3, 2) },
+		func() { NewLognormal(0, -1) },
+		func() { NewDeterministic(-2) },
+		func() { NewRNG(1).Exp(0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuickSamplesNonNegative(t *testing.T) {
+	dists := []Distribution{
+		NewExponential(1.5),
+		NewErlang(2, 3),
+		NewHyperExp(0.4, 2, 0.5),
+		NewUniform(0, 4),
+		NewLognormal(0.2, 0.7),
+		NewDeterministic(1),
+	}
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		for _, d := range dists {
+			for i := 0; i < 32; i++ {
+				x := d.Sample(r)
+				if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickVarianceNonNegative(t *testing.T) {
+	f := func(rawMean, rawSCV float64) bool {
+		mean := 0.1 + math.Abs(math.Mod(rawMean, 10))
+		scv := 1 + math.Abs(math.Mod(rawSCV, 8))
+		d := HyperExpFromMeanSCV(mean, scv)
+		return Variance(d) >= -1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

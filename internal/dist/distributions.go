@@ -1,0 +1,235 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Distribution is a nonnegative random variable with known first and
+// second moments. The analytic performance model only consumes the two
+// moments (the M/G/1 waiting-time formula of Section 4.4); the simulator
+// consumes samples.
+type Distribution interface {
+	// Sample draws one value using the supplied generator.
+	Sample(r *RNG) float64
+	// Mean returns E[X].
+	Mean() float64
+	// SecondMoment returns E[X^2].
+	SecondMoment() float64
+	// String describes the distribution.
+	String() string
+}
+
+// Variance returns Var(X) = E[X^2] - E[X]^2 for d.
+func Variance(d Distribution) float64 {
+	m := d.Mean()
+	return d.SecondMoment() - m*m
+}
+
+// SCV returns the squared coefficient of variation Var(X)/E[X]^2, the
+// standard shape measure for service-time distributions (1 for
+// exponential, <1 hypo-exponential, >1 hyper-exponential).
+func SCV(d Distribution) float64 {
+	m := d.Mean()
+	if m == 0 {
+		return 0
+	}
+	return Variance(d) / (m * m)
+}
+
+// Deterministic is a point mass at Value.
+type Deterministic struct{ Value float64 }
+
+// NewDeterministic returns a point-mass distribution at v. It panics if v
+// is negative.
+func NewDeterministic(v float64) Deterministic {
+	if v < 0 {
+		panic("dist: deterministic value must be nonnegative")
+	}
+	return Deterministic{Value: v}
+}
+
+func (d Deterministic) Sample(*RNG) float64   { return d.Value }
+func (d Deterministic) Mean() float64         { return d.Value }
+func (d Deterministic) SecondMoment() float64 { return d.Value * d.Value }
+func (d Deterministic) String() string        { return fmt.Sprintf("Det(%g)", d.Value) }
+
+// Exponential has rate Rate (mean 1/Rate).
+type Exponential struct{ Rate float64 }
+
+// NewExponential returns an exponential distribution with the given rate.
+// It panics if rate <= 0.
+func NewExponential(rate float64) Exponential {
+	if rate <= 0 {
+		panic("dist: exponential rate must be positive")
+	}
+	return Exponential{Rate: rate}
+}
+
+// ExponentialFromMean returns an exponential distribution with the given
+// mean. It panics if mean <= 0.
+func ExponentialFromMean(mean float64) Exponential {
+	if mean <= 0 {
+		panic("dist: exponential mean must be positive")
+	}
+	return Exponential{Rate: 1 / mean}
+}
+
+func (d Exponential) Sample(r *RNG) float64 { return r.Exp(d.Rate) }
+func (d Exponential) Mean() float64         { return 1 / d.Rate }
+func (d Exponential) SecondMoment() float64 { return 2 / (d.Rate * d.Rate) }
+func (d Exponential) String() string        { return fmt.Sprintf("Exp(rate=%g)", d.Rate) }
+
+// Erlang is the sum of K independent exponential stages of rate Rate,
+// i.e. mean K/Rate. Erlang stages are also the paper's suggested phase
+// expansion for non-exponential failure/repair times (Section 5.1).
+type Erlang struct {
+	K    int
+	Rate float64
+}
+
+// NewErlang returns an Erlang-k distribution. It panics if k < 1 or
+// rate <= 0.
+func NewErlang(k int, rate float64) Erlang {
+	if k < 1 {
+		panic("dist: erlang needs at least one stage")
+	}
+	if rate <= 0 {
+		panic("dist: erlang rate must be positive")
+	}
+	return Erlang{K: k, Rate: rate}
+}
+
+// ErlangFromMean returns an Erlang-k distribution with the given mean.
+func ErlangFromMean(k int, mean float64) Erlang {
+	if mean <= 0 {
+		panic("dist: erlang mean must be positive")
+	}
+	return NewErlang(k, float64(k)/mean)
+}
+
+func (d Erlang) Sample(r *RNG) float64 {
+	var s float64
+	for i := 0; i < d.K; i++ {
+		s += r.Exp(d.Rate)
+	}
+	return s
+}
+
+func (d Erlang) Mean() float64 { return float64(d.K) / d.Rate }
+
+func (d Erlang) SecondMoment() float64 {
+	k := float64(d.K)
+	return k * (k + 1) / (d.Rate * d.Rate)
+}
+
+func (d Erlang) String() string { return fmt.Sprintf("Erlang(k=%d,rate=%g)", d.K, d.Rate) }
+
+// HyperExp is a two-phase hyperexponential: with probability P the sample
+// is Exp(Rate1), otherwise Exp(Rate2). It models high-variance service
+// times (SCV > 1), the regime where the M/G/1 second-moment term matters
+// most.
+type HyperExp struct {
+	P     float64
+	Rate1 float64
+	Rate2 float64
+}
+
+// NewHyperExp returns a two-phase hyperexponential distribution. It
+// panics on invalid parameters.
+func NewHyperExp(p, rate1, rate2 float64) HyperExp {
+	if p < 0 || p > 1 {
+		panic("dist: hyperexponential branch probability must be in [0,1]")
+	}
+	if rate1 <= 0 || rate2 <= 0 {
+		panic("dist: hyperexponential rates must be positive")
+	}
+	return HyperExp{P: p, Rate1: rate1, Rate2: rate2}
+}
+
+// HyperExpFromMeanSCV constructs a balanced-means two-phase
+// hyperexponential with the requested mean and squared coefficient of
+// variation scv (must be >= 1).
+func HyperExpFromMeanSCV(mean, scv float64) HyperExp {
+	if mean <= 0 {
+		panic("dist: hyperexponential mean must be positive")
+	}
+	if scv < 1 {
+		panic("dist: hyperexponential requires scv >= 1")
+	}
+	// Balanced means: p/rate1 = (1-p)/rate2 = mean/2.
+	p := 0.5 * (1 + math.Sqrt((scv-1)/(scv+1)))
+	return NewHyperExp(p, 2*p/mean, 2*(1-p)/mean)
+}
+
+func (d HyperExp) Sample(r *RNG) float64 {
+	if r.Float64() < d.P {
+		return r.Exp(d.Rate1)
+	}
+	return r.Exp(d.Rate2)
+}
+
+func (d HyperExp) Mean() float64 {
+	return d.P/d.Rate1 + (1-d.P)/d.Rate2
+}
+
+func (d HyperExp) SecondMoment() float64 {
+	return 2*d.P/(d.Rate1*d.Rate1) + 2*(1-d.P)/(d.Rate2*d.Rate2)
+}
+
+func (d HyperExp) String() string {
+	return fmt.Sprintf("HyperExp(p=%g,rate1=%g,rate2=%g)", d.P, d.Rate1, d.Rate2)
+}
+
+// Uniform is uniform on [Lo, Hi].
+type Uniform struct{ Lo, Hi float64 }
+
+// NewUniform returns a uniform distribution on [lo, hi]. It panics if
+// lo < 0 or hi < lo.
+func NewUniform(lo, hi float64) Uniform {
+	if lo < 0 || hi < lo {
+		panic("dist: uniform needs 0 <= lo <= hi")
+	}
+	return Uniform{Lo: lo, Hi: hi}
+}
+
+func (d Uniform) Sample(r *RNG) float64 { return d.Lo + (d.Hi-d.Lo)*r.Float64() }
+func (d Uniform) Mean() float64         { return (d.Lo + d.Hi) / 2 }
+
+func (d Uniform) SecondMoment() float64 {
+	// E[X^2] = (hi^3 - lo^3) / (3 (hi - lo)) = (lo^2 + lo*hi + hi^2)/3.
+	return (d.Lo*d.Lo + d.Lo*d.Hi + d.Hi*d.Hi) / 3
+}
+
+func (d Uniform) String() string { return fmt.Sprintf("Uniform[%g,%g]", d.Lo, d.Hi) }
+
+// Lognormal has parameters Mu and Sigma of the underlying normal.
+type Lognormal struct{ Mu, Sigma float64 }
+
+// NewLognormal returns a lognormal distribution. It panics if sigma < 0.
+func NewLognormal(mu, sigma float64) Lognormal {
+	if sigma < 0 {
+		panic("dist: lognormal sigma must be nonnegative")
+	}
+	return Lognormal{Mu: mu, Sigma: sigma}
+}
+
+// LognormalFromMeanSCV constructs a lognormal with the requested mean and
+// squared coefficient of variation.
+func LognormalFromMeanSCV(mean, scv float64) Lognormal {
+	if mean <= 0 || scv < 0 {
+		panic("dist: lognormal needs positive mean and nonnegative scv")
+	}
+	sigma2 := math.Log(1 + scv)
+	mu := math.Log(mean) - sigma2/2
+	return Lognormal{Mu: mu, Sigma: math.Sqrt(sigma2)}
+}
+
+func (d Lognormal) Sample(r *RNG) float64 { return math.Exp(d.Mu + d.Sigma*r.Norm()) }
+func (d Lognormal) Mean() float64         { return math.Exp(d.Mu + d.Sigma*d.Sigma/2) }
+
+func (d Lognormal) SecondMoment() float64 {
+	return math.Exp(2*d.Mu + 2*d.Sigma*d.Sigma)
+}
+
+func (d Lognormal) String() string { return fmt.Sprintf("Lognormal(mu=%g,sigma=%g)", d.Mu, d.Sigma) }

@@ -1,0 +1,98 @@
+// Package dist provides the deterministic pseudo-random number generator
+// and the service-time / failure-time distributions used by the
+// discrete-event WFMS simulator and by workload generation.
+//
+// The analytic models of the paper characterize each distribution by its
+// first two moments (Section 4.4 needs the mean b and the second moment
+// b^(2) of the service time), so every Distribution here exposes Mean and
+// SecondMoment alongside sampling.
+package dist
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xoshiro256** seeded via splitmix64). Distinct seeds give independent
+// streams good enough for simulation studies, and runs are exactly
+// reproducible across platforms.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from the given seed using splitmix64,
+// so nearby seeds still produce decorrelated streams.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	// Guard against the all-zero state, which is a fixed point.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("dist: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Exp returns an exponential variate with the given rate (mean 1/rate).
+// It panics if rate <= 0.
+func (r *RNG) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("dist: Exp with non-positive rate")
+	}
+	u := r.Float64()
+	// 1-u is in (0,1], so the log is finite.
+	return -math.Log(1-u) / rate
+}
+
+// Norm returns a standard normal variate (Box-Muller, one value per call).
+func (r *RNG) Norm() float64 {
+	for {
+		u1 := r.Float64()
+		if u1 == 0 {
+			continue
+		}
+		u2 := r.Float64()
+		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+}
+
+// Split returns a new generator deterministically derived from r's stream,
+// useful for giving independent substreams to simulation components.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package engine
+
+// raceEnabled widens wall-clock tolerances when the race detector's
+// instrumentation slows scheduling down.
+const raceEnabled = true

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE13DiscoveryAccuracy(t *testing.T) {
+	tbl, err := E13Discovery(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		truth := parse(t, row[1])
+		got := parse(t, row[2])
+		var tolerance float64
+		switch {
+		case row[0] == "execution states":
+			tolerance = 0
+		case strings.HasPrefix(row[0], "P("):
+			tolerance = 0.07 // binomial noise at n≈500
+		default:
+			tolerance = 0.25*truth + 0.6 // relative + wall-clock overhead allowance
+		}
+		if d := abs(got - truth); d > tolerance {
+			t.Errorf("%s: discovered %v vs truth %v (tolerance %v)", row[0], got, truth, tolerance)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import "testing"
+
+func TestE12ExtendedArchitecture(t *testing.T) {
+	tbl, err := E12Extended()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7 server types", len(tbl.Rows))
+	}
+	kinds := map[string]bool{}
+	for _, row := range tbl.Rows {
+		kinds[row[1]] = true
+		if replicas := parse(t, row[3]); replicas < 1 {
+			t.Errorf("type %s has %v replicas", row[0], replicas)
+		}
+		if rho := parse(t, row[4]); rho <= 0 || rho >= 1 {
+			t.Errorf("type %s has utilization %v", row[0], rho)
+		}
+	}
+	for _, k := range []string{"communication", "engine", "application", "directory", "worklist"} {
+		if !kinds[k] {
+			t.Errorf("kind %s missing from the table", k)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationPoolingAccuracy(t *testing.T) {
+	tbl, err := AblationPooling(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for i, row := range tbl.Rows {
+		splitModel := parse(t, row[2])
+		splitSim := parse(t, row[3])
+		pooledModel := parse(t, row[4])
+		pooledSim := parse(t, row[5])
+		// Simulation within 10% of each analytic model.
+		if rel := abs(splitSim-splitModel) / splitModel; rel > 0.1 {
+			t.Errorf("row %d: split sim %v vs model %v", i, splitSim, splitModel)
+		}
+		if rel := abs(pooledSim-pooledModel) / pooledModel; rel > 0.1 {
+			t.Errorf("row %d: pooled sim %v vs model %v", i, pooledSim, pooledModel)
+		}
+		// Pooling always wins.
+		if pooledModel >= splitModel || pooledSim >= splitSim {
+			t.Errorf("row %d: pooling did not win", i)
+		}
+		if !strings.HasSuffix(row[6], "x") {
+			t.Errorf("row %d: gain cell %q", i, row[6])
+		}
+	}
+	// The gain grows with the replica count at fixed rho: compare the
+	// rho=0.3 rows for c=2 and c=4.
+	gain2 := parse(t, strings.TrimSuffix(tbl.Rows[0][6], "x"))
+	gain4 := parse(t, strings.TrimSuffix(tbl.Rows[3][6], "x"))
+	if gain4 <= gain2 {
+		t.Errorf("gain at c=4 (%v) not above c=2 (%v)", gain4, gain2)
+	}
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import "testing"
+
+func TestAblationTransientShape(t *testing.T) {
+	tbl, err := AblationTransient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Starts at zero, ends at the E1 steady-state values.
+	if parse(t, tbl.Rows[0][1]) != 0 || parse(t, tbl.Rows[0][2]) != 0 {
+		t.Error("U(0) not zero")
+	}
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if u := parse(t, last[1]); u < 8.0e-3 || u > 8.2e-3 {
+		t.Errorf("steady U(1,1,1) = %v, want ≈8.11e-3 (E1)", u)
+	}
+	if u := parse(t, last[2]); u < 1.3e-6 || u > 1.4e-6 {
+		t.Errorf("steady U(2,2,3) = %v, want ≈1.364e-6 (E1)", u)
+	}
+	// Monotone non-decreasing columns.
+	for col := 1; col <= 2; col++ {
+		var prev float64
+		for i, row := range tbl.Rows {
+			v := parse(t, row[col])
+			if v < prev-1e-15 {
+				t.Errorf("column %d not monotone at row %d", col, i)
+			}
+			prev = v
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is reported when a direct solve encounters an (effectively)
+// singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// ErrNoConvergence is reported when an iterative solve fails to reach the
+// requested tolerance within its iteration budget.
+var ErrNoConvergence = errors.New("linalg: iteration did not converge")
+
+// GaussSeidelOptions controls the Gauss-Seidel iteration.
+type GaussSeidelOptions struct {
+	// Tol is the convergence tolerance on the infinity norm of the
+	// update between successive iterates. Zero means the default 1e-12.
+	Tol float64
+	// MaxIter bounds the number of sweeps. Zero means the default 10000.
+	MaxIter int
+}
+
+func (o GaussSeidelOptions) withDefaults() GaussSeidelOptions {
+	if o.Tol <= 0 {
+		o.Tol = 1e-12
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 10000
+	}
+	return o
+}
+
+// GaussSeidel solves A x = b iteratively, starting from x0 (which may be
+// nil for the zero vector), and returns the solution together with the
+// number of sweeps performed. The paper prescribes Gauss-Seidel for both
+// the first-passage-time system (Section 4.1) and the steady-state system
+// (Section 5.2); the iteration converges for the diagonally dominant
+// systems those models produce but is not guaranteed to converge in
+// general, in which case ErrNoConvergence is returned and the caller
+// should fall back to a direct solve.
+func GaussSeidel(a *Matrix, b Vector, x0 Vector, opts GaussSeidelOptions) (Vector, int, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, 0, fmt.Errorf("linalg: gauss-seidel needs a square matrix, got %dx%d", n, a.Cols())
+	}
+	if len(b) != n {
+		return nil, 0, fmt.Errorf("linalg: gauss-seidel rhs length %d does not match matrix size %d", len(b), n)
+	}
+	opts = opts.withDefaults()
+
+	x := NewVector(n)
+	if x0 != nil {
+		if len(x0) != n {
+			return nil, 0, fmt.Errorf("linalg: gauss-seidel start vector length %d does not match matrix size %d", len(x0), n)
+		}
+		copy(x, x0)
+	}
+	for i := 0; i < n; i++ {
+		if a.At(i, i) == 0 {
+			return nil, 0, fmt.Errorf("linalg: gauss-seidel requires nonzero diagonal, a[%d][%d]=0: %w", i, i, ErrSingular)
+		}
+	}
+
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		var delta float64
+		for i := 0; i < n; i++ {
+			row := a.Row(i)
+			s := b[i]
+			for j, aij := range row {
+				if j != i {
+					s -= aij * x[j]
+				}
+			}
+			next := s / row[i]
+			if d := math.Abs(next - x[i]); d > delta {
+				delta = d
+			}
+			x[i] = next
+		}
+		if math.IsNaN(delta) || math.IsInf(delta, 0) {
+			return nil, iter, fmt.Errorf("linalg: gauss-seidel diverged at sweep %d: %w", iter, ErrNoConvergence)
+		}
+		if delta <= opts.Tol {
+			return x, iter, nil
+		}
+	}
+	return x, opts.MaxIter, ErrNoConvergence
+}
+
+// LU holds an LU factorization with partial pivoting of a square matrix,
+// suitable for repeated solves against different right-hand sides.
+type LU struct {
+	lu   *Matrix
+	piv  []int
+	sign int
+}
+
+// FactorLU computes the LU factorization of a with partial pivoting.
+// The input matrix is not modified.
+func FactorLU(a *Matrix) (*LU, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, fmt.Errorf("linalg: LU needs a square matrix, got %dx%d", n, a.Cols())
+	}
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	for col := 0; col < n; col++ {
+		// Choose the pivot row with the largest absolute value in
+		// this column at or below the diagonal.
+		p := col
+		mx := math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if a := math.Abs(lu.At(r, col)); a > mx {
+				mx = a
+				p = r
+			}
+		}
+		if mx == 0 {
+			return nil, fmt.Errorf("linalg: zero pivot in column %d: %w", col, ErrSingular)
+		}
+		if p != col {
+			rp, rc := lu.Row(p), lu.Row(col)
+			for j := range rp {
+				rp[j], rc[j] = rc[j], rp[j]
+			}
+			piv[p], piv[col] = piv[col], piv[p]
+			sign = -sign
+		}
+		pivot := lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := lu.At(r, col) / pivot
+			lu.Set(r, col, f)
+			if f == 0 {
+				continue
+			}
+			rr := lu.Row(r)
+			rc := lu.Row(col)
+			for j := col + 1; j < n; j++ {
+				rr[j] -= f * rc[j]
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// Solve solves A x = b using the factorization and returns x.
+func (f *LU) Solve(b Vector) (Vector, error) {
+	n := f.lu.Rows()
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: LU solve rhs length %d does not match matrix size %d", len(b), n)
+	}
+	x := NewVector(n)
+	// Apply the row permutation to b, then forward-substitute L y = Pb.
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	for i := 1; i < n; i++ {
+		row := f.lu.Row(i)
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back-substitute U x = y.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.Row(i)
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.lu.Rows(); i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Solve solves A x = b, preferring the Gauss-Seidel iteration the paper
+// prescribes and falling back to a direct LU solve when the iteration
+// fails to converge (e.g. for systems that are not diagonally dominant).
+// The returned vector always satisfies the system to a small residual;
+// an error is returned only if both methods fail.
+func Solve(a *Matrix, b Vector) (Vector, error) {
+	x, _, err := GaussSeidel(a, b, nil, GaussSeidelOptions{})
+	if err == nil && residualOK(a, x, b) {
+		return x, nil
+	}
+	lu, ferr := FactorLU(a)
+	if ferr != nil {
+		if err != nil {
+			return nil, fmt.Errorf("linalg: gauss-seidel failed (%v) and LU failed: %w", err, ferr)
+		}
+		return nil, ferr
+	}
+	return lu.Solve(b)
+}
+
+// residualOK reports whether a*x is close to b relative to the magnitudes
+// involved.
+func residualOK(a *Matrix, x, b Vector) bool {
+	r := a.MulVec(x)
+	var worst float64
+	for i := range r {
+		scale := math.Abs(b[i]) + math.Abs(a.Row(i)[i]*x[i])
+		if scale < 1 {
+			scale = 1
+		}
+		if d := math.Abs(r[i]-b[i]) / math.Abs(scale); d > worst {
+			worst = d
+		}
+	}
+	return worst < 1e-8
+}

@@ -1,0 +1,256 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sparse is a square sparse matrix in compressed-sparse-row form. It is
+// immutable after construction; build one with a SparseBuilder. The
+// availability and workflow CTMCs of large configurations have thousands
+// of states with a handful of transitions each, where dense O(n²) storage
+// and O(n³) solves stop being viable.
+type Sparse struct {
+	n      int
+	rowPtr []int
+	colIdx []int
+	val    []float64
+	diag   []float64 // cached diagonal (zero when absent)
+}
+
+// SparseBuilder accumulates entries for a Sparse matrix. Duplicate
+// (i, j) entries are summed.
+type SparseBuilder struct {
+	n       int
+	entries map[[2]int]float64
+}
+
+// NewSparseBuilder returns a builder for an n-by-n matrix.
+func NewSparseBuilder(n int) *SparseBuilder {
+	if n < 0 {
+		panic(fmt.Sprintf("linalg: invalid sparse dimension %d", n))
+	}
+	return &SparseBuilder{n: n, entries: make(map[[2]int]float64)}
+}
+
+// Add accumulates x into entry (i, j).
+func (b *SparseBuilder) Add(i, j int, x float64) {
+	if i < 0 || i >= b.n || j < 0 || j >= b.n {
+		panic(fmt.Sprintf("linalg: sparse index (%d,%d) out of range for %dx%d matrix", i, j, b.n, b.n))
+	}
+	if x == 0 {
+		return
+	}
+	b.entries[[2]int{i, j}] += x
+}
+
+// Set stores x at entry (i, j), replacing any accumulated value.
+func (b *SparseBuilder) Set(i, j int, x float64) {
+	if i < 0 || i >= b.n || j < 0 || j >= b.n {
+		panic(fmt.Sprintf("linalg: sparse index (%d,%d) out of range for %dx%d matrix", i, j, b.n, b.n))
+	}
+	b.entries[[2]int{i, j}] = x
+}
+
+// Build freezes the builder into a Sparse matrix.
+func (b *SparseBuilder) Build() *Sparse {
+	type entry struct {
+		i, j int
+		v    float64
+	}
+	list := make([]entry, 0, len(b.entries))
+	for k, v := range b.entries {
+		if v != 0 {
+			list = append(list, entry{k[0], k[1], v})
+		}
+	}
+	sort.Slice(list, func(a, c int) bool {
+		if list[a].i != list[c].i {
+			return list[a].i < list[c].i
+		}
+		return list[a].j < list[c].j
+	})
+	s := &Sparse{
+		n:      b.n,
+		rowPtr: make([]int, b.n+1),
+		colIdx: make([]int, len(list)),
+		val:    make([]float64, len(list)),
+		diag:   make([]float64, b.n),
+	}
+	for idx, e := range list {
+		s.colIdx[idx] = e.j
+		s.val[idx] = e.v
+		s.rowPtr[e.i+1]++
+		if e.i == e.j {
+			s.diag[e.i] = e.v
+		}
+	}
+	for i := 0; i < b.n; i++ {
+		s.rowPtr[i+1] += s.rowPtr[i]
+	}
+	return s
+}
+
+// N returns the matrix dimension.
+func (s *Sparse) N() int { return s.n }
+
+// NNZ returns the number of stored nonzeros.
+func (s *Sparse) NNZ() int { return len(s.val) }
+
+// At returns the entry at (i, j) (zero when absent). O(log row-length).
+func (s *Sparse) At(i, j int) float64 {
+	if i < 0 || i >= s.n || j < 0 || j >= s.n {
+		panic(fmt.Sprintf("linalg: sparse index (%d,%d) out of range for %dx%d matrix", i, j, s.n, s.n))
+	}
+	lo, hi := s.rowPtr[i], s.rowPtr[i+1]
+	k := lo + sort.SearchInts(s.colIdx[lo:hi], j)
+	if k < hi && s.colIdx[k] == j {
+		return s.val[k]
+	}
+	return 0
+}
+
+// Row iterates the nonzeros of row i.
+func (s *Sparse) Row(i int, fn func(j int, v float64)) {
+	for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+		fn(s.colIdx[k], s.val[k])
+	}
+}
+
+// MulVec returns s*v.
+func (s *Sparse) MulVec(v Vector) Vector {
+	if len(v) != s.n {
+		panic(fmt.Sprintf("linalg: %dx%d sparse matrix times vector of length %d", s.n, s.n, len(v)))
+	}
+	out := NewVector(s.n)
+	for i := 0; i < s.n; i++ {
+		var sum float64
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			sum += s.val[k] * v[s.colIdx[k]]
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+// VecMul returns v*s (row vector times matrix).
+func (s *Sparse) VecMul(v Vector) Vector {
+	if len(v) != s.n {
+		panic(fmt.Sprintf("linalg: vector of length %d times %dx%d sparse matrix", len(v), s.n, s.n))
+	}
+	out := NewVector(s.n)
+	for i := 0; i < s.n; i++ {
+		vi := v[i]
+		if vi == 0 {
+			continue
+		}
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			out[s.colIdx[k]] += vi * s.val[k]
+		}
+	}
+	return out
+}
+
+// Dense converts s to a dense matrix (for tests and small systems).
+func (s *Sparse) Dense() *Matrix {
+	m := NewMatrix(s.n, s.n)
+	for i := 0; i < s.n; i++ {
+		s.Row(i, func(j int, v float64) { m.Set(i, j, v) })
+	}
+	return m
+}
+
+// SparseGaussSeidel solves A x = b with the Gauss-Seidel iteration on a
+// sparse matrix. The systems the CTMC models produce — (I − P_T) with
+// substochastic P_T, and diagonally dominant generator systems — satisfy
+// the iteration's convergence condition; other systems may return
+// ErrNoConvergence.
+func SparseGaussSeidel(a *Sparse, b Vector, x0 Vector, opts GaussSeidelOptions) (Vector, int, error) {
+	n := a.N()
+	if len(b) != n {
+		return nil, 0, fmt.Errorf("linalg: sparse gauss-seidel rhs length %d does not match matrix size %d", len(b), n)
+	}
+	opts = opts.withDefaults()
+	x := NewVector(n)
+	if x0 != nil {
+		if len(x0) != n {
+			return nil, 0, fmt.Errorf("linalg: sparse gauss-seidel start vector length %d does not match matrix size %d", len(x0), n)
+		}
+		copy(x, x0)
+	}
+	for i := 0; i < n; i++ {
+		if a.diag[i] == 0 {
+			return nil, 0, fmt.Errorf("linalg: sparse gauss-seidel requires nonzero diagonal, a[%d][%d]=0: %w", i, i, ErrSingular)
+		}
+	}
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		var delta float64
+		for i := 0; i < n; i++ {
+			sum := b[i]
+			for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+				if j := a.colIdx[k]; j != i {
+					sum -= a.val[k] * x[j]
+				}
+			}
+			next := sum / a.diag[i]
+			if d := math.Abs(next - x[i]); d > delta {
+				delta = d
+			}
+			x[i] = next
+		}
+		if math.IsNaN(delta) || math.IsInf(delta, 0) {
+			return nil, iter, fmt.Errorf("linalg: sparse gauss-seidel diverged at sweep %d: %w", iter, ErrNoConvergence)
+		}
+		if delta <= opts.Tol {
+			return x, iter, nil
+		}
+	}
+	return x, opts.MaxIter, ErrNoConvergence
+}
+
+// PowerIterationOptions controls PowerIteration.
+type PowerIterationOptions struct {
+	// Tol is the convergence tolerance on the L1 change between
+	// successive distributions. Zero means 1e-12.
+	Tol float64
+	// MaxIter bounds the iterations. Zero means 1_000_000.
+	MaxIter int
+}
+
+// PowerIteration computes the stationary distribution of a stochastic
+// matrix P (rows summing to one) by repeated multiplication π ← πP.
+// It is the memory-lean alternative to the linear solve for very large
+// ergodic chains; convergence is geometric in the chain's mixing rate.
+func PowerIteration(p *Sparse, opts PowerIterationOptions) (Vector, int, error) {
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-12
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 1_000_000
+	}
+	n := p.N()
+	if n == 0 {
+		return nil, 0, fmt.Errorf("linalg: power iteration on empty matrix")
+	}
+	pi := NewVector(n)
+	pi.Fill(1 / float64(n))
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		next := p.VecMul(pi)
+		// Renormalize to absorb round-off drift.
+		sum := next.Sum()
+		if sum <= 0 || math.IsNaN(sum) {
+			return nil, iter, fmt.Errorf("linalg: power iteration degenerated (mass %v); is P stochastic?", sum)
+		}
+		next.Scale(1 / sum)
+		var delta float64
+		for i := range next {
+			delta += math.Abs(next[i] - pi[i])
+		}
+		pi = next
+		if delta <= opts.Tol {
+			return pi, iter, nil
+		}
+	}
+	return pi, opts.MaxIter, ErrNoConvergence
+}

@@ -1,0 +1,262 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSparseBuildAndAccess(t *testing.T) {
+	b := NewSparseBuilder(3)
+	b.Add(0, 1, 2)
+	b.Add(0, 1, 3) // accumulates to 5
+	b.Set(1, 1, 4)
+	b.Add(2, 0, -1)
+	s := b.Build()
+	if s.N() != 3 || s.NNZ() != 3 {
+		t.Fatalf("N=%d NNZ=%d", s.N(), s.NNZ())
+	}
+	if s.At(0, 1) != 5 || s.At(1, 1) != 4 || s.At(2, 0) != -1 {
+		t.Errorf("values wrong: %v %v %v", s.At(0, 1), s.At(1, 1), s.At(2, 0))
+	}
+	if s.At(0, 0) != 0 {
+		t.Errorf("absent entry = %v", s.At(0, 0))
+	}
+}
+
+func TestSparseZeroEntriesDropped(t *testing.T) {
+	b := NewSparseBuilder(2)
+	b.Add(0, 0, 0)
+	b.Add(0, 1, 1)
+	b.Add(0, 1, -1) // cancels
+	s := b.Build()
+	if s.NNZ() != 0 {
+		t.Errorf("NNZ = %d, want 0", s.NNZ())
+	}
+}
+
+func TestSparseRowIteration(t *testing.T) {
+	b := NewSparseBuilder(2)
+	b.Add(0, 1, 7)
+	b.Add(0, 0, 3)
+	s := b.Build()
+	var cols []int
+	s.Row(0, func(j int, v float64) { cols = append(cols, j) })
+	if len(cols) != 2 || cols[0] != 0 || cols[1] != 1 {
+		t.Errorf("row cols = %v (want sorted)", cols)
+	}
+}
+
+func TestSparsePanics(t *testing.T) {
+	b := NewSparseBuilder(2)
+	s := b.Build()
+	for i, f := range []func(){
+		func() { NewSparseBuilder(-1) },
+		func() { b.Add(2, 0, 1) },
+		func() { b.Set(0, -1, 1) },
+		func() { s.At(2, 0) },
+		func() { s.MulVec(Vector{1}) },
+		func() { s.VecMul(Vector{1, 2, 3}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func randomSparse(rng *rand.Rand, n int, density float64) (*Sparse, *Matrix) {
+	b := NewSparseBuilder(n)
+	d := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < density {
+				v := rng.NormFloat64()
+				b.Add(i, j, v)
+				d.Set(i, j, v)
+			}
+		}
+	}
+	return b.Build(), d
+}
+
+func TestQuickSparseMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		s, d := randomSparse(rng, n, 0.4)
+		v := NewVector(n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		sv, dv := s.MulVec(v), d.MulVec(v)
+		for i := range sv {
+			if !almostEqual(sv[i], dv[i], 1e-12) {
+				return false
+			}
+		}
+		svm, dvm := s.VecMul(v), d.VecMul(v)
+		for i := range svm {
+			if !almostEqual(svm[i], dvm[i], 1e-12) {
+				return false
+			}
+		}
+		// Dense round trip.
+		back := s.Dense()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if back.At(i, j) != d.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparseGaussSeidelMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 30
+	b := NewSparseBuilder(n)
+	dense := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		var offsum float64
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < 0.2 {
+				v := rng.NormFloat64()
+				b.Add(i, j, v)
+				dense.Set(i, j, v)
+				offsum += math.Abs(v)
+			}
+		}
+		diag := offsum + 1 + rng.Float64()
+		b.Add(i, i, diag)
+		dense.Set(i, i, diag)
+	}
+	s := b.Build()
+	rhs := NewVector(n)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	got, _, err := SparseGaussSeidel(s, rhs, nil, GaussSeidelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := GaussSeidel(dense, rhs, nil, GaussSeidelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !almostEqual(got[i], want[i], 1e-9) {
+			t.Errorf("x[%d]: sparse %v vs dense %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSparseGaussSeidelErrors(t *testing.T) {
+	s := NewSparseBuilder(2)
+	s.Add(0, 1, 1)
+	s.Add(1, 0, 1)
+	noDiag := s.Build()
+	if _, _, err := SparseGaussSeidel(noDiag, Vector{1, 1}, nil, GaussSeidelOptions{}); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+	b := NewSparseBuilder(2)
+	b.Add(0, 0, 1)
+	b.Add(1, 1, 1)
+	id := b.Build()
+	if _, _, err := SparseGaussSeidel(id, Vector{1}, nil, GaussSeidelOptions{}); err == nil {
+		t.Error("bad rhs accepted")
+	}
+	if _, _, err := SparseGaussSeidel(id, Vector{1, 2}, Vector{0}, GaussSeidelOptions{}); err == nil {
+		t.Error("bad start accepted")
+	}
+	// Divergent system.
+	d := NewSparseBuilder(2)
+	d.Add(0, 0, 1)
+	d.Add(0, 1, 10)
+	d.Add(1, 0, 10)
+	d.Add(1, 1, 1)
+	if _, _, err := SparseGaussSeidel(d.Build(), Vector{1, 1}, nil, GaussSeidelOptions{MaxIter: 100}); !errors.Is(err, ErrNoConvergence) {
+		t.Errorf("err = %v, want ErrNoConvergence", err)
+	}
+}
+
+func TestPowerIterationTwoState(t *testing.T) {
+	// P = [[0.9, 0.1], [0.2, 0.8]] → π = (2/3, 1/3).
+	b := NewSparseBuilder(2)
+	b.Add(0, 0, 0.9)
+	b.Add(0, 1, 0.1)
+	b.Add(1, 0, 0.2)
+	b.Add(1, 1, 0.8)
+	pi, iters, err := PowerIteration(b.Build(), PowerIterationOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters <= 0 {
+		t.Errorf("iters = %d", iters)
+	}
+	if !almostEqual(pi[0], 2.0/3, 1e-8) || !almostEqual(pi[1], 1.0/3, 1e-8) {
+		t.Errorf("π = %v, want [2/3 1/3]", pi)
+	}
+}
+
+func TestPowerIterationErrors(t *testing.T) {
+	if _, _, err := PowerIteration(NewSparseBuilder(0).Build(), PowerIterationOptions{}); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	// All-zero matrix degenerates.
+	z := NewSparseBuilder(2).Build()
+	if _, _, err := PowerIteration(z, PowerIterationOptions{MaxIter: 10}); err == nil {
+		t.Error("zero matrix accepted")
+	}
+}
+
+func TestPowerIterationLargeRandomChain(t *testing.T) {
+	// Random stochastic matrix: power iteration and transposed-system
+	// GS agree.
+	rng := rand.New(rand.NewSource(9))
+	n := 50
+	b := NewSparseBuilder(n)
+	dense := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, n)
+		var sum float64
+		for j := 0; j < n; j++ {
+			row[j] = rng.Float64() * 0.1
+			if rng.Float64() < 0.9 && j != (i+1)%n {
+				row[j] = 0
+			}
+		}
+		row[(i+1)%n] += 0.5 // guarantee irreducibility via a cycle
+		for _, v := range row {
+			sum += v
+		}
+		for j, v := range row {
+			if v > 0 {
+				b.Add(i, j, v/sum)
+				dense.Set(i, j, v/sum)
+			}
+		}
+	}
+	pi, _, err := PowerIteration(b.Build(), PowerIterationOptions{Tol: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify stationarity against the dense matrix: π P = π.
+	next := dense.VecMul(pi)
+	for i := range pi {
+		if !almostEqual(next[i], pi[i], 1e-8) {
+			t.Fatalf("π not stationary at %d: %v vs %v", i, next[i], pi[i])
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return d <= tol*scale
+}
+
+func TestVectorBasics(t *testing.T) {
+	v := NewVector(3)
+	if len(v) != 3 {
+		t.Fatalf("NewVector(3) has length %d", len(v))
+	}
+	v.Fill(2)
+	if got := v.Sum(); got != 6 {
+		t.Errorf("Sum = %v, want 6", got)
+	}
+	w := Vector{1, 2, 3}
+	if got := v.Dot(w); got != 12 {
+		t.Errorf("Dot = %v, want 12", got)
+	}
+	v.AddScaled(0.5, w)
+	want := Vector{2.5, 3, 3.5}
+	for i := range v {
+		if v[i] != want[i] {
+			t.Errorf("AddScaled[%d] = %v, want %v", i, v[i], want[i])
+		}
+	}
+}
+
+func TestVectorCloneIndependent(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := v.Clone()
+	w[0] = 99
+	if v[0] != 1 {
+		t.Errorf("Clone aliases the original: v[0] = %v", v[0])
+	}
+}
+
+func TestVectorMinMax(t *testing.T) {
+	v := Vector{3, -1, 7, 0}
+	if got := v.Max(); got != 7 {
+		t.Errorf("Max = %v, want 7", got)
+	}
+	if got := v.Min(); got != -1 {
+		t.Errorf("Min = %v, want -1", got)
+	}
+	empty := Vector{}
+	if got := empty.Max(); !math.IsInf(got, -1) {
+		t.Errorf("empty Max = %v, want -Inf", got)
+	}
+	if got := empty.Min(); !math.IsInf(got, 1) {
+		t.Errorf("empty Min = %v, want +Inf", got)
+	}
+}
+
+func TestVectorNorms(t *testing.T) {
+	v := Vector{-3, 1, 2}
+	if got := v.NormInf(); got != 3 {
+		t.Errorf("NormInf = %v, want 3", got)
+	}
+	if got := v.Norm1(); got != 6 {
+		t.Errorf("Norm1 = %v, want 6", got)
+	}
+}
+
+func TestVectorNormalize(t *testing.T) {
+	v := Vector{1, 3}
+	v.Normalize()
+	if !almostEqual(v[0], 0.25, 1e-15) || !almostEqual(v[1], 0.75, 1e-15) {
+		t.Errorf("Normalize = %v", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Normalize of zero vector did not panic")
+		}
+	}()
+	Vector{0, 0}.Normalize()
+}
+
+func TestVectorDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot with mismatched lengths did not panic")
+		}
+	}()
+	Vector{1}.Dot(Vector{1, 2})
+}
+
+func TestVectorString(t *testing.T) {
+	if got := (Vector{1, 2.5}).String(); got != "[1 2.5]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// boundedVec converts raw quick-generated floats into a well-scaled vector.
+func boundedVec(raw []float64) Vector {
+	v := make(Vector, len(raw))
+	for i, x := range raw {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			x = 0
+		}
+		// Map into [-10, 10] deterministically to keep sums stable.
+		v[i] = math.Mod(x, 10)
+	}
+	return v
+}
+
+func TestQuickDotSymmetric(t *testing.T) {
+	f := func(raw []float64) bool {
+		v := boundedVec(raw)
+		w := v.Clone()
+		for i := range w {
+			w[i] = -w[i] + 1
+		}
+		return almostEqual(v.Dot(w), w.Dot(v), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNormTriangleInequality(t *testing.T) {
+	f := func(raw1, raw2 []float64) bool {
+		n := len(raw1)
+		if len(raw2) < n {
+			n = len(raw2)
+		}
+		v := boundedVec(raw1[:n])
+		w := boundedVec(raw2[:n])
+		sum := v.Clone().AddScaled(1, w)
+		return sum.Norm1() <= v.Norm1()+w.Norm1()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,460 @@
+// Package perf implements the server-performance model of Section 4: the
+// aggregation of per-workflow loads into server-type request arrival
+// rates, the maximum sustainable throughput, and the M/G/1 waiting-time
+// analysis that is the paper's primary responsiveness metric.
+package perf
+
+import (
+	"fmt"
+	"math"
+
+	"performa/internal/linalg"
+	"performa/internal/spec"
+)
+
+// Config is a system configuration: the vector of replication degrees
+// (Y_1, ..., Y_k), one per server type, plus optional co-location groups
+// of server types sharing the same computers (Section 4.4's generalized
+// case).
+type Config struct {
+	// Replicas[x] is Y_x, the number of servers of type x.
+	Replicas []int
+	// Colocated lists groups of server-type indices that run on the
+	// same computers. Types within one group must have equal
+	// replication degrees; their request streams are merged into one
+	// M/G/1 queue per computer. A type may appear in at most one group.
+	Colocated [][]int
+	// Speeds optionally gives per-replica speed factors for the
+	// heterogeneous case the paper notes in Section 4.4 ("adjusting the
+	// service times on a per computer basis"): Speeds[x][i] scales the
+	// service rate of replica i of type x (1 = the environment's
+	// nominal server). nil, or a nil entry for a type, means
+	// homogeneous. Load is partitioned proportionally to speed, which
+	// equalizes the replicas' utilizations. Speeds cannot be combined
+	// with co-location or with the performability model (degraded
+	// states would be ambiguous about which replica failed).
+	Speeds [][]float64
+}
+
+// Clone returns an independent copy of the configuration.
+func (c Config) Clone() Config {
+	out := Config{Replicas: append([]int(nil), c.Replicas...)}
+	for _, g := range c.Colocated {
+		out.Colocated = append(out.Colocated, append([]int(nil), g...))
+	}
+	if c.Speeds != nil {
+		out.Speeds = make([][]float64, len(c.Speeds))
+		for x, s := range c.Speeds {
+			out.Speeds[x] = append([]float64(nil), s...)
+		}
+	}
+	return out
+}
+
+// TotalServers returns the configuration cost in the paper's sense: the
+// total number of servers. Co-located groups share computers, so a group
+// counts once.
+func (c Config) TotalServers() int {
+	grouped := make(map[int]bool)
+	total := 0
+	for _, g := range c.Colocated {
+		if len(g) == 0 {
+			continue
+		}
+		for _, x := range g {
+			grouped[x] = true
+		}
+		total += c.Replicas[g[0]]
+	}
+	for x, y := range c.Replicas {
+		if !grouped[x] {
+			total += y
+		}
+	}
+	return total
+}
+
+// String renders the configuration as its replication vector.
+func (c Config) String() string {
+	s := "("
+	for i, y := range c.Replicas {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%d", y)
+	}
+	return s + ")"
+}
+
+func (c Config) validate(k int) error {
+	if len(c.Replicas) != k {
+		return fmt.Errorf("perf: configuration has %d replication degrees for %d server types", len(c.Replicas), k)
+	}
+	for x, y := range c.Replicas {
+		if y < 0 {
+			return fmt.Errorf("perf: negative replication degree Y[%d] = %d", x, y)
+		}
+	}
+	seen := make(map[int]bool)
+	for _, g := range c.Colocated {
+		for _, x := range g {
+			if x < 0 || x >= k {
+				return fmt.Errorf("perf: co-location group references unknown server type %d", x)
+			}
+			if seen[x] {
+				return fmt.Errorf("perf: server type %d appears in more than one co-location group", x)
+			}
+			seen[x] = true
+		}
+		for _, x := range g[1:] {
+			if c.Replicas[x] != c.Replicas[g[0]] {
+				return fmt.Errorf("perf: co-located types %d and %d have different replication degrees %d and %d",
+					g[0], x, c.Replicas[g[0]], c.Replicas[x])
+			}
+		}
+	}
+	if c.Speeds != nil {
+		if len(c.Colocated) > 0 {
+			return fmt.Errorf("perf: per-replica speeds cannot be combined with co-location")
+		}
+		if len(c.Speeds) != k {
+			return fmt.Errorf("perf: %d speed vectors for %d server types", len(c.Speeds), k)
+		}
+		for x, speeds := range c.Speeds {
+			if speeds == nil {
+				continue
+			}
+			if len(speeds) != c.Replicas[x] {
+				return fmt.Errorf("perf: type %d has %d speed factors for %d replicas", x, len(speeds), c.Replicas[x])
+			}
+			for i, s := range speeds {
+				if !(s > 0) || math.IsInf(s, 0) {
+					return fmt.Errorf("perf: type %d replica %d has invalid speed %v", x, i, s)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// totalSpeed returns the summed speed of type x's replicas (the replica
+// count for homogeneous types).
+func (c Config) totalSpeed(x int) float64 {
+	if c.Speeds != nil && c.Speeds[x] != nil {
+		var sum float64
+		for _, s := range c.Speeds[x] {
+			sum += s
+		}
+		return sum
+	}
+	return float64(c.Replicas[x])
+}
+
+// Analysis aggregates the per-workflow models over a workflow mix and
+// evaluates configurations against them.
+type Analysis struct {
+	env    *spec.Environment
+	models []*spec.Model
+	// arrivalRates[x] is l_x = Σ_t ξ_t · r_{x,t} (Section 4.3).
+	arrivalRates linalg.Vector
+	// totalWorkflowRate is Σ_t ξ_t.
+	totalWorkflowRate float64
+}
+
+// NewAnalysis builds an analysis over the given workflow models, which
+// must all have been built against env and carry their arrival rates.
+func NewAnalysis(env *spec.Environment, models []*spec.Model) (*Analysis, error) {
+	if env == nil {
+		return nil, fmt.Errorf("perf: nil environment")
+	}
+	if len(models) == 0 {
+		return nil, fmt.Errorf("perf: analysis needs at least one workflow model")
+	}
+	a := &Analysis{env: env, models: models, arrivalRates: linalg.NewVector(env.K())}
+	for _, m := range models {
+		if m.Workflow == nil {
+			return nil, fmt.Errorf("perf: model without workflow (subworkflow models cannot be aggregated directly)")
+		}
+		r := m.ExpectedRequests()
+		if len(r) != env.K() {
+			return nil, fmt.Errorf("perf: workflow %q was built against a different environment (%d server types, want %d)",
+				m.Workflow.Name, len(r), env.K())
+		}
+		xi := m.Workflow.ArrivalRate
+		a.totalWorkflowRate += xi
+		a.arrivalRates.AddScaled(xi, r)
+	}
+	return a, nil
+}
+
+// Env returns the environment the analysis was built against.
+func (a *Analysis) Env() *spec.Environment { return a.env }
+
+// Models returns the workflow models in the mix.
+func (a *Analysis) Models() []*spec.Model { return a.models }
+
+// RequestArrivalRates returns l, with l[x] the total request arrival rate
+// at server type x over all workflow types (Section 4.3).
+func (a *Analysis) RequestArrivalRates() linalg.Vector { return a.arrivalRates.Clone() }
+
+// TotalWorkflowRate returns Σ_t ξ_t, the overall workflow arrival rate.
+func (a *Analysis) TotalWorkflowRate() float64 { return a.totalWorkflowRate }
+
+// ActiveInstances returns N_active per workflow type by Little's law:
+// ξ_t · R_t (Section 4.3).
+func (a *Analysis) ActiveInstances() []float64 {
+	out := make([]float64, len(a.models))
+	for i, m := range a.models {
+		out[i] = m.Workflow.ArrivalRate * m.Turnaround()
+	}
+	return out
+}
+
+// Report is the performance assessment of one configuration.
+type Report struct {
+	// Config echoes the evaluated configuration.
+	Config Config
+	// TypeLoad[x] is l_x, the request arrival rate at server type x.
+	TypeLoad []float64
+	// ServerLoad[x] is l̃_x = l_x / Y_x, the arrival rate per replica.
+	// For co-located types it is the merged per-computer rate.
+	ServerLoad []float64
+	// Utilization[x] is ρ_x. For co-located types it is the shared
+	// computer's utilization.
+	Utilization []float64
+	// Waiting[x] is the mean waiting time w_x of service requests at
+	// type x; +Inf when the type is saturated (ρ ≥ 1) and NaN-free.
+	Waiting []float64
+	// Bottleneck is the index of the server type that saturates first.
+	Bottleneck int
+	// ThroughputScale is the largest factor by which the whole arrival
+	// mix could be scaled with every server type still sustaining its
+	// load (ρ < 1 at the limit): min_x Y_x / (b_x · l_x).
+	ThroughputScale float64
+	// MaxWorkflowThroughput is the maximum sustainable throughput in
+	// workflow instances per time unit: ThroughputScale · Σ_t ξ_t.
+	MaxWorkflowThroughput float64
+	// WorkflowDelay[i] is the expected total queueing delay accrued by
+	// one instance of workflow i across all its service requests:
+	// Σ_x r_{x,i} · w_x. It decomposes the server-centric waiting
+	// times into a per-workflow burden.
+	WorkflowDelay []float64
+	// InflatedTurnaround[i] is R_i + WorkflowDelay[i]: the workflow
+	// turnaround with queueing made explicit (the model's residence
+	// times are queueing-free activity durations).
+	InflatedTurnaround []float64
+}
+
+// Saturated reports whether any server type cannot sustain its load.
+func (r *Report) Saturated() bool {
+	for _, u := range r.Utilization {
+		if u >= 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxWaiting returns the largest per-type waiting time, the scalar the
+// configuration tool compares against its responsiveness goal.
+func (r *Report) MaxWaiting() float64 {
+	return linalg.Vector(r.Waiting).Max()
+}
+
+// Evaluate assesses the configuration: per-type loads, utilizations,
+// M/G/1 waiting times, bottleneck, and maximum sustainable throughput.
+// A zero replication degree for a type with positive load yields an
+// infinite waiting time (the type is unavailable); this is exactly the
+// degraded-mode semantics the performability model builds on.
+func (a *Analysis) Evaluate(cfg Config) (*Report, error) {
+	k := a.env.K()
+	if err := cfg.validate(k); err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Config:      cfg.Clone(),
+		TypeLoad:    a.arrivalRates.Clone(),
+		ServerLoad:  make([]float64, k),
+		Utilization: make([]float64, k),
+		Waiting:     make([]float64, k),
+		Bottleneck:  -1,
+	}
+
+	// Resolve each type to its queue: its own replicas, or the merged
+	// co-located queue.
+	group := make([]int, k) // group[x] = co-location group index, or -1
+	for x := range group {
+		group[x] = -1
+	}
+	for gi, g := range cfg.Colocated {
+		for _, x := range g {
+			group[x] = gi
+		}
+	}
+
+	// Merged per-computer arrival rate and service moments per group.
+	type queue struct {
+		lambda float64 // per-computer request arrival rate
+		b      float64 // merged mean service time
+		b2     float64 // merged second moment
+	}
+	queues := make([]queue, len(cfg.Colocated))
+	groupScale := make([]float64, len(cfg.Colocated))
+	for gi, g := range cfg.Colocated {
+		y := float64(cfg.Replicas[g[0]])
+		var q queue
+		var work float64 // Σ_x l_x · b_x, the group's total service demand
+		for _, x := range g {
+			lx := a.arrivalRates[x]
+			work += lx * a.env.Type(x).MeanService
+			if y > 0 {
+				q.lambda += lx / y
+			} else if lx > 0 {
+				q.lambda = math.Inf(1)
+			}
+		}
+		if work > 0 {
+			groupScale[gi] = y / work
+		} else {
+			groupScale[gi] = math.Inf(1)
+		}
+		// The common service-time distribution is the arrival-rate
+		// weighted mixture of the member types' distributions.
+		var totalRate float64
+		for _, x := range g {
+			totalRate += a.arrivalRates[x]
+		}
+		if totalRate > 0 {
+			for _, x := range g {
+				wgt := a.arrivalRates[x] / totalRate
+				st := a.env.Type(x)
+				q.b += wgt * st.MeanService
+				q.b2 += wgt * st.ServiceSecondMoment
+			}
+		}
+		queues[gi] = q
+	}
+
+	minScale := math.Inf(1)
+	for x := 0; x < k; x++ {
+		st := a.env.Type(x)
+		lx := a.arrivalRates[x]
+		y := float64(cfg.Replicas[x])
+
+		var lambda, b, b2 float64
+		hetero := cfg.Speeds != nil && cfg.Speeds[x] != nil
+		if gi := group[x]; gi >= 0 {
+			lambda, b, b2 = queues[gi].lambda, queues[gi].b, queues[gi].b2
+		} else {
+			if y > 0 {
+				lambda = lx / y
+			} else if lx > 0 {
+				lambda = math.Inf(1)
+			}
+			b, b2 = st.MeanService, st.ServiceSecondMoment
+		}
+		rep.ServerLoad[x] = lambda
+		if hetero {
+			rep.Utilization[x], rep.Waiting[x] = heteroQueue(lx, b, b2, cfg.Speeds[x])
+		} else {
+			rho := lambda * b
+			if math.IsNaN(rho) { // 0 * Inf: no load and no servers
+				rho = 0
+			}
+			rep.Utilization[x] = rho
+			rep.Waiting[x] = mg1Wait(lambda, b, b2)
+		}
+
+		// Throughput scaling headroom of this type (or of its shared
+		// computer for co-located types).
+		scale := math.Inf(1)
+		if gi := group[x]; gi >= 0 {
+			scale = groupScale[gi]
+		} else if lx > 0 {
+			scale = cfg.totalSpeed(x) / (st.MeanService * lx)
+		}
+		if scale < minScale {
+			minScale = scale
+			rep.Bottleneck = x
+		}
+	}
+	rep.ThroughputScale = minScale
+	if math.IsInf(minScale, 1) {
+		rep.MaxWorkflowThroughput = math.Inf(1)
+	} else {
+		rep.MaxWorkflowThroughput = minScale * a.totalWorkflowRate
+	}
+
+	// Per-workflow queueing burden.
+	rep.WorkflowDelay = make([]float64, len(a.models))
+	rep.InflatedTurnaround = make([]float64, len(a.models))
+	for i, m := range a.models {
+		r := m.ExpectedRequests()
+		var delay float64
+		for x := range r {
+			if r[x] == 0 {
+				continue
+			}
+			delay += r[x] * rep.Waiting[x] // Inf propagates on saturation
+		}
+		rep.WorkflowDelay[i] = delay
+		rep.InflatedTurnaround[i] = m.Turnaround() + delay
+	}
+	return rep, nil
+}
+
+// heteroQueue evaluates a heterogeneous replica set: requests split
+// proportionally to the speed factors (equalizing utilizations at
+// ρ = l·b/Σs), each replica is an M/G/1 queue with its own scaled
+// service moments, and the reported waiting time is the request-weighted
+// mean over replicas.
+func heteroQueue(l, b, b2 float64, speeds []float64) (rho, waiting float64) {
+	if l == 0 {
+		return 0, 0
+	}
+	if len(speeds) == 0 {
+		return math.Inf(1), math.Inf(1)
+	}
+	var total float64
+	for _, s := range speeds {
+		total += s
+	}
+	rho = l * b / total
+	if rho >= 1 {
+		return rho, math.Inf(1)
+	}
+	for _, s := range speeds {
+		share := s / total
+		lambdaI := l * share
+		waiting += share * mg1Wait(lambdaI, b/s, b2/(s*s))
+	}
+	return rho, waiting
+}
+
+// mg1Wait returns the M/G/1 mean waiting time of Section 4.4:
+// w = λ b² / (2 (1 - ρ)) with ρ = λ b, and +Inf at or beyond saturation.
+func mg1Wait(lambda, b, b2 float64) float64 {
+	if lambda == 0 {
+		return 0
+	}
+	if math.IsInf(lambda, 1) {
+		return math.Inf(1)
+	}
+	rho := lambda * b
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return lambda * b2 / (2 * (1 - rho))
+}
+
+// WaitingCurve evaluates the M/G/1 waiting time of one server type at the
+// given utilization levels, used by the benchmark harness to regenerate
+// the hyperbolic w(ρ) shape.
+func WaitingCurve(st spec.ServerType, utilizations []float64) []float64 {
+	out := make([]float64, len(utilizations))
+	for i, rho := range utilizations {
+		lambda := rho / st.MeanService
+		out[i] = mg1Wait(lambda, st.MeanService, st.ServiceSecondMoment)
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+// Package performability implements the hierarchical model of Section 6:
+// a Markov reward model over the availability CTMC's system states, where
+// the reward of a system state is the waiting-time vector of the
+// performance model evaluated for that (possibly degraded) state. The
+// steady-state expected reward W^Y is the paper's ultimate metric for
+// assessing a configuration with failures taken into account.
+package performability
+
+import (
+	"fmt"
+	"math"
+
+	"performa/internal/avail"
+	"performa/internal/linalg"
+	"performa/internal/perf"
+)
+
+// SaturationPolicy selects how system states with infinite waiting times
+// (a saturated or entirely failed server type) enter the expectation.
+type SaturationPolicy int
+
+const (
+	// Strict propagates infinities: if any reachable system state has
+	// an unstable queue, W^Y is +Inf. This is the literal reading of
+	// the Section 6 formula.
+	Strict SaturationPolicy = iota
+	// Penalty replaces each infinite per-state waiting time with
+	// Options.PenaltyValue, modeling a bounded user-visible outage cost
+	// (e.g. a timeout) instead of an unbounded queue.
+	Penalty
+	// ExcludeDown conditions the expectation on the system states in
+	// which every needed server type has at least one replica up (and
+	// no queue is saturated), reporting the waiting time experienced
+	// while the WFMS is operational. The excluded probability mass is
+	// reported separately as the unavailability.
+	ExcludeDown
+)
+
+// String returns the policy's name.
+func (p SaturationPolicy) String() string {
+	switch p {
+	case Strict:
+		return "strict"
+	case Penalty:
+		return "penalty"
+	case ExcludeDown:
+		return "exclude-down"
+	default:
+		return fmt.Sprintf("SaturationPolicy(%d)", int(p))
+	}
+}
+
+// Options configures the performability evaluation.
+type Options struct {
+	// Policy selects the saturation handling; the default Strict is
+	// the literal model.
+	Policy SaturationPolicy
+	// PenaltyValue is the substitute waiting time under Penalty.
+	PenaltyValue float64
+	// Discipline is the repair discipline of the availability model.
+	Discipline avail.RepairDiscipline
+}
+
+func (o Options) validate() error {
+	if o.Policy == Penalty && !(o.PenaltyValue > 0) {
+		return fmt.Errorf("performability: Penalty policy needs a positive PenaltyValue, got %v", o.PenaltyValue)
+	}
+	return nil
+}
+
+// Result is the performability assessment of one configuration.
+type Result struct {
+	// Config echoes the evaluated configuration.
+	Config perf.Config
+	// Waiting is W^Y: the per-type expected waiting time with failures
+	// and degraded modes taken into account.
+	Waiting []float64
+	// FullUpWaiting is the failure-free waiting-time vector w^Y of the
+	// complete configuration, for comparison.
+	FullUpWaiting []float64
+	// Availability is the steady-state availability of the
+	// configuration.
+	Availability float64
+	// DegradationShare is the probability of being in a state other
+	// than the fully-up configuration — the mass over which degraded
+	// waiting times are averaged.
+	DegradationShare float64
+	// StatesEvaluated is the number of system states with positive
+	// probability for which the performance model was evaluated.
+	StatesEvaluated int
+}
+
+// MaxWaiting returns the largest per-type expected waiting time, the
+// scalar compared against the configuration tool's responsiveness goal.
+func (r *Result) MaxWaiting() float64 {
+	return linalg.Vector(r.Waiting).Max()
+}
+
+// Degradation returns, per server type, the absolute increase of the
+// expected waiting time over the failure-free value: W^Y_x − w^Y_x.
+func (r *Result) Degradation() []float64 {
+	out := make([]float64, len(r.Waiting))
+	for x := range out {
+		out[x] = r.Waiting[x] - r.FullUpWaiting[x]
+	}
+	return out
+}
+
+// Evaluate computes W^Y = Σ_i π_i · w^i over the availability CTMC's
+// system states (Section 6). The performance model is evaluated once per
+// reachable system state i, with the state's available-replica vector X^i
+// substituted for the configured replication vector.
+//
+// Co-located configurations are not supported here: a partially failed
+// co-location group has no well-defined shared queue in the paper's
+// model.
+func Evaluate(a *perf.Analysis, cfg perf.Config, opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Colocated) > 0 {
+		return nil, fmt.Errorf("performability: co-located configurations are not supported")
+	}
+	if cfg.Speeds != nil {
+		return nil, fmt.Errorf("performability: heterogeneous replica speeds are not supported (degraded states cannot tell which replica failed)")
+	}
+	env := a.Env()
+	params, err := avail.ParamsFromEnvironment(env, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	availRep, err := avail.EvaluateProductForm(params, opts.Discipline, true)
+	if err != nil {
+		return nil, err
+	}
+
+	fullUp, err := a.Evaluate(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	k := env.K()
+	waiting := linalg.NewVector(k)
+	res := &Result{
+		Config:        cfg.Clone(),
+		FullUpWaiting: append([]float64(nil), fullUp.Waiting...),
+		Availability:  availRep.Availability,
+	}
+
+	fullCode := availRep.Encoder.Encode(cfg.Replicas)
+	var included float64 // probability mass entering the expectation
+	var evalErr error
+	availRep.Encoder.Each(func(code int, x []int) {
+		if evalErr != nil {
+			return
+		}
+		pi := availRep.StateProbs[code]
+		if pi == 0 {
+			return
+		}
+		if code != fullCode {
+			res.DegradationShare += pi
+		}
+		var w []float64
+		if code == fullCode {
+			w = fullUp.Waiting
+		} else {
+			rep, err := a.Evaluate(perf.Config{Replicas: append([]int(nil), x...)})
+			if err != nil {
+				evalErr = err
+				return
+			}
+			w = rep.Waiting
+		}
+		res.StatesEvaluated++
+
+		switch opts.Policy {
+		case ExcludeDown:
+			for _, wx := range w {
+				if math.IsInf(wx, 1) {
+					return // skip this state entirely
+				}
+			}
+			included += pi
+			for xIdx := range w {
+				waiting[xIdx] += pi * w[xIdx]
+			}
+		case Penalty:
+			included += pi
+			for xIdx, wx := range w {
+				if math.IsInf(wx, 1) {
+					wx = opts.PenaltyValue
+				}
+				waiting[xIdx] += pi * wx
+			}
+		default: // Strict
+			included += pi
+			for xIdx, wx := range w {
+				waiting[xIdx] += pi * wx
+			}
+		}
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+
+	if opts.Policy == ExcludeDown {
+		if included == 0 {
+			// No operational state at all: the conditional metric is
+			// undefined; report +Inf.
+			for x := range waiting {
+				waiting[x] = math.Inf(1)
+			}
+		} else {
+			waiting.Scale(1 / included)
+		}
+	}
+	res.Waiting = waiting
+	return res, nil
+}

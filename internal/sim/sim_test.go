@@ -1,0 +1,713 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"performa/internal/avail"
+	"performa/internal/dist"
+	"performa/internal/perf"
+	"performa/internal/spec"
+	"performa/internal/statechart"
+)
+
+// oneTypeEnv returns an environment with a single server type of mean
+// service time b (exponential) and the given failure/repair rates.
+func oneTypeEnv(t *testing.T, b, lambda, mu float64) *spec.Environment {
+	t.Helper()
+	m, m2 := spec.ExpServiceMoments(b)
+	env, err := spec.NewEnvironment(spec.ServerType{
+		Name: "srv", Kind: spec.Engine,
+		MeanService: m, ServiceSecondMoment: m2,
+		FailureRate: lambda, RepairRate: mu,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// simpleModel returns a one-activity workflow sending `load` requests to
+// "srv" per instance, residence time h, arrival rate xi.
+func simpleModel(t *testing.T, env *spec.Environment, load, h, xi float64) *spec.Model {
+	t.Helper()
+	chart := statechart.NewBuilder("wf").
+		Initial("init").
+		Activity("A", "act").
+		Final("done").
+		Transition("init", "A", 1).
+		Transition("A", "done", 1).
+		MustBuild()
+	w := &spec.Workflow{
+		Name:  "wf",
+		Chart: chart,
+		Profiles: map[string]spec.ActivityProfile{
+			"act": {Name: "act", MeanDuration: h, Load: map[string]float64{"srv": load}},
+		},
+		ArrivalRate: xi,
+	}
+	m, err := spec.Build(w, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParamValidation(t *testing.T) {
+	env := oneTypeEnv(t, 1, 0, 0)
+	m := simpleModel(t, env, 1, 1, 0.5)
+	good := Params{Env: env, Models: []*spec.Model{m}, Replicas: []int{1}, Horizon: 10}
+	cases := []Params{
+		{},
+		{Env: env, Horizon: 10},
+		{Env: env, Models: good.Models, Replicas: []int{1, 2}, Horizon: 10},
+		{Env: env, Models: good.Models, Replicas: []int{1}},
+		{Env: env, Models: good.Models, Replicas: []int{1}, Horizon: 10, Warmup: 20},
+		{Env: env, Models: []*spec.Model{{}}, Replicas: []int{1}, Horizon: 10},
+	}
+	for i, p := range cases {
+		if _, err := Run(p); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := Run(good); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestZeroReplicaWithLoadRejected(t *testing.T) {
+	env := oneTypeEnv(t, 1, 0, 0)
+	m := simpleModel(t, env, 1, 1, 0.5)
+	_, err := Run(Params{Env: env, Models: []*spec.Model{m}, Replicas: []int{0}, Horizon: 10})
+	if err == nil {
+		t.Error("zero replicas with load accepted")
+	}
+}
+
+func TestMM1WaitingMatchesAnalytic(t *testing.T) {
+	// One request per instance, b = 1, ξ = 0.5 → M/M/1 at ρ = 0.5:
+	// w = ρ b / (1 - ρ) = 1.
+	env := oneTypeEnv(t, 1, 0, 0)
+	m := simpleModel(t, env, 1, 1, 0.5)
+	res, err := Run(Params{
+		Env: env, Models: []*spec.Model{m}, Replicas: []int{1},
+		Seed: 42, Horizon: 60000, Warmup: 3000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Waiting[0].N < 10000 {
+		t.Fatalf("only %d observations", res.Waiting[0].N)
+	}
+	if got := res.Waiting[0].Mean; math.Abs(got-1) > 0.1 {
+		t.Errorf("waiting = %v, want ≈1 (M/M/1 at ρ=0.5)", got)
+	}
+	if got := res.Utilization[0]; math.Abs(got-0.5) > 0.03 {
+		t.Errorf("utilization = %v, want ≈0.5", got)
+	}
+}
+
+func TestWaitingMatchesPerfModel(t *testing.T) {
+	// Cross-validation with the analytic pipeline in the regime the
+	// M/G/1 model describes exactly: one request per instance (so the
+	// aggregate request stream is Poisson) with random dispatch (random
+	// splitting of a Poisson stream stays Poisson per replica).
+	env := oneTypeEnv(t, 0.5, 0, 0)
+	m := simpleModel(t, env, 1, 2, 1.2) // l = 1.2 req/u; Y=2 → ρ=0.3
+	a, err := perf.NewAnalysis(env, []*spec.Model{m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Evaluate(perf.Config{Replicas: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Params{
+		Env: env, Models: []*spec.Model{m}, Replicas: []int{2},
+		Seed: 7, Horizon: 80000, Warmup: 4000, Dispatch: Random,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Waiting[0].Mean, rep.Waiting[0]; math.Abs(got-want)/want > 0.1 {
+		t.Errorf("simulated waiting %v vs analytic %v (>10%% off)", got, want)
+	}
+	if got, want := res.Utilization[0], rep.Utilization[0]; math.Abs(got-want) > 0.03 {
+		t.Errorf("simulated utilization %v vs analytic %v", got, want)
+	}
+}
+
+func TestBurstyInstancesExceedAnalyticWaiting(t *testing.T) {
+	// With several requests per instance clustered within one residence
+	// period, the aggregate arrival process is burstier than Poisson,
+	// so the measured waiting must sit at or above the analytic value —
+	// the analytic model is optimistic in exactly this regime, which
+	// EXPERIMENTS.md documents.
+	env := oneTypeEnv(t, 0.5, 0, 0)
+	m := simpleModel(t, env, 3, 2, 0.4) // same l = 1.2 req/u, but bursty
+	a, err := perf.NewAnalysis(env, []*spec.Model{m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Evaluate(perf.Config{Replicas: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Params{
+		Env: env, Models: []*spec.Model{m}, Replicas: []int{2},
+		Seed: 7, Horizon: 80000, Warmup: 4000, Dispatch: Random,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Waiting[0].Mean < rep.Waiting[0]*0.95 {
+		t.Errorf("bursty waiting %v below analytic %v; expected at/above",
+			res.Waiting[0].Mean, rep.Waiting[0])
+	}
+}
+
+func TestRoundRobinSmoothsArrivals(t *testing.T) {
+	// Round-robin splitting regularizes per-server interarrivals, so
+	// its waiting should not exceed random dispatch (same seed, same
+	// Poisson input).
+	env := oneTypeEnv(t, 0.5, 0, 0)
+	m := simpleModel(t, env, 1, 2, 1.6) // ρ = 0.4 at Y=2
+	base := Params{
+		Env: env, Models: []*spec.Model{m}, Replicas: []int{2},
+		Seed: 31, Horizon: 60000, Warmup: 3000,
+	}
+	rr, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := base
+	rnd.Dispatch = Random
+	random, err := Run(rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Waiting[0].Mean > random.Waiting[0].Mean*1.05 {
+		t.Errorf("round-robin waiting %v above random %v; regularization should help",
+			rr.Waiting[0].Mean, random.Waiting[0].Mean)
+	}
+}
+
+func TestColocationMatchesMergedQueueModel(t *testing.T) {
+	// Two types on one computer (Section 4.4's generalized case): the
+	// perf model merges their streams into one M/G/1 queue; the
+	// simulator must reproduce the merged waiting time for both types.
+	b1, b21 := spec.ExpServiceMoments(0.4)
+	b2, b22 := spec.ExpServiceMoments(0.8)
+	env, err := spec.NewEnvironment(
+		spec.ServerType{Name: "t1", Kind: spec.Engine, MeanService: b1, ServiceSecondMoment: b21},
+		spec.ServerType{Name: "t2", Kind: spec.Application, MeanService: b2, ServiceSecondMoment: b22},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two independent single-request workflows, one per type: their
+	// superposition at the shared computer is Poisson, which is the
+	// regime the merged M/G/1 model describes exactly.
+	mk := func(name, target string, xi float64) *spec.Model {
+		chart := statechart.NewBuilder(name).
+			Initial("init").
+			Activity("A", "act-"+name).
+			Final("done").
+			Transition("init", "A", 1).
+			Transition("A", "done", 1).
+			MustBuild()
+		w := &spec.Workflow{
+			Name:  name,
+			Chart: chart,
+			Profiles: map[string]spec.ActivityProfile{
+				"act-" + name: {Name: "act-" + name, MeanDuration: 4,
+					Load: map[string]float64{target: 1}},
+			},
+			ArrivalRate: xi,
+		}
+		m, err := spec.Build(w, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	models := []*spec.Model{mk("w1", "t1", 0.5), mk("w2", "t2", 0.5)}
+	// Merged: ρ = 0.5·0.4 + 0.5·0.8 = 0.6 on the shared computer.
+	a, err := perf.NewAnalysis(env, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Evaluate(perf.Config{Replicas: []int{1, 1}, Colocated: [][]int{{0, 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Params{
+		Env: env, Models: models, Replicas: []int{1, 1},
+		Colocated: [][]int{{0, 1}},
+		Seed:      19, Horizon: 200000, Warmup: 10000, Dispatch: Random,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The model reports one shared waiting time for both types; both
+	// per-type observations must reproduce it.
+	for x := 0; x < 2; x++ {
+		got, want := res.Waiting[x].Mean, rep.Waiting[x]
+		if math.Abs(got-want)/want > 0.12 {
+			t.Errorf("type %d: simulated %v vs merged model %v", x, got, want)
+		}
+	}
+	// The shared computer's utilization ≈ 0.6 for both rows.
+	for x := 0; x < 2; x++ {
+		if math.Abs(res.Utilization[x]-0.6) > 0.04 {
+			t.Errorf("type %d: utilization = %v, want ≈0.6", x, res.Utilization[x])
+		}
+	}
+	// Both types' requests were actually served.
+	if res.RequestsServed[0] == 0 || res.RequestsServed[1] == 0 {
+		t.Error("per-type service counts missing under co-location")
+	}
+}
+
+func TestColocationValidation(t *testing.T) {
+	env := oneTypeEnv(t, 0.1, 1.0/100, 1.0/10)
+	m := simpleModel(t, env, 1, 1, 0.5)
+	base := Params{Env: env, Models: []*spec.Model{m}, Replicas: []int{1}, Horizon: 10}
+	bad := base
+	bad.Colocated = [][]int{{0, 5}}
+	if _, err := Run(bad); err == nil {
+		t.Error("unknown type in group accepted")
+	}
+	dup := base
+	dup.Colocated = [][]int{{0}, {0}}
+	if _, err := Run(dup); err == nil {
+		t.Error("duplicated type accepted")
+	}
+	withFail := base
+	withFail.Colocated = [][]int{{0}}
+	withFail.EnableFailures = true
+	if _, err := Run(withFail); err == nil {
+		t.Error("colocation with failures accepted")
+	}
+}
+
+func TestWaitingTailMatchesMM1ClosedForm(t *testing.T) {
+	// M/M/1 waiting-time distribution: P(W ≤ t) = 1 − ρ·e^{−(μ−λ)t}, so
+	// the p95 is t* = ln(ρ/0.05)/(μ−λ) whenever ρ > 0.05.
+	env := oneTypeEnv(t, 1, 0, 0)
+	m := simpleModel(t, env, 1, 1, 0.5) // λ = 0.5, μ = 1, ρ = 0.5
+	res, err := Run(Params{
+		Env: env, Models: []*spec.Model{m}, Replicas: []int{1},
+		Seed: 42, Horizon: 120000, Warmup: 6000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(0.5/0.05) / (1 - 0.5) // ≈ 4.605
+	if got := res.WaitingP95[0]; math.Abs(got-want)/want > 0.1 {
+		t.Errorf("p95 waiting = %v, want ≈%v (M/M/1 closed form)", got, want)
+	}
+	// Tail above mean: basic sanity.
+	if res.WaitingP95[0] <= res.Waiting[0].Mean {
+		t.Errorf("p95 %v not above mean %v", res.WaitingP95[0], res.Waiting[0].Mean)
+	}
+}
+
+func TestSharedQueueMatchesMMC(t *testing.T) {
+	// Shared-queue dispatch with exponential service is an M/M/c
+	// system; the simulator must reproduce the Erlang-C waiting time.
+	env := oneTypeEnv(t, 0.5, 0, 0)
+	m := simpleModel(t, env, 1, 2, 2.4) // λ = 2.4, c = 2, ρ = 0.6
+	res, err := Run(Params{
+		Env: env, Models: []*spec.Model{m}, Replicas: []int{2},
+		Seed: 23, Horizon: 100000, Warmup: 5000, Dispatch: SharedQueue,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := perf.MMCWaiting(2, 2.4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Waiting[0].Mean; math.Abs(got-want)/want > 0.1 {
+		t.Errorf("shared-queue waiting %v vs Erlang-C %v", got, want)
+	}
+	// And pooling must beat random splitting under the same input.
+	random, err := Run(Params{
+		Env: env, Models: []*spec.Model{m}, Replicas: []int{2},
+		Seed: 23, Horizon: 100000, Warmup: 5000, Dispatch: Random,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Waiting[0].Mean >= random.Waiting[0].Mean {
+		t.Errorf("shared queue %v not below random %v",
+			res.Waiting[0].Mean, random.Waiting[0].Mean)
+	}
+}
+
+func TestSharedQueueSurvivesFailures(t *testing.T) {
+	env := oneTypeEnv(t, 0.2, 1.0/100, 1.0/10)
+	m := simpleModel(t, env, 1, 1, 2) // ρ = 0.2 at c=2
+	res, err := Run(Params{
+		Env: env, Models: []*spec.Model{m}, Replicas: []int{2},
+		EnableFailures: true, Dispatch: SharedQueue,
+		Seed: 4, Horizon: 60000, Warmup: 3000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RequestsServed[0] == 0 || res.Completed[0] == 0 {
+		t.Fatal("nothing served under failures")
+	}
+	if res.Unavailability <= 0 {
+		t.Errorf("unavailability = %v", res.Unavailability)
+	}
+}
+
+func TestTurnaroundMatchesCTMC(t *testing.T) {
+	env := oneTypeEnv(t, 0.1, 0, 0)
+	// Loopy workflow: work → check → (work 0.3 | done 0.7).
+	chart := statechart.NewBuilder("loopy").
+		Initial("init").
+		Activity("work", "Work").
+		Activity("check", "Check").
+		Final("done").
+		Transition("init", "work", 1).
+		Transition("work", "check", 1).
+		Transition("check", "work", 0.3).
+		Transition("check", "done", 0.7).
+		MustBuild()
+	w := &spec.Workflow{
+		Name:  "loopy",
+		Chart: chart,
+		Profiles: map[string]spec.ActivityProfile{
+			"Work":  {Name: "Work", MeanDuration: 2, Load: map[string]float64{"srv": 1}},
+			"Check": {Name: "Check", MeanDuration: 1, Load: map[string]float64{"srv": 1}},
+		},
+		ArrivalRate: 0.2,
+	}
+	m, err := spec.Build(w, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Params{
+		Env: env, Models: []*spec.Model{m}, Replicas: []int{1},
+		Seed: 11, Horizon: 50000, Warmup: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Turnaround() // (2+1)/0.7
+	if got := res.Turnaround[0].Mean; math.Abs(got-want)/want > 0.05 {
+		t.Errorf("turnaround = %v, want ≈%v", got, want)
+	}
+	if res.Completed[0] == 0 || res.Started[0] == 0 {
+		t.Error("no instances counted")
+	}
+}
+
+func TestUnavailabilityMatchesAvailModel(t *testing.T) {
+	// Fast failure/repair cycles so downtime mass gets sampled:
+	// MTTF 50, MTTR 5, two replicas.
+	env := oneTypeEnv(t, 0.1, 1.0/50, 1.0/5)
+	m := simpleModel(t, env, 1, 1, 0.1)
+	res, err := Run(Params{
+		Env: env, Models: []*spec.Model{m}, Replicas: []int{2},
+		EnableFailures: true,
+		Seed:           3, Horizon: 300000, Warmup: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := avail.EvaluateProductForm([]avail.TypeParams{
+		{Replicas: 2, FailureRate: 1.0 / 50, RepairRate: 1.0 / 5},
+	}, avail.IndependentRepair, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rep.Unavailability // (5/55)² ≈ 0.00826
+	if got := res.Unavailability; math.Abs(got-want)/want > 0.25 {
+		t.Errorf("unavailability = %v, want ≈%v", got, want)
+	}
+}
+
+func TestFailureShapeInsensitivity(t *testing.T) {
+	// Renewal insensitivity: with per-server (independent) repair, the
+	// steady-state unavailability depends only on MTTF and MTTR, not
+	// on either distribution's shape. This is the empirical backing
+	// for the availability model's product form (see
+	// avail.TypeParams.RepairStages docs).
+	env := oneTypeEnv(t, 0.1, 1.0/50, 1.0/5)
+	m := simpleModel(t, env, 1, 1, 0.1)
+	base := Params{
+		Env: env, Models: []*spec.Model{m}, Replicas: []int{2},
+		EnableFailures: true,
+		Seed:           3, Horizon: 400000, Warmup: 5000,
+	}
+	expRun, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	erl := base
+	erl.FailureDists = []dist.Distribution{dist.ErlangFromMean(4, 50)}
+	erl.RepairDists = []dist.Distribution{dist.ErlangFromMean(4, 5)}
+	erlRun, err := Run(erl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(5.0/55, 2) // analytic: (MTTR/(MTTF+MTTR))²
+	for name, got := range map[string]float64{
+		"exponential": expRun.Unavailability,
+		"erlang-4":    erlRun.Unavailability,
+	} {
+		if math.Abs(got-want)/want > 0.3 {
+			t.Errorf("%s shapes: unavailability %v, want ≈%v", name, got, want)
+		}
+	}
+	// The two shapes agree with each other more tightly than with the
+	// analytic value (shared seed discipline).
+	if math.Abs(expRun.Unavailability-erlRun.Unavailability)/want > 0.35 {
+		t.Errorf("shapes disagree: %v vs %v", expRun.Unavailability, erlRun.Unavailability)
+	}
+}
+
+func TestDistributionOverrideValidation(t *testing.T) {
+	env := oneTypeEnv(t, 0.1, 0, 0)
+	m := simpleModel(t, env, 1, 1, 0.5)
+	bad := Params{
+		Env: env, Models: []*spec.Model{m}, Replicas: []int{1}, Horizon: 10,
+		FailureDists: []dist.Distribution{nil, nil},
+	}
+	if _, err := Run(bad); err == nil {
+		t.Error("wrong FailureDists arity accepted")
+	}
+	bad.FailureDists = nil
+	bad.RepairDists = []dist.Distribution{nil, nil}
+	if _, err := Run(bad); err == nil {
+		t.Error("wrong RepairDists arity accepted")
+	}
+}
+
+func TestFailuresDegradeWaiting(t *testing.T) {
+	env := oneTypeEnv(t, 0.5, 1.0/100, 1.0/10)
+	m := simpleModel(t, env, 2, 1, 0.5) // ρ = 0.5 per replica at Y=2
+	base := Params{
+		Env: env, Models: []*spec.Model{m}, Replicas: []int{2},
+		Seed: 21, Horizon: 60000, Warmup: 3000,
+	}
+	noFail, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withFail := base
+	withFail.EnableFailures = true
+	failed, err := Run(withFail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed.Waiting[0].Mean <= noFail.Waiting[0].Mean {
+		t.Errorf("failures did not degrade waiting: %v vs %v",
+			failed.Waiting[0].Mean, noFail.Waiting[0].Mean)
+	}
+	if noFail.Unavailability != 0 {
+		t.Errorf("unavailability without failures = %v", noFail.Unavailability)
+	}
+	if failed.Unavailability <= 0 {
+		t.Errorf("unavailability with failures = %v", failed.Unavailability)
+	}
+}
+
+func TestRoundRobinBalancesLoad(t *testing.T) {
+	env := oneTypeEnv(t, 0.2, 0, 0)
+	m := simpleModel(t, env, 4, 1, 0.5)
+	res, err := Run(Params{
+		Env: env, Models: []*spec.Model{m}, Replicas: []int{2},
+		Seed: 5, Horizon: 20000, Warmup: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With two replicas the observed utilization must be roughly the
+	// per-type ρ/2 and all requests served.
+	if res.RequestsServed[0] == 0 {
+		t.Fatal("no requests served")
+	}
+	wantRho := 0.5 * 4 * 0.2 / 2 // ξ·load·b / Y = 0.2
+	if math.Abs(res.Utilization[0]-wantRho) > 0.03 {
+		t.Errorf("utilization = %v, want ≈%v", res.Utilization[0], wantRho)
+	}
+}
+
+func TestPerWorkflowWaitingAttribution(t *testing.T) {
+	// Two workflows with one request per instance each, hitting two
+	// different server types at very different utilizations: the
+	// per-workflow waiting summaries must match the per-type analytic
+	// predictions, workflow by workflow.
+	b1, b21 := spec.ExpServiceMoments(0.5)
+	b2, b22 := spec.ExpServiceMoments(0.5)
+	env, err := spec.NewEnvironment(
+		spec.ServerType{Name: "hot", Kind: spec.Engine, MeanService: b1, ServiceSecondMoment: b21},
+		spec.ServerType{Name: "cold", Kind: spec.Application, MeanService: b2, ServiceSecondMoment: b22},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name, target string, xi float64) *spec.Model {
+		chart := statechart.NewBuilder(name).
+			Initial("init").
+			Activity("A", "act-"+name).
+			Final("done").
+			Transition("init", "A", 1).
+			Transition("A", "done", 1).
+			MustBuild()
+		w := &spec.Workflow{
+			Name:  name,
+			Chart: chart,
+			Profiles: map[string]spec.ActivityProfile{
+				"act-" + name: {Name: "act-" + name, MeanDuration: 2,
+					Load: map[string]float64{target: 1}},
+			},
+			ArrivalRate: xi,
+		}
+		m, err := spec.Build(w, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	hotWF := mk("hotwf", "hot", 1.4)    // ρ_hot = 0.7
+	coldWF := mk("coldwf", "cold", 0.2) // ρ_cold = 0.1
+	a, err := perf.NewAnalysis(env, []*spec.Model{hotWF, coldWF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Evaluate(perf.Config{Replicas: []int{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Params{
+		Env: env, Models: []*spec.Model{hotWF, coldWF}, Replicas: []int{1, 1},
+		Seed: 9, Horizon: 120000, Warmup: 6000, Dispatch: Random,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic per-request waiting per workflow equals the target
+	// type's waiting (exactly one request per instance).
+	if got, want := res.WorkflowWaiting[0].Mean, rep.Waiting[0]; math.Abs(got-want)/want > 0.12 {
+		t.Errorf("hot workflow waiting %v vs analytic %v", got, want)
+	}
+	if got, want := res.WorkflowWaiting[1].Mean, rep.Waiting[1]; math.Abs(got-want)/want > 0.2 {
+		t.Errorf("cold workflow waiting %v vs analytic %v", got, want)
+	}
+	if res.WorkflowWaiting[0].Mean <= res.WorkflowWaiting[1].Mean {
+		t.Error("hot workflow should wait more than cold")
+	}
+	// The per-instance delay decomposition: delay = r·w with r = 1.
+	if got, want := res.WorkflowWaiting[0].Mean, rep.WorkflowDelay[0]; math.Abs(got-want)/want > 0.12 {
+		t.Errorf("workflow delay %v vs analytic decomposition %v", got, want)
+	}
+}
+
+func TestSecondMomentTermValidated(t *testing.T) {
+	// The M/G/1 formula's b^(2) term: at the same mean service time and
+	// utilization, a hyperexponential service with SCV 4 must wait
+	// (1+4)/(1+1) = 2.5× the exponential case; the simulator should
+	// reproduce both levels against their analytic predictions.
+	mean := 0.5
+	scv := 4.0
+	hyper := dist.HyperExpFromMeanSCV(mean, scv)
+	b2hyper := hyper.SecondMoment()
+	envHyper, err := spec.NewEnvironment(spec.ServerType{
+		Name: "srv", Kind: spec.Engine,
+		MeanService: mean, ServiceSecondMoment: b2hyper,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := simpleModel(t, envHyper, 1, 2, 1) // ρ = 0.5
+	a, err := perf.NewAnalysis(envHyper, []*spec.Model{m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Evaluate(perf.Config{Replicas: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Params{
+		Env: envHyper, Models: []*spec.Model{m}, Replicas: []int{1},
+		ServiceDists: []dist.Distribution{hyper},
+		Seed:         17, Horizon: 150000, Warmup: 7500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Waiting[0].Mean, rep.Waiting[0]; math.Abs(got-want)/want > 0.12 {
+		t.Errorf("hyperexponential waiting %v vs analytic %v", got, want)
+	}
+	// And the analytic prediction itself carries the 2.5× factor over
+	// the exponential case at the same mean and utilization.
+	expWait := 1.0 * (2 * mean * mean) / (2 * (1 - 0.5))
+	if ratio := rep.Waiting[0] / expWait; math.Abs(ratio-2.5) > 1e-9 {
+		t.Errorf("analytic SCV ratio = %v, want 2.5", ratio)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	env := oneTypeEnv(t, 0.3, 1.0/200, 1.0/10)
+	m := simpleModel(t, env, 2, 1, 0.3)
+	p := Params{
+		Env: env, Models: []*spec.Model{m}, Replicas: []int{2},
+		EnableFailures: true, Seed: 99, Horizon: 5000, Warmup: 500,
+	}
+	a, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different results")
+	}
+	p.Seed = 100
+	c, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical results")
+	}
+}
+
+func TestFractionalLoadScalesRequests(t *testing.T) {
+	env := oneTypeEnv(t, 0.1, 0, 0)
+	mHalf := simpleModel(t, env, 0.5, 1, 1)
+	res, err := Run(Params{
+		Env: env, Models: []*spec.Model{mHalf}, Replicas: []int{1},
+		Seed: 13, Horizon: 30000, Warmup: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~0.5 requests per instance at ξ=1 over 29000 time units.
+	perInstance := float64(res.RequestsServed[0]) / float64(res.Completed[0])
+	if math.Abs(perInstance-0.5) > 0.05 {
+		t.Errorf("requests per instance = %v, want ≈0.5", perInstance)
+	}
+}
+
+func TestEventBudgetEnforced(t *testing.T) {
+	env := oneTypeEnv(t, 0.1, 0, 0)
+	m := simpleModel(t, env, 1, 1, 10)
+	_, err := Run(Params{
+		Env: env, Models: []*spec.Model{m}, Replicas: []int{1},
+		Horizon: 1e9, MaxEvents: 1000,
+	})
+	if err == nil {
+		t.Error("event budget not enforced")
+	}
+}

@@ -1,0 +1,251 @@
+package spec
+
+import (
+	"fmt"
+
+	"performa/internal/ctmc"
+	"performa/internal/linalg"
+	"performa/internal/statechart"
+)
+
+// Model is the stochastic model of one workflow type: the absorbing CTMC
+// of Section 3.2 plus the load matrix L^t of Section 4.2, with nested and
+// parallel subworkflows already collapsed hierarchically per Section
+// 4.2.2. Turnaround and expected request counts are computed eagerly
+// because parents need them to collapse nested states.
+type Model struct {
+	// Workflow is the source workflow; nil for subworkflow models built
+	// during recursion.
+	Workflow *Workflow
+	// Chain is the absorbing CTMC; state 0 is the initial execution
+	// state and the last state is s_A.
+	Chain *ctmc.Chain
+	// Load is the k-by-N load matrix: Load[x][i] is the expected number
+	// of service requests on server type x per visit of state i. The
+	// absorbing column is zero.
+	Load *linalg.Matrix
+	// StateNames labels the CTMC states with chart state names.
+	StateNames []string
+
+	turnaround float64
+	requests   linalg.Vector
+	visits     linalg.Vector
+}
+
+// Turnaround returns R_t, the mean turnaround time of one instance.
+func (m *Model) Turnaround() float64 { return m.turnaround }
+
+// ExpectedRequests returns the vector r with r[x] = r_{x,t}, the expected
+// number of service requests one instance induces on server type x.
+func (m *Model) ExpectedRequests() linalg.Vector { return m.requests.Clone() }
+
+// ExpectedVisits returns the expected number of visits per CTMC state.
+func (m *Model) ExpectedVisits() linalg.Vector { return m.visits.Clone() }
+
+// Build maps the workflow onto its stochastic model, validating it
+// against the environment first.
+func Build(w *Workflow, env *Environment) (*Model, error) {
+	if err := w.Validate(env); err != nil {
+		return nil, err
+	}
+	m, err := buildChart(w.Chart, w.Profiles, env)
+	if err != nil {
+		return nil, err
+	}
+	m.Workflow = w
+	return m, nil
+}
+
+// buildChart recursively maps a chart (workflow or subworkflow) onto a
+// Model.
+func buildChart(chart *statechart.Chart, profiles map[string]ActivityProfile, env *Environment) (*Model, error) {
+	// Identify the CTMC's transient states: every chart state that
+	// invokes an activity or embeds subworkflows. Pseudo-states are
+	// allowed only as the chart's initial state (spliced out below) and
+	// final state (becoming the absorbing state s_A).
+	initial, finals, real, err := classifyStates(chart)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fix the CTMC state order: initial execution state first, then the
+	// remaining real states in StateNames order, then s_A.
+	order := make([]string, 0, len(real)+1)
+	order = append(order, initial)
+	for _, name := range chart.StateNames() {
+		if name != initial && real[name] {
+			order = append(order, name)
+		}
+	}
+	// Each chart state occupies one CTMC state, except activity states
+	// with DurationStages > 1, which expand into an Erlang phase
+	// sequence (same mean, tighter distribution). Incoming transitions
+	// enter the first stage, outgoing transitions leave the last.
+	stageCount := func(name string) int {
+		s := chart.States[name]
+		if s.Activity != "" {
+			if k := profiles[s.Activity].DurationStages; k > 1 {
+				return k
+			}
+		}
+		return 1
+	}
+	first := make(map[string]int, len(order))
+	last := make(map[string]int, len(order))
+	total := 0
+	for _, name := range order {
+		first[name] = total
+		total += stageCount(name)
+		last[name] = total - 1
+	}
+	abs := total
+	n := total + 1 // + absorbing state
+
+	p := linalg.NewMatrix(n, n)
+	h := linalg.NewVector(n)
+	load := linalg.NewMatrix(env.K(), n)
+	names := make([]string, n)
+	names[abs] = "s_A"
+
+	// Residence times, per-visit loads, and intra-activity stage
+	// chaining.
+	for _, name := range order {
+		s := chart.States[name]
+		i := first[name]
+		k := stageCount(name)
+		names[i] = name
+		for stage := 1; stage < k; stage++ {
+			names[i+stage] = fmt.Sprintf("%s#%d", name, stage+1)
+			p.Set(i+stage-1, i+stage, 1)
+		}
+		switch {
+		case s.Activity != "":
+			prof := profiles[s.Activity]
+			for stage := 0; stage < k; stage++ {
+				h[i+stage] = prof.MeanDuration / float64(k)
+			}
+			// The activity's service requests belong to the whole
+			// execution, so they attach to the first stage (visited
+			// exactly once per execution).
+			for serverType, l := range prof.Load {
+				x, _ := env.Index(serverType)
+				load.Set(x, i, l)
+			}
+		default: // nested subworkflows, possibly parallel
+			// Section 4.2.2: residence time is the maximum of the
+			// parallel subworkflows' turnaround times; the load is
+			// the sum of their expected request vectors.
+			var maxR float64
+			for _, sub := range s.Subcharts {
+				subModel, err := buildChart(sub, profiles, env)
+				if err != nil {
+					return nil, err
+				}
+				if r := subModel.Turnaround(); r > maxR {
+					maxR = r
+				}
+				for x := 0; x < env.K(); x++ {
+					load.Add(x, i, subModel.requests[x])
+				}
+			}
+			h[i] = maxR
+		}
+	}
+
+	// Transition probabilities; edges into pseudo-final states retarget
+	// to s_A.
+	for _, t := range chart.Transitions {
+		if !real[t.From] {
+			continue // initial splice handled by classifyStates
+		}
+		from := last[t.From]
+		var to int
+		switch {
+		case real[t.To]:
+			to = first[t.To]
+		case finals[t.To]:
+			to = abs
+		case t.To == chart.Initial:
+			// A loop back to the pseudo initial state re-enters the
+			// spliced-in first execution state.
+			to = first[initial]
+		default:
+			// classifyStates guarantees this cannot happen.
+			return nil, fmt.Errorf("spec: internal error: transition into pseudo-state %q", t.To)
+		}
+		p.Add(from, to, t.Prob)
+	}
+	// A real final state (an activity state with no outgoing chart
+	// transitions) absorbs with probability one.
+	if real[chart.Final] {
+		p.Set(last[chart.Final], abs, 1)
+	}
+
+	chain := &ctmc.Chain{P: p, H: h, Names: names}
+	if err := chain.Validate(); err != nil {
+		return nil, fmt.Errorf("spec: chart %q maps to an invalid CTMC: %w", chart.Name, err)
+	}
+	turnaround, err := ctmc.MeanTurnaround(chain)
+	if err != nil {
+		return nil, fmt.Errorf("spec: chart %q: %w", chart.Name, err)
+	}
+	visits, err := ctmc.ExpectedVisits(chain)
+	if err != nil {
+		return nil, fmt.Errorf("spec: chart %q: %w", chart.Name, err)
+	}
+	requests := linalg.NewVector(env.K())
+	for x := 0; x < env.K(); x++ {
+		var total float64
+		for i := 0; i < abs; i++ {
+			total += visits[i] * load.At(x, i)
+		}
+		requests[x] = total
+	}
+	return &Model{
+		Chain:      chain,
+		Load:       load,
+		StateNames: names,
+		turnaround: turnaround,
+		requests:   requests,
+		visits:     visits,
+	}, nil
+}
+
+// classifyStates splits chart states into the initial execution state
+// (after splicing a pseudo initial state), the set of pseudo final
+// states, and the set of "real" states that become CTMC states.
+func classifyStates(chart *statechart.Chart) (initial string, finals map[string]bool, real map[string]bool, err error) {
+	real = make(map[string]bool, len(chart.States))
+	finals = map[string]bool{}
+	for name, s := range chart.States {
+		if s.Activity != "" || len(s.Subcharts) > 0 {
+			real[name] = true
+			continue
+		}
+		switch name {
+		case chart.Initial, chart.Final:
+			// pseudo-states handled below
+		default:
+			return "", nil, nil, fmt.Errorf("spec: chart %q: state %q has neither an activity nor a subworkflow; only the initial and final states may be pseudo-states", chart.Name, name)
+		}
+	}
+	if !real[chart.Final] {
+		finals[chart.Final] = true
+	}
+
+	initial = chart.Initial
+	if !real[initial] {
+		// Splice the pseudo initial state: the paper's CTMC starts in
+		// the first execution state, so the pseudo state must lead to
+		// exactly one real state with probability one.
+		out := chart.Outgoing(initial)
+		if len(out) != 1 {
+			return "", nil, nil, fmt.Errorf("spec: chart %q: pseudo initial state %q must have exactly one outgoing transition, has %d (the CTMC needs a single initial execution state)", chart.Name, initial, len(out))
+		}
+		if !real[out[0].To] {
+			return "", nil, nil, fmt.Errorf("spec: chart %q: initial transition leads to pseudo-state %q; the workflow performs no work", chart.Name, out[0].To)
+		}
+		initial = out[0].To
+	}
+	return initial, finals, real, nil
+}

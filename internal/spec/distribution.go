@@ -1,0 +1,22 @@
+package spec
+
+import "performa/internal/ctmc"
+
+// TurnaroundCDF returns P(turnaround ≤ t) for each requested time, via
+// the uniformized transient analysis of the workflow CTMC. This extends
+// the paper's mean-value analysis to full distributions — the basis for
+// percentile-level service agreements.
+//
+// The phase-type fidelity is controlled by ActivityProfile.DurationStages
+// (exponential by default). Nested subworkflow states keep the paper's
+// single-state approximation (one exponential residence at the maximum
+// subworkflow mean), so distributions of deeply nested workflows are
+// approximate even though their means are conservative.
+func (m *Model) TurnaroundCDF(times []float64) ([]float64, error) {
+	return ctmc.TurnaroundCDF(m.Chain, times)
+}
+
+// TurnaroundQuantile returns the time t with P(turnaround ≤ t) ≈ q.
+func (m *Model) TurnaroundQuantile(q float64) (float64, error) {
+	return ctmc.TurnaroundQuantile(m.Chain, q)
+}

@@ -1,0 +1,96 @@
+package statechart
+
+import "fmt"
+
+// Builder constructs charts fluently. All methods panic on structural
+// misuse (duplicate state names, unknown states in Transition), since
+// builder calls encode the specification itself; Build runs full
+// validation and returns an error for semantic problems such as
+// probabilities not summing to one.
+type Builder struct {
+	chart *Chart
+}
+
+// NewBuilder starts a chart with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{chart: &Chart{Name: name, States: map[string]*State{}}}
+}
+
+func (b *Builder) addState(s *State) *Builder {
+	if s.Name == "" {
+		panic("statechart: state needs a name")
+	}
+	if _, dup := b.chart.States[s.Name]; dup {
+		panic(fmt.Sprintf("statechart: duplicate state %q in chart %q", s.Name, b.chart.Name))
+	}
+	b.chart.States[s.Name] = s
+	return b
+}
+
+// Initial adds the initial pseudo-state.
+func (b *Builder) Initial(name string) *Builder {
+	b.chart.Initial = name
+	return b.addState(&State{Name: name})
+}
+
+// Final adds the final state.
+func (b *Builder) Final(name string) *Builder {
+	b.chart.Final = name
+	return b.addState(&State{Name: name})
+}
+
+// Activity adds a state that invokes the named automated activity.
+func (b *Builder) Activity(state, activity string) *Builder {
+	return b.addState(&State{Name: state, Activity: activity})
+}
+
+// InteractiveActivity adds a state whose activity is executed on a client
+// machine via the worklist (no application server involved).
+func (b *Builder) InteractiveActivity(state, activity string) *Builder {
+	return b.addState(&State{Name: state, Activity: activity, Interactive: true})
+}
+
+// Nested adds a state embedding the given subcharts; more than one
+// subchart makes them orthogonal components executed in parallel.
+func (b *Builder) Nested(state string, subs ...*Chart) *Builder {
+	if len(subs) == 0 {
+		panic(fmt.Sprintf("statechart: nested state %q needs at least one subchart", state))
+	}
+	return b.addState(&State{Name: state, Subcharts: subs})
+}
+
+// Transition adds an unconditional transition with the given probability.
+func (b *Builder) Transition(from, to string, prob float64) *Builder {
+	return b.TransitionECA(from, to, prob, "", "", nil)
+}
+
+// TransitionECA adds a transition with a full ECA annotation.
+func (b *Builder) TransitionECA(from, to string, prob float64, event, cond string, actions []Action) *Builder {
+	if _, ok := b.chart.States[from]; !ok {
+		panic(fmt.Sprintf("statechart: transition from unknown state %q", from))
+	}
+	if _, ok := b.chart.States[to]; !ok {
+		panic(fmt.Sprintf("statechart: transition to unknown state %q", to))
+	}
+	b.chart.Transitions = append(b.chart.Transitions, &Transition{
+		From: from, To: to, Prob: prob, Event: event, Cond: cond, Actions: actions,
+	})
+	return b
+}
+
+// Build validates and returns the chart.
+func (b *Builder) Build() (*Chart, error) {
+	if err := b.chart.Validate(); err != nil {
+		return nil, err
+	}
+	return b.chart, nil
+}
+
+// MustBuild is Build that panics on error, for statically known charts.
+func (b *Builder) MustBuild() *Chart {
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

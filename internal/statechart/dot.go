@@ -1,0 +1,69 @@
+package statechart
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the chart as a Graphviz digraph for documentation and
+// review: activity states as boxes, interactive activities with a
+// double border, nested states as subgraph clusters, transitions labeled
+// with their ECA rule and probability.
+func (c *Chart) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph \"" + escape(c.Name) + "\" {\n")
+	b.WriteString("  rankdir=LR;\n  node [fontsize=10];\n")
+	c.writeDOT(&b, "  ", "")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// writeDOT emits the chart's body; prefix disambiguates state names of
+// nested charts.
+func (c *Chart) writeDOT(b *strings.Builder, indent, prefix string) {
+	id := func(state string) string { return escape(prefix + state) }
+	for _, name := range c.StateNames() {
+		s := c.States[name]
+		switch {
+		case len(s.Subcharts) > 0:
+			fmt.Fprintf(b, "%ssubgraph \"cluster_%s\" {\n", indent, id(name))
+			fmt.Fprintf(b, "%s  label=\"%s\";\n", indent, escape(name))
+			for i, sub := range s.Subcharts {
+				subPrefix := fmt.Sprintf("%s%s/%d/", prefix, name, i)
+				fmt.Fprintf(b, "%s  subgraph \"cluster_%s\" {\n", indent, escape(subPrefix))
+				fmt.Fprintf(b, "%s    label=\"%s\";\n", indent, escape(sub.Name))
+				sub.writeDOT(b, indent+"    ", subPrefix)
+				fmt.Fprintf(b, "%s  }\n", indent)
+			}
+			// An anchor node so edges can attach to the cluster.
+			fmt.Fprintf(b, "%s  \"%s\" [label=\"%s\", shape=component];\n", indent, id(name), escape(name))
+			fmt.Fprintf(b, "%s}\n", indent)
+		case s.Activity != "":
+			shape := "box"
+			peripheries := 1
+			if s.Interactive {
+				peripheries = 2
+			}
+			fmt.Fprintf(b, "%s\"%s\" [label=\"%s\\n%s\", shape=%s, peripheries=%d];\n",
+				indent, id(name), escape(name), escape(s.Activity), shape, peripheries)
+		case name == c.Initial:
+			fmt.Fprintf(b, "%s\"%s\" [label=\"\", shape=point, width=0.15];\n", indent, id(name))
+		case name == c.Final:
+			fmt.Fprintf(b, "%s\"%s\" [label=\"\", shape=doublecircle, width=0.12];\n", indent, id(name))
+		default:
+			fmt.Fprintf(b, "%s\"%s\" [label=\"%s\", shape=ellipse];\n", indent, id(name), escape(name))
+		}
+	}
+	for _, t := range c.Transitions {
+		label := fmt.Sprintf("p=%.3g", t.Prob)
+		if eca := t.ECA(); eca != "" {
+			label = escape(eca) + "\\n" + label
+		}
+		fmt.Fprintf(b, "%s\"%s\" -> \"%s\" [label=\"%s\", fontsize=8];\n",
+			indent, id(t.From), id(t.To), label)
+	}
+}
+
+func escape(s string) string {
+	return strings.NewReplacer("\"", "\\\"", "\n", "\\n").Replace(s)
+}

@@ -1,0 +1,68 @@
+package statechart
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTLinear(t *testing.T) {
+	c := linearChart("demo")
+	dot := c.DOT()
+	for _, want := range []string{
+		"digraph \"demo\"",
+		"shape=point",        // initial
+		"shape=doublecircle", // final
+		"actA",               // activity label
+		"\"A\" -> \"done\"",
+		"p=1",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestDOTNestedAndInteractive(t *testing.T) {
+	sub := linearChart("sub")
+	c := NewBuilder("outer").
+		Initial("i").
+		InteractiveActivity("ask", "AskUser").
+		Nested("n", sub).
+		Final("f").
+		Transition("i", "ask", 1).
+		Transition("ask", "n", 1).
+		Transition("n", "f", 1).
+		MustBuild()
+	dot := c.DOT()
+	for _, want := range []string{
+		"peripheries=2", // interactive double border
+		"subgraph \"cluster_n\"",
+		"label=\"sub\"",   // nested chart label
+		"shape=component", // cluster anchor
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestDOTEscapesQuotes(t *testing.T) {
+	c := linearChart(`we"ird`)
+	if !strings.Contains(c.DOT(), `we\"ird`) {
+		t.Error("quote not escaped")
+	}
+}
+
+func TestDOTECALabels(t *testing.T) {
+	c := NewBuilder("eca").
+		Initial("i").
+		Activity("a", "Act").
+		Final("f").
+		Transition("i", "a", 1).
+		TransitionECA("a", "f", 1, "Done", "OK", []Action{{Kind: ActionSetFalse, Target: "OK"}}).
+		MustBuild()
+	dot := c.DOT()
+	if !strings.Contains(dot, "Done[OK]/fs!(OK)") {
+		t.Errorf("ECA label missing:\n%s", dot)
+	}
+}

@@ -1,0 +1,102 @@
+package statechart
+
+import (
+	"fmt"
+
+	"performa/internal/dist"
+)
+
+// Visit records one state entered during a random walk. Nested subchart
+// walks are recorded inline with their own Visits, so the full execution
+// tree is reconstructable.
+type Visit struct {
+	// Chart is the name of the chart the state belongs to.
+	Chart string
+	// State is the entered state's name.
+	State string
+	// Activity is the invoked activity type, if any.
+	Activity string
+	// Sub holds the walks of embedded subcharts (parallel components
+	// produce one entry each).
+	Sub []*Walk
+}
+
+// Walk is the trace of one random traversal of a chart.
+type Walk struct {
+	Chart  string
+	Visits []*Visit
+}
+
+// ActivityCounts returns how often each activity type was invoked across
+// the walk, including nested subchart walks.
+func (w *Walk) ActivityCounts() map[string]int {
+	counts := map[string]int{}
+	w.addCounts(counts)
+	return counts
+}
+
+func (w *Walk) addCounts(counts map[string]int) {
+	for _, v := range w.Visits {
+		if v.Activity != "" {
+			counts[v.Activity]++
+		}
+		for _, sub := range v.Sub {
+			sub.addCounts(counts)
+		}
+	}
+}
+
+// RandomWalk traverses the chart from its initial to its final state,
+// choosing among outgoing transitions according to their probabilities
+// and recursing into nested subcharts. It is the Monte-Carlo counterpart
+// of the CTMC analysis and is used to cross-validate the analytic visit
+// counts. maxSteps bounds the walk per chart level (0 means the default
+// 100000); exceeding it indicates a specification whose loops practically
+// never terminate, and is reported as an error.
+func RandomWalk(c *Chart, rng *dist.RNG, maxSteps int) (*Walk, error) {
+	if maxSteps <= 0 {
+		maxSteps = 100000
+	}
+	w := &Walk{Chart: c.Name}
+	cur := c.Initial
+	for step := 0; ; step++ {
+		if step > maxSteps {
+			return nil, fmt.Errorf("statechart: walk of chart %q exceeded %d steps without reaching the final state", c.Name, maxSteps)
+		}
+		s := c.States[cur]
+		visit := &Visit{Chart: c.Name, State: s.Name, Activity: s.Activity}
+		for _, sub := range s.Subcharts {
+			sw, err := RandomWalk(sub, rng, maxSteps)
+			if err != nil {
+				return nil, err
+			}
+			visit.Sub = append(visit.Sub, sw)
+		}
+		w.Visits = append(w.Visits, visit)
+		if cur == c.Final {
+			return w, nil
+		}
+		next, err := pickTransition(c, cur, rng)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+}
+
+func pickTransition(c *Chart, from string, rng *dist.RNG) (string, error) {
+	out := c.Outgoing(from)
+	if len(out) == 0 {
+		return "", fmt.Errorf("statechart: state %q of chart %q has no outgoing transitions", from, c.Name)
+	}
+	u := rng.Float64()
+	var cum float64
+	for _, t := range out {
+		cum += t.Prob
+		if u < cum {
+			return t.To, nil
+		}
+	}
+	// Guard against round-off in the probability sum.
+	return out[len(out)-1].To, nil
+}

@@ -1,0 +1,357 @@
+// Package wfjson de/serializes server environments and workflow
+// specifications as JSON documents, so the command-line tools can assess
+// and plan systems that are not compiled in. The format mirrors the spec
+// and statechart types one-to-one:
+//
+//	{
+//	  "environment": {
+//	    "types": [
+//	      {"name": "orb", "kind": "communication",
+//	       "mean_service": 0.0005, "service_scv": 1,
+//	       "mttf": 43200, "mttr": 10}
+//	    ]
+//	  },
+//	  "workflows": [
+//	    {"name": "EP", "arrival_rate": 1,
+//	     "chart": {
+//	       "name": "EP", "initial": "init", "final": "done",
+//	       "states": [
+//	         {"name": "init"},
+//	         {"name": "order", "activity": "NewOrder", "interactive": true},
+//	         {"name": "ship", "subcharts": [ ...nested charts... ]},
+//	         {"name": "done"}
+//	       ],
+//	       "transitions": [
+//	         {"from": "init", "to": "order", "prob": 1},
+//	         {"from": "order", "to": "ship", "prob": 1,
+//	          "event": "NewOrder_DONE", "cond": "!CardProblem",
+//	          "actions": [{"kind": "set-true", "target": "Paid"}]}
+//	       ]
+//	     },
+//	     "activities": [
+//	       {"name": "NewOrder", "mean_duration": 5, "stages": 1,
+//	        "load": {"orb": 2, "engine": 3}}
+//	     ]}
+//	  ]
+//	}
+//
+// Times share one unit across the document (the examples use minutes);
+// service times are given as mean plus squared coefficient of variation
+// (scv; 1 = exponential), failures as mean time to failure and repair.
+package wfjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"performa/internal/spec"
+	"performa/internal/statechart"
+)
+
+// Document is the top-level JSON structure.
+type Document struct {
+	Environment Environment `json:"environment"`
+	Workflows   []Workflow  `json:"workflows"`
+}
+
+// Environment lists the server types.
+type Environment struct {
+	Types []ServerType `json:"types"`
+}
+
+// ServerType mirrors spec.ServerType in deployment-friendly units.
+type ServerType struct {
+	Name        string  `json:"name"`
+	Kind        string  `json:"kind"` // communication | engine | application
+	MeanService float64 `json:"mean_service"`
+	ServiceSCV  float64 `json:"service_scv,omitempty"` // default 1 (exponential)
+	MTTF        float64 `json:"mttf,omitempty"`        // 0 = never fails
+	MTTR        float64 `json:"mttr,omitempty"`
+}
+
+// Workflow mirrors spec.Workflow.
+type Workflow struct {
+	Name        string     `json:"name"`
+	ArrivalRate float64    `json:"arrival_rate"`
+	Chart       Chart      `json:"chart"`
+	Activities  []Activity `json:"activities"`
+}
+
+// Chart mirrors statechart.Chart.
+type Chart struct {
+	Name        string       `json:"name"`
+	Initial     string       `json:"initial"`
+	Final       string       `json:"final"`
+	States      []State      `json:"states"`
+	Transitions []Transition `json:"transitions"`
+}
+
+// State mirrors statechart.State.
+type State struct {
+	Name        string  `json:"name"`
+	Activity    string  `json:"activity,omitempty"`
+	Interactive bool    `json:"interactive,omitempty"`
+	Subcharts   []Chart `json:"subcharts,omitempty"`
+}
+
+// Transition mirrors statechart.Transition.
+type Transition struct {
+	From    string   `json:"from"`
+	To      string   `json:"to"`
+	Prob    float64  `json:"prob"`
+	Event   string   `json:"event,omitempty"`
+	Cond    string   `json:"cond,omitempty"`
+	Actions []Action `json:"actions,omitempty"`
+}
+
+// Action mirrors statechart.Action with a string kind.
+type Action struct {
+	Kind   string `json:"kind"` // start | set-true | set-false | raise
+	Target string `json:"target"`
+}
+
+// Activity mirrors spec.ActivityProfile.
+type Activity struct {
+	Name         string             `json:"name"`
+	MeanDuration float64            `json:"mean_duration"`
+	Stages       int                `json:"stages,omitempty"`
+	Load         map[string]float64 `json:"load,omitempty"`
+}
+
+var kindNames = map[string]spec.ServerKind{
+	"communication": spec.Communication,
+	"engine":        spec.Engine,
+	"application":   spec.Application,
+	"directory":     spec.Directory,
+	"worklist":      spec.Worklist,
+}
+
+var kindStrings = map[spec.ServerKind]string{
+	spec.Communication: "communication",
+	spec.Engine:        "engine",
+	spec.Application:   "application",
+	spec.Directory:     "directory",
+	spec.Worklist:      "worklist",
+}
+
+var actionKinds = map[string]statechart.ActionKind{
+	"start":     statechart.ActionStart,
+	"set-true":  statechart.ActionSetTrue,
+	"set-false": statechart.ActionSetFalse,
+	"raise":     statechart.ActionRaise,
+}
+
+var actionStrings = map[statechart.ActionKind]string{
+	statechart.ActionStart:    "start",
+	statechart.ActionSetTrue:  "set-true",
+	statechart.ActionSetFalse: "set-false",
+	statechart.ActionRaise:    "raise",
+}
+
+// Decode parses a document and converts it into a validated environment
+// and workflow list.
+func Decode(r io.Reader) (*spec.Environment, []*spec.Workflow, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc Document
+	if err := dec.Decode(&doc); err != nil {
+		return nil, nil, fmt.Errorf("wfjson: parsing document: %w", err)
+	}
+	return FromDocument(&doc)
+}
+
+// FromDocument converts a parsed document into model inputs.
+func FromDocument(doc *Document) (*spec.Environment, []*spec.Workflow, error) {
+	types := make([]spec.ServerType, 0, len(doc.Environment.Types))
+	for _, st := range doc.Environment.Types {
+		kind, ok := kindNames[st.Kind]
+		if !ok {
+			return nil, nil, fmt.Errorf("wfjson: server type %q: unknown kind %q (want communication, engine, application, directory, or worklist)", st.Name, st.Kind)
+		}
+		scv := st.ServiceSCV
+		if scv == 0 {
+			scv = 1
+		}
+		if scv < 0 {
+			return nil, nil, fmt.Errorf("wfjson: server type %q: negative service scv %v", st.Name, scv)
+		}
+		out := spec.ServerType{
+			Name:                st.Name,
+			Kind:                kind,
+			MeanService:         st.MeanService,
+			ServiceSecondMoment: (1 + scv) * st.MeanService * st.MeanService,
+		}
+		if st.MTTF > 0 {
+			out.FailureRate = 1 / st.MTTF
+		}
+		if st.MTTR > 0 {
+			out.RepairRate = 1 / st.MTTR
+		}
+		types = append(types, out)
+	}
+	env, err := spec.NewEnvironment(types...)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var flows []*spec.Workflow
+	for _, w := range doc.Workflows {
+		chart, err := chartFromJSON(&w.Chart)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wfjson: workflow %q: %w", w.Name, err)
+		}
+		profiles := make(map[string]spec.ActivityProfile, len(w.Activities))
+		for _, act := range w.Activities {
+			profiles[act.Name] = spec.ActivityProfile{
+				Name:           act.Name,
+				MeanDuration:   act.MeanDuration,
+				DurationStages: act.Stages,
+				Load:           act.Load,
+			}
+		}
+		flow := &spec.Workflow{
+			Name:        w.Name,
+			Chart:       chart,
+			Profiles:    profiles,
+			ArrivalRate: w.ArrivalRate,
+		}
+		if err := flow.Validate(env); err != nil {
+			return nil, nil, err
+		}
+		flows = append(flows, flow)
+	}
+	if len(flows) == 0 {
+		return nil, nil, fmt.Errorf("wfjson: document has no workflows")
+	}
+	return env, flows, nil
+}
+
+func chartFromJSON(c *Chart) (*statechart.Chart, error) {
+	out := &statechart.Chart{
+		Name:    c.Name,
+		Initial: c.Initial,
+		Final:   c.Final,
+		States:  make(map[string]*statechart.State, len(c.States)),
+	}
+	for _, s := range c.States {
+		if _, dup := out.States[s.Name]; dup {
+			return nil, fmt.Errorf("chart %q: duplicate state %q", c.Name, s.Name)
+		}
+		st := &statechart.State{
+			Name:        s.Name,
+			Activity:    s.Activity,
+			Interactive: s.Interactive,
+		}
+		for i := range s.Subcharts {
+			sub, err := chartFromJSON(&s.Subcharts[i])
+			if err != nil {
+				return nil, err
+			}
+			st.Subcharts = append(st.Subcharts, sub)
+		}
+		out.States[s.Name] = st
+	}
+	for _, t := range c.Transitions {
+		tr := &statechart.Transition{
+			From:  t.From,
+			To:    t.To,
+			Prob:  t.Prob,
+			Event: t.Event,
+			Cond:  t.Cond,
+		}
+		for _, a := range t.Actions {
+			kind, ok := actionKinds[a.Kind]
+			if !ok {
+				return nil, fmt.Errorf("chart %q: transition %s→%s: unknown action kind %q", c.Name, t.From, t.To, a.Kind)
+			}
+			tr.Actions = append(tr.Actions, statechart.Action{Kind: kind, Target: a.Target})
+		}
+		out.Transitions = append(out.Transitions, tr)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Encode writes the environment and workflows as an indented document.
+func Encode(w io.Writer, env *spec.Environment, flows []*spec.Workflow) error {
+	doc, err := ToDocument(env, flows)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ToDocument converts model inputs into the JSON document form.
+func ToDocument(env *spec.Environment, flows []*spec.Workflow) (*Document, error) {
+	doc := &Document{}
+	for _, st := range env.Types() {
+		jt := ServerType{
+			Name:        st.Name,
+			Kind:        kindStrings[st.Kind],
+			MeanService: st.MeanService,
+		}
+		if st.MeanService > 0 {
+			jt.ServiceSCV = st.ServiceSecondMoment/(st.MeanService*st.MeanService) - 1
+		}
+		if st.FailureRate > 0 {
+			jt.MTTF = 1 / st.FailureRate
+		}
+		if st.RepairRate > 0 {
+			jt.MTTR = 1 / st.RepairRate
+		}
+		doc.Environment.Types = append(doc.Environment.Types, jt)
+	}
+	for _, f := range flows {
+		jw := Workflow{Name: f.Name, ArrivalRate: f.ArrivalRate}
+		chart, err := chartToJSON(f.Chart)
+		if err != nil {
+			return nil, err
+		}
+		jw.Chart = *chart
+		// Deterministic activity order for stable output.
+		for _, act := range f.Chart.Activities() {
+			p := f.Profiles[act]
+			jw.Activities = append(jw.Activities, Activity{
+				Name:         p.Name,
+				MeanDuration: p.MeanDuration,
+				Stages:       p.DurationStages,
+				Load:         p.Load,
+			})
+		}
+		doc.Workflows = append(doc.Workflows, jw)
+	}
+	return doc, nil
+}
+
+func chartToJSON(c *statechart.Chart) (*Chart, error) {
+	out := &Chart{Name: c.Name, Initial: c.Initial, Final: c.Final}
+	for _, name := range c.StateNames() {
+		s := c.States[name]
+		js := State{Name: s.Name, Activity: s.Activity, Interactive: s.Interactive}
+		for _, sub := range s.Subcharts {
+			jc, err := chartToJSON(sub)
+			if err != nil {
+				return nil, err
+			}
+			js.Subcharts = append(js.Subcharts, *jc)
+		}
+		out.States = append(out.States, js)
+	}
+	for _, t := range c.Transitions {
+		jt := Transition{From: t.From, To: t.To, Prob: t.Prob, Event: t.Event, Cond: t.Cond}
+		for _, a := range t.Actions {
+			kind, ok := actionStrings[a.Kind]
+			if !ok {
+				return nil, fmt.Errorf("chart %q: unknown action kind %d", c.Name, a.Kind)
+			}
+			jt.Actions = append(jt.Actions, Action{Kind: kind, Target: a.Target})
+		}
+		out.Transitions = append(out.Transitions, jt)
+	}
+	return out, nil
+}

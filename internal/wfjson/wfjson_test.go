@@ -1,0 +1,210 @@
+package wfjson
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"performa/internal/spec"
+	"performa/internal/workload"
+)
+
+const sampleDoc = `{
+  "environment": {
+    "types": [
+      {"name": "orb", "kind": "communication", "mean_service": 0.0005, "mttf": 43200, "mttr": 10},
+      {"name": "engine", "kind": "engine", "mean_service": 0.001, "service_scv": 2, "mttf": 10080, "mttr": 10},
+      {"name": "appsrv", "kind": "application", "mean_service": 0.0015}
+    ]
+  },
+  "workflows": [
+    {
+      "name": "demo",
+      "arrival_rate": 2,
+      "chart": {
+        "name": "demo",
+        "initial": "init",
+        "final": "done",
+        "states": [
+          {"name": "init"},
+          {"name": "order", "activity": "Order", "interactive": true},
+          {"name": "ship", "subcharts": [
+            {
+              "name": "shipping",
+              "initial": "s0",
+              "final": "s2",
+              "states": [
+                {"name": "s0"},
+                {"name": "s1", "activity": "Ship"},
+                {"name": "s2"}
+              ],
+              "transitions": [
+                {"from": "s0", "to": "s1", "prob": 1},
+                {"from": "s1", "to": "s2", "prob": 1}
+              ]
+            }
+          ]},
+          {"name": "done"}
+        ],
+        "transitions": [
+          {"from": "init", "to": "order", "prob": 1},
+          {"from": "order", "to": "ship", "prob": 1,
+           "event": "Order_DONE", "cond": "!Cancelled",
+           "actions": [{"kind": "set-true", "target": "Paid"}]},
+          {"from": "ship", "to": "done", "prob": 1}
+        ]
+      },
+      "activities": [
+        {"name": "Order", "mean_duration": 5, "load": {"orb": 2, "engine": 3}},
+        {"name": "Ship", "mean_duration": 30, "stages": 3, "load": {"orb": 2, "engine": 3, "appsrv": 3}}
+      ]
+    }
+  ]
+}`
+
+func TestDecodeSampleDocument(t *testing.T) {
+	env, flows, err := Decode(strings.NewReader(sampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.K() != 3 {
+		t.Errorf("K = %d", env.K())
+	}
+	// scv defaults to 1: second moment = 2·mean².
+	orb := env.Type(0)
+	if math.Abs(orb.ServiceSecondMoment-2*0.0005*0.0005) > 1e-15 {
+		t.Errorf("orb second moment = %v", orb.ServiceSecondMoment)
+	}
+	// explicit scv 2: second moment = 3·mean².
+	eng := env.Type(1)
+	if math.Abs(eng.ServiceSecondMoment-3*0.001*0.001) > 1e-15 {
+		t.Errorf("engine second moment = %v", eng.ServiceSecondMoment)
+	}
+	if eng.FailureRate != 1.0/10080 || eng.RepairRate != 0.1 {
+		t.Errorf("engine rates = %v, %v", eng.FailureRate, eng.RepairRate)
+	}
+	// appsrv never fails.
+	if env.Type(2).FailureRate != 0 {
+		t.Errorf("appsrv failure rate = %v", env.Type(2).FailureRate)
+	}
+	if len(flows) != 1 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	w := flows[0]
+	if w.ArrivalRate != 2 {
+		t.Errorf("arrival rate = %v", w.ArrivalRate)
+	}
+	if w.Profiles["Ship"].DurationStages != 3 {
+		t.Errorf("stages = %d", w.Profiles["Ship"].DurationStages)
+	}
+	// The workflow builds into a valid model.
+	m, err := spec.Build(w, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Turnaround() <= 0 {
+		t.Errorf("turnaround = %v", m.Turnaround())
+	}
+	// ECA data survived.
+	for _, tr := range w.Chart.Outgoing("order") {
+		if tr.Event != "Order_DONE" || tr.Cond != "!Cancelled" || len(tr.Actions) != 1 {
+			t.Errorf("ECA lost: %+v", tr)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"syntax", `{`, "parsing"},
+		{"unknown field", `{"bogus": 1}`, "bogus"},
+		{"unknown kind", `{"environment":{"types":[{"name":"x","kind":"quantum","mean_service":1}]},"workflows":[]}`, "unknown kind"},
+		{"no workflows", `{"environment":{"types":[{"name":"x","kind":"engine","mean_service":1}]},"workflows":[]}`, "no workflows"},
+		{"negative scv", `{"environment":{"types":[{"name":"x","kind":"engine","mean_service":1,"service_scv":-1}]},"workflows":[]}`, "scv"},
+	}
+	for _, tc := range cases {
+		_, _, err := Decode(strings.NewReader(tc.doc))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDecodeBadChart(t *testing.T) {
+	doc := strings.Replace(sampleDoc, `{"from": "ship", "to": "done", "prob": 1}`,
+		`{"from": "ship", "to": "done", "prob": 0.5}`, 1)
+	if _, _, err := Decode(strings.NewReader(doc)); err == nil {
+		t.Error("invalid probabilities accepted")
+	}
+}
+
+func TestDecodeBadActionKind(t *testing.T) {
+	doc := strings.Replace(sampleDoc, `"kind": "set-true"`, `"kind": "explode"`, 1)
+	if _, _, err := Decode(strings.NewReader(doc)); err == nil {
+		t.Error("unknown action kind accepted")
+	}
+}
+
+func TestRoundTripEPWorkflow(t *testing.T) {
+	env := workload.PaperEnvironment()
+	flows := []*spec.Workflow{workload.EPWorkflow(1.5)}
+	var buf bytes.Buffer
+	if err := Encode(&buf, env, flows); err != nil {
+		t.Fatal(err)
+	}
+	env2, flows2, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Models of original and round-tripped specs agree.
+	m1, err := spec.Build(flows[0], env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := spec.Build(flows2[0], env2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m1.Turnaround()-m2.Turnaround()) > 1e-9 {
+		t.Errorf("turnaround %v vs %v", m1.Turnaround(), m2.Turnaround())
+	}
+	r1, r2 := m1.ExpectedRequests(), m2.ExpectedRequests()
+	for x := range r1 {
+		if math.Abs(r1[x]-r2[x]) > 1e-9 {
+			t.Errorf("requests[%d]: %v vs %v", x, r1[x], r2[x])
+		}
+	}
+	if flows2[0].ArrivalRate != 1.5 {
+		t.Errorf("arrival rate = %v", flows2[0].ArrivalRate)
+	}
+	// Failure data survives.
+	if env2.Type(0).FailureRate != env.Type(0).FailureRate {
+		t.Errorf("failure rate changed")
+	}
+}
+
+func TestRoundTripStagesAndInteractive(t *testing.T) {
+	env := workload.PaperEnvironment()
+	w := workload.EPWorkflow(1)
+	p := w.Profiles["PickGoods"]
+	p.DurationStages = 4
+	w.Profiles["PickGoods"] = p
+	var buf bytes.Buffer
+	if err := Encode(&buf, env, []*spec.Workflow{w}); err != nil {
+		t.Fatal(err)
+	}
+	_, flows, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flows[0].Profiles["PickGoods"].DurationStages != 4 {
+		t.Error("stage count lost")
+	}
+	if !flows[0].Chart.States["NewOrder_S"].Interactive {
+		t.Error("interactive flag lost")
+	}
+}

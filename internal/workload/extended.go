@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"performa/internal/spec"
+	"performa/internal/statechart"
+)
+
+// Server type names of the extended (Figure 2) environment: one
+// communication server type, m = 2 workflow-engine types, n = 2
+// application-server types, plus the directory and worklist services the
+// paper's Section 2 names as natural extensions.
+const (
+	ExtORB            = "orb"
+	ExtEngineOrder    = "engine-order"
+	ExtEngineShipping = "engine-shipping"
+	ExtAppDB          = "app-db"
+	ExtAppDelivery    = "app-delivery"
+	ExtDirectory      = "directory"
+	ExtWorklist       = "worklist"
+)
+
+// ExtendedEnvironment returns the seven-type environment of the paper's
+// Figure 2 architecture with the Section 2 extensions: subworkflow types
+// run on dedicated engine types (per the organizational structure),
+// application types are split into a database-backed server and a
+// delivery/logistics server, and directory plus worklist services are
+// first-class server types. Time unit: minutes.
+func ExtendedEnvironment() *spec.Environment {
+	mk := func(name string, kind spec.ServerKind, mttfMinutes, meanServiceMinutes float64) spec.ServerType {
+		b, b2 := spec.ExpServiceMoments(meanServiceMinutes)
+		return spec.ServerType{
+			Name: name, Kind: kind,
+			MeanService: b, ServiceSecondMoment: b2,
+			FailureRate: 1 / mttfMinutes, RepairRate: 1.0 / 10,
+		}
+	}
+	return spec.MustEnvironment(
+		mk(ExtORB, spec.Communication, 43200, 0.0005),
+		mk(ExtEngineOrder, spec.Engine, 10080, 0.001),
+		mk(ExtEngineShipping, spec.Engine, 10080, 0.001),
+		mk(ExtAppDB, spec.Application, 1440, 0.0015),
+		mk(ExtAppDelivery, spec.Application, 2880, 0.002),
+		mk(ExtDirectory, spec.Directory, 43200, 0.0002),
+		mk(ExtWorklist, spec.Worklist, 20160, 0.0008),
+	)
+}
+
+// EPDistributed is the EP workflow mapped onto the extended environment:
+// order-side activities run on the order engine with the database
+// application server, the shipment subworkflows run on the shipping
+// engine with the delivery application server, the interactive order
+// entry goes through the worklist service, and every activity resolves
+// its target through the directory once.
+func EPDistributed(arrivalRate float64) *spec.Workflow {
+	p := EPBranchProbs
+
+	// Per-activity load vectors on the extended types, following the
+	// Figure 1 request pattern (3 engine, 2 ORB, 3 app) plus one
+	// directory lookup per activity.
+	orderAct := func() map[string]float64 {
+		return map[string]float64{ExtEngineOrder: 3, ExtORB: 2, ExtAppDB: 3, ExtDirectory: 1}
+	}
+	shipAct := func() map[string]float64 {
+		return map[string]float64{ExtEngineShipping: 3, ExtORB: 2, ExtAppDelivery: 3, ExtDirectory: 1}
+	}
+	interactive := func() map[string]float64 {
+		// Client-executed: no application server, but worklist
+		// management handles assignment and completion.
+		return map[string]float64{ExtEngineOrder: 3, ExtORB: 2, ExtWorklist: 2, ExtDirectory: 1}
+	}
+
+	notify := statechart.NewBuilder("NotifyX_SC").
+		Initial("N_INIT").
+		Activity("Notify", "NotifyCustomer").
+		Final("N_EXIT").
+		Transition("N_INIT", "Notify", 1).
+		Transition("Notify", "N_EXIT", 1).
+		MustBuild()
+	delivery := statechart.NewBuilder("DeliveryX_SC").
+		Initial("D_INIT").
+		Activity("Pick", "PickGoods").
+		Activity("Ship", "ShipGoods").
+		Final("D_EXIT").
+		Transition("D_INIT", "Pick", 1).
+		Transition("Pick", "Ship", 1).
+		Transition("Ship", "D_EXIT", 1).
+		MustBuild()
+
+	reachCard := p.PayByCreditCard * (1 - p.CardProblem)
+	reachInvoice := 1 - p.PayByCreditCard
+	total := reachCard + reachInvoice
+
+	chart := statechart.NewBuilder("EPX").
+		Initial("EP_INIT").
+		InteractiveActivity("NewOrder_S", "NewOrder").
+		Activity("CreditCardCheck_S", "CreditCardCheck").
+		Nested("Shipment_S", notify, delivery).
+		Activity("CreditCardPayment_S", "CreditCardPayment").
+		Activity("Invoice_S", "SendInvoice").
+		Activity("CheckPayment_S", "CheckPayment").
+		Activity("Reminder_S", "SendReminder").
+		Final("EP_EXIT_S").
+		Transition("EP_INIT", "NewOrder_S", 1).
+		Transition("NewOrder_S", "CreditCardCheck_S", p.PayByCreditCard).
+		Transition("NewOrder_S", "Shipment_S", 1-p.PayByCreditCard).
+		Transition("CreditCardCheck_S", "EP_EXIT_S", p.CardProblem).
+		Transition("CreditCardCheck_S", "Shipment_S", 1-p.CardProblem).
+		Transition("Shipment_S", "CreditCardPayment_S", reachCard/total).
+		Transition("Shipment_S", "Invoice_S", reachInvoice/total).
+		Transition("CreditCardPayment_S", "EP_EXIT_S", 1).
+		Transition("Invoice_S", "CheckPayment_S", 1).
+		Transition("CheckPayment_S", "Reminder_S", p.ReminderLoop).
+		Transition("CheckPayment_S", "EP_EXIT_S", 1-p.ReminderLoop).
+		Transition("Reminder_S", "CheckPayment_S", 1).
+		MustBuild()
+
+	profiles := map[string]spec.ActivityProfile{
+		"NewOrder":          {Name: "NewOrder", MeanDuration: EPDurations["NewOrder"], Load: interactive()},
+		"CreditCardCheck":   {Name: "CreditCardCheck", MeanDuration: EPDurations["CreditCardCheck"], Load: orderAct()},
+		"NotifyCustomer":    {Name: "NotifyCustomer", MeanDuration: EPDurations["NotifyCustomer"], Load: shipAct()},
+		"PickGoods":         {Name: "PickGoods", MeanDuration: EPDurations["PickGoods"], Load: shipAct()},
+		"ShipGoods":         {Name: "ShipGoods", MeanDuration: EPDurations["ShipGoods"], Load: shipAct()},
+		"CreditCardPayment": {Name: "CreditCardPayment", MeanDuration: EPDurations["CreditCardPayment"], Load: orderAct()},
+		"SendInvoice":       {Name: "SendInvoice", MeanDuration: EPDurations["SendInvoice"], Load: orderAct()},
+		"CheckPayment":      {Name: "CheckPayment", MeanDuration: EPDurations["CheckPayment"], Load: orderAct()},
+		"SendReminder":      {Name: "SendReminder", MeanDuration: EPDurations["SendReminder"], Load: orderAct()},
+	}
+	return &spec.Workflow{
+		Name:        "EPX",
+		Chart:       chart,
+		Profiles:    profiles,
+		ArrivalRate: arrivalRate,
+	}
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"performa/internal/spec"
+)
+
+func TestExtendedEnvironment(t *testing.T) {
+	env := ExtendedEnvironment()
+	if env.K() != 7 {
+		t.Fatalf("K = %d, want 7", env.K())
+	}
+	kinds := map[spec.ServerKind]int{}
+	for _, st := range env.Types() {
+		kinds[st.Kind]++
+	}
+	if kinds[spec.Engine] != 2 || kinds[spec.Application] != 2 {
+		t.Errorf("engine/application counts = %d/%d, want 2/2 (Figure 2's m and n)",
+			kinds[spec.Engine], kinds[spec.Application])
+	}
+	if kinds[spec.Directory] != 1 || kinds[spec.Worklist] != 1 {
+		t.Errorf("directory/worklist missing: %v", kinds)
+	}
+}
+
+func TestServerKindExtendedStrings(t *testing.T) {
+	if spec.Directory.String() != "directory" || spec.Worklist.String() != "worklist" {
+		t.Error("extended kind strings wrong")
+	}
+}
+
+func TestEPDistributedBuilds(t *testing.T) {
+	env := ExtendedEnvironment()
+	m, err := spec.Build(EPDistributed(1), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same control flow as EP: identical turnaround.
+	base, err := spec.Build(EPWorkflow(1), PaperEnvironment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Turnaround()-base.Turnaround()) > 1e-9 {
+		t.Errorf("turnaround %v differs from the base EP %v", m.Turnaround(), base.Turnaround())
+	}
+}
+
+func TestEPDistributedLoadSplit(t *testing.T) {
+	env := ExtendedEnvironment()
+	m, err := spec.Build(EPDistributed(1), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.ExpectedRequests()
+	idx := func(name string) int {
+		i, ok := env.Index(name)
+		if !ok {
+			t.Fatalf("type %q missing", name)
+		}
+		return i
+	}
+	// Shipping engine gets exactly the 3 shipment activities' load:
+	// 3 requests × 3 activities × visits(Shipment) = 9·0.94 = 8.46.
+	vShip := (1 - EPBranchProbs.PayByCreditCard) + EPBranchProbs.PayByCreditCard*(1-EPBranchProbs.CardProblem)
+	if want := 9 * vShip; math.Abs(r[idx(ExtEngineShipping)]-want) > 1e-9 {
+		t.Errorf("shipping engine load = %v, want %v", r[idx(ExtEngineShipping)], want)
+	}
+	// The delivery app server carries the same activity set.
+	if want := 9 * vShip; math.Abs(r[idx(ExtAppDelivery)]-want) > 1e-9 {
+		t.Errorf("delivery app load = %v, want %v", r[idx(ExtAppDelivery)], want)
+	}
+	// Worklist load comes only from the interactive NewOrder: 2.
+	if math.Abs(r[idx(ExtWorklist)]-2) > 1e-9 {
+		t.Errorf("worklist load = %v, want 2", r[idx(ExtWorklist)])
+	}
+	// Directory: one lookup per activity execution.
+	var totalActivities float64
+	visits := m.ExpectedVisits()
+	for i, name := range m.StateNames {
+		switch name {
+		case "Shipment_S":
+			totalActivities += 3 * visits[i]
+		case "s_A":
+		default:
+			totalActivities += visits[i]
+		}
+	}
+	if math.Abs(r[idx(ExtDirectory)]-totalActivities) > 1e-9 {
+		t.Errorf("directory load = %v, want %v", r[idx(ExtDirectory)], totalActivities)
+	}
+	// Order engine and shipping engine split: order side gets the rest.
+	if r[idx(ExtEngineOrder)] <= 0 || r[idx(ExtEngineOrder)] >= r[idx(ExtEngineShipping)]+20 {
+		t.Errorf("order engine load = %v", r[idx(ExtEngineOrder)])
+	}
+}
