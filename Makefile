@@ -1,0 +1,25 @@
+# Developer targets. `make check` is the full verification gate: build,
+# vet, the test suite, and the test suite again under the race detector
+# (the planners fan work out over goroutine pools, so racy regressions
+# must not slip through).
+
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -272,6 +272,90 @@ func BenchmarkE11BranchAndBound(b *testing.B) {
 	}
 }
 
+// BenchmarkPlannerParallel contrasts the exhaustive planner's
+// sequential path with the worker-pool fan-out over candidate
+// configurations. The recommendations are bit-identical; on a
+// multi-core machine the parallel variant should cut the wall-clock
+// roughly by the core count (on one core the two coincide).
+func BenchmarkPlannerParallel(b *testing.B) {
+	env := workload.PaperEnvironment()
+	m, err := spec.Build(workload.EPWorkflow(5), env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := perf.NewAnalysis(env, []*spec.Model{m})
+	if err != nil {
+		b.Fatal(err)
+	}
+	goals := config.Goals{MaxWaiting: 0.001, MaxUnavailability: 1e-5}
+	cons := config.Constraints{MaxReplicas: []int{6, 6, 6}}
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers-1", 1},
+		{"workers-all", 0},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			opts := config.DefaultOptions()
+			opts.Workers = bench.workers
+			var hitRate float64
+			for i := 0; i < b.N; i++ {
+				rec, err := config.Exhaustive(a, goals, cons, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hitRate = float64(rec.Cache.Hits) / float64(rec.Cache.Hits+rec.Cache.Misses)
+			}
+			b.ReportMetric(hitRate*100, "cache-hit-%")
+		})
+	}
+}
+
+// BenchmarkAssessCached measures one full performability assessment
+// against a cold versus a warmed shared degraded-state cache — the
+// per-candidate cost a configuration search actually pays after the
+// first few candidates.
+func BenchmarkAssessCached(b *testing.B) {
+	env := workload.PaperEnvironment()
+	m, err := spec.Build(workload.EPWorkflow(5), env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := perf.NewAnalysis(env, []*spec.Model{m})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := perf.Config{Replicas: []int{3, 3, 4}}
+	opts := performability.Options{Policy: performability.ExcludeDown}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ev, err := performability.NewEvaluator(a, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ev.Evaluate(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		ev, err := performability.NewEvaluator(a, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ev.Evaluate(cfg); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ev.Evaluate(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkA1SeriesVsExact compares the truncated series against the
 // direct solve on the EP chain.
 func BenchmarkA1SeriesVsExact(b *testing.B) {

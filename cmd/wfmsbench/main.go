@@ -7,24 +7,65 @@
 //	wfmsbench -exp all
 //	wfmsbench -exp e1,e6
 //	wfmsbench -exp e7 -seed 7 -horizon 40000
+//	wfmsbench -exp e6,e11 -workers 8 -cpuprofile planners.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"performa/internal/experiments"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds main's body so the pprof defers flush before the process
+// exits (os.Exit skips deferred calls).
+func run() int {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiment ids: e1..e8, a1..a4, or all")
-		seed    = flag.Uint64("seed", 42, "seed for simulation-backed experiments")
-		horizon = flag.Float64("horizon", 20000, "simulation horizon in model minutes (e7)")
+		exp        = flag.String("exp", "all", "comma-separated experiment ids: e1..e8, a1..a4, or all")
+		seed       = flag.Uint64("seed", 42, "seed for simulation-backed experiments")
+		horizon    = flag.Float64("horizon", 20000, "simulation horizon in model minutes (e7)")
+		workers    = flag.Int("workers", 0, "planner worker-pool size (0 = all CPUs, 1 = sequential)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+	experiments.PlannerWorkers = *workers
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wfmsbench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "wfmsbench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wfmsbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is representative
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "wfmsbench:", err)
+			}
+		}()
+	}
 
 	runners := map[string]func() (*experiments.Table, error){
 		"e1": experiments.E1Availability,
@@ -63,7 +104,7 @@ func main() {
 			id = strings.ToLower(strings.TrimSpace(id))
 			if _, ok := runners[id]; !ok {
 				fmt.Fprintf(os.Stderr, "wfmsbench: unknown experiment %q (known: %s, all)\n", id, strings.Join(order, ", "))
-				os.Exit(2)
+				return 2
 			}
 			ids = append(ids, id)
 		}
@@ -73,11 +114,12 @@ func main() {
 		tbl, err := runners[id]()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wfmsbench: %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 		if i > 0 {
 			fmt.Println()
 		}
 		fmt.Print(tbl.Format())
 	}
+	return 0
 }

@@ -40,6 +40,7 @@ func main() {
 		maxUnavail   = flag.Float64("max-unavail", 0, "unavailability goal (0 = none)")
 		exhaustive   = flag.Bool("exhaustive", false, "use the exhaustive optimal search instead of the greedy heuristic")
 		maxReplicas  = flag.Int("max-replicas", 8, "per-type replication cap for the search")
+		workers      = flag.Int("workers", 0, "assessment worker-pool size (0 = all CPUs, 1 = sequential)")
 		exportSpec   = flag.Bool("export-spec", false, "print the selected built-in workload as a JSON spec and exit")
 	)
 	flag.Parse()
@@ -87,6 +88,7 @@ func main() {
 	}
 	opts := performa.PlannerOptions{
 		Performability: performability.Options{Policy: performability.ExcludeDown},
+		Workers:        *workers,
 	}
 	var rec *performa.Recommendation
 	if *exhaustive {
@@ -100,6 +102,10 @@ func main() {
 
 	fmt.Printf("recommended configuration: %s  (cost: %d servers, %d candidate evaluations)\n",
 		rec.Config, rec.Cost, rec.Evaluations)
+	if total := rec.Cache.Hits + rec.Cache.Misses; total > 0 {
+		fmt.Printf("degraded-state cache: %d of %d state evaluations served from cache (%d model solves)\n",
+			rec.Cache.Hits, total, rec.Cache.Misses)
+	}
 	for x := 0; x < sys.Env().K(); x++ {
 		fmt.Printf("  %-12s × %d\n", sys.Env().Type(x).Name, rec.Config.Replicas[x])
 	}

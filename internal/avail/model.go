@@ -271,40 +271,7 @@ func reportFromStateProbs(params []TypeParams, pi linalg.Vector, enc *ctmc.State
 // is materialized (as the product of marginals) so the report can feed
 // the performability model; otherwise StateProbs is nil.
 func EvaluateProductForm(params []TypeParams, discipline RepairDiscipline, buildJoint bool) (*Report, error) {
-	if len(params) == 0 {
-		return nil, fmt.Errorf("avail: model needs at least one server type")
-	}
-	rep := &Report{Replicas: make([]int, len(params))}
-	availability := 1.0
-	caps := make([]int, len(params))
-	for x, p := range params {
-		marginal, err := TypeMarginal(p, discipline)
-		if err != nil {
-			return nil, fmt.Errorf("avail: type %d: %w", x, err)
-		}
-		rep.Replicas[x] = p.Replicas
-		rep.TypeMarginals = append(rep.TypeMarginals, marginal)
-		availability *= 1 - marginal[0]
-		caps[x] = p.Replicas
-	}
-	rep.Availability = availability
-	rep.Unavailability = 1 - availability
-	rep.DowntimeHoursPerYear = rep.Unavailability * HoursPerYear
-
-	if buildJoint {
-		enc := ctmc.NewStateEncoder(caps)
-		pi := linalg.NewVector(enc.Size())
-		enc.Each(func(code int, x []int) {
-			p := 1.0
-			for t := range params {
-				p *= rep.TypeMarginals[t][x[t]]
-			}
-			pi[code] = p
-		})
-		rep.StateProbs = pi
-		rep.Encoder = enc
-	}
-	return rep, nil
+	return EvaluateProductFormCached(params, discipline, buildJoint, nil)
 }
 
 // MTBFMTTRSummary returns, for reporting, the mean time between

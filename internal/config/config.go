@@ -9,6 +9,7 @@ package config
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"performa/internal/avail"
 	"performa/internal/perf"
@@ -140,6 +141,21 @@ type Options struct {
 	Performability performability.Options
 	// MaxIterations bounds the greedy loop; zero means 1000.
 	MaxIterations int
+	// Workers sizes the planners' worker pools: 0 means
+	// runtime.NumCPU(), 1 forces the fully sequential path, larger
+	// values cap the pool explicitly. Exhaustive spreads candidate
+	// configurations over the pool; the other planners spread the
+	// per-system-state evaluations inside each candidate. Results are
+	// bit-identical across worker counts (the reductions run in a
+	// deterministic order), so this only trades wall-clock for cores.
+	Workers int
+	// Evaluator optionally supplies a pre-warmed shared performability
+	// evaluator (performability.NewEvaluator) so several searches over
+	// one analysis share one degraded-state cache. It must have been
+	// built against the same analysis with the same Performability
+	// options; the planners reject mismatches. nil builds a fresh
+	// evaluator per search.
+	Evaluator *performability.Evaluator
 }
 
 func (o Options) withDefaults() Options {
@@ -147,6 +163,17 @@ func (o Options) withDefaults() Options {
 		o.MaxIterations = 1000
 	}
 	return o
+}
+
+// workerCount resolves Workers to a concrete pool size.
+func (o Options) workerCount() int {
+	if o.Workers == 0 {
+		return runtime.NumCPU()
+	}
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
 }
 
 // DefaultOptions returns the recommended evaluation options.
@@ -199,6 +226,11 @@ type Recommendation struct {
 	Trace []Step
 	// Evaluations counts how many candidates were assessed.
 	Evaluations int
+	// Cache reports the shared degraded-state cache's effectiveness
+	// over this search: Misses is the number of performance-model
+	// solves actually performed, Hits the number served from cache. The
+	// sequential pre-cache planner performed Hits+Misses solves.
+	Cache performability.CacheStats
 }
 
 // Assess evaluates one candidate configuration against the goals — the
@@ -209,51 +241,11 @@ func Assess(a *perf.Analysis, cfg perf.Config, goals Goals, opts Options) (*Asse
 	if err := goals.validate(a.Env().K()); err != nil {
 		return nil, err
 	}
-	return assess(a, cfg, goals, opts.withDefaults())
-}
-
-// assess evaluates one candidate against the goals.
-func assess(a *perf.Analysis, cfg perf.Config, goals Goals, opts Options) (*Assessment, error) {
-	res, err := performability.Evaluate(a, cfg, opts.Performability)
+	eng, err := newEngine(a, goals, opts.withDefaults(), opts.workerCount())
 	if err != nil {
 		return nil, err
 	}
-	out := &Assessment{
-		Config:         cfg.Clone(),
-		Perf:           res,
-		Unavailability: 1 - res.Availability,
-	}
-	out.PerfOK = true
-	for x, w := range res.Waiting {
-		if w > goals.waitingLimit(x) {
-			out.PerfOK = false
-			break
-		}
-	}
-	if goals.PerWorkflowMaxDelay != nil {
-		models := a.Models()
-		if len(goals.PerWorkflowMaxDelay) != len(models) {
-			return nil, fmt.Errorf("config: %d per-workflow delay goals for %d workflows", len(goals.PerWorkflowMaxDelay), len(models))
-		}
-		out.WorkflowDelays = make([]float64, len(models))
-		for i, m := range models {
-			r := m.ExpectedRequests()
-			var d float64
-			for x := range r {
-				d += r[x] * res.Waiting[x]
-			}
-			out.WorkflowDelays[i] = d
-			if limit := goals.PerWorkflowMaxDelay[i]; limit > 0 && d > limit {
-				out.PerfOK = false
-			}
-		}
-	}
-	if goals.MaxUnavailability > 0 {
-		out.AvailOK = out.Unavailability <= goals.MaxUnavailability
-	} else {
-		out.AvailOK = true
-	}
-	return out, nil
+	return eng.assessConfig(cfg)
 }
 
 // Greedy runs the paper's heuristic (Section 7.2): starting from the
@@ -274,10 +266,14 @@ func Greedy(a *perf.Analysis, goals Goals, cons Constraints, opts Options) (*Rec
 		return nil, err
 	}
 
+	eng, err := newEngine(a, goals, opts, opts.workerCount())
+	if err != nil {
+		return nil, err
+	}
 	cfg := perf.Config{Replicas: append([]int(nil), lo...)}
 	rec := &Recommendation{}
 	for iter := 0; iter < opts.MaxIterations; iter++ {
-		as, err := assess(a, cfg, goals, opts)
+		as, err := eng.assess(cfg.Replicas)
 		if err != nil {
 			return nil, err
 		}
@@ -293,6 +289,7 @@ func Greedy(a *perf.Analysis, goals Goals, cons Constraints, opts Options) (*Rec
 			rec.Config = cfg.Clone()
 			rec.Cost = cfg.TotalServers()
 			rec.Assessment = as
+			eng.stamp(rec)
 			return rec, nil
 		}
 
@@ -326,12 +323,12 @@ func mostCriticalForWaiting(a *perf.Analysis, as *Assessment, goals Goals, repli
 	k := len(as.Perf.Waiting)
 	wfScore := make([]float64, k)
 	if goals.PerWorkflowMaxDelay != nil && as.WorkflowDelays != nil {
-		for i, m := range a.Models() {
+		for i := range a.Models() {
 			limit := goals.PerWorkflowMaxDelay[i]
 			if limit <= 0 || as.WorkflowDelays[i] <= limit {
 				continue
 			}
-			r := m.ExpectedRequests()
+			r := a.WorkflowRequests(i)
 			for x := 0; x < k; x++ {
 				contribution := r[x] * as.Perf.Waiting[x]
 				if math.IsInf(contribution, 1) {
@@ -411,6 +408,14 @@ func mostCriticalForAvailability(a *perf.Analysis, replicas, hi []int, opts Opti
 // enumerating replication vectors in order of increasing total server
 // count. It is exponential in the number of server types and exists as
 // the optimality baseline for the greedy heuristic.
+//
+// With Options.Workers ≠ 1 the candidates of each total are assessed in
+// chunks over a worker pool; the winner is still the first feasible
+// candidate in enumeration order, so the recommendation — including the
+// Evaluations counter, which counts candidates in enumeration order up
+// to and including the winner — is identical to the sequential search.
+// (The final chunk's trailing members are assessed speculatively; that
+// extra work shows up only in the Cache counters.)
 func Exhaustive(a *perf.Analysis, goals Goals, cons Constraints, opts Options) (*Recommendation, error) {
 	k := a.Env().K()
 	if err := goals.validate(k); err != nil {
@@ -426,23 +431,34 @@ func Exhaustive(a *perf.Analysis, goals Goals, cons Constraints, opts Options) (
 		minTotal += lo[x]
 		maxTotal += hi[x]
 	}
+	workers := opts.workerCount()
+	// Candidate-level parallelism: per-state pools inside each
+	// assessment stay sequential to avoid oversubscription.
+	eng, err := newEngine(a, goals, opts, 1)
+	if err != nil {
+		return nil, err
+	}
 	rec := &Recommendation{}
 	for total := minTotal; total <= maxTotal; total++ {
 		var found *Assessment
 		var ferr error
-		enumerate(lo, hi, total, func(y []int) bool {
-			as, err := assess(a, perf.Config{Replicas: append([]int(nil), y...)}, goals, opts)
-			if err != nil {
-				ferr = err
-				return false
-			}
-			rec.Evaluations++
-			if as.Feasible() {
-				found = as
-				return false
-			}
-			return true
-		})
+		if workers <= 1 {
+			enumerate(lo, hi, total, func(y []int) bool {
+				as, err := eng.assess(y)
+				if err != nil {
+					ferr = err
+					return false
+				}
+				rec.Evaluations++
+				if as.Feasible() {
+					found = as
+					return false
+				}
+				return true
+			})
+		} else {
+			found, ferr = exhaustiveParallel(eng, lo, hi, total, workers, rec)
+		}
 		if ferr != nil {
 			return nil, ferr
 		}
@@ -450,10 +466,58 @@ func Exhaustive(a *perf.Analysis, goals Goals, cons Constraints, opts Options) (
 			rec.Config = found.Config.Clone()
 			rec.Cost = found.Config.TotalServers()
 			rec.Assessment = found
+			eng.stamp(rec)
 			return rec, nil
 		}
 	}
 	return nil, fmt.Errorf("config: no feasible configuration within constraints (searched totals %d..%d)", minTotal, maxTotal)
+}
+
+// exhaustiveParallel sweeps one total's candidates in enumeration-order
+// chunks, assessing each chunk over the worker pool and scanning it in
+// order, so the returned assessment is exactly the one the sequential
+// sweep would have accepted first.
+func exhaustiveParallel(eng *engine, lo, hi []int, total, workers int, rec *Recommendation) (*Assessment, error) {
+	chunkSize := 4 * workers
+	chunk := make([][]int, 0, chunkSize)
+	var found *Assessment
+	var ferr error
+	flush := func() bool {
+		if len(chunk) == 0 {
+			return true
+		}
+		out, err := eng.assessChunk(chunk, workers)
+		n := len(chunk)
+		chunk = chunk[:0]
+		if err != nil {
+			ferr = err
+			return false
+		}
+		for i, as := range out {
+			if as.Feasible() {
+				// Count candidates in enumeration order up to the winner,
+				// exactly as the sequential sweep would; the chunk's
+				// speculatively assessed tail is visible only in the
+				// cache counters.
+				rec.Evaluations += i + 1
+				found = as
+				return false
+			}
+		}
+		rec.Evaluations += n
+		return true
+	}
+	enumerate(lo, hi, total, func(y []int) bool {
+		chunk = append(chunk, append([]int(nil), y...))
+		if len(chunk) >= chunkSize {
+			return flush()
+		}
+		return true
+	})
+	if found == nil && ferr == nil {
+		flush()
+	}
+	return found, ferr
 }
 
 // enumerate calls fn for every vector y with lo ≤ y ≤ hi and Σy = total,

@@ -1,0 +1,190 @@
+package config
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"performa/internal/perf"
+	"performa/internal/performability"
+)
+
+// engine is the shared assessment engine behind all four planners and
+// the exported Assess: one performability evaluator (whose degraded-state
+// cache is keyed by the system state X and therefore shared across every
+// candidate Y the search visits) plus a memo of whole-candidate
+// assessments keyed by the same compact encoding. It is safe for
+// concurrent use, so Exhaustive can fan candidates out over a worker
+// pool while Greedy and BranchAndBound walk sequentially.
+type engine struct {
+	a     *perf.Analysis
+	goals Goals
+	opts  Options
+	ev    *performability.Evaluator
+	// stateWorkers is the worker-pool width for the per-state
+	// evaluations inside one candidate; planners that parallelize across
+	// candidates set it to 1 to avoid oversubscription.
+	stateWorkers int
+	// start snapshots the evaluator's cache counters at engine creation
+	// so stamp reports per-search deltas even on a shared evaluator.
+	start performability.CacheStats
+
+	mu   sync.Mutex
+	memo map[string]*Assessment
+	// computed counts memo misses: candidates actually evaluated.
+	computed atomic.Int64
+}
+
+// newEngine builds the engine, creating a fresh evaluator or validating
+// the caller-supplied shared one.
+func newEngine(a *perf.Analysis, goals Goals, opts Options, stateWorkers int) (*engine, error) {
+	ev := opts.Evaluator
+	if ev == nil {
+		var err error
+		ev, err = performability.NewEvaluator(a, opts.Performability)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if ev.Analysis() != a {
+			return nil, fmt.Errorf("config: shared evaluator was built against a different analysis")
+		}
+		if ev.Options() != opts.Performability {
+			return nil, fmt.Errorf("config: shared evaluator options %+v differ from planner options %+v", ev.Options(), opts.Performability)
+		}
+	}
+	return &engine{
+		a: a, goals: goals, opts: opts,
+		ev:           ev,
+		stateWorkers: stateWorkers,
+		start:        ev.Stats(),
+		memo:         make(map[string]*Assessment),
+	}, nil
+}
+
+// assess evaluates the candidate replication vector y against the goals,
+// memoized. Returned assessments are shared — treat them as read-only.
+func (e *engine) assess(y []int) (*Assessment, error) {
+	key := performability.StateKey(y)
+	e.mu.Lock()
+	as, ok := e.memo[key]
+	e.mu.Unlock()
+	if ok {
+		return as, nil
+	}
+	as, err := e.compute(perf.Config{Replicas: append([]int(nil), y...)})
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.memo[key] = as
+	e.mu.Unlock()
+	return as, nil
+}
+
+// assessConfig evaluates a full configuration. Configurations with
+// co-location or per-replica speeds bypass the memo (its key covers only
+// the replication vector); the evaluator rejects them with the same
+// error the sequential path produced.
+func (e *engine) assessConfig(cfg perf.Config) (*Assessment, error) {
+	if len(cfg.Colocated) > 0 || cfg.Speeds != nil {
+		return e.compute(cfg)
+	}
+	return e.assess(cfg.Replicas)
+}
+
+// compute runs the performability model and checks the goals — the body
+// of the former sequential assess().
+func (e *engine) compute(cfg perf.Config) (*Assessment, error) {
+	res, err := e.ev.EvaluateParallel(cfg, e.stateWorkers)
+	if err != nil {
+		return nil, err
+	}
+	e.computed.Add(1)
+	out := &Assessment{
+		Config:         res.Config,
+		Perf:           res,
+		Unavailability: 1 - res.Availability,
+	}
+	out.PerfOK = true
+	for x, w := range res.Waiting {
+		if w > e.goals.waitingLimit(x) {
+			out.PerfOK = false
+			break
+		}
+	}
+	if e.goals.PerWorkflowMaxDelay != nil {
+		models := e.a.Models()
+		if len(e.goals.PerWorkflowMaxDelay) != len(models) {
+			return nil, fmt.Errorf("config: %d per-workflow delay goals for %d workflows", len(e.goals.PerWorkflowMaxDelay), len(models))
+		}
+		out.WorkflowDelays = make([]float64, len(models))
+		for i := range models {
+			r := e.a.WorkflowRequests(i)
+			var d float64
+			for x := range r {
+				d += r[x] * res.Waiting[x]
+			}
+			out.WorkflowDelays[i] = d
+			if limit := e.goals.PerWorkflowMaxDelay[i]; limit > 0 && d > limit {
+				out.PerfOK = false
+			}
+		}
+	}
+	if e.goals.MaxUnavailability > 0 {
+		out.AvailOK = out.Unavailability <= e.goals.MaxUnavailability
+	} else {
+		out.AvailOK = true
+	}
+	return out, nil
+}
+
+// stamp writes the engine's cache counters onto a finished
+// recommendation.
+func (e *engine) stamp(rec *Recommendation) {
+	rec.Cache = e.ev.Stats().Sub(e.start)
+}
+
+// assessChunk evaluates a batch of candidates over a pool of workers and
+// returns the per-candidate assessments in input order, plus the first
+// error in input order (later candidates' errors are suppressed, as the
+// sequential scan would never have reached them).
+func (e *engine) assessChunk(ys [][]int, workers int) ([]*Assessment, error) {
+	out := make([]*Assessment, len(ys))
+	errs := make([]error, len(ys))
+	if workers > len(ys) {
+		workers = len(ys)
+	}
+	if workers <= 1 {
+		for i, y := range ys {
+			as, err := e.assess(y)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = as
+		}
+		return out, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ys) {
+					return
+				}
+				out[i], errs[i] = e.assess(ys[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -43,22 +43,14 @@ func BranchAndBound(a *perf.Analysis, goals Goals, cons Constraints, opts Option
 	bestCost := math.MaxInt
 	var best *Assessment
 
-	// Memoize assessments: the feasibility probe and the leaf test
-	// revisit vectors.
-	cache := map[string]*Assessment{}
-	assessCached := func(y []int) (*Assessment, error) {
-		key := fmt.Sprint(y)
-		if as, ok := cache[key]; ok {
-			return as, nil
-		}
-		as, err := assess(a, perf.Config{Replicas: append([]int(nil), y...)}, goals, opts)
-		if err != nil {
-			return nil, err
-		}
-		rec.Evaluations++
-		cache[key] = as
-		return as, nil
+	// The engine memoizes assessments under the shared compact state
+	// key (the feasibility probe and the leaf test revisit vectors) and
+	// parallelizes the per-state evaluations inside each candidate.
+	eng, err := newEngine(a, goals, opts, opts.workerCount())
+	if err != nil {
+		return nil, err
 	}
+	assessCached := eng.assess
 
 	y := append([]int(nil), lo...)
 	var dfs func(x, costSoFar int) error
@@ -112,6 +104,8 @@ func BranchAndBound(a *perf.Analysis, goals Goals, cons Constraints, opts Option
 	rec.Config = best.Config.Clone()
 	rec.Cost = best.Config.TotalServers()
 	rec.Assessment = best
+	rec.Evaluations = int(eng.computed.Load())
+	eng.stamp(rec)
 	return rec, nil
 }
 
@@ -169,6 +163,10 @@ func SimulatedAnnealing(a *perf.Analysis, goals Goals, cons Constraints, opts Op
 	}
 	rng := dist.NewRNG(sa.Seed)
 
+	eng, err := newEngine(a, goals, opts, opts.workerCount())
+	if err != nil {
+		return nil, err
+	}
 	rec := &Recommendation{}
 	energy := func(as *Assessment) float64 {
 		e := float64(as.Config.TotalServers())
@@ -191,7 +189,11 @@ func SimulatedAnnealing(a *perf.Analysis, goals Goals, cons Constraints, opts Op
 		return e
 	}
 	evaluate := func(y []int) (*Assessment, float64, error) {
-		as, err := assess(a, perf.Config{Replicas: append([]int(nil), y...)}, goals, opts)
+		// The memoized engine makes revisits (the annealer walks a small
+		// neighbourhood repeatedly) nearly free without changing any
+		// result: cached assessments are the exact values a fresh
+		// evaluation would produce.
+		as, err := eng.assess(y)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -248,5 +250,6 @@ func SimulatedAnnealing(a *perf.Analysis, goals Goals, cons Constraints, opts Op
 	rec.Config = best.Config.Clone()
 	rec.Cost = best.Config.TotalServers()
 	rec.Assessment = best
+	eng.stamp(rec)
 	return rec, nil
 }

@@ -158,7 +158,7 @@ func E11Planners() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := config.DefaultOptions()
+	opts := plannerOptions()
 	cons := config.Constraints{MaxReplicas: []int{8, 8, 8}}
 	goalsList := []config.Goals{
 		{MaxUnavailability: 1.5e-6},

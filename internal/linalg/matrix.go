@@ -109,19 +109,28 @@ func (m *Matrix) Transpose() *Matrix {
 // MulVec returns m*v as a new vector.
 // It panics if the dimensions are incompatible.
 func (m *Matrix) MulVec(v Vector) Vector {
+	return m.MulVecInto(NewVector(m.rows), v)
+}
+
+// MulVecInto computes m*v into dst (which must have length m.Rows()) and
+// returns it, so hot loops can reuse one scratch vector across calls.
+// It panics if the dimensions are incompatible.
+func (m *Matrix) MulVecInto(dst, v Vector) Vector {
 	if len(v) != m.cols {
 		panic(fmt.Sprintf("linalg: %dx%d matrix times vector of length %d", m.rows, m.cols, len(v)))
 	}
-	out := NewVector(m.rows)
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("linalg: destination of length %d for %dx%d matrix-vector product", len(dst), m.rows, m.cols))
+	}
 	for i := 0; i < m.rows; i++ {
 		row := m.Row(i)
 		var s float64
 		for j, x := range row {
 			s += x * v[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
+	return dst
 }
 
 // VecMul returns v*m (row vector times matrix) as a new vector.

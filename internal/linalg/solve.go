@@ -152,11 +152,22 @@ func FactorLU(a *Matrix) (*LU, error) {
 
 // Solve solves A x = b using the factorization and returns x.
 func (f *LU) Solve(b Vector) (Vector, error) {
+	return f.SolveInto(NewVector(f.lu.Rows()), b)
+}
+
+// SolveInto solves A x = b into the preallocated dst (which must have
+// length n and may not alias b) and returns it, so callers solving
+// against many right-hand sides reuse one buffer instead of allocating
+// per solve.
+func (f *LU) SolveInto(dst, b Vector) (Vector, error) {
 	n := f.lu.Rows()
 	if len(b) != n {
 		return nil, fmt.Errorf("linalg: LU solve rhs length %d does not match matrix size %d", len(b), n)
 	}
-	x := NewVector(n)
+	if len(dst) != n {
+		return nil, fmt.Errorf("linalg: LU solve destination length %d does not match matrix size %d", len(dst), n)
+	}
+	x := dst
 	// Apply the row permutation to b, then forward-substitute L y = Pb.
 	for i := 0; i < n; i++ {
 		x[i] = b[f.piv[i]]
@@ -197,8 +208,11 @@ func (f *LU) Det() float64 {
 // an error is returned only if both methods fail.
 func Solve(a *Matrix, b Vector) (Vector, error) {
 	x, _, err := GaussSeidel(a, b, nil, GaussSeidelOptions{})
-	if err == nil && residualOK(a, x, b) {
-		return x, nil
+	if err == nil {
+		scratch := NewVector(a.Rows())
+		if residualOK(a, x, b, scratch) {
+			return x, nil
+		}
 	}
 	lu, ferr := FactorLU(a)
 	if ferr != nil {
@@ -211,9 +225,9 @@ func Solve(a *Matrix, b Vector) (Vector, error) {
 }
 
 // residualOK reports whether a*x is close to b relative to the magnitudes
-// involved.
-func residualOK(a *Matrix, x, b Vector) bool {
-	r := a.MulVec(x)
+// involved. The scratch vector (length n) is reused for the product.
+func residualOK(a *Matrix, x, b, scratch Vector) bool {
+	r := a.MulVecInto(scratch, x)
 	var worst float64
 	for i := range r {
 		scale := math.Abs(b[i]) + math.Abs(a.Row(i)[i]*x[i])

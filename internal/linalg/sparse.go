@@ -136,10 +136,23 @@ func (s *Sparse) MulVec(v Vector) Vector {
 
 // VecMul returns v*s (row vector times matrix).
 func (s *Sparse) VecMul(v Vector) Vector {
+	return s.VecMulInto(NewVector(s.n), v)
+}
+
+// VecMulInto computes v*s into dst (length n, not aliasing v) and
+// returns it, so iterative solvers reuse one buffer per sweep instead of
+// allocating.
+func (s *Sparse) VecMulInto(dst, v Vector) Vector {
 	if len(v) != s.n {
 		panic(fmt.Sprintf("linalg: vector of length %d times %dx%d sparse matrix", len(v), s.n, s.n))
 	}
-	out := NewVector(s.n)
+	if len(dst) != s.n {
+		panic(fmt.Sprintf("linalg: destination of length %d for vector times %dx%d sparse matrix", len(dst), s.n, s.n))
+	}
+	out := dst
+	for i := range out {
+		out[i] = 0
+	}
 	for i := 0; i < s.n; i++ {
 		vi := v[i]
 		if vi == 0 {
@@ -235,8 +248,9 @@ func PowerIteration(p *Sparse, opts PowerIterationOptions) (Vector, int, error) 
 	}
 	pi := NewVector(n)
 	pi.Fill(1 / float64(n))
+	scratch := NewVector(n) // reused every sweep; swapped with pi below
 	for iter := 1; iter <= opts.MaxIter; iter++ {
-		next := p.VecMul(pi)
+		next := p.VecMulInto(scratch, pi)
 		// Renormalize to absorb round-off drift.
 		sum := next.Sum()
 		if sum <= 0 || math.IsNaN(sum) {
@@ -247,7 +261,7 @@ func PowerIteration(p *Sparse, opts PowerIterationOptions) (Vector, int, error) 
 		for i := range next {
 			delta += math.Abs(next[i] - pi[i])
 		}
-		pi = next
+		pi, scratch = next, pi
 		if delta <= opts.Tol {
 			return pi, iter, nil
 		}

@@ -157,6 +157,10 @@ type Analysis struct {
 	models []*spec.Model
 	// arrivalRates[x] is l_x = Σ_t ξ_t · r_{x,t} (Section 4.3).
 	arrivalRates linalg.Vector
+	// requests[i] is r_{·,i}, the per-workflow expected request counts,
+	// computed once at construction so per-candidate evaluations don't
+	// re-clone them (Model.ExpectedRequests copies on every call).
+	requests [][]float64
 	// totalWorkflowRate is Σ_t ξ_t.
 	totalWorkflowRate float64
 }
@@ -183,6 +187,7 @@ func NewAnalysis(env *spec.Environment, models []*spec.Model) (*Analysis, error)
 		xi := m.Workflow.ArrivalRate
 		a.totalWorkflowRate += xi
 		a.arrivalRates.AddScaled(xi, r)
+		a.requests = append(a.requests, r)
 	}
 	return a, nil
 }
@@ -199,6 +204,11 @@ func (a *Analysis) RequestArrivalRates() linalg.Vector { return a.arrivalRates.C
 
 // TotalWorkflowRate returns Σ_t ξ_t, the overall workflow arrival rate.
 func (a *Analysis) TotalWorkflowRate() float64 { return a.totalWorkflowRate }
+
+// WorkflowRequests returns r_{·,i}, the expected per-type request counts
+// of one instance of workflow i, computed once at construction. The
+// returned slice is shared — callers must not modify it.
+func (a *Analysis) WorkflowRequests(i int) []float64 { return a.requests[i] }
 
 // ActiveInstances returns N_active per workflow type by Little's law:
 // ξ_t · R_t (Section 4.3).
@@ -389,7 +399,7 @@ func (a *Analysis) Evaluate(cfg Config) (*Report, error) {
 	rep.WorkflowDelay = make([]float64, len(a.models))
 	rep.InflatedTurnaround = make([]float64, len(a.models))
 	for i, m := range a.models {
-		r := m.ExpectedRequests()
+		r := a.requests[i]
 		var delay float64
 		for x := range r {
 			if r[x] == 0 {
@@ -401,6 +411,39 @@ func (a *Analysis) Evaluate(cfg Config) (*Report, error) {
 		rep.InflatedTurnaround[i] = m.Turnaround() + delay
 	}
 	return rep, nil
+}
+
+// DegradedWaiting computes just the waiting-time vector w^X of a plain
+// replication vector (no co-location, no per-replica speeds) into dst,
+// which is grown as needed and returned. It performs the same arithmetic
+// as Evaluate's homogeneous path — bit-identical results — but skips the
+// full Report, so the performability model can sweep thousands of
+// degraded system states without per-state allocations.
+func (a *Analysis) DegradedWaiting(replicas []int, dst []float64) ([]float64, error) {
+	k := a.env.K()
+	if len(replicas) != k {
+		return nil, fmt.Errorf("perf: configuration has %d replication degrees for %d server types", len(replicas), k)
+	}
+	if cap(dst) < k {
+		dst = make([]float64, k)
+	}
+	dst = dst[:k]
+	for x := 0; x < k; x++ {
+		if replicas[x] < 0 {
+			return nil, fmt.Errorf("perf: negative replication degree Y[%d] = %d", x, replicas[x])
+		}
+		st := a.env.Type(x)
+		lx := a.arrivalRates[x]
+		y := float64(replicas[x])
+		var lambda float64
+		if y > 0 {
+			lambda = lx / y
+		} else if lx > 0 {
+			lambda = math.Inf(1)
+		}
+		dst[x] = mg1Wait(lambda, st.MeanService, st.ServiceSecondMoment)
+	}
+	return dst, nil
 }
 
 // heteroQueue evaluates a heterogeneous replica set: requests split

@@ -1,0 +1,312 @@
+package performability
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"performa/internal/avail"
+	"performa/internal/ctmc"
+	"performa/internal/linalg"
+	"performa/internal/perf"
+)
+
+// StateKey returns a compact, unambiguous byte-string key for a system
+// state or replication vector: the uvarint concatenation of its
+// components. Uvarint is a prefix code, so distinct vectors (of any
+// arity) never collide, unlike the fmt.Sprint keys this replaces. The
+// key is the shared currency of the cross-configuration caches: the
+// degraded-state waiting vector w^X depends only on X (and the workload
+// mix), so one key space serves every candidate Y.
+func StateKey(x []int) string {
+	buf := make([]byte, 0, 2*len(x))
+	for _, v := range x {
+		buf = binary.AppendUvarint(buf, uint64(v))
+	}
+	return string(buf)
+}
+
+// CacheStats reports the work avoidance of an Evaluator's shared
+// degraded-state cache.
+type CacheStats struct {
+	// Hits is the number of per-state waiting-time vectors served from
+	// the cache instead of being recomputed.
+	Hits uint64
+	// Misses is the number of performance-model solves actually
+	// performed (one per distinct system state X).
+	Misses uint64
+}
+
+// Add returns the component-wise sum s + t.
+func (s CacheStats) Add(t CacheStats) CacheStats {
+	return CacheStats{Hits: s.Hits + t.Hits, Misses: s.Misses + t.Misses}
+}
+
+// Sub returns the component-wise difference s − t (for delta reporting
+// against a snapshot taken before a search).
+func (s CacheStats) Sub(t CacheStats) CacheStats {
+	return CacheStats{Hits: s.Hits - t.Hits, Misses: s.Misses - t.Misses}
+}
+
+// Evaluator evaluates the performability of candidate configurations
+// over one analysis, sharing work across candidates:
+//
+//   - the degraded-state waiting vectors w^X depend only on the system
+//     state X and the workload mix, never on the candidate Y, so they
+//     are memoized under StateKey(X) and served to every candidate that
+//     can reach state X;
+//   - the per-type availability marginals depend only on one type's
+//     replica count and failure/repair parameters, so they are memoized
+//     too (avail.MarginalCache).
+//
+// An Evaluator is safe for concurrent use; a configuration search (or
+// several, via config.Options.Evaluator) should create one Evaluator and
+// route every candidate through it.
+type Evaluator struct {
+	a         *perf.Analysis
+	opts      Options
+	marginals *avail.MarginalCache
+
+	mu    sync.RWMutex
+	cache map[string][]float64 // StateKey(X) → w^X, read-only once stored
+
+	hits, misses atomic.Uint64
+}
+
+// NewEvaluator validates the options and returns an empty-cache
+// evaluator over the analysis.
+func NewEvaluator(a *perf.Analysis, opts Options) (*Evaluator, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	return &Evaluator{
+		a:         a,
+		opts:      opts,
+		marginals: avail.NewMarginalCache(),
+		cache:     make(map[string][]float64),
+	}, nil
+}
+
+// Analysis returns the analysis the evaluator was built against.
+func (e *Evaluator) Analysis() *perf.Analysis { return e.a }
+
+// Options returns the evaluation options the evaluator was built with.
+func (e *Evaluator) Options() Options { return e.opts }
+
+// Stats returns a snapshot of the cache counters.
+func (e *Evaluator) Stats() CacheStats {
+	return CacheStats{Hits: e.hits.Load(), Misses: e.misses.Load()}
+}
+
+// Evaluate computes W^Y for one candidate, equivalent to the package
+// function Evaluate but with the caches applied. Per-state evaluations
+// run sequentially; see EvaluateParallel.
+func (e *Evaluator) Evaluate(cfg perf.Config) (*Result, error) {
+	return e.EvaluateParallel(cfg, 1)
+}
+
+// EvaluateParallel is Evaluate with the uncached per-state performance
+// evaluations spread over a pool of workers (≤ 1 or 0 means sequential;
+// negative means runtime.NumCPU()). The reduction into W^Y always runs
+// sequentially in state-code order, so the result is bit-identical to
+// the sequential path regardless of the worker count.
+func (e *Evaluator) EvaluateParallel(cfg perf.Config, workers int) (*Result, error) {
+	if len(cfg.Colocated) > 0 {
+		return nil, fmt.Errorf("performability: co-located configurations are not supported")
+	}
+	if cfg.Speeds != nil {
+		return nil, fmt.Errorf("performability: heterogeneous replica speeds are not supported (degraded states cannot tell which replica failed)")
+	}
+	env := e.a.Env()
+	params, err := avail.ParamsFromEnvironment(env, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	availRep, err := avail.EvaluateProductFormCached(params, e.opts.Discipline, true, e.marginals)
+	if err != nil {
+		return nil, err
+	}
+
+	fullUp, err := e.stateWaiting(cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+
+	k := env.K()
+	res := &Result{
+		Config:        cfg.Clone(),
+		FullUpWaiting: append([]float64(nil), fullUp...),
+		Availability:  availRep.Availability,
+	}
+
+	enc := availRep.Encoder
+	fullCode := enc.Encode(cfg.Replicas)
+
+	// Phase 1: resolve w^X for every positive-probability state, from the
+	// cache where possible and via the worker pool otherwise.
+	ws := make([][]float64, enc.Size())
+	var misses []int // codes needing a fresh solve, in code order
+	enc.Each(func(code int, x []int) {
+		if availRep.StateProbs[code] == 0 {
+			return
+		}
+		if code == fullCode {
+			ws[code] = fullUp
+			return
+		}
+		if w, ok := e.lookup(StateKey(x)); ok {
+			ws[code] = w
+			return
+		}
+		misses = append(misses, code)
+	})
+	if err := e.solveStates(enc, misses, ws, workers); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: deterministic reduction in state-code order — the same
+	// float operations in the same order as the sequential sweep.
+	waiting := linalg.NewVector(k)
+	var included float64
+	for code, w := range ws {
+		if w == nil {
+			continue
+		}
+		pi := availRep.StateProbs[code]
+		if code != fullCode {
+			res.DegradationShare += pi
+		}
+		res.StatesEvaluated++
+
+		switch e.opts.Policy {
+		case ExcludeDown:
+			saturated := false
+			for _, wx := range w {
+				if math.IsInf(wx, 1) {
+					saturated = true
+					break
+				}
+			}
+			if saturated {
+				continue // skip this state entirely
+			}
+			included += pi
+			for xIdx := range w {
+				waiting[xIdx] += pi * w[xIdx]
+			}
+		case Penalty:
+			included += pi
+			for xIdx, wx := range w {
+				if math.IsInf(wx, 1) {
+					wx = e.opts.PenaltyValue
+				}
+				waiting[xIdx] += pi * wx
+			}
+		default: // Strict
+			included += pi
+			for xIdx, wx := range w {
+				waiting[xIdx] += pi * wx
+			}
+		}
+	}
+
+	if e.opts.Policy == ExcludeDown {
+		if included == 0 {
+			// No operational state at all: the conditional metric is
+			// undefined; report +Inf.
+			for x := range waiting {
+				waiting[x] = math.Inf(1)
+			}
+		} else {
+			waiting.Scale(1 / included)
+		}
+	}
+	res.Waiting = waiting
+	return res, nil
+}
+
+// lookup fetches a cached w^X and counts the hit.
+func (e *Evaluator) lookup(key string) ([]float64, bool) {
+	e.mu.RLock()
+	w, ok := e.cache[key]
+	e.mu.RUnlock()
+	if ok {
+		e.hits.Add(1)
+	}
+	return w, ok
+}
+
+// stateWaiting returns the memoized w^X for one state, solving the
+// performance model on a miss.
+func (e *Evaluator) stateWaiting(x []int) ([]float64, error) {
+	key := StateKey(x)
+	if w, ok := e.lookup(key); ok {
+		return w, nil
+	}
+	w, err := e.a.DegradedWaiting(x, nil)
+	if err != nil {
+		return nil, err
+	}
+	e.misses.Add(1)
+	e.mu.Lock()
+	e.cache[key] = w
+	e.mu.Unlock()
+	return w, nil
+}
+
+// solveStates fills ws[code] for every code in misses, spreading the
+// solves over the worker pool. Errors are reported deterministically:
+// the one attached to the lowest state code wins.
+func (e *Evaluator) solveStates(enc *ctmc.StateEncoder, misses []int, ws [][]float64, workers int) error {
+	if len(misses) == 0 {
+		return nil
+	}
+	if workers < 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(misses) {
+		workers = len(misses)
+	}
+	if workers <= 1 {
+		for _, code := range misses {
+			w, err := e.stateWaiting(enc.Decode(code))
+			if err != nil {
+				return err
+			}
+			ws[code] = w
+		}
+		return nil
+	}
+	errs := make([]error, len(misses))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(misses) {
+					return
+				}
+				code := misses[j]
+				w, err := e.stateWaiting(enc.Decode(code))
+				if err != nil {
+					errs[j] = err
+					continue
+				}
+				ws[code] = w
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package performability
+
+import (
+	"testing"
+
+	"performa/internal/perf"
+)
+
+func TestStateKeyUnambiguous(t *testing.T) {
+	// fmt.Sprint-style keys collide across arities and digit boundaries;
+	// the uvarint prefix code must not.
+	cases := [][]int{
+		{}, {0}, {1}, {12}, {1, 2}, {2, 1}, {1, 2, 3}, {12, 3}, {1, 23},
+		{127}, {128}, {128, 0}, {0, 128},
+	}
+	seen := make(map[string][]int)
+	for _, x := range cases {
+		k := StateKey(x)
+		if prev, ok := seen[k]; ok {
+			t.Errorf("StateKey collision: %v and %v both map to %q", prev, x, k)
+		}
+		seen[k] = x
+	}
+}
+
+// TestEvaluatorMatchesPackageEvaluate pins the cached evaluator to the
+// reference implementation: same waiting vector, availability, and state
+// accounting, bit for bit.
+func TestEvaluatorMatchesPackageEvaluate(t *testing.T) {
+	env := failingEnv(t)
+	a := analysis(t, env, 1)
+	for _, policy := range []SaturationPolicy{Strict, ExcludeDown} {
+		opts := Options{Policy: policy}
+		ev, err := NewEvaluator(a, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, y := range [][]int{{1, 1, 1}, {2, 2, 2}, {2, 2, 3}, {3, 3, 3}} {
+			cfg := perf.Config{Replicas: y}
+			want, err := Evaluate(a, cfg, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ev.Evaluate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertResultsIdentical(t, policy.String(), want, got)
+		}
+	}
+}
+
+// TestEvaluatorWarmCacheIdentical verifies the cache-correctness
+// contract: re-evaluating against a fully warmed cache performs zero
+// model solves and reproduces the cold results exactly.
+func TestEvaluatorWarmCacheIdentical(t *testing.T) {
+	env := failingEnv(t)
+	a := analysis(t, env, 1)
+	ev, err := NewEvaluator(a, Options{Policy: ExcludeDown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []perf.Config{
+		{Replicas: []int{2, 2, 3}},
+		{Replicas: []int{3, 3, 3}},
+		{Replicas: []int{2, 3, 3}}, // shares most states with the others
+	}
+	cold := make([]*Result, len(cfgs))
+	for i, cfg := range cfgs {
+		if cold[i], err = ev.Evaluate(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warmed := ev.Stats()
+	if warmed.Misses == 0 || warmed.Hits == 0 {
+		t.Fatalf("implausible cold stats %+v", warmed)
+	}
+	for i, cfg := range cfgs {
+		warm, err := ev.Evaluate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertResultsIdentical(t, cfg.String(), cold[i], warm)
+	}
+	if d := ev.Stats().Sub(warmed); d.Misses != 0 {
+		t.Errorf("warm re-evaluation performed %d model solves, want 0", d.Misses)
+	}
+}
+
+// TestEvaluateParallelBitIdentical verifies the determinism contract:
+// any worker count produces exactly the sequential result.
+func TestEvaluateParallelBitIdentical(t *testing.T) {
+	env := failingEnv(t)
+	a := analysis(t, env, 1)
+	cfg := perf.Config{Replicas: []int{3, 3, 4}}
+	for _, policy := range []SaturationPolicy{Strict, ExcludeDown} {
+		opts := Options{Policy: policy}
+		seqEv, err := NewEvaluator(a, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := seqEv.EvaluateParallel(cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 7, -1} {
+			parEv, err := NewEvaluator(a, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := parEv.EvaluateParallel(cfg, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertResultsIdentical(t, policy.String(), want, got)
+		}
+	}
+}
+
+func assertResultsIdentical(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if got.Availability != want.Availability {
+		t.Errorf("%s: availability %v != %v", label, got.Availability, want.Availability)
+	}
+	if got.DegradationShare != want.DegradationShare {
+		t.Errorf("%s: degradation share %v != %v", label, got.DegradationShare, want.DegradationShare)
+	}
+	if got.StatesEvaluated != want.StatesEvaluated {
+		t.Errorf("%s: states evaluated %d != %d", label, got.StatesEvaluated, want.StatesEvaluated)
+	}
+	if len(got.Waiting) != len(want.Waiting) {
+		t.Fatalf("%s: waiting arity %d != %d", label, len(got.Waiting), len(want.Waiting))
+	}
+	for x := range want.Waiting {
+		if got.Waiting[x] != want.Waiting[x] {
+			t.Errorf("%s: W[%d] = %v, want %v (bit-identical)", label, x, got.Waiting[x], want.Waiting[x])
+		}
+		if got.FullUpWaiting[x] != want.FullUpWaiting[x] {
+			t.Errorf("%s: full-up w[%d] = %v, want %v", label, x, got.FullUpWaiting[x], want.FullUpWaiting[x])
+		}
+	}
+}

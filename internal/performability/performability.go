@@ -8,7 +8,6 @@ package performability
 
 import (
 	"fmt"
-	"math"
 
 	"performa/internal/avail"
 	"performa/internal/linalg"
@@ -115,106 +114,9 @@ func (r *Result) Degradation() []float64 {
 // co-location group has no well-defined shared queue in the paper's
 // model.
 func Evaluate(a *perf.Analysis, cfg perf.Config, opts Options) (*Result, error) {
-	if err := opts.validate(); err != nil {
-		return nil, err
-	}
-	if len(cfg.Colocated) > 0 {
-		return nil, fmt.Errorf("performability: co-located configurations are not supported")
-	}
-	if cfg.Speeds != nil {
-		return nil, fmt.Errorf("performability: heterogeneous replica speeds are not supported (degraded states cannot tell which replica failed)")
-	}
-	env := a.Env()
-	params, err := avail.ParamsFromEnvironment(env, cfg.Replicas)
+	e, err := NewEvaluator(a, opts)
 	if err != nil {
 		return nil, err
 	}
-	availRep, err := avail.EvaluateProductForm(params, opts.Discipline, true)
-	if err != nil {
-		return nil, err
-	}
-
-	fullUp, err := a.Evaluate(cfg)
-	if err != nil {
-		return nil, err
-	}
-
-	k := env.K()
-	waiting := linalg.NewVector(k)
-	res := &Result{
-		Config:        cfg.Clone(),
-		FullUpWaiting: append([]float64(nil), fullUp.Waiting...),
-		Availability:  availRep.Availability,
-	}
-
-	fullCode := availRep.Encoder.Encode(cfg.Replicas)
-	var included float64 // probability mass entering the expectation
-	var evalErr error
-	availRep.Encoder.Each(func(code int, x []int) {
-		if evalErr != nil {
-			return
-		}
-		pi := availRep.StateProbs[code]
-		if pi == 0 {
-			return
-		}
-		if code != fullCode {
-			res.DegradationShare += pi
-		}
-		var w []float64
-		if code == fullCode {
-			w = fullUp.Waiting
-		} else {
-			rep, err := a.Evaluate(perf.Config{Replicas: append([]int(nil), x...)})
-			if err != nil {
-				evalErr = err
-				return
-			}
-			w = rep.Waiting
-		}
-		res.StatesEvaluated++
-
-		switch opts.Policy {
-		case ExcludeDown:
-			for _, wx := range w {
-				if math.IsInf(wx, 1) {
-					return // skip this state entirely
-				}
-			}
-			included += pi
-			for xIdx := range w {
-				waiting[xIdx] += pi * w[xIdx]
-			}
-		case Penalty:
-			included += pi
-			for xIdx, wx := range w {
-				if math.IsInf(wx, 1) {
-					wx = opts.PenaltyValue
-				}
-				waiting[xIdx] += pi * wx
-			}
-		default: // Strict
-			included += pi
-			for xIdx, wx := range w {
-				waiting[xIdx] += pi * wx
-			}
-		}
-	})
-	if evalErr != nil {
-		return nil, evalErr
-	}
-
-	if opts.Policy == ExcludeDown {
-		if included == 0 {
-			// No operational state at all: the conditional metric is
-			// undefined; report +Inf.
-			for x := range waiting {
-				waiting[x] = math.Inf(1)
-			}
-		} else {
-			waiting.Scale(1 / included)
-		}
-	}
-	res.Waiting = waiting
-	return res, nil
+	return e.Evaluate(cfg)
 }
