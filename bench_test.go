@@ -9,7 +9,13 @@ package performa
 // and regenerate the full tables with cmd/wfmsbench.
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"performa/internal/avail"
@@ -18,8 +24,10 @@ import (
 	"performa/internal/experiments"
 	"performa/internal/perf"
 	"performa/internal/performability"
+	"performa/internal/server"
 	"performa/internal/sim"
 	"performa/internal/spec"
+	"performa/internal/wfjson"
 	"performa/internal/workload"
 )
 
@@ -479,4 +487,77 @@ func BenchmarkSimulatorEvents(b *testing.B) {
 		events = res.Events
 	}
 	b.ReportMetric(float64(events), "events/run")
+}
+
+// serverBenchSystem builds the request body the serving benchmarks
+// post: the paper environment under the EP workflow, as a wfjson
+// document inside a /v1/recommend request.
+func serverBenchSystem(b *testing.B) []byte {
+	b.Helper()
+	env := workload.PaperEnvironment()
+	doc, err := wfjson.ToDocument(env, []*spec.Workflow{workload.EPWorkflow(5)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]any{
+		"system":  doc,
+		"planner": "greedy",
+		"goals":   map[string]any{"max_waiting": 0.005, "max_unavailability": 1e-5},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return body
+}
+
+func postRecommend(b *testing.B, url string, body []byte) {
+	b.Helper()
+	resp, err := http.Post(url+"/v1/recommend", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkE14ServerRecommendCold measures a /v1/recommend request
+// against a cold wfmsd model cache: every iteration stands up a fresh
+// service, so the request pays the full model build (spec → analysis →
+// evaluator) plus the greedy search.
+func BenchmarkE14ServerRecommendCold(b *testing.B) {
+	body := serverBenchSystem(b)
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		svc := server.New(server.Options{Workers: 2, Logger: logger})
+		ts := httptest.NewServer(svc.Handler())
+		b.StartTimer()
+		postRecommend(b, ts.URL, body)
+		b.StopTimer()
+		ts.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkE14ServerRecommendWarm measures the same request against a
+// warm cache: the model entry is resident and the shared evaluator's
+// degraded-state cache already covers the search space, so the request
+// reduces to admission, cache lookups, and the feasibility reductions.
+func BenchmarkE14ServerRecommendWarm(b *testing.B) {
+	body := serverBenchSystem(b)
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	svc := server.New(server.Options{Workers: 2, Logger: logger})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	postRecommend(b, ts.URL, body) // warm the model entry and evaluator
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postRecommend(b, ts.URL, body)
+	}
 }

@@ -37,6 +37,7 @@ func main() {
 		allowShrink = flag.Bool("allow-shrink", false, "permit recommending fewer replicas when goals hold with headroom")
 		smoothing   = flag.Float64("smoothing", 0.5, "Laplace smoothing for recalibrated branch probabilities")
 		minObs      = flag.Int("min-observations", 50, "minimum completed instances before a trail is trusted")
+		workers     = flag.Int("workers", 0, "planner worker-pool size (0 = all CPUs, 1 = sequential)")
 	)
 	flag.Parse()
 	if *specFile == "" || *configSpec == "" {
@@ -58,6 +59,7 @@ func main() {
 		Goals: config.Goals{MaxWaiting: *maxWait, MaxUnavailability: *maxUnavail},
 		Planner: config.Options{
 			Performability: performability.Options{Policy: performability.ExcludeDown},
+			Workers:        *workers,
 		},
 		Calibration:          calibrate.Options{Smoothing: *smoothing},
 		MinObservedInstances: *minObs,

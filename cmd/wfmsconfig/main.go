@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -31,6 +33,12 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds main's body so the pprof defers flush before the process
+// exits (os.Exit skips deferred calls).
+func run() int {
 	var (
 		workloadName = flag.String("workload", "mix", "built-in workflow mix: ep, order, loan, or mix")
 		specFile     = flag.String("spec", "", "JSON system specification (overrides -workload/-rate; see internal/wfjson)")
@@ -42,19 +50,49 @@ func main() {
 		maxReplicas  = flag.Int("max-replicas", 8, "per-type replication cap for the search")
 		workers      = flag.Int("workers", 0, "assessment worker-pool size (0 = all CPUs, 1 = sequential)")
 		exportSpec   = flag.Bool("export-spec", false, "print the selected built-in workload as a JSON spec and exit")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wfmsconfig:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "wfmsconfig:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wfmsconfig:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is representative
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "wfmsconfig:", err)
+			}
+		}()
+	}
 
 	if *exportSpec {
 		env := workload.PaperEnvironment()
 		flows, err := builtinWorkflows(*workloadName, *rate)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if err := wfjson.Encode(os.Stdout, env, flows); err != nil {
-			fail(err)
+			return fail(err)
 		}
-		return
+		return 0
 	}
 
 	var sys *performa.System
@@ -65,16 +103,15 @@ func main() {
 		sys, err = buildSystem(*workloadName, *rate)
 	}
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	if *assessSpec != "" {
 		cfg, err := parseConfig(*assessSpec, sys.Env().K())
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		assess(sys, cfg)
-		return
+		return assess(sys, cfg)
 	}
 
 	goals := performa.Goals{MaxWaiting: *maxWait, MaxUnavailability: *maxUnavail}
@@ -97,7 +134,7 @@ func main() {
 		rec, err = sys.Plan(goals, cons, opts)
 	}
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	fmt.Printf("recommended configuration: %s  (cost: %d servers, %d candidate evaluations)\n",
@@ -120,7 +157,7 @@ func main() {
 				step.Config, step.MaxWaiting, step.Unavailability, action)
 		}
 	}
-	assess(sys, rec.Config)
+	return assess(sys, rec.Config)
 }
 
 func loadSystem(path string) (*performa.System, error) {
@@ -179,10 +216,10 @@ func parseConfig(s string, k int) (performa.Configuration, error) {
 	return performa.Configuration{Replicas: replicas}, nil
 }
 
-func assess(sys *performa.System, cfg performa.Configuration) {
+func assess(sys *performa.System, cfg performa.Configuration) int {
 	as, err := sys.Assess(cfg)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	env := sys.Env()
 	fmt.Printf("\nassessment of %s\n", cfg)
@@ -204,6 +241,7 @@ func assess(sys *performa.System, cfg performa.Configuration) {
 		fmt.Printf("  performability max waiting: %.5g min (degraded-state probability %.3e)\n",
 			as.Performability.MaxWaiting(), as.Performability.DegradationShare)
 	}
+	return 0
 }
 
 func humanDowntime(hoursPerYear float64) string {
@@ -217,7 +255,9 @@ func humanDowntime(hoursPerYear float64) string {
 	}
 }
 
-func fail(err error) {
+// fail reports the error and returns the exit code, letting run()'s
+// deferred profile writers flush before the process exits.
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "wfmsconfig:", err)
-	os.Exit(1)
+	return 1
 }

@@ -1,0 +1,94 @@
+// Command wfmsd serves the configuration-advisory pipeline over
+// HTTP/JSON: assessment, planning, and calibration of distributed-WFMS
+// configurations as a long-running service with warm model caches — the
+// paper's Section 7 tool consulted continuously instead of re-solving
+// the models per invocation.
+//
+// Usage:
+//
+//	wfmsd -addr :8080
+//	wfmsd -addr :8080 -workers 8 -cache-size 64 -request-timeout 30s
+//
+// Endpoints: POST /v1/assess, POST /v1/recommend, POST /v1/calibrate,
+// GET /v1/stats, GET /metrics, GET /healthz. See internal/server for
+// the request schemas and DESIGN.md §7 for the serving architecture.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"performa/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "total planner-worker budget (0 = all CPUs)")
+		cacheSize  = flag.Int("cache-size", 32, "warm system models kept resident (LRU entries)")
+		reqTimeout = flag.Duration("request-timeout", 60*time.Second, "per-request deadline for assess/recommend/calibrate (0 = none)")
+		drain      = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+		maxBody    = flag.Int64("max-body", 8<<20, "request body size cap in bytes")
+		logJSON    = flag.Bool("log-json", false, "emit JSON logs instead of text")
+	)
+	flag.Parse()
+
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+
+	svc := server.New(server.Options{
+		Workers:        *workers,
+		CacheSize:      *cacheSize,
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *reqTimeout,
+		Logger:         logger,
+	})
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.ListenAndServe() }()
+	logger.Info("wfmsd listening", "addr", *addr)
+
+	select {
+	case <-ctx.Done():
+		logger.Info("shutting down", "drain", drain.String())
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "wfmsd:", err)
+		os.Exit(1)
+	}
+
+	// Drain: refuse new requests at the service layer, then close the
+	// listener and wait for in-flight requests (http.Server.Shutdown
+	// waits for active connections; expiring its context cancels the
+	// request contexts, which unwinds any still-running searches).
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := svc.Shutdown(drainCtx); err != nil {
+		logger.Warn("drain incomplete, canceling in-flight requests", "err", err)
+	}
+	if err := httpServer.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "wfmsd: shutdown:", err)
+		os.Exit(1)
+	}
+	logger.Info("wfmsd stopped")
+}

@@ -7,14 +7,24 @@
 //
 //	wfmssim -workload ep -rate 3 -config 2,2,2 -horizon 20000
 //	wfmssim -workload mix -rate 6 -config 2,2,3 -failures -accel 100
+//	wfmssim -workload ep -rate 3 -config 2,2,2 -replications 8 -workers 4
+//
+// A single simulation run is inherently sequential (one event clock),
+// so -workers parallelizes across independent replications: with
+// -replications N the simulator runs N times under seeds seed,
+// seed+1, …, seed+N-1 on a pool of -workers goroutines and reports the
+// across-replication means, which tightens the estimates the same way a
+// longer horizon would while using every core.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 
 	"performa"
 	"performa/internal/sim"
@@ -35,6 +45,8 @@ func main() {
 		failures     = flag.Bool("failures", false, "enable server failures and repairs")
 		accel        = flag.Float64("accel", 1, "failure-rate acceleration factor (for sampling downtime in short runs)")
 		dispatch     = flag.String("dispatch", "random", "load partitioning: random, rr (round-robin), or shared (one queue per type)")
+		replications = flag.Int("replications", 1, "independent replications under seeds seed, seed+1, ... (aggregated)")
+		workers      = flag.Int("workers", 0, "parallel replication workers (0 = all CPUs, capped at -replications)")
 	)
 	flag.Parse()
 	if *warmup <= 0 {
@@ -94,7 +106,10 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown dispatch policy %q (want random, rr, or shared)", *dispatch))
 	}
-	res, err := sys.Simulate(params)
+	if *replications < 1 {
+		fail(fmt.Errorf("-replications must be positive, got %d", *replications))
+	}
+	res, err := runReplications(sys, params, *replications, *workers)
 	if err != nil {
 		fail(err)
 	}
@@ -103,8 +118,13 @@ func main() {
 		fail(err)
 	}
 
-	fmt.Printf("simulated %s for %.0f min (warm-up %.0f, %d events, seed %d)\n",
-		cfg, *horizon, *warmup, res.Events, *seed)
+	if *replications > 1 {
+		fmt.Printf("simulated %s for %.0f min × %d replications (warm-up %.0f, %d events, seeds %d..%d)\n",
+			cfg, *horizon, *replications, *warmup, res.Events, *seed, *seed+uint64(*replications)-1)
+	} else {
+		fmt.Printf("simulated %s for %.0f min (warm-up %.0f, %d events, seed %d)\n",
+			cfg, *horizon, *warmup, res.Events, *seed)
+	}
 	fmt.Printf("  %-12s %-12s %-12s %-14s %-14s %-12s %-10s\n",
 		"server type", "util (sim)", "util (model)", "wait (sim)", "wait (model)", "wait p95", "requests")
 	for x := 0; x < env.K(); x++ {
@@ -122,6 +142,86 @@ func main() {
 	if *failures {
 		fmt.Printf("  observed unavailability: %.6g\n", res.Unavailability)
 	}
+}
+
+// runReplications executes n independent simulation runs under
+// consecutive seeds on a bounded worker pool and merges the results:
+// across-replication means for the rate-like metrics, sums for the
+// counters. With n = 1 it is exactly one sys.Simulate call.
+func runReplications(sys *performa.System, params performa.SimParams, n, workers int) (*performa.SimResult, error) {
+	if n == 1 {
+		return sys.Simulate(params)
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]*performa.SimResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				p := params
+				p.Seed = params.Seed + uint64(i)
+				results[i], errs[i] = sys.Simulate(p)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("replication %d (seed %d): %w", i, params.Seed+uint64(i), err)
+		}
+	}
+	return mergeResults(results), nil
+}
+
+// mergeResults folds replication results into one report: means of the
+// observed rates and waiting times, sums of the event and completion
+// counters.
+func mergeResults(results []*performa.SimResult) *performa.SimResult {
+	n := float64(len(results))
+	out := *results[0]
+	out.Waiting = append([]sim.Moments(nil), results[0].Waiting...)
+	out.WaitingP95 = append([]float64(nil), results[0].WaitingP95...)
+	out.Utilization = append([]float64(nil), results[0].Utilization...)
+	out.Turnaround = append([]sim.Moments(nil), results[0].Turnaround...)
+	out.Completed = append([]uint64(nil), results[0].Completed...)
+	out.RequestsServed = append([]uint64(nil), results[0].RequestsServed...)
+	for _, r := range results[1:] {
+		for x := range out.Waiting {
+			out.Waiting[x].Mean += r.Waiting[x].Mean
+			out.WaitingP95[x] += r.WaitingP95[x]
+			out.Utilization[x] += r.Utilization[x]
+			out.RequestsServed[x] += r.RequestsServed[x]
+		}
+		for i := range out.Turnaround {
+			out.Turnaround[i].Mean += r.Turnaround[i].Mean
+			out.Completed[i] += r.Completed[i]
+		}
+		out.Unavailability += r.Unavailability
+		out.Events += r.Events
+	}
+	for x := range out.Waiting {
+		out.Waiting[x].Mean /= n
+		out.WaitingP95[x] /= n
+		out.Utilization[x] /= n
+	}
+	for i := range out.Turnaround {
+		out.Turnaround[i].Mean /= n
+	}
+	out.Unavailability /= n
+	return &out
 }
 
 func buildWorkflows(name string, rate float64) ([]*spec.Workflow, error) {

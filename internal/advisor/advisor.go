@@ -9,6 +9,7 @@
 package advisor
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -180,12 +181,18 @@ type Decision struct {
 // if they are violated (or over-satisfied with AllowShrink), searches for
 // the new configuration.
 func (a *Advisor) Recommend(current perf.Config) (*Decision, error) {
+	return a.RecommendContext(context.Background(), current)
+}
+
+// RecommendContext is Recommend with cancellation: a done context aborts
+// the assessment or the growth/shrink search and returns ctx.Err().
+func (a *Advisor) RecommendContext(ctx context.Context, current perf.Config) (*Decision, error) {
 	k := a.env.K()
 	if len(current.Replicas) != k {
 		return nil, fmt.Errorf("advisor: configuration has %d entries for %d server types", len(current.Replicas), k)
 	}
 	d := &Decision{EvaluatedAt: time.Now()}
-	as, err := config.Assess(a.analysis, current, a.opts.Goals, a.opts.Planner)
+	as, err := config.AssessContext(ctx, a.analysis, current, a.opts.Goals, a.opts.Planner)
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +202,7 @@ func (a *Advisor) Recommend(current perf.Config) (*Decision, error) {
 		cons := a.opts.Constraints
 		// Never shrink below the running system while growing.
 		cons.MinReplicas = mergeMin(cons.MinReplicas, current.Replicas)
-		rec, err := config.Greedy(a.analysis, a.opts.Goals, cons, a.opts.Planner)
+		rec, err := config.GreedyContext(ctx, a.analysis, a.opts.Goals, cons, a.opts.Planner)
 		if err != nil {
 			return nil, fmt.Errorf("advisor: goals violated and no feasible growth found: %w", err)
 		}
@@ -215,7 +222,7 @@ func (a *Advisor) Recommend(current perf.Config) (*Decision, error) {
 	}
 
 	if a.opts.AllowShrink {
-		rec, err := config.Greedy(a.analysis, a.opts.Goals, a.opts.Constraints, a.opts.Planner)
+		rec, err := config.GreedyContext(ctx, a.analysis, a.opts.Goals, a.opts.Constraints, a.opts.Planner)
 		if err == nil && rec.Cost < current.TotalServers() {
 			d.Verdict = Shrink
 			d.Target = rec.Config

@@ -29,6 +29,13 @@ func NewMarginalCache() *MarginalCache {
 	return &MarginalCache{m: make(map[marginalKey]linalg.Vector)}
 }
 
+// Size returns the number of memoized per-type marginal solves.
+func (c *MarginalCache) Size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
 // TypeMarginal returns the memoized steady-state distribution of one
 // server type, computing and caching it on the first request.
 func (c *MarginalCache) TypeMarginal(p TypeParams, discipline RepairDiscipline) (linalg.Vector, error) {

@@ -7,6 +7,7 @@
 package config
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -238,6 +239,12 @@ type Recommendation struct {
 // the advisor) that track a running system's compliance without
 // searching.
 func Assess(a *perf.Analysis, cfg perf.Config, goals Goals, opts Options) (*Assessment, error) {
+	return AssessContext(context.Background(), a, cfg, goals, opts)
+}
+
+// AssessContext is Assess with cancellation: a done context aborts the
+// per-state solves and returns ctx.Err().
+func AssessContext(ctx context.Context, a *perf.Analysis, cfg perf.Config, goals Goals, opts Options) (*Assessment, error) {
 	if err := goals.validate(a.Env().K()); err != nil {
 		return nil, err
 	}
@@ -245,7 +252,7 @@ func Assess(a *perf.Analysis, cfg perf.Config, goals Goals, opts Options) (*Asse
 	if err != nil {
 		return nil, err
 	}
-	return eng.assessConfig(cfg)
+	return eng.assessConfig(ctx, cfg)
 }
 
 // Greedy runs the paper's heuristic (Section 7.2): starting from the
@@ -256,6 +263,14 @@ func Assess(a *perf.Analysis, cfg perf.Config, goals Goals, opts Options) (*Asse
 // additions so the configuration is never oversized for one criterion
 // while the other already holds.
 func Greedy(a *perf.Analysis, goals Goals, cons Constraints, opts Options) (*Recommendation, error) {
+	return GreedyContext(context.Background(), a, goals, cons, opts)
+}
+
+// GreedyContext is Greedy with cancellation: a done context makes the
+// search return ctx.Err() promptly, discarding any partial trace. The
+// shared evaluator (Options.Evaluator) keeps every per-state vector that
+// completed before the cancellation and stays reusable.
+func GreedyContext(ctx context.Context, a *perf.Analysis, goals Goals, cons Constraints, opts Options) (*Recommendation, error) {
 	k := a.Env().K()
 	if err := goals.validate(k); err != nil {
 		return nil, err
@@ -273,7 +288,7 @@ func Greedy(a *perf.Analysis, goals Goals, cons Constraints, opts Options) (*Rec
 	cfg := perf.Config{Replicas: append([]int(nil), lo...)}
 	rec := &Recommendation{}
 	for iter := 0; iter < opts.MaxIterations; iter++ {
-		as, err := eng.assess(cfg.Replicas)
+		as, err := eng.assess(ctx, cfg.Replicas)
 		if err != nil {
 			return nil, err
 		}
@@ -417,6 +432,12 @@ func mostCriticalForAvailability(a *perf.Analysis, replicas, hi []int, opts Opti
 // (The final chunk's trailing members are assessed speculatively; that
 // extra work shows up only in the Cache counters.)
 func Exhaustive(a *perf.Analysis, goals Goals, cons Constraints, opts Options) (*Recommendation, error) {
+	return ExhaustiveContext(context.Background(), a, goals, cons, opts)
+}
+
+// ExhaustiveContext is Exhaustive with cancellation: a done context
+// aborts the enumeration and returns ctx.Err().
+func ExhaustiveContext(ctx context.Context, a *perf.Analysis, goals Goals, cons Constraints, opts Options) (*Recommendation, error) {
 	k := a.Env().K()
 	if err := goals.validate(k); err != nil {
 		return nil, err
@@ -444,7 +465,7 @@ func Exhaustive(a *perf.Analysis, goals Goals, cons Constraints, opts Options) (
 		var ferr error
 		if workers <= 1 {
 			enumerate(lo, hi, total, func(y []int) bool {
-				as, err := eng.assess(y)
+				as, err := eng.assess(ctx, y)
 				if err != nil {
 					ferr = err
 					return false
@@ -457,7 +478,7 @@ func Exhaustive(a *perf.Analysis, goals Goals, cons Constraints, opts Options) (
 				return true
 			})
 		} else {
-			found, ferr = exhaustiveParallel(eng, lo, hi, total, workers, rec)
+			found, ferr = exhaustiveParallel(ctx, eng, lo, hi, total, workers, rec)
 		}
 		if ferr != nil {
 			return nil, ferr
@@ -477,7 +498,7 @@ func Exhaustive(a *perf.Analysis, goals Goals, cons Constraints, opts Options) (
 // chunks, assessing each chunk over the worker pool and scanning it in
 // order, so the returned assessment is exactly the one the sequential
 // sweep would have accepted first.
-func exhaustiveParallel(eng *engine, lo, hi []int, total, workers int, rec *Recommendation) (*Assessment, error) {
+func exhaustiveParallel(ctx context.Context, eng *engine, lo, hi []int, total, workers int, rec *Recommendation) (*Assessment, error) {
 	chunkSize := 4 * workers
 	chunk := make([][]int, 0, chunkSize)
 	var found *Assessment
@@ -486,7 +507,7 @@ func exhaustiveParallel(eng *engine, lo, hi []int, total, workers int, rec *Reco
 		if len(chunk) == 0 {
 			return true
 		}
-		out, err := eng.assessChunk(chunk, workers)
+		out, err := eng.assessChunk(ctx, chunk, workers)
 		n := len(chunk)
 		chunk = chunk[:0]
 		if err != nil {

@@ -1,6 +1,7 @@
 package config
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -64,7 +65,13 @@ func newEngine(a *perf.Analysis, goals Goals, opts Options, stateWorkers int) (*
 
 // assess evaluates the candidate replication vector y against the goals,
 // memoized. Returned assessments are shared — treat them as read-only.
-func (e *engine) assess(y []int) (*Assessment, error) {
+// A done context makes it return ctx.Err() promptly; the memo only ever
+// stores completed assessments, so a canceled search leaves the engine
+// (and the shared evaluator behind it) consistent and reusable.
+func (e *engine) assess(ctx context.Context, y []int) (*Assessment, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	key := performability.StateKey(y)
 	e.mu.Lock()
 	as, ok := e.memo[key]
@@ -72,7 +79,7 @@ func (e *engine) assess(y []int) (*Assessment, error) {
 	if ok {
 		return as, nil
 	}
-	as, err := e.compute(perf.Config{Replicas: append([]int(nil), y...)})
+	as, err := e.compute(ctx, perf.Config{Replicas: append([]int(nil), y...)})
 	if err != nil {
 		return nil, err
 	}
@@ -86,17 +93,17 @@ func (e *engine) assess(y []int) (*Assessment, error) {
 // co-location or per-replica speeds bypass the memo (its key covers only
 // the replication vector); the evaluator rejects them with the same
 // error the sequential path produced.
-func (e *engine) assessConfig(cfg perf.Config) (*Assessment, error) {
+func (e *engine) assessConfig(ctx context.Context, cfg perf.Config) (*Assessment, error) {
 	if len(cfg.Colocated) > 0 || cfg.Speeds != nil {
-		return e.compute(cfg)
+		return e.compute(ctx, cfg)
 	}
-	return e.assess(cfg.Replicas)
+	return e.assess(ctx, cfg.Replicas)
 }
 
 // compute runs the performability model and checks the goals — the body
 // of the former sequential assess().
-func (e *engine) compute(cfg perf.Config) (*Assessment, error) {
-	res, err := e.ev.EvaluateParallel(cfg, e.stateWorkers)
+func (e *engine) compute(ctx context.Context, cfg perf.Config) (*Assessment, error) {
+	res, err := e.ev.EvaluateContext(ctx, cfg, e.stateWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -149,7 +156,7 @@ func (e *engine) stamp(rec *Recommendation) {
 // returns the per-candidate assessments in input order, plus the first
 // error in input order (later candidates' errors are suppressed, as the
 // sequential scan would never have reached them).
-func (e *engine) assessChunk(ys [][]int, workers int) ([]*Assessment, error) {
+func (e *engine) assessChunk(ctx context.Context, ys [][]int, workers int) ([]*Assessment, error) {
 	out := make([]*Assessment, len(ys))
 	errs := make([]error, len(ys))
 	if workers > len(ys) {
@@ -157,7 +164,7 @@ func (e *engine) assessChunk(ys [][]int, workers int) ([]*Assessment, error) {
 	}
 	if workers <= 1 {
 		for i, y := range ys {
-			as, err := e.assess(y)
+			as, err := e.assess(ctx, y)
 			if err != nil {
 				return nil, err
 			}
@@ -176,11 +183,14 @@ func (e *engine) assessChunk(ys [][]int, workers int) ([]*Assessment, error) {
 				if i >= len(ys) {
 					return
 				}
-				out[i], errs[i] = e.assess(ys[i])
+				out[i], errs[i] = e.assess(ctx, ys[i])
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

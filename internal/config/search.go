@@ -1,6 +1,7 @@
 package config
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -29,6 +30,13 @@ import (
 //
 // It returns the same optimum as Exhaustive with far fewer evaluations.
 func BranchAndBound(a *perf.Analysis, goals Goals, cons Constraints, opts Options) (*Recommendation, error) {
+	return BranchAndBoundContext(context.Background(), a, goals, cons, opts)
+}
+
+// BranchAndBoundContext is BranchAndBound with cancellation: a done
+// context unwinds the depth-first search and returns ctx.Err(),
+// discarding the incumbent.
+func BranchAndBoundContext(ctx context.Context, a *perf.Analysis, goals Goals, cons Constraints, opts Options) (*Recommendation, error) {
 	k := a.Env().K()
 	if err := goals.validate(k); err != nil {
 		return nil, err
@@ -50,7 +58,7 @@ func BranchAndBound(a *perf.Analysis, goals Goals, cons Constraints, opts Option
 	if err != nil {
 		return nil, err
 	}
-	assessCached := eng.assess
+	assessCached := func(y []int) (*Assessment, error) { return eng.assess(ctx, y) }
 
 	y := append([]int(nil), lo...)
 	var dfs func(x, costSoFar int) error
@@ -151,6 +159,13 @@ func (o AnnealingOptions) withDefaults() AnnealingOptions {
 // the greedy heuristic navigates poorly (tight coupled goals, holes cut
 // by Fixed constraints) and as the paper's named alternative.
 func SimulatedAnnealing(a *perf.Analysis, goals Goals, cons Constraints, opts Options, sa AnnealingOptions) (*Recommendation, error) {
+	return SimulatedAnnealingContext(context.Background(), a, goals, cons, opts, sa)
+}
+
+// SimulatedAnnealingContext is SimulatedAnnealing with cancellation: a
+// done context stops the walk and returns ctx.Err(), discarding the best
+// configuration seen so far.
+func SimulatedAnnealingContext(ctx context.Context, a *perf.Analysis, goals Goals, cons Constraints, opts Options, sa AnnealingOptions) (*Recommendation, error) {
 	k := a.Env().K()
 	if err := goals.validate(k); err != nil {
 		return nil, err
@@ -193,7 +208,7 @@ func SimulatedAnnealing(a *perf.Analysis, goals Goals, cons Constraints, opts Op
 		// neighbourhood repeatedly) nearly free without changing any
 		// result: cached assessments are the exact values a fresh
 		// evaluation would produce.
-		as, err := eng.assess(y)
+		as, err := eng.assess(ctx, y)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -222,6 +237,9 @@ func SimulatedAnnealing(a *perf.Analysis, goals Goals, cons Constraints, opts Op
 	cooling := math.Pow(sa.FinalTemp/sa.InitialTemp, 1/float64(sa.Iterations))
 	temp := sa.InitialTemp
 	for iter := 0; iter < sa.Iterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		x := rng.Intn(k)
 		delta := 1
 		if rng.Float64() < 0.5 {

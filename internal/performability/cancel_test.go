@@ -1,0 +1,81 @@
+package performability
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"performa/internal/perf"
+)
+
+// TestEvaluateContextCanceled pins the cancellation contract: a dead
+// context aborts the evaluation with ctx.Err() and no result.
+func TestEvaluateContextCanceled(t *testing.T) {
+	env := failingEnv(t)
+	a := analysis(t, env, 1)
+	ev, err := NewEvaluator(a, Options{Policy: ExcludeDown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		res, err := ev.EvaluateContext(ctx, perf.Config{Replicas: []int{2, 2, 3}}, workers)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if res != nil {
+			t.Errorf("workers=%d: canceled evaluation returned a result", workers)
+		}
+	}
+}
+
+// TestEvaluatorReusableAfterCancel verifies cancellation cannot poison
+// the shared caches: after an aborted evaluation, the same evaluator
+// produces results bit-identical to a never-canceled one, and any
+// degraded states the aborted run did complete stay cached (the warm
+// re-run performs no extra solves beyond what a fresh run would).
+func TestEvaluatorReusableAfterCancel(t *testing.T) {
+	env := failingEnv(t)
+	a := analysis(t, env, 1)
+	cfg := perf.Config{Replicas: []int{3, 3, 4}}
+
+	pristine, err := NewEvaluator(a, Options{Policy: ExcludeDown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pristine.Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ev, err := NewEvaluator(a, Options{Policy: ExcludeDown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ev.EvaluateContext(ctx, cfg, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	got, err := ev.Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, "after cancel", want, got)
+
+	// A fully warmed evaluator still serves everything from cache after
+	// an interleaved canceled call.
+	if _, err := ev.EvaluateContext(ctx, cfg, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("second canceled call: err = %v", err)
+	}
+	before := ev.Stats()
+	warm, err := ev.Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, "warm after cancel", want, warm)
+	if d := ev.Stats().Sub(before); d.Misses != 0 {
+		t.Errorf("warm re-evaluation after cancel performed %d solves, want 0", d.Misses)
+	}
+}

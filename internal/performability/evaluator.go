@@ -1,6 +1,7 @@
 package performability
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -96,6 +97,19 @@ func (e *Evaluator) Analysis() *perf.Analysis { return e.a }
 // Options returns the evaluation options the evaluator was built with.
 func (e *Evaluator) Options() Options { return e.opts }
 
+// Marginals returns the evaluator's per-type availability marginal
+// cache, so long-lived owners (the advisory server) can report its size
+// alongside the degraded-state counters.
+func (e *Evaluator) Marginals() *avail.MarginalCache { return e.marginals }
+
+// CachedStates returns the number of distinct system states whose
+// waiting vectors are currently memoized.
+func (e *Evaluator) CachedStates() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.cache)
+}
+
 // Stats returns a snapshot of the cache counters.
 func (e *Evaluator) Stats() CacheStats {
 	return CacheStats{Hits: e.hits.Load(), Misses: e.misses.Load()}
@@ -114,6 +128,16 @@ func (e *Evaluator) Evaluate(cfg perf.Config) (*Result, error) {
 // sequentially in state-code order, so the result is bit-identical to
 // the sequential path regardless of the worker count.
 func (e *Evaluator) EvaluateParallel(cfg perf.Config, workers int) (*Result, error) {
+	return e.EvaluateContext(context.Background(), cfg, workers)
+}
+
+// EvaluateContext is EvaluateParallel with cancellation: the resolve
+// phase checks ctx between per-state solves and returns ctx.Err()
+// promptly once the context is done. A canceled evaluation writes no
+// partial result anywhere — every state vector that did complete is
+// individually consistent and stays cached, so the evaluator remains
+// valid for (and warmed up for) later evaluations.
+func (e *Evaluator) EvaluateContext(ctx context.Context, cfg perf.Config, workers int) (*Result, error) {
 	if len(cfg.Colocated) > 0 {
 		return nil, fmt.Errorf("performability: co-located configurations are not supported")
 	}
@@ -130,6 +154,9 @@ func (e *Evaluator) EvaluateParallel(cfg perf.Config, workers int) (*Result, err
 		return nil, err
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	fullUp, err := e.stateWaiting(cfg.Replicas)
 	if err != nil {
 		return nil, err
@@ -163,7 +190,7 @@ func (e *Evaluator) EvaluateParallel(cfg perf.Config, workers int) (*Result, err
 		}
 		misses = append(misses, code)
 	})
-	if err := e.solveStates(enc, misses, ws, workers); err != nil {
+	if err := e.solveStates(ctx, enc, misses, ws, workers); err != nil {
 		return nil, err
 	}
 
@@ -259,8 +286,10 @@ func (e *Evaluator) stateWaiting(x []int) ([]float64, error) {
 
 // solveStates fills ws[code] for every code in misses, spreading the
 // solves over the worker pool. Errors are reported deterministically:
-// the one attached to the lowest state code wins.
-func (e *Evaluator) solveStates(enc *ctmc.StateEncoder, misses []int, ws [][]float64, workers int) error {
+// the one attached to the lowest state code wins, except that a context
+// cancellation always wins (the remaining solves were abandoned, so any
+// later per-state error is an artifact of where the workers stopped).
+func (e *Evaluator) solveStates(ctx context.Context, enc *ctmc.StateEncoder, misses []int, ws [][]float64, workers int) error {
 	if len(misses) == 0 {
 		return nil
 	}
@@ -272,6 +301,9 @@ func (e *Evaluator) solveStates(enc *ctmc.StateEncoder, misses []int, ws [][]flo
 	}
 	if workers <= 1 {
 		for _, code := range misses {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			w, err := e.stateWaiting(enc.Decode(code))
 			if err != nil {
 				return err
@@ -288,6 +320,9 @@ func (e *Evaluator) solveStates(enc *ctmc.StateEncoder, misses []int, ws [][]flo
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				j := int(next.Add(1)) - 1
 				if j >= len(misses) {
 					return
@@ -303,6 +338,9 @@ func (e *Evaluator) solveStates(enc *ctmc.StateEncoder, misses []int, ws [][]flo
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -1,0 +1,333 @@
+package server
+
+// This file defines the request and response schemas of the advisory
+// API. System models ride in requests as wfjson documents — the same
+// codec the CLIs consume — so a spec exported with `wfmsconfig
+// -export-spec` posts to the service unchanged.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"performa/internal/audit"
+	"performa/internal/avail"
+	"performa/internal/config"
+	"performa/internal/performability"
+	"performa/internal/wfjson"
+)
+
+// Float is a float64 that survives JSON encoding of the model's
+// non-finite values: the infinities the waiting-time model produces for
+// saturated configurations (greedy traces routinely pass through them)
+// encode as the quoted strings "Infinity"/"-Infinity"/"NaN" instead of
+// failing the whole response.
+type Float float64
+
+// MarshalJSON encodes finite values as plain numbers.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"Infinity"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Infinity"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON accepts both plain numbers and the quoted sentinels.
+func (f *Float) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"Infinity"`:
+		*f = Float(math.Inf(1))
+		return nil
+	case `"-Infinity"`:
+		*f = Float(math.Inf(-1))
+		return nil
+	case `"NaN"`:
+		*f = Float(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = Float(v)
+	return nil
+}
+
+func floats(xs []float64) []Float {
+	if xs == nil {
+		return nil
+	}
+	out := make([]Float, len(xs))
+	for i, v := range xs {
+		out[i] = Float(v)
+	}
+	return out
+}
+
+// GoalsJSON mirrors config.Goals.
+type GoalsJSON struct {
+	MaxWaiting          float64   `json:"max_waiting,omitempty"`
+	MaxUnavailability   float64   `json:"max_unavailability,omitempty"`
+	PerTypeMaxWaiting   []float64 `json:"per_type_max_waiting,omitempty"`
+	PerWorkflowMaxDelay []float64 `json:"per_workflow_max_delay,omitempty"`
+}
+
+func (g GoalsJSON) toGoals() config.Goals {
+	return config.Goals{
+		MaxWaiting:          g.MaxWaiting,
+		MaxUnavailability:   g.MaxUnavailability,
+		PerTypeMaxWaiting:   g.PerTypeMaxWaiting,
+		PerWorkflowMaxDelay: g.PerWorkflowMaxDelay,
+	}
+}
+
+// ConstraintsJSON mirrors config.Constraints.
+type ConstraintsJSON struct {
+	MinReplicas []int `json:"min_replicas,omitempty"`
+	MaxReplicas []int `json:"max_replicas,omitempty"`
+	Fixed       []int `json:"fixed,omitempty"`
+}
+
+func (c ConstraintsJSON) toConstraints() config.Constraints {
+	return config.Constraints{
+		MinReplicas: c.MinReplicas,
+		MaxReplicas: c.MaxReplicas,
+		Fixed:       c.Fixed,
+	}
+}
+
+// ModelJSON selects the evaluation model variant. The zero value means
+// the recommended exclude-down policy with independent repair — the
+// decomposition the paper's Section 7.1 describes.
+type ModelJSON struct {
+	// Policy is "exclude-down" (default), "strict", or "penalty".
+	Policy string `json:"policy,omitempty"`
+	// PenaltyValue is the substitute waiting time under "penalty".
+	PenaltyValue float64 `json:"penalty_value,omitempty"`
+	// Discipline is "independent" (default) or "single-crew".
+	Discipline string `json:"discipline,omitempty"`
+}
+
+func (m ModelJSON) toOptions() (performability.Options, error) {
+	out := performability.Options{PenaltyValue: m.PenaltyValue}
+	switch m.Policy {
+	case "", "exclude-down":
+		out.Policy = performability.ExcludeDown
+	case "strict":
+		out.Policy = performability.Strict
+	case "penalty":
+		out.Policy = performability.Penalty
+	default:
+		return out, fmt.Errorf("unknown policy %q (want exclude-down, strict, or penalty)", m.Policy)
+	}
+	switch m.Discipline {
+	case "", "independent":
+		out.Discipline = avail.IndependentRepair
+	case "single-crew":
+		out.Discipline = avail.SingleCrew
+	default:
+		return out, fmt.Errorf("unknown repair discipline %q (want independent or single-crew)", m.Discipline)
+	}
+	return out, nil
+}
+
+// AnnealingJSON mirrors config.AnnealingOptions.
+type AnnealingJSON struct {
+	Seed              uint64  `json:"seed,omitempty"`
+	Iterations        int     `json:"iterations,omitempty"`
+	InitialTemp       float64 `json:"initial_temp,omitempty"`
+	FinalTemp         float64 `json:"final_temp,omitempty"`
+	InfeasiblePenalty float64 `json:"infeasible_penalty,omitempty"`
+}
+
+func (a AnnealingJSON) toOptions() config.AnnealingOptions {
+	return config.AnnealingOptions{
+		Seed:              a.Seed,
+		Iterations:        a.Iterations,
+		InitialTemp:       a.InitialTemp,
+		FinalTemp:         a.FinalTemp,
+		InfeasiblePenalty: a.InfeasiblePenalty,
+	}
+}
+
+// AssessRequest evaluates one configuration Y against goals.
+type AssessRequest struct {
+	System wfjson.Document `json:"system"`
+	Config []int           `json:"config"`
+	Goals  GoalsJSON       `json:"goals"`
+	Model  ModelJSON       `json:"model,omitempty"`
+}
+
+// AssessmentJSON reports how a configuration fares against the goals.
+type AssessmentJSON struct {
+	Config           []int   `json:"config"`
+	Feasible         bool    `json:"feasible"`
+	PerfOK           bool    `json:"perf_ok"`
+	AvailOK          bool    `json:"avail_ok"`
+	Waiting          []Float `json:"waiting"`
+	FullUpWaiting    []Float `json:"full_up_waiting"`
+	MaxWaiting       Float   `json:"max_waiting"`
+	Availability     float64 `json:"availability"`
+	Unavailability   float64 `json:"unavailability"`
+	DegradationShare float64 `json:"degradation_share"`
+	WorkflowDelays   []Float `json:"workflow_delays,omitempty"`
+}
+
+func assessmentJSON(as *config.Assessment) AssessmentJSON {
+	return AssessmentJSON{
+		Config:           as.Config.Replicas,
+		Feasible:         as.Feasible(),
+		PerfOK:           as.PerfOK,
+		AvailOK:          as.AvailOK,
+		Waiting:          floats(as.Perf.Waiting),
+		FullUpWaiting:    floats(as.Perf.FullUpWaiting),
+		MaxWaiting:       Float(as.Perf.MaxWaiting()),
+		Availability:     as.Perf.Availability,
+		Unavailability:   as.Unavailability,
+		DegradationShare: as.Perf.DegradationShare,
+		WorkflowDelays:   floats(as.WorkflowDelays),
+	}
+}
+
+// AssessResponse is the /v1/assess reply.
+type AssessResponse struct {
+	Fingerprint string         `json:"fingerprint"`
+	ServerTypes []string       `json:"server_types"`
+	Assessment  AssessmentJSON `json:"assessment"`
+	// CacheWarm reports whether the system model was already resident
+	// (the request skipped the model builds).
+	CacheWarm bool `json:"cache_warm"`
+}
+
+// RecommendRequest runs a planner over the system.
+type RecommendRequest struct {
+	System wfjson.Document `json:"system"`
+	// Planner is "greedy" (default), "exhaustive", "bnb", or "anneal".
+	Planner     string          `json:"planner,omitempty"`
+	Goals       GoalsJSON       `json:"goals"`
+	Constraints ConstraintsJSON `json:"constraints,omitempty"`
+	Model       ModelJSON       `json:"model,omitempty"`
+	Annealing   AnnealingJSON   `json:"annealing,omitempty"`
+	// TimeoutMillis bounds the search; 0 inherits the server default.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+}
+
+// TraceStepJSON mirrors config.Step.
+type TraceStepJSON struct {
+	Config         []int   `json:"config"`
+	MaxWaiting     Float   `json:"max_waiting"`
+	Unavailability float64 `json:"unavailability"`
+	AddedType      int     `json:"added_type"`
+	Reason         string  `json:"reason,omitempty"`
+}
+
+// CacheStatsJSON mirrors performability.CacheStats.
+type CacheStatsJSON struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// RecommendResponse is the /v1/recommend reply.
+type RecommendResponse struct {
+	Fingerprint string          `json:"fingerprint"`
+	Planner     string          `json:"planner"`
+	ServerTypes []string        `json:"server_types"`
+	Config      []int           `json:"config"`
+	Cost        int             `json:"cost"`
+	Evaluations int             `json:"evaluations"`
+	Cache       CacheStatsJSON  `json:"cache"`
+	Assessment  AssessmentJSON  `json:"assessment"`
+	Trace       []TraceStepJSON `json:"trace,omitempty"`
+	CacheWarm   bool            `json:"cache_warm"`
+	ElapsedMS   float64         `json:"elapsed_ms"`
+}
+
+// CalibrateRequest feeds an audit trail through the calibration
+// component (§7's feedback loop): transition probabilities, activity
+// durations, and arrival rates are re-estimated from the records and
+// the models re-derived.
+type CalibrateRequest struct {
+	System wfjson.Document `json:"system"`
+	Trail  []audit.Record  `json:"trail"`
+	// Smoothing is the Laplace smoothing for re-estimated branch
+	// probabilities (default 0.5).
+	Smoothing float64 `json:"smoothing,omitempty"`
+	// MinInstances is the minimum number of completed instances before
+	// the trail is trusted (default 50).
+	MinInstances int `json:"min_instances,omitempty"`
+}
+
+// CalibrateResponse returns the recalibrated system: post it back to
+// /v1/assess or /v1/recommend to plan against the observed behavior.
+type CalibrateResponse struct {
+	// Fingerprint identifies the recalibrated system (already warmed in
+	// the model cache).
+	Fingerprint string `json:"fingerprint"`
+	// PriorFingerprint identifies the system as posted.
+	PriorFingerprint string `json:"prior_fingerprint"`
+	// System is the recalibrated document.
+	System wfjson.Document `json:"system"`
+	// Records is the number of trail records ingested.
+	Records int `json:"records"`
+	// ArrivalRates reports the re-estimated per-workflow rates.
+	ArrivalRates map[string]float64 `json:"arrival_rates,omitempty"`
+}
+
+// EvaluatorStatsJSON reports one warm model entry on /v1/stats.
+type EvaluatorStatsJSON struct {
+	Fingerprint string         `json:"fingerprint"`
+	States      CacheStatsJSON `json:"state_cache"`
+	// CachedStates is the number of memoized degraded-state vectors.
+	CachedStates int `json:"cached_states"`
+	// Marginals is the number of memoized availability marginals.
+	Marginals int `json:"marginals"`
+}
+
+// EndpointStatsJSON reports one route's latency histogram summary.
+type EndpointStatsJSON struct {
+	Requests uint64         `json:"requests"`
+	ByStatus map[int]uint64 `json:"by_status,omitempty"`
+	Inflight int64          `json:"inflight"`
+	MeanMS   Float          `json:"mean_ms"`
+	P50MS    Float          `json:"p50_ms"`
+	P95MS    Float          `json:"p95_ms"`
+	P99MS    Float          `json:"p99_ms"`
+}
+
+// StatsResponse is the /v1/stats reply.
+type StatsResponse struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	ModelCache    struct {
+		Size      int    `json:"size"`
+		Max       int    `json:"max"`
+		Hits      uint64 `json:"hits"`
+		Misses    uint64 `json:"misses"`
+		Evictions uint64 `json:"evictions"`
+	} `json:"model_cache"`
+	Evaluators []EvaluatorStatsJSON         `json:"evaluators"`
+	Admission  AdmissionStatsJSON           `json:"admission"`
+	Endpoints  map[string]EndpointStatsJSON `json:"endpoints"`
+}
+
+// AdmissionStatsJSON reports the admission semaphore.
+type AdmissionStatsJSON struct {
+	// WorkerBudget is the semaphore capacity (total planner workers).
+	WorkerBudget int `json:"worker_budget"`
+	// PerRequest is the worker-pool width each admitted request runs
+	// with.
+	PerRequest int `json:"per_request"`
+	// InUse and Waiting describe the instantaneous queue state.
+	InUse   int `json:"in_use"`
+	Waiting int `json:"waiting"`
+}
+
+// ErrorResponse is every non-2xx JSON body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,185 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"performa/internal/perf"
+	"performa/internal/performability"
+	"performa/internal/spec"
+	"performa/internal/wfjson"
+)
+
+// modelEntry is one warm system model: the analysis built from a
+// decoded wfjson document plus the shared performability evaluator
+// (which owns the degraded-state cache and the availability-marginal
+// cache) every request over the same system routes through. Entries are
+// immutable once ready; the evaluator inside is concurrency-safe.
+type modelEntry struct {
+	// key is the cache key: the wfjson system fingerprint extended with
+	// the evaluation options (a different saturation policy or repair
+	// discipline produces different numbers, so it must not share warm
+	// state with another policy).
+	key string
+	// fingerprint is the bare system fingerprint, echoed to clients.
+	fingerprint string
+
+	env      *spec.Environment
+	flows    []*spec.Workflow
+	analysis *perf.Analysis
+	ev       *performability.Evaluator
+
+	ready chan struct{} // closed once build finished (ok or not)
+	err   error         // build error, set before ready closes
+}
+
+// modelCache is a bounded LRU of warm model entries keyed by
+// (system fingerprint, evaluation options). Concurrent requests for the
+// same key share one build: later arrivals block on the entry's ready
+// channel instead of solving the models again.
+type modelCache struct {
+	max int
+
+	mu      sync.Mutex
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits, misses, evictions atomic.Uint64
+}
+
+func newModelCache(max int) *modelCache {
+	if max < 1 {
+		max = 1
+	}
+	return &modelCache{
+		max:     max,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// entryKey derives the cache key for a system fingerprint under the
+// given evaluation options.
+func entryKey(fingerprint string, opts performability.Options) string {
+	return fmt.Sprintf("%s|policy=%d|penalty=%g|discipline=%d",
+		fingerprint, opts.Policy, opts.PenaltyValue, opts.Discipline)
+}
+
+// getOrBuild returns the warm entry for the key, building it via build
+// exactly once per residency. The ctx only bounds the wait for a
+// concurrent builder — the build itself is not canceled, since its
+// result is shared by every waiter.
+func (c *modelCache) getOrBuild(ctx context.Context, key string, build func(*modelEntry) error) (*modelEntry, bool, error) {
+	c.mu.Lock()
+	if elem, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(elem)
+		c.mu.Unlock()
+		e := elem.Value.(*modelEntry)
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		if e.err != nil {
+			return nil, false, e.err
+		}
+		c.hits.Add(1)
+		return e, true, nil
+	}
+	e := &modelEntry{key: key, ready: make(chan struct{})}
+	elem := c.ll.PushFront(e)
+	c.entries[key] = elem
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*modelEntry).key)
+		c.evictions.Add(1)
+	}
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	e.err = build(e)
+	close(e.ready)
+	if e.err != nil {
+		// Failed builds must not be served to later requests.
+		c.mu.Lock()
+		if cur, ok := c.entries[key]; ok && cur == elem {
+			c.ll.Remove(elem)
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		return nil, false, e.err
+	}
+	return e, false, nil
+}
+
+// snapshot returns the resident entries, most recently used first.
+func (c *modelCache) snapshot() []*modelEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*modelEntry, 0, c.ll.Len())
+	for elem := c.ll.Front(); elem != nil; elem = elem.Next() {
+		e := elem.Value.(*modelEntry)
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				out = append(out, e)
+			}
+		default: // still building
+		}
+	}
+	return out
+}
+
+// len returns the number of resident entries.
+func (c *modelCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// buildEntry decodes nothing — the document is already decoded — it
+// derives the analysis and warm evaluator for a validated system.
+func buildEntry(e *modelEntry, fingerprint string, env *spec.Environment, flows []*spec.Workflow, opts performability.Options) error {
+	models := make([]*spec.Model, 0, len(flows))
+	for _, w := range flows {
+		m, err := spec.Build(w, env)
+		if err != nil {
+			return err
+		}
+		models = append(models, m)
+	}
+	analysis, err := perf.NewAnalysis(env, models)
+	if err != nil {
+		return err
+	}
+	ev, err := performability.NewEvaluator(analysis, opts)
+	if err != nil {
+		return err
+	}
+	e.fingerprint = fingerprint
+	e.env = env
+	e.flows = flows
+	e.analysis = analysis
+	e.ev = ev
+	return nil
+}
+
+// resolveEntry decodes and fingerprints the request's system document
+// and returns the warm (or freshly built) model entry for it.
+func (s *Server) resolveEntry(ctx context.Context, doc *wfjson.Document, opts performability.Options) (*modelEntry, bool, error) {
+	env, flows, err := wfjson.FromDocument(doc)
+	if err != nil {
+		return nil, false, err
+	}
+	fp, err := wfjson.Fingerprint(env, flows)
+	if err != nil {
+		return nil, false, err
+	}
+	return s.models.getOrBuild(ctx, entryKey(fp, opts), func(e *modelEntry) error {
+		return buildEntry(e, fp, env, flows, opts)
+	})
+}

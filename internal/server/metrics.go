@@ -1,0 +1,135 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning a
+// cache-hit assessment (sub-millisecond) to a cold exhaustive search.
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// histogram is a fixed-bucket latency histogram with atomic counters:
+// observations are lock-free, snapshots are approximate but internally
+// consistent enough for monitoring.
+type histogram struct {
+	counts []atomic.Uint64 // one per bucket, plus +Inf at the end
+	total  atomic.Uint64
+	// sumNanos accumulates the total observed latency for mean
+	// reporting; uint64 nanoseconds overflow after ~584 years of
+	// cumulative request time.
+	sumNanos atomic.Uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Uint64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets, s)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	h.sumNanos.Add(uint64(d.Nanoseconds()))
+}
+
+// snapshot returns cumulative bucket counts (Prometheus convention),
+// the total count, and the sum in seconds.
+func (h *histogram) snapshot() (cum []uint64, total uint64, sum float64) {
+	cum = make([]uint64, len(h.counts))
+	var acc uint64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		cum[i] = acc
+	}
+	return cum, h.total.Load(), float64(h.sumNanos.Load()) / 1e9
+}
+
+// quantile estimates the q-quantile (0 < q < 1) from the bucket counts,
+// attributing each bucket's mass to its upper bound — the usual
+// conservative histogram estimate. NaN with no observations.
+func (h *histogram) quantile(q float64) float64 {
+	cum, total, _ := h.snapshot()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	for i, c := range cum {
+		if c >= rank {
+			if i < len(latencyBuckets) {
+				return latencyBuckets[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// endpointMetrics tracks one route.
+type endpointMetrics struct {
+	endpoint string
+	inflight atomic.Int64
+	latency  *histogram
+
+	mu       sync.Mutex
+	byStatus map[int]uint64
+}
+
+func newEndpointMetrics(endpoint string) *endpointMetrics {
+	return &endpointMetrics{
+		endpoint: endpoint,
+		latency:  newHistogram(),
+		byStatus: make(map[int]uint64),
+	}
+}
+
+func (m *endpointMetrics) observe(status int, d time.Duration) {
+	m.latency.observe(d)
+	m.mu.Lock()
+	m.byStatus[status]++
+	m.mu.Unlock()
+}
+
+func (m *endpointMetrics) statuses() map[int]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[int]uint64, len(m.byStatus))
+	for k, v := range m.byStatus {
+		out[k] = v
+	}
+	return out
+}
+
+// writePrometheus renders the endpoint's series in the Prometheus text
+// exposition format.
+func (m *endpointMetrics) writePrometheus(b *strings.Builder) {
+	statuses := m.statuses()
+	for _, code := range sortedKeys(statuses) {
+		fmt.Fprintf(b, "wfmsd_requests_total{endpoint=%q,code=\"%d\"} %d\n", m.endpoint, code, statuses[code])
+	}
+	fmt.Fprintf(b, "wfmsd_inflight_requests{endpoint=%q} %d\n", m.endpoint, m.inflight.Load())
+	cum, total, sum := m.latency.snapshot()
+	for i, ub := range latencyBuckets {
+		fmt.Fprintf(b, "wfmsd_request_duration_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", m.endpoint, ub, cum[i])
+	}
+	fmt.Fprintf(b, "wfmsd_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", m.endpoint, cum[len(cum)-1])
+	fmt.Fprintf(b, "wfmsd_request_duration_seconds_sum{endpoint=%q} %g\n", m.endpoint, sum)
+	fmt.Fprintf(b, "wfmsd_request_duration_seconds_count{endpoint=%q} %d\n", m.endpoint, total)
+}
+
+func sortedKeys(m map[int]uint64) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustAcquire(t *testing.T, s *semaphore, n int) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Acquire(ctx, n); err != nil {
+		t.Fatalf("Acquire(%d): %v", n, err)
+	}
+}
+
+func TestSemaphoreFastPath(t *testing.T) {
+	s := newSemaphore(4)
+	mustAcquire(t, s, 2)
+	mustAcquire(t, s, 2)
+	if got := s.InUse(); got != 4 {
+		t.Errorf("InUse = %d, want 4", got)
+	}
+	s.Release(2)
+	s.Release(2)
+	if got := s.InUse(); got != 0 {
+		t.Errorf("InUse after release = %d, want 0", got)
+	}
+}
+
+// TestSemaphoreFIFOFairness pins the anti-starvation property: a wide
+// waiter at the head of the queue blocks later narrow waiters even when
+// their weight would fit, and both are granted in arrival order once
+// capacity frees up.
+func TestSemaphoreFIFOFairness(t *testing.T) {
+	s := newSemaphore(4)
+	mustAcquire(t, s, 4)
+
+	wideGranted := make(chan struct{})
+	narrowGranted := make(chan struct{})
+	go func() {
+		if err := s.Acquire(context.Background(), 3); err == nil {
+			close(wideGranted)
+		}
+	}()
+	// Make sure the wide waiter is queued before the narrow one.
+	for s.Waiting() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	go func() {
+		if err := s.Acquire(context.Background(), 1); err == nil {
+			close(narrowGranted)
+		}
+	}()
+	for s.Waiting() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// One free token fits the narrow waiter but not the wide head of the
+	// queue — nobody may be granted.
+	s.Release(1)
+	select {
+	case <-narrowGranted:
+		t.Fatal("narrow waiter jumped the FIFO queue")
+	case <-wideGranted:
+		t.Fatal("wide waiter granted beyond capacity")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Freeing the rest grants both, in order.
+	s.Release(3)
+	select {
+	case <-wideGranted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("wide waiter never granted")
+	}
+	select {
+	case <-narrowGranted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("narrow waiter never granted")
+	}
+	if got := s.InUse(); got != 4 {
+		t.Errorf("InUse = %d, want 4 (3 wide + 1 narrow)", got)
+	}
+}
+
+func TestSemaphoreAcquireCancellation(t *testing.T) {
+	s := newSemaphore(2)
+	mustAcquire(t, s, 2)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.Acquire(ctx, 1) }()
+	for s.Waiting() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != context.Canceled {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled Acquire never returned")
+	}
+	if got := s.Waiting(); got != 0 {
+		t.Errorf("Waiting = %d after cancellation, want 0", got)
+	}
+
+	// The canceled waiter must not have leaked tokens.
+	s.Release(2)
+	mustAcquire(t, s, 2)
+	s.Release(2)
+}
+
+// TestSemaphoreOversizedRequestClamps verifies an over-capacity request
+// degrades to exclusive access instead of deadlocking.
+func TestSemaphoreOversizedRequestClamps(t *testing.T) {
+	s := newSemaphore(2)
+	mustAcquire(t, s, 100)
+	if got := s.InUse(); got != 2 {
+		t.Errorf("InUse = %d, want 2 (clamped)", got)
+	}
+	s.Release(100)
+	if got := s.InUse(); got != 0 {
+		t.Errorf("InUse = %d after clamped release, want 0", got)
+	}
+}
+
+// TestSemaphoreConcurrentLoad hammers the semaphore with concurrent
+// weighted acquirers and checks the capacity invariant throughout.
+func TestSemaphoreConcurrentLoad(t *testing.T) {
+	const capacity = 4
+	s := newSemaphore(capacity)
+	var (
+		mu   sync.Mutex
+		held int
+		peak int
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		n := 1 + i%capacity
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			if err := s.Acquire(context.Background(), n); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			held += n
+			if held > peak {
+				peak = held
+			}
+			if held > capacity {
+				mu.Unlock()
+				t.Errorf("capacity exceeded: %d tokens held", held)
+				s.Release(n)
+				return
+			}
+			mu.Unlock()
+			mu.Lock()
+			held -= n
+			mu.Unlock()
+			s.Release(n)
+		}(n)
+	}
+	wg.Wait()
+	if s.InUse() != 0 || s.Waiting() != 0 {
+		t.Errorf("drained semaphore reports InUse=%d Waiting=%d", s.InUse(), s.Waiting())
+	}
+	if peak == 0 {
+		t.Error("no acquisition observed")
+	}
+}

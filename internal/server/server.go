@@ -1,0 +1,592 @@
+// Package server exposes the configuration-advisory pipeline as a
+// long-running HTTP/JSON service — the paper's Section 7 tool run as a
+// daemon instead of a one-shot CLI. The endpoints are
+//
+//	POST /v1/assess     evaluate a configuration Y against goals
+//	POST /v1/recommend  run a planner (greedy/exhaustive/bnb/anneal)
+//	POST /v1/calibrate  ingest audit-trail records, re-derive the models
+//	GET  /v1/stats      cache hit rates and per-endpoint latency
+//	GET  /metrics       Prometheus text exposition
+//	GET  /healthz       liveness
+//
+// Systems ride in requests as wfjson documents. The server keys warm
+// performability evaluators (degraded-state cache + availability
+// marginals) by the system's fingerprint in a bounded LRU, so repeated
+// what-if queries over the same system skip the degraded-state solves
+// entirely, and admits planner work through a weighted semaphore sized
+// off Options.Workers so concurrent recommendations cannot oversubscribe
+// the worker pools. Request contexts thread through the planners: a
+// client disconnect or timeout cancels the in-flight search promptly,
+// discarding partial results while keeping every completed per-state
+// solve cached.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"performa/internal/advisor"
+	"performa/internal/audit"
+	"performa/internal/calibrate"
+	"performa/internal/config"
+	"performa/internal/perf"
+	"performa/internal/wfjson"
+)
+
+// maxConcurrentHeavy caps how many planner runs share the worker budget
+// at full width; further requests queue on the admission semaphore.
+const maxConcurrentHeavy = 4
+
+// statusClientClosedRequest is the de-facto standard code (nginx's 499)
+// for a client that went away mid-request; it only shows up in logs and
+// metrics, never on the wire.
+const statusClientClosedRequest = 499
+
+// Options configures the service.
+type Options struct {
+	// Workers is the total planner-worker budget shared by all
+	// concurrent requests; 0 means runtime.NumCPU().
+	Workers int
+	// CacheSize bounds the warm-model LRU (entries); 0 means 32.
+	CacheSize int
+	// MaxBodyBytes bounds request bodies; 0 means 8 MiB.
+	MaxBodyBytes int64
+	// RequestTimeout bounds each assess/recommend/calibrate request
+	// (individual recommendations may shorten it via timeout_ms);
+	// 0 means no server-side deadline.
+	RequestTimeout time.Duration
+	// Logger receives one structured line per request; nil means
+	// slog.Default().
+	Logger *slog.Logger
+}
+
+// Server is the advisory service. Create with New, mount via Handler,
+// stop with Shutdown.
+type Server struct {
+	opts       Options
+	workers    int // resolved budget
+	perRequest int // planner pool width per admitted request
+	admission  *semaphore
+	models     *modelCache
+	log        *slog.Logger
+	mux        *http.ServeMux
+	start      time.Time
+
+	closed   atomic.Bool
+	inflight sync.WaitGroup
+	reqID    atomic.Uint64
+
+	endpoints map[string]*endpointMetrics
+}
+
+// New builds the service.
+func New(opts Options) *Server {
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	slots := maxConcurrentHeavy
+	if slots > workers {
+		slots = workers
+	}
+	cacheSize := opts.CacheSize
+	if cacheSize == 0 {
+		cacheSize = 32
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	s := &Server{
+		opts:       opts,
+		workers:    workers,
+		perRequest: workers / slots,
+		admission:  newSemaphore(workers),
+		models:     newModelCache(cacheSize),
+		log:        logger,
+		mux:        http.NewServeMux(),
+		start:      time.Now(),
+		endpoints:  make(map[string]*endpointMetrics),
+	}
+	s.route("POST /v1/assess", s.handleAssess)
+	s.route("POST /v1/recommend", s.handleRecommend)
+	s.route("POST /v1/calibrate", s.handleCalibrate)
+	s.route("GET /v1/stats", s.handleStats)
+	s.route("GET /metrics", s.handleMetrics)
+	s.route("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown refuses new requests (503) and waits for the in-flight ones
+// to drain, or for ctx to expire. Callers cancel in-flight work by
+// shutting down the enclosing http.Server, whose base context closes
+// the request contexts.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closed.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// route registers a handler wrapped with draining, metrics, and
+// per-request structured logging.
+func (s *Server) route(pattern string, h func(http.ResponseWriter, *http.Request)) {
+	endpoint := pattern[strings.LastIndex(pattern, " ")+1:]
+	m := newEndpointMetrics(endpoint)
+	s.endpoints[endpoint] = m
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if s.closed.Load() {
+			w.Header().Set("Connection", "close")
+			s.writeError(w, r, http.StatusServiceUnavailable, errors.New("server is shutting down"))
+			return
+		}
+		s.inflight.Add(1)
+		defer s.inflight.Done()
+		m.inflight.Add(1)
+		defer m.inflight.Add(-1)
+
+		began := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		id := s.reqID.Add(1)
+		h(rec, r.WithContext(context.WithValue(r.Context(), ctxKeyReqID{}, id)))
+		elapsed := time.Since(began)
+		m.observe(rec.status, elapsed)
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.Uint64("id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.status),
+			slog.Duration("elapsed", elapsed),
+			slog.String("remote", r.RemoteAddr),
+		)
+	})
+}
+
+type ctxKeyReqID struct{}
+
+// statusRecorder captures the response status for logs and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status  int
+	written bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.written {
+		r.status = code
+		r.written = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	r.written = true
+	return r.ResponseWriter.Write(p)
+}
+
+// decodeBody strictly parses a JSON request body into dst.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
+	maxBytes := s.opts.MaxBodyBytes
+	if maxBytes == 0 {
+		maxBytes = 8 << 20
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("parsing request: %w", err)
+	}
+	if dec.More() {
+		return errors.New("parsing request: trailing data after JSON document")
+	}
+	return nil
+}
+
+// requestContext applies the effective deadline: the per-request
+// timeout_ms when given, else the server default.
+func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	timeout := s.opts.RequestTimeout
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		return context.WithTimeout(ctx, timeout)
+	}
+	return ctx, func() {}
+}
+
+// admit blocks on the admission semaphore for one planner run's worth of
+// worker tokens. The returned release func is nil iff admit failed.
+func (s *Server) admit(ctx context.Context) (func(), error) {
+	if err := s.admission.Acquire(ctx, s.perRequest); err != nil {
+		return nil, err
+	}
+	return func() { s.admission.Release(s.perRequest) }, nil
+}
+
+func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
+	var req AssessRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	popts, err := req.Model.toOptions()
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, 0)
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		s.writeError(w, r, statusForError(err), err)
+		return
+	}
+	defer release()
+
+	entry, warm, err := s.resolveEntry(ctx, &req.System, popts)
+	if err != nil {
+		s.writeError(w, r, badRequestOr(err), err)
+		return
+	}
+	as, err := config.AssessContext(ctx, entry.analysis, perf.Config{Replicas: req.Config}, req.Goals.toGoals(), config.Options{
+		Performability: popts,
+		Workers:        s.perRequest,
+		Evaluator:      entry.ev,
+	})
+	if err != nil {
+		s.writeError(w, r, statusForError(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, AssessResponse{
+		Fingerprint: entry.fingerprint,
+		ServerTypes: typeNames(entry),
+		Assessment:  assessmentJSON(as),
+		CacheWarm:   warm,
+	})
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	var req RecommendRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	popts, err := req.Model.toOptions()
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	planner := req.Planner
+	if planner == "" {
+		planner = "greedy"
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMillis)
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		s.writeError(w, r, statusForError(err), err)
+		return
+	}
+	defer release()
+
+	entry, warm, err := s.resolveEntry(ctx, &req.System, popts)
+	if err != nil {
+		s.writeError(w, r, badRequestOr(err), err)
+		return
+	}
+	opts := config.Options{
+		Performability: popts,
+		Workers:        s.perRequest,
+		Evaluator:      entry.ev,
+	}
+	goals := req.Goals.toGoals()
+	cons := req.Constraints.toConstraints()
+
+	began := time.Now()
+	var rec *config.Recommendation
+	switch planner {
+	case "greedy":
+		rec, err = config.GreedyContext(ctx, entry.analysis, goals, cons, opts)
+	case "exhaustive":
+		rec, err = config.ExhaustiveContext(ctx, entry.analysis, goals, cons, opts)
+	case "bnb", "branch-and-bound":
+		rec, err = config.BranchAndBoundContext(ctx, entry.analysis, goals, cons, opts)
+	case "anneal", "annealing":
+		rec, err = config.SimulatedAnnealingContext(ctx, entry.analysis, goals, cons, opts, req.Annealing.toOptions())
+	default:
+		s.writeError(w, r, http.StatusBadRequest,
+			fmt.Errorf("unknown planner %q (want greedy, exhaustive, bnb, or anneal)", planner))
+		return
+	}
+	if err != nil {
+		s.writeError(w, r, statusForError(err), err)
+		return
+	}
+	resp := RecommendResponse{
+		Fingerprint: entry.fingerprint,
+		Planner:     planner,
+		ServerTypes: typeNames(entry),
+		Config:      rec.Config.Replicas,
+		Cost:        rec.Cost,
+		Evaluations: rec.Evaluations,
+		Cache:       CacheStatsJSON{Hits: rec.Cache.Hits, Misses: rec.Cache.Misses},
+		Assessment:  assessmentJSON(rec.Assessment),
+		CacheWarm:   warm,
+		ElapsedMS:   float64(time.Since(began).Microseconds()) / 1e3,
+	}
+	for _, st := range rec.Trace {
+		resp.Trace = append(resp.Trace, TraceStepJSON{
+			Config:         st.Config.Replicas,
+			MaxWaiting:     Float(st.MaxWaiting),
+			Unavailability: st.Unavailability,
+			AddedType:      st.AddedType,
+			Reason:         st.Reason,
+		})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCalibrate(w http.ResponseWriter, r *http.Request) {
+	var req CalibrateRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, 0)
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		s.writeError(w, r, statusForError(err), err)
+		return
+	}
+	defer release()
+
+	// Decode a private copy of the system: calibration rewrites the
+	// workflow parameters in place, which must never touch the cached
+	// (shared, immutable) entries.
+	env, flows, err := wfjson.FromDocument(&req.System)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	priorFP, err := wfjson.Fingerprint(env, flows)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	smoothing := req.Smoothing
+	if smoothing == 0 {
+		smoothing = 0.5
+	}
+	adv, err := advisor.New(env, flows, advisor.Options{
+		Calibration:          calibrate.Options{Smoothing: smoothing},
+		MinObservedInstances: req.MinInstances,
+	})
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	trail := audit.NewTrail()
+	for _, rec := range req.Trail {
+		trail.Append(rec)
+	}
+	if err := adv.Observe(trail); err != nil {
+		status := http.StatusUnprocessableEntity
+		if !errors.Is(err, advisor.ErrTooFewObservations) {
+			status = http.StatusBadRequest
+		}
+		s.writeError(w, r, status, err)
+		return
+	}
+	newFP, err := wfjson.Fingerprint(env, flows)
+	if err != nil {
+		s.writeError(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	doc, err := wfjson.ToDocument(env, flows)
+	if err != nil {
+		s.writeError(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	// Warm the cache for the recalibrated system under the default
+	// evaluation options, so the follow-up what-if queries start hot.
+	popts, _ := ModelJSON{}.toOptions()
+	if _, _, err := s.models.getOrBuild(ctx, entryKey(newFP, popts), func(e *modelEntry) error {
+		return buildEntry(e, newFP, env, flows, popts)
+	}); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	resp := CalibrateResponse{
+		Fingerprint:      newFP,
+		PriorFingerprint: priorFP,
+		System:           *doc,
+		Records:          trail.Len(),
+		ArrivalRates:     make(map[string]float64, len(flows)),
+	}
+	for _, f := range flows {
+		resp.ArrivalRates[f.Name] = f.ArrivalRate
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Endpoints:     make(map[string]EndpointStatsJSON, len(s.endpoints)),
+	}
+	resp.ModelCache.Size = s.models.len()
+	resp.ModelCache.Max = s.models.max
+	resp.ModelCache.Hits = s.models.hits.Load()
+	resp.ModelCache.Misses = s.models.misses.Load()
+	resp.ModelCache.Evictions = s.models.evictions.Load()
+	for _, e := range s.models.snapshot() {
+		st := e.ev.Stats()
+		resp.Evaluators = append(resp.Evaluators, EvaluatorStatsJSON{
+			Fingerprint:  e.fingerprint,
+			States:       CacheStatsJSON{Hits: st.Hits, Misses: st.Misses},
+			CachedStates: e.ev.CachedStates(),
+			Marginals:    e.ev.Marginals().Size(),
+		})
+	}
+	resp.Admission = AdmissionStatsJSON{
+		WorkerBudget: s.workers,
+		PerRequest:   s.perRequest,
+		InUse:        s.admission.InUse(),
+		Waiting:      s.admission.Waiting(),
+	}
+	for name, m := range s.endpoints {
+		_, total, sum := m.latency.snapshot()
+		st := EndpointStatsJSON{
+			Requests: total,
+			ByStatus: m.statuses(),
+			Inflight: m.inflight.Load(),
+		}
+		if total > 0 {
+			st.MeanMS = Float(sum / float64(total) * 1e3)
+			st.P50MS = Float(m.latency.quantile(0.50) * 1e3)
+			st.P95MS = Float(m.latency.quantile(0.95) * 1e3)
+			st.P99MS = Float(m.latency.quantile(0.99) * 1e3)
+		}
+		resp.Endpoints[name] = st
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	b.WriteString("# HELP wfmsd_requests_total Requests served, by endpoint and status code.\n")
+	b.WriteString("# TYPE wfmsd_requests_total counter\n")
+	b.WriteString("# HELP wfmsd_request_duration_seconds Request latency histogram.\n")
+	b.WriteString("# TYPE wfmsd_request_duration_seconds histogram\n")
+	for _, name := range []string{"/v1/assess", "/v1/recommend", "/v1/calibrate", "/v1/stats", "/metrics", "/healthz"} {
+		if m, ok := s.endpoints[name]; ok {
+			m.writePrometheus(&b)
+		}
+	}
+	fmt.Fprintf(&b, "# HELP wfmsd_model_cache_entries Warm system models resident in the LRU.\n")
+	fmt.Fprintf(&b, "# TYPE wfmsd_model_cache_entries gauge\n")
+	fmt.Fprintf(&b, "wfmsd_model_cache_entries %d\n", s.models.len())
+	fmt.Fprintf(&b, "# TYPE wfmsd_model_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "wfmsd_model_cache_hits_total %d\n", s.models.hits.Load())
+	fmt.Fprintf(&b, "# TYPE wfmsd_model_cache_misses_total counter\n")
+	fmt.Fprintf(&b, "wfmsd_model_cache_misses_total %d\n", s.models.misses.Load())
+	fmt.Fprintf(&b, "# TYPE wfmsd_model_cache_evictions_total counter\n")
+	fmt.Fprintf(&b, "wfmsd_model_cache_evictions_total %d\n", s.models.evictions.Load())
+	var hits, misses uint64
+	for _, e := range s.models.snapshot() {
+		st := e.ev.Stats()
+		hits += st.Hits
+		misses += st.Misses
+	}
+	fmt.Fprintf(&b, "# HELP wfmsd_evaluator_state_hits_total Degraded-state vectors served from warm caches.\n")
+	fmt.Fprintf(&b, "# TYPE wfmsd_evaluator_state_hits_total counter\n")
+	fmt.Fprintf(&b, "wfmsd_evaluator_state_hits_total %d\n", hits)
+	fmt.Fprintf(&b, "# TYPE wfmsd_evaluator_state_misses_total counter\n")
+	fmt.Fprintf(&b, "wfmsd_evaluator_state_misses_total %d\n", misses)
+	fmt.Fprintf(&b, "# HELP wfmsd_admission_in_use Planner-worker tokens currently held.\n")
+	fmt.Fprintf(&b, "# TYPE wfmsd_admission_in_use gauge\n")
+	fmt.Fprintf(&b, "wfmsd_admission_in_use %d\n", s.admission.InUse())
+	fmt.Fprintf(&b, "# TYPE wfmsd_admission_waiting gauge\n")
+	fmt.Fprintf(&b, "wfmsd_admission_waiting %d\n", s.admission.Waiting())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, b.String())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	io.WriteString(w, `{"status":"ok"}`+"\n")
+}
+
+// writeJSON emits a JSON response body.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(body); err != nil {
+		s.log.Warn("encoding response", "err", err)
+	}
+}
+
+// writeError emits the JSON error body and notes it in the log line's
+// status via the recorder.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	s.writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// statusForError maps pipeline errors onto HTTP statuses: timeouts to
+// 504, client disconnects to 499, everything else (infeasible goals,
+// exceeded iteration budgets) to 422.
+func statusForError(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// badRequestOr maps an error to 400 unless it is a context error, which
+// keeps its timeout/disconnect status.
+func badRequestOr(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return statusForError(err)
+	}
+	return http.StatusBadRequest
+}
+
+// typeNames lists the entry's server-type names in index order.
+func typeNames(e *modelEntry) []string {
+	names := make([]string, e.env.K())
+	for x := range names {
+		names[x] = e.env.Type(x).Name
+	}
+	return names
+}

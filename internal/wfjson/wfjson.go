@@ -41,6 +41,8 @@
 package wfjson
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -273,6 +275,26 @@ func chartFromJSON(c *Chart) (*statechart.Chart, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// Fingerprint returns a stable hex digest identifying the modeled system
+// — the environment plus the workflow mix with its arrival rates. Two
+// systems share a fingerprint exactly when their canonical documents
+// (ToDocument output, which orders states, transitions, and activities
+// deterministically) are byte-identical, so the digest is a safe cache
+// key for model state derived purely from the system: analyses,
+// degraded-state caches, availability marginals.
+func Fingerprint(env *spec.Environment, flows []*spec.Workflow) (string, error) {
+	doc, err := ToDocument(env, flows)
+	if err != nil {
+		return "", err
+	}
+	buf, err := json.Marshal(doc)
+	if err != nil {
+		return "", fmt.Errorf("wfjson: fingerprinting document: %w", err)
+	}
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // Encode writes the environment and workflows as an indented document.
