@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench crossval
 
 check: build vet test race
 
@@ -23,3 +23,10 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Differential validation sweep: random systems cross-checked between
+# the analytic stack, the simulator, and closed-form oracles. Failing
+# systems are shrunk and written to crossval-corpus/ as reproducers.
+crossval:
+	$(GO) run ./cmd/wfmscheck -systems 200 -seed 1 -out crossval-corpus
+	$(GO) run ./cmd/wfmscheck -systems 25 -seed 1 -mutate

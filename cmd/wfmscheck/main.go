@@ -1,0 +1,196 @@
+// Command wfmscheck is the differential validation harness: it generates
+// randomized workflow systems and cross-checks the analytic stack
+// (perf + avail + performability), the discrete-event simulator, and
+// textbook closed-form oracles against each other. Disagreements beyond
+// a CI-width-aware tolerance are shrunk to minimal reproducers and
+// written as replayable corpus files.
+//
+// Usage:
+//
+//	wfmscheck -systems 200 -seed 1 -workers 8 -out corpus/
+//	wfmscheck -systems 25 -mutate            # self-test: must detect the fault
+//	wfmscheck -replay corpus/crossval-seed7.json
+//
+// Exit status: 0 when every system agrees (or, with -mutate, when the
+// injected fault was detected in at least one system), 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+
+	"performa/internal/crossval"
+)
+
+func main() {
+	var (
+		systems      = flag.Int("systems", 50, "number of random systems to generate and check")
+		seed         = flag.Uint64("seed", 1, "base generator seed; system i uses seed+i")
+		workers      = flag.Int("workers", runtime.NumCPU(), "parallel checker goroutines")
+		out          = flag.String("out", "", "directory for shrunk reproducer corpus files (empty: don't write)")
+		replications = flag.Int("replications", 0, "performance-route simulation replications (default 5)")
+		mutate       = flag.Bool("mutate", false, "mutation self-test: inject a fault into the analytic route and require the harness to detect it")
+		faultName    = flag.String("fault", "service-moment", "fault injected by -mutate: arrival-rate or service-moment")
+		replay       = flag.String("replay", "", "re-check a corpus file instead of generating systems")
+		noShrink     = flag.Bool("no-shrink", false, "skip shrinking failing systems")
+		verbose      = flag.Bool("v", false, "log every system, not just failures")
+	)
+	flag.Parse()
+
+	opt := crossval.Options{Replications: *replications}
+	if *mutate {
+		fault, err := crossval.FaultByName(*faultName)
+		if err != nil {
+			fatal(err)
+		}
+		if fault == crossval.FaultNone {
+			fatal(fmt.Errorf("-mutate needs a real fault, got %q", *faultName))
+		}
+		opt.Fault = fault
+	}
+
+	if *replay != "" {
+		os.Exit(replayFile(*replay, opt))
+	}
+	os.Exit(run(*systems, *seed, *workers, *out, opt, *noShrink, *mutate, *verbose))
+}
+
+type outcome struct {
+	seed          uint64
+	sys           *crossval.System
+	disagreements []crossval.Disagreement
+	err           error
+}
+
+func run(systems int, baseSeed uint64, workers int, out string, opt crossval.Options, noShrink, mutate, verbose bool) int {
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan uint64)
+	results := make(chan outcome)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range jobs {
+				sys, err := crossval.Generate(s)
+				if err != nil {
+					results <- outcome{seed: s, err: err}
+					continue
+				}
+				ds, err := crossval.Check(sys, opt)
+				results <- outcome{seed: s, sys: sys, disagreements: ds, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < systems; i++ {
+			jobs <- baseSeed + uint64(i)
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	checked, failing, errored := 0, 0, 0
+	var firstFailing *outcome
+	for res := range results {
+		checked++
+		switch {
+		case res.err != nil:
+			errored++
+			fmt.Fprintf(os.Stderr, "wfmscheck: seed %d: %v\n", res.seed, res.err)
+		case len(res.disagreements) > 0:
+			failing++
+			r := res
+			if firstFailing == nil {
+				firstFailing = &r
+			}
+			fmt.Printf("seed %d: %d disagreement(s)\n", res.seed, len(res.disagreements))
+			for _, d := range res.disagreements {
+				fmt.Printf("  %s\n", d)
+			}
+			if out != "" {
+				reportFailure(&r, out, opt, noShrink)
+			}
+		case verbose:
+			fmt.Printf("seed %d: ok\n", res.seed)
+		}
+	}
+
+	fmt.Printf("wfmscheck: %d systems checked, %d disagreeing, %d errored (fault: %s)\n",
+		checked, failing, errored, opt.Fault)
+	if errored > 0 {
+		return 1
+	}
+	if mutate {
+		if failing == 0 {
+			fmt.Println("wfmscheck: MUTATION NOT DETECTED — the harness missed an injected fault")
+			return 1
+		}
+		fmt.Printf("wfmscheck: mutation detected in %d/%d systems\n", failing, checked)
+		return 0
+	}
+	if failing > 0 {
+		return 1
+	}
+	return 0
+}
+
+// reportFailure shrinks a failing system and writes the reproducer.
+func reportFailure(res *outcome, out string, opt crossval.Options, noShrink bool) {
+	sys := res.sys
+	if !noShrink {
+		sys = crossval.Shrink(sys, func(c *crossval.System) bool {
+			ds, err := crossval.Check(c, opt)
+			return err == nil && len(ds) > 0
+		})
+	}
+	ds, err := crossval.Check(sys, opt)
+	if err != nil {
+		ds = res.disagreements
+		sys = res.sys
+	}
+	path, err := crossval.WriteCorpus(out, sys, opt.Fault, ds)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfmscheck: writing corpus for seed %d: %v\n", res.seed, err)
+		return
+	}
+	fmt.Printf("  reproducer: %s (%d workflow(s), %d server type(s))\n",
+		path, len(sys.Flows), sys.Env.K())
+}
+
+// replayFile re-checks a corpus reproducer under its recorded fault.
+func replayFile(path string, opt crossval.Options) int {
+	sys, cf, err := crossval.ReadCorpus(path)
+	if err != nil {
+		fatal(err)
+	}
+	fault, err := crossval.FaultByName(cf.Fault)
+	if err != nil {
+		fatal(err)
+	}
+	opt.Fault = fault
+	ds, err := crossval.Check(sys, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("replay %s (seed %d, fault %s): %d disagreement(s), %d recorded\n",
+		path, cf.Seed, cf.Fault, len(ds), len(cf.Disagreements))
+	for _, d := range ds {
+		fmt.Printf("  %s\n", d)
+	}
+	if len(ds) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wfmscheck:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+package crossval
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tol is a CI-width-aware tolerance: a comparison passes when
+// |ref − obs| ≤ Z·stderr + Rel·|ref| + Abs. The stderr term widens the
+// band by the sampling noise of the stochastic route; Rel absorbs known
+// small model biases (e.g. the simulator's burst bias above the M/G/1
+// prediction); Abs floors the band for near-zero references.
+type Tol struct {
+	Z, Rel, Abs float64
+}
+
+// Slack returns the allowed absolute deviation around ref.
+func (t Tol) Slack(ref, stderr float64) float64 {
+	return t.Z*stderr + t.Rel*math.Abs(ref) + t.Abs
+}
+
+// Disagreement records one metric on which two routes disagree beyond
+// tolerance.
+type Disagreement struct {
+	// Route names the comparison ("perf", "avail", "performability",
+	// "oracle-mm1", "oracle-turnaround", "oracle-availability").
+	Route string `json:"route"`
+	// Metric names the compared quantity, with its index context (e.g.
+	// "waiting[type1]", "turnaround[wf0]").
+	Metric string `json:"metric"`
+	// Ref is the reference value (analytic or closed form).
+	Ref float64 `json:"ref"`
+	// Obs is the other route's value.
+	Obs float64 `json:"obs"`
+	// StdErr is the sampling standard error of Obs, if stochastic.
+	StdErr float64 `json:"stderr,omitempty"`
+	// Slack is the tolerance band the deviation exceeded.
+	Slack float64 `json:"slack"`
+}
+
+// String renders the disagreement for logs.
+func (d Disagreement) String() string {
+	return fmt.Sprintf("%s %s: ref=%.6g obs=%.6g (|Δ|=%.3g > slack %.3g, stderr %.3g)",
+		d.Route, d.Metric, d.Ref, d.Obs, math.Abs(d.Ref-d.Obs), d.Slack, d.StdErr)
+}
+
+// compare checks obs against ref under the tolerance and appends a
+// disagreement when the deviation exceeds the band. Infinities agree
+// only with infinities of the same sign; NaN never agrees.
+func compare(ds []Disagreement, route, metric string, ref, obs, stderr float64, tol Tol) []Disagreement {
+	if math.IsNaN(ref) || math.IsNaN(obs) {
+		return append(ds, Disagreement{Route: route, Metric: metric, Ref: ref, Obs: obs, StdErr: stderr})
+	}
+	if math.IsInf(ref, 0) || math.IsInf(obs, 0) {
+		if ref == obs {
+			return ds
+		}
+		return append(ds, Disagreement{Route: route, Metric: metric, Ref: ref, Obs: obs, StdErr: stderr})
+	}
+	slack := tol.Slack(ref, stderr)
+	if math.Abs(ref-obs) > slack {
+		ds = append(ds, Disagreement{Route: route, Metric: metric, Ref: ref, Obs: obs, StdErr: stderr, Slack: slack})
+	}
+	return ds
+}

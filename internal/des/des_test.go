@@ -219,3 +219,40 @@ func TestQuickTallyMeanWithinRange(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestTallyLargeMeanVariance is the regression test for the catastrophic
+// cancellation in the old (ΣX² − (ΣX)²/n)/(n−1) variance: observations
+// with mean ≈ 1e9 and variance ≈ 1 have ΣX² ≈ 1e21, far beyond float64's
+// 15–16 significant digits, so the subtraction used to return garbage
+// (typically 0, or a negative value the StdErr clamp then hid). The
+// Welford accumulation recovers the variance to full precision.
+func TestTallyLargeMeanVariance(t *testing.T) {
+	const shift = 1e9
+	var ta Tally
+	// ±1 around the shift: population variance exactly 1, sample
+	// variance n/(n−1).
+	for i := 0; i < 10000; i++ {
+		if i%2 == 0 {
+			ta.Add(shift + 1)
+		} else {
+			ta.Add(shift - 1)
+		}
+	}
+	want := float64(10000) / 9999
+	if got := ta.Variance(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("variance = %v, want %v (catastrophic cancellation)", got, want)
+	}
+	if got := ta.Mean(); math.Abs(got-shift) > 1e-6 {
+		t.Fatalf("mean = %v, want %v", got, shift)
+	}
+	wantSE := math.Sqrt(want / 10000)
+	if got := ta.StdErr(); math.Abs(got-wantSE)/wantSE > 1e-9 {
+		t.Fatalf("stderr = %v, want %v", got, wantSE)
+	}
+	// The second moment is dominated by mean² at this scale; it must
+	// stay consistent with mean and variance to float64 precision.
+	wantM2 := want*9999/10000 + shift*shift
+	if got := ta.SecondMoment(); math.Abs(got-wantM2)/wantM2 > 1e-12 {
+		t.Fatalf("second moment = %v, want %v", got, wantM2)
+	}
+}

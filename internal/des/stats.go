@@ -4,10 +4,17 @@ import "math"
 
 // Tally accumulates scalar observations and reports their moments.
 // The zero value is ready to use.
+//
+// Moments are maintained with Welford's online algorithm: the running
+// mean and the centered sum of squares M2 = Σ (x − mean)². The naive
+// (ΣX² − (ΣX)²/n)/(n−1) form cancels catastrophically when the mean
+// dwarfs the spread (mean ≈ 1e9, variance ≈ 1 loses every significant
+// digit in float64), which silently zeroed — or made negative — the
+// variance behind every confidence interval the simulator reports.
 type Tally struct {
-	n          uint64
-	sum, sumSq float64
-	min, max   float64
+	n        uint64
+	mean, m2 float64
+	min, max float64
 }
 
 // Add records one observation.
@@ -23,8 +30,9 @@ func (t *Tally) Add(x float64) {
 		}
 	}
 	t.n++
-	t.sum += x
-	t.sumSq += x * x
+	delta := x - t.mean
+	t.mean += delta / float64(t.n)
+	t.m2 += delta * (x - t.mean)
 }
 
 // N returns the number of observations.
@@ -35,7 +43,7 @@ func (t *Tally) Mean() float64 {
 	if t.n == 0 {
 		return math.NaN()
 	}
-	return t.sum / float64(t.n)
+	return t.mean
 }
 
 // SecondMoment returns the sample second moment E[X²].
@@ -43,7 +51,7 @@ func (t *Tally) SecondMoment() float64 {
 	if t.n == 0 {
 		return math.NaN()
 	}
-	return t.sumSq / float64(t.n)
+	return t.m2/float64(t.n) + t.mean*t.mean
 }
 
 // Variance returns the unbiased sample variance, or NaN with fewer than
@@ -52,8 +60,7 @@ func (t *Tally) Variance() float64 {
 	if t.n < 2 {
 		return math.NaN()
 	}
-	n := float64(t.n)
-	return (t.sumSq - t.sum*t.sum/n) / (n - 1)
+	return t.m2 / float64(t.n-1)
 }
 
 // StdErr returns the standard error of the mean.
@@ -62,9 +69,8 @@ func (t *Tally) StdErr() float64 {
 	if math.IsNaN(v) {
 		return math.NaN()
 	}
-	if v < 0 {
-		v = 0 // numeric round-off on near-constant data
-	}
+	// M2 is a sum of nonnegative terms, so v < 0 cannot happen; no
+	// clamp is needed (the old one papered over the cancellation bug).
 	return math.Sqrt(v / float64(t.n))
 }
 

@@ -92,12 +92,7 @@ func (c *modelCache) getOrBuild(ctx context.Context, key string, build func(*mod
 	e := &modelEntry{key: key, ready: make(chan struct{})}
 	elem := c.ll.PushFront(e)
 	c.entries[key] = elem
-	for c.ll.Len() > c.max {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.entries, oldest.Value.(*modelEntry).key)
-		c.evictions.Add(1)
-	}
+	c.evictOverflow()
 	c.mu.Unlock()
 
 	c.misses.Add(1)
@@ -113,7 +108,39 @@ func (c *modelCache) getOrBuild(ctx context.Context, key string, build func(*mod
 		c.mu.Unlock()
 		return nil, false, e.err
 	}
+	// The entry is ready and therefore evictable again; reclaim any
+	// overflow its pinned residency deferred.
+	c.mu.Lock()
+	c.evictOverflow()
+	c.mu.Unlock()
 	return e, false, nil
+}
+
+// evictOverflow trims the cache back to max entries, least recently used
+// first, skipping entries whose build is still in flight. Evicting a
+// building entry would detach it from the key map while its builder
+// still runs, so a concurrent request for the same key would miss and
+// silently start a duplicate build — a single-flight violation (and,
+// under sustained overflow, an unbounded amount of duplicated solver
+// work). Pinned builders can push the resident count past max
+// transiently; the overflow is reclaimed as their builds complete.
+// Callers must hold c.mu.
+func (c *modelCache) evictOverflow() {
+	over := c.ll.Len() - c.max
+	var next *list.Element
+	for elem := c.ll.Back(); elem != nil && over > 0; elem = next {
+		next = elem.Prev()
+		e := elem.Value.(*modelEntry)
+		select {
+		case <-e.ready:
+		default:
+			continue // still building: pinned against eviction
+		}
+		c.ll.Remove(elem)
+		delete(c.entries, e.key)
+		c.evictions.Add(1)
+		over--
+	}
 }
 
 // snapshot returns the resident entries, most recently used first.

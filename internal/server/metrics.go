@@ -22,7 +22,6 @@ var latencyBuckets = []float64{
 // consistent enough for monitoring.
 type histogram struct {
 	counts []atomic.Uint64 // one per bucket, plus +Inf at the end
-	total  atomic.Uint64
 	// sumNanos accumulates the total observed latency for mean
 	// reporting; uint64 nanoseconds overflow after ~584 years of
 	// cumulative request time.
@@ -37,12 +36,17 @@ func (h *histogram) observe(d time.Duration) {
 	s := d.Seconds()
 	i := sort.SearchFloat64s(latencyBuckets, s)
 	h.counts[i].Add(1)
-	h.total.Add(1)
 	h.sumNanos.Add(uint64(d.Nanoseconds()))
 }
 
 // snapshot returns cumulative bucket counts (Prometheus convention),
 // the total count, and the sum in seconds.
+//
+// The total is derived from the bucket counts themselves (it is the
+// final cumulative entry), never from a separate counter: a separate
+// atomic can lead the bucket reads under concurrent observe calls, and
+// a rank computed from that larger total exceeds the cumulative mass,
+// which made quantile spuriously return +Inf.
 func (h *histogram) snapshot() (cum []uint64, total uint64, sum float64) {
 	cum = make([]uint64, len(h.counts))
 	var acc uint64
@@ -50,7 +54,7 @@ func (h *histogram) snapshot() (cum []uint64, total uint64, sum float64) {
 		acc += h.counts[i].Load()
 		cum[i] = acc
 	}
-	return cum, h.total.Load(), float64(h.sumNanos.Load()) / 1e9
+	return cum, acc, float64(h.sumNanos.Load()) / 1e9
 }
 
 // quantile estimates the q-quantile (0 < q < 1) from the bucket counts,

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramQuantileBasics pins the conservative upper-bound estimate.
+func TestHistogramQuantileBasics(t *testing.T) {
+	h := newHistogram()
+	if !math.IsNaN(h.quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+	for i := 0; i < 90; i++ {
+		h.observe(2 * time.Millisecond) // bucket ub 0.0025
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(40 * time.Millisecond) // bucket ub 0.05
+	}
+	if got := h.quantile(0.5); got != 0.0025 {
+		t.Errorf("p50 = %v, want 0.0025", got)
+	}
+	if got := h.quantile(0.95); got != 0.05 {
+		t.Errorf("p95 = %v, want 0.05", got)
+	}
+	cum, total, _ := h.snapshot()
+	if total != 100 || cum[len(cum)-1] != 100 {
+		t.Errorf("total = %d, cum tail = %d, want 100", total, cum[len(cum)-1])
+	}
+}
+
+// TestHistogramQuantileConcurrent is the regression test for the torn
+// read between the bucket counts and the separate total counter: the
+// old code loaded total after the bucket sweep, so a concurrent observe
+// could make rank exceed the cumulative mass and quantile return +Inf
+// even though every recorded latency sat in the first bucket. Run with
+// -race; the spurious +Inf reproduced within a few thousand iterations.
+func TestHistogramQuantileConcurrent(t *testing.T) {
+	h := newHistogram()
+	h.observe(time.Microsecond) // never empty, so NaN is not a legal answer
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.observe(time.Microsecond)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 20000; i++ {
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			if got := h.quantile(q); math.IsInf(got, 1) || math.IsNaN(got) {
+				close(stop)
+				wg.Wait()
+				t.Fatalf("quantile(%v) = %v under concurrent observe; every observation is 1µs", q, got)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

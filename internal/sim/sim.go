@@ -151,10 +151,14 @@ type Moments struct {
 	Mean         float64
 	SecondMoment float64
 	StdErr       float64
+	Min, Max     float64
 }
 
 func momentsOf(t *des.Tally) Moments {
-	return Moments{N: t.N(), Mean: t.Mean(), SecondMoment: t.SecondMoment(), StdErr: t.StdErr()}
+	return Moments{
+		N: t.N(), Mean: t.Mean(), SecondMoment: t.SecondMoment(), StdErr: t.StdErr(),
+		Min: t.Min(), Max: t.Max(),
+	}
 }
 
 // Result reports the measurements of one run.

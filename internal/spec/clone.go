@@ -1,0 +1,34 @@
+package spec
+
+// Clone returns a deep copy of the workflow: the chart and the profile
+// map (including each profile's load map) are duplicated, so generators
+// and shrinkers can mutate the copy freely.
+func (w *Workflow) Clone() *Workflow {
+	if w == nil {
+		return nil
+	}
+	out := &Workflow{
+		Name:        w.Name,
+		Chart:       w.Chart.Clone(),
+		ArrivalRate: w.ArrivalRate,
+	}
+	if w.Profiles != nil {
+		out.Profiles = make(map[string]ActivityProfile, len(w.Profiles))
+		for name, p := range w.Profiles {
+			out.Profiles[name] = p.Clone()
+		}
+	}
+	return out
+}
+
+// Clone returns a copy of the profile with an independent load map.
+func (p ActivityProfile) Clone() ActivityProfile {
+	out := p
+	if p.Load != nil {
+		out.Load = make(map[string]float64, len(p.Load))
+		for k, v := range p.Load {
+			out.Load[k] = v
+		}
+	}
+	return out
+}

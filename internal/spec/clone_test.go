@@ -1,0 +1,55 @@
+package spec
+
+import (
+	"testing"
+
+	"performa/internal/statechart"
+)
+
+// TestWorkflowCloneDeep checks that a cloned workflow shares no mutable
+// state with the original: chart, profile map, and load maps.
+func TestWorkflowCloneDeep(t *testing.T) {
+	w := &Workflow{
+		Name: "wf",
+		Chart: &statechart.Chart{
+			Name:    "wf",
+			Initial: "init",
+			Final:   "done",
+			States: map[string]*statechart.State{
+				"init": {Name: "init"},
+				"a":    {Name: "a", Activity: "Act"},
+				"done": {Name: "done"},
+			},
+			Transitions: []*statechart.Transition{
+				{From: "init", To: "a", Prob: 1},
+				{From: "a", To: "done", Prob: 1},
+			},
+		},
+		Profiles: map[string]ActivityProfile{
+			"Act": {Name: "Act", MeanDuration: 5, Load: map[string]float64{"orb": 2}},
+		},
+		ArrivalRate: 3,
+	}
+
+	c := w.Clone()
+	c.ArrivalRate = 9
+	c.Chart.States["a"].Activity = "Changed"
+	p := c.Profiles["Act"]
+	p.MeanDuration = 99
+	p.Load["orb"] = 7
+	c.Profiles["Act"] = p
+	delete(c.Profiles, "Missing")
+
+	if w.ArrivalRate != 3 {
+		t.Errorf("arrival rate leaked: %v", w.ArrivalRate)
+	}
+	if got := w.Chart.States["a"].Activity; got != "Act" {
+		t.Errorf("chart edit leaked into original: %q", got)
+	}
+	if got := w.Profiles["Act"].MeanDuration; got != 5 {
+		t.Errorf("profile edit leaked into original: %v", got)
+	}
+	if got := w.Profiles["Act"].Load["orb"]; got != 2 {
+		t.Errorf("load map edit leaked into original: %v", got)
+	}
+}

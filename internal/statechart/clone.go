@@ -1,0 +1,39 @@
+package statechart
+
+// Clone returns a deep copy of the chart: states, nested subcharts, and
+// transitions are all duplicated, so the copy can be edited (e.g. by the
+// cross-validation shrinker) without aliasing the original.
+func (c *Chart) Clone() *Chart {
+	if c == nil {
+		return nil
+	}
+	out := &Chart{
+		Name:    c.Name,
+		Initial: c.Initial,
+		Final:   c.Final,
+		States:  make(map[string]*State, len(c.States)),
+	}
+	for name, s := range c.States {
+		cs := &State{
+			Name:        s.Name,
+			Activity:    s.Activity,
+			Interactive: s.Interactive,
+		}
+		for _, sub := range s.Subcharts {
+			cs.Subcharts = append(cs.Subcharts, sub.Clone())
+		}
+		out.States[name] = cs
+	}
+	for _, t := range c.Transitions {
+		ct := &Transition{
+			From:  t.From,
+			To:    t.To,
+			Event: t.Event,
+			Cond:  t.Cond,
+			Prob:  t.Prob,
+		}
+		ct.Actions = append(ct.Actions, t.Actions...)
+		out.Transitions = append(out.Transitions, ct)
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package statechart
+
+import "testing"
+
+func cloneFixture() *Chart {
+	sub := &Chart{
+		Name:    "sub",
+		Initial: "i",
+		Final:   "f",
+		States: map[string]*State{
+			"i": {Name: "i"},
+			"a": {Name: "a", Activity: "SubAct"},
+			"f": {Name: "f"},
+		},
+		Transitions: []*Transition{
+			{From: "i", To: "a", Prob: 1},
+			{From: "a", To: "f", Prob: 1},
+		},
+	}
+	return &Chart{
+		Name:    "top",
+		Initial: "init",
+		Final:   "done",
+		States: map[string]*State{
+			"init": {Name: "init"},
+			"work": {Name: "work", Activity: "Work", Interactive: true},
+			"nest": {Name: "nest", Subcharts: []*Chart{sub}},
+			"done": {Name: "done"},
+		},
+		Transitions: []*Transition{
+			{From: "init", To: "work", Prob: 1},
+			{From: "work", To: "nest", Prob: 1, Event: "E", Cond: "C",
+				Actions: []Action{{Kind: ActionStart, Target: "Work"}}},
+			{From: "nest", To: "done", Prob: 1},
+		},
+	}
+}
+
+// TestCloneDeep checks that mutating a clone never reaches the original:
+// states, transitions, actions, and nested subcharts must all be copies.
+func TestCloneDeep(t *testing.T) {
+	orig := cloneFixture()
+	if err := orig.Validate(); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	c := orig.Clone()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+
+	c.States["work"].Activity = "Changed"
+	c.States["nest"].Subcharts[0].States["a"].Activity = "ChangedSub"
+	c.Transitions[1].Prob = 0.5
+	c.Transitions[1].Actions[0].Target = "ChangedAction"
+	delete(c.States, "done")
+
+	if got := orig.States["work"].Activity; got != "Work" {
+		t.Errorf("clone state edit leaked into original: %q", got)
+	}
+	if got := orig.States["nest"].Subcharts[0].States["a"].Activity; got != "SubAct" {
+		t.Errorf("clone subchart edit leaked into original: %q", got)
+	}
+	if got := orig.Transitions[1].Prob; got != 1 {
+		t.Errorf("clone transition edit leaked into original: %v", got)
+	}
+	if got := orig.Transitions[1].Actions[0].Target; got != "Work" {
+		t.Errorf("clone action edit leaked into original: %q", got)
+	}
+	if _, ok := orig.States["done"]; !ok {
+		t.Error("clone state deletion leaked into original")
+	}
+}
+
+func TestCloneNil(t *testing.T) {
+	var c *Chart
+	if c.Clone() != nil {
+		t.Error("nil chart should clone to nil")
+	}
+}
