@@ -4,8 +4,9 @@
 # must not slip through).
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: check build vet test race bench crossval
+.PHONY: check build vet test race bench crossval fuzz-crash
 
 check: build vet test race
 
@@ -30,3 +31,9 @@ bench:
 crossval:
 	$(GO) run ./cmd/wfmscheck -systems 200 -seed 1 -out crossval-corpus
 	$(GO) run ./cmd/wfmscheck -systems 25 -seed 1 -mutate
+
+# Crash-safety fuzz: mutated request bodies through the full /v1/assess
+# handler. The server must answer every input with well-formed JSON (a
+# valid assessment or a typed error body) and never panic.
+fuzz-crash:
+	$(GO) test ./internal/server -run='^$$' -fuzz=FuzzAssessCrashSafety -fuzztime=$(FUZZTIME)

@@ -25,9 +25,18 @@ import (
 	"performa/internal/perf"
 	"performa/internal/performability"
 	"performa/internal/wfjson"
+	"performa/internal/wfmserr"
 )
 
 func main() {
+	// Residual panics must cost a one-line diagnostic and a non-zero
+	// exit, never a raw Go trace.
+	defer func() {
+		if p := recover(); p != nil {
+			fmt.Fprintf(os.Stderr, "wfmsadvisor: internal error: %v\n", p)
+			os.Exit(2)
+		}
+	}()
 	var (
 		specFile    = flag.String("spec", "", "JSON system specification (required; see internal/wfjson)")
 		trailFile   = flag.String("trail", "", "JSON-lines audit trail to recalibrate from (optional)")
@@ -126,7 +135,9 @@ func parseConfig(s string, k int) (perf.Config, error) {
 	return perf.Config{Replicas: replicas}, nil
 }
 
+// fail prints a one-line diagnostic, prefixed with the error's taxonomy
+// code when typed, and exits non-zero.
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "wfmsadvisor:", err)
+	fmt.Fprintln(os.Stderr, "wfmsadvisor:", wfmserr.Describe(err))
 	os.Exit(1)
 }

@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"performa/internal/crossval"
+	"performa/internal/wfmserr"
 )
 
 func main() {
@@ -52,10 +53,21 @@ func main() {
 		opt.Fault = fault
 	}
 
-	if *replay != "" {
-		os.Exit(replayFile(*replay, opt))
-	}
-	os.Exit(run(*systems, *seed, *workers, *out, opt, *noShrink, *mutate, *verbose))
+	code := func() (code int) {
+		// Residual panics must cost a one-line diagnostic and a non-zero
+		// exit, never a raw Go trace.
+		defer func() {
+			if p := recover(); p != nil {
+				fmt.Fprintf(os.Stderr, "wfmscheck: internal error: %v\n", p)
+				code = 2
+			}
+		}()
+		if *replay != "" {
+			return replayFile(*replay, opt)
+		}
+		return run(*systems, *seed, *workers, *out, opt, *noShrink, *mutate, *verbose)
+	}()
+	os.Exit(code)
 }
 
 type outcome struct {
@@ -190,7 +202,9 @@ func replayFile(path string, opt crossval.Options) int {
 	return 0
 }
 
+// fatal prints a one-line diagnostic, prefixed with the error's taxonomy
+// code when typed, and exits non-zero.
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "wfmscheck:", err)
+	fmt.Fprintln(os.Stderr, "wfmscheck:", wfmserr.Describe(err))
 	os.Exit(1)
 }

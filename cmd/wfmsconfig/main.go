@@ -29,11 +29,25 @@ import (
 	"performa/internal/performability"
 	"performa/internal/spec"
 	"performa/internal/wfjson"
+	"performa/internal/wfmserr"
 	"performa/internal/workload"
 )
 
 func main() {
-	os.Exit(run())
+	code := func() (code int) {
+		// Residual panics (bugs the typed-error routes did not intercept)
+		// must cost a one-line diagnostic and a non-zero exit, not a raw
+		// Go trace. The closure keeps os.Exit outside the deferred scope
+		// so run()'s own defers (profile writers) still flush.
+		defer func() {
+			if p := recover(); p != nil {
+				fmt.Fprintf(os.Stderr, "wfmsconfig: internal error: %v\n", p)
+				code = 2
+			}
+		}()
+		return run()
+	}()
+	os.Exit(code)
 }
 
 // run holds main's body so the pprof defers flush before the process
@@ -255,9 +269,10 @@ func humanDowntime(hoursPerYear float64) string {
 	}
 }
 
-// fail reports the error and returns the exit code, letting run()'s
+// fail reports the error as a one-line diagnostic (prefixed with its
+// taxonomy code when typed) and returns the exit code, letting run()'s
 // deferred profile writers flush before the process exits.
 func fail(err error) int {
-	fmt.Fprintln(os.Stderr, "wfmsconfig:", err)
+	fmt.Fprintln(os.Stderr, "wfmsconfig:", wfmserr.Describe(err))
 	return 1
 }

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"performa/internal/server"
+	"performa/internal/wfmserr"
 )
 
 func main() {
@@ -38,8 +39,20 @@ func main() {
 		drain      = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
 		maxBody    = flag.Int64("max-body", 8<<20, "request body size cap in bytes")
 		logJSON    = flag.Bool("log-json", false, "emit JSON logs instead of text")
+		maxStates  = flag.Int("max-states", wfmserr.Default.MaxStates, "state-space size admitted per model (0 = unlimited)")
+		maxDim     = flag.Int("max-matrix-dim", wfmserr.Default.MaxMatrixDim, "dense linear-system dimension admitted per solve (0 = unlimited)")
+		maxSteps   = flag.Int("max-solver-steps", wfmserr.Default.MaxUniformizationSteps, "uniformization step budget per transient solve (0 = library default)")
 	)
 	flag.Parse()
+
+	// The resource budget is consulted before any state space, matrix, or
+	// series is allocated; requests exceeding it are refused with typed
+	// 4xx errors instead of exhausting memory.
+	wfmserr.Default = wfmserr.Budget{
+		MaxStates:              *maxStates,
+		MaxMatrixDim:           *maxDim,
+		MaxUniformizationSteps: *maxSteps,
+	}
 
 	var handler slog.Handler
 	if *logJSON {

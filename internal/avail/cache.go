@@ -6,6 +6,7 @@ import (
 
 	"performa/internal/ctmc"
 	"performa/internal/linalg"
+	"performa/internal/wfmserr"
 )
 
 // marginalKey identifies one per-type birth-death solve: the marginal
@@ -95,7 +96,20 @@ func EvaluateProductFormCached(params []TypeParams, discipline RepairDiscipline,
 	rep.DowntimeHoursPerYear = rep.Unavailability * HoursPerYear
 
 	if buildJoint {
-		enc := ctmc.NewStateEncoder(caps)
+		// Pre-flight the joint space before the O(Π(Y+1)) vector is
+		// allocated: an adversarial configuration must fail here, typed,
+		// not in the encoder's panic or the allocator.
+		size, err := ctmc.StateSpaceSize(caps)
+		if err != nil {
+			return nil, err
+		}
+		if err := wfmserr.Default.CheckStates("avail", size); err != nil {
+			return nil, err
+		}
+		enc, err := ctmc.NewStateEncoderChecked(caps)
+		if err != nil {
+			return nil, err
+		}
 		pi := linalg.NewVector(enc.Size())
 		enc.Each(func(code int, x []int) {
 			p := 1.0

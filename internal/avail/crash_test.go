@@ -1,0 +1,57 @@
+package avail
+
+// Pin tests for the typed-error routes that replaced availability-model
+// panics: degenerate failure/repair rates and budget-violating replica
+// counts must be refused with taxonomy errors before anything allocates
+// or divides by zero.
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"performa/internal/wfmserr"
+)
+
+// TestSingleCrewExtremeRatesTypedError is the regression for the
+// linalg.Normalize panic: a finite but astronomical λ/μ ratio overflows
+// the single-crew marginal weights, whose normalization used to panic
+// inside the planner. It must now surface as ErrInvalidModel.
+func TestSingleCrewExtremeRatesTypedError(t *testing.T) {
+	_, err := TypeMarginal(TypeParams{
+		Replicas:    3,
+		FailureRate: 1e300,
+		RepairRate:  1,
+	}, SingleCrew)
+	if !errors.Is(err, wfmserr.ErrInvalidModel) {
+		t.Fatalf("extreme single-crew rates: err = %v, want ErrInvalidModel", err)
+	}
+}
+
+func TestTypeMarginalRejectsNonFiniteRates(t *testing.T) {
+	for name, p := range map[string]TypeParams{
+		"nan failure":   {Replicas: 2, FailureRate: math.NaN(), RepairRate: 1},
+		"inf repair":    {Replicas: 2, FailureRate: 1, RepairRate: math.Inf(1)},
+		"negative rate": {Replicas: 2, FailureRate: -1, RepairRate: 1},
+		"zero repair":   {Replicas: 2, FailureRate: 1, RepairRate: 0},
+		"neg replicas":  {Replicas: -2, FailureRate: 1, RepairRate: 1},
+	} {
+		if _, err := TypeMarginal(p, IndependentRepair); !errors.Is(err, wfmserr.ErrInvalidModel) {
+			t.Errorf("%s: err = %v, want ErrInvalidModel", name, err)
+		}
+	}
+}
+
+// TestTypeMarginalBudget: a single adversarial type with a huge replica
+// count must be refused by the state budget before the (y+1)-vector is
+// allocated.
+func TestTypeMarginalBudget(t *testing.T) {
+	_, err := TypeMarginal(TypeParams{
+		Replicas:    1 << 40,
+		FailureRate: 1e-4,
+		RepairRate:  1,
+	}, IndependentRepair)
+	if !errors.Is(err, wfmserr.ErrStateSpaceTooLarge) {
+		t.Fatalf("huge replica count: err = %v, want ErrStateSpaceTooLarge", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"performa/internal/ctmc"
 	"performa/internal/linalg"
 	"performa/internal/spec"
+	"performa/internal/wfmserr"
 )
 
 // HoursPerYear converts a steady-state unavailability into expected
@@ -37,10 +38,24 @@ func NewModel(params []TypeParams, discipline RepairDiscipline) (*Model, error) 
 		}
 		caps[x] = p.Replicas
 	}
+	// The exact joint model solves a dense n×n system over the full
+	// state space, so both the encoder overflow check and the dense
+	// dimension budget must pass before anything is allocated.
+	size, err := ctmc.StateSpaceSize(caps)
+	if err != nil {
+		return nil, err
+	}
+	if err := wfmserr.Default.CheckMatrixDim("avail", size); err != nil {
+		return nil, err
+	}
+	enc, err := ctmc.NewStateEncoderChecked(caps)
+	if err != nil {
+		return nil, err
+	}
 	return &Model{
 		params:     append([]TypeParams(nil), params...),
 		discipline: discipline,
-		enc:        ctmc.NewStateEncoder(caps),
+		enc:        enc,
 	}, nil
 }
 

@@ -21,6 +21,7 @@ import (
 
 	"performa/internal/ctmc"
 	"performa/internal/linalg"
+	"performa/internal/wfmserr"
 )
 
 // RepairDiscipline selects how many failed servers of one type can be in
@@ -77,16 +78,19 @@ type TypeParams struct {
 
 func (p TypeParams) validate() error {
 	if p.Replicas < 0 {
-		return fmt.Errorf("avail: negative replica count %d", p.Replicas)
+		return wfmserr.New(wfmserr.CodeInvalidModel, "avail", "negative replica count %d", p.Replicas)
 	}
-	if p.FailureRate < 0 {
-		return fmt.Errorf("avail: negative failure rate %v", p.FailureRate)
+	if p.FailureRate < 0 || math.IsNaN(p.FailureRate) || math.IsInf(p.FailureRate, 0) {
+		return wfmserr.New(wfmserr.CodeInvalidModel, "avail", "failure rate %v is not a finite nonnegative number", p.FailureRate)
+	}
+	if p.RepairRate < 0 || math.IsNaN(p.RepairRate) || math.IsInf(p.RepairRate, 0) {
+		return wfmserr.New(wfmserr.CodeInvalidModel, "avail", "repair rate %v is not a finite nonnegative number", p.RepairRate)
 	}
 	if p.FailureRate > 0 && !(p.RepairRate > 0) {
-		return fmt.Errorf("avail: failing type needs positive repair rate, got %v", p.RepairRate)
+		return wfmserr.New(wfmserr.CodeInvalidModel, "avail", "failing type needs positive repair rate, got %v", p.RepairRate)
 	}
 	if p.RepairStages < 0 {
-		return fmt.Errorf("avail: negative repair stage count %d", p.RepairStages)
+		return wfmserr.New(wfmserr.CodeInvalidModel, "avail", "negative repair stage count %d", p.RepairStages)
 	}
 	return nil
 }
@@ -98,6 +102,12 @@ func TypeMarginal(p TypeParams, discipline RepairDiscipline) (linalg.Vector, err
 		return nil, err
 	}
 	y := p.Replicas
+	// Pre-flight: the marginal itself is a (y+1)-vector, so a single
+	// adversarial type with a huge replica count must be rejected before
+	// the allocation, not after.
+	if err := wfmserr.Default.CheckStates("avail", y+1); err != nil {
+		return nil, err
+	}
 	out := linalg.NewVector(y + 1)
 	if y == 0 {
 		out[0] = 1
@@ -109,10 +119,11 @@ func TypeMarginal(p TypeParams, discipline RepairDiscipline) (linalg.Vector, err
 	}
 	stages := p.RepairStages
 	if stages <= 1 {
-		return exponentialMarginal(p, discipline), nil
+		return exponentialMarginal(p, discipline)
 	}
 	if discipline != SingleCrew {
-		return nil, fmt.Errorf("avail: Erlang repair stages require the single-crew discipline (the phase belongs to the one in-progress repair)")
+		return nil, wfmserr.New(wfmserr.CodeInvalidModel, "avail",
+			"Erlang repair stages require the single-crew discipline (the phase belongs to the one in-progress repair)")
 	}
 	return erlangSingleCrewMarginal(p)
 }
@@ -120,7 +131,7 @@ func TypeMarginal(p TypeParams, discipline RepairDiscipline) (linalg.Vector, err
 // exponentialMarginal solves the per-type birth-death chain analytically:
 // failure rate from state j is j·λ, repair rate into state j+1 is
 // (Y-j)·μ for independent repair or μ for a single crew.
-func exponentialMarginal(p TypeParams, discipline RepairDiscipline) linalg.Vector {
+func exponentialMarginal(p TypeParams, discipline RepairDiscipline) (linalg.Vector, error) {
 	y := p.Replicas
 	lambda, mu := p.FailureRate, p.RepairRate
 	if discipline == IndependentRepair {
@@ -130,18 +141,25 @@ func exponentialMarginal(p TypeParams, discipline RepairDiscipline) linalg.Vecto
 		for j := 0; j <= y; j++ {
 			out[j] = binom(y, j) * math.Pow(up, float64(j)) * math.Pow(1-up, float64(y-j))
 		}
-		return out
+		return out, nil
 	}
 	// Single crew: birth-death with birth rate μ (j < y) and death rate
 	// j·λ. Detailed balance: π_{j-1}·μ = π_j·j·λ ⇒
 	// π_j = π_y · y!/j! · (μ/λ)^{j-y} reading downwards from j = y.
+	// Extreme λ/μ ratios can overflow the recurrence to +Inf, which
+	// leaves nothing normalizable — a typed rejection, not a panic.
 	weights := linalg.NewVector(y + 1)
 	weights[y] = 1
 	for j := y - 1; j >= 0; j-- {
 		// π_j = π_{j+1} · (j+1)·λ / μ.
 		weights[j] = weights[j+1] * float64(j+1) * lambda / mu
 	}
-	return weights.Normalize()
+	out, err := weights.Normalized()
+	if err != nil {
+		return nil, wfmserr.Wrap(err, wfmserr.CodeInvalidModel, "avail",
+			"single-crew marginal is not normalizable; failure/repair rates λ=%v, μ=%v are too extreme", lambda, mu)
+	}
+	return out, nil
 }
 
 // erlangSingleCrewMarginal builds the phase-expanded per-type chain:
@@ -161,7 +179,17 @@ func erlangSingleCrewMarginal(p TypeParams) (linalg.Vector, error) {
 		}
 		return 1 + j*k + (ph - 1)
 	}
+	// Pre-flight: the phase expansion builds a dense (1+y·k)² generator,
+	// so the dimension (overflow-safe) must fit the budget before any
+	// allocation happens.
+	if y > 0 && k > (1<<60)/y {
+		return nil, wfmserr.New(wfmserr.CodeBudgetExceeded, "avail",
+			"phase-expanded chain dimension overflows (Y=%d, stages=%d)", y, k)
+	}
 	n := 1 + y*k
+	if err := wfmserr.Default.CheckMatrixDim("avail", n); err != nil {
+		return nil, err
+	}
 	q := linalg.NewMatrix(n, n)
 	add := func(from, to int, rate float64) {
 		q.Add(from, to, rate)

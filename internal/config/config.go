@@ -15,6 +15,7 @@ import (
 	"performa/internal/avail"
 	"performa/internal/perf"
 	"performa/internal/performability"
+	"performa/internal/wfmserr"
 )
 
 // Goals are the administrator-specified targets of Section 7.1.
@@ -326,7 +327,8 @@ func GreedyContext(ctx context.Context, a *perf.Analysis, goals Goals, cons Cons
 		rec.Trace = append(rec.Trace, step)
 		cfg.Replicas[target]++
 	}
-	return nil, fmt.Errorf("config: greedy search exceeded %d iterations", opts.MaxIterations)
+	return nil, wfmserr.New(wfmserr.CodeBudgetExceeded, "config",
+		"greedy search exceeded its iteration budget").With("iterations", opts.MaxIterations)
 }
 
 // mostCriticalForWaiting picks the server type with the largest relative

@@ -8,6 +8,7 @@ import (
 
 	"performa/internal/perf"
 	"performa/internal/performability"
+	"performa/internal/wfmserr"
 )
 
 // engine is the shared assessment engine behind all four planners and
@@ -152,6 +153,21 @@ func (e *engine) stamp(rec *Recommendation) {
 	rec.Cache = e.ev.Stats().Sub(e.start)
 }
 
+// assessContained is assess with panic containment for worker
+// goroutines: a panic escaping the analytic stack inside a pool worker
+// would kill the whole process (nothing above the goroutine can recover
+// it), so it is converted into a typed internal error here and flows
+// through the normal per-candidate error reporting.
+func (e *engine) assessContained(ctx context.Context, y []int) (as *Assessment, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			as, err = nil, wfmserr.New(wfmserr.CodeInternal, "config",
+				"panic while assessing candidate %v: %v", y, p)
+		}
+	}()
+	return e.assess(ctx, y)
+}
+
 // assessChunk evaluates a batch of candidates over a pool of workers and
 // returns the per-candidate assessments in input order, plus the first
 // error in input order (later candidates' errors are suppressed, as the
@@ -183,7 +199,7 @@ func (e *engine) assessChunk(ctx context.Context, ys [][]int, workers int) ([]*A
 				if i >= len(ys) {
 					return
 				}
-				out[i], errs[i] = e.assess(ctx, ys[i])
+				out[i], errs[i] = e.assessContained(ctx, ys[i])
 			}
 		}()
 	}

@@ -1,0 +1,54 @@
+package ctmc
+
+import (
+	"errors"
+	"testing"
+
+	"performa/internal/wfmserr"
+)
+
+func TestStateSpaceSize(t *testing.T) {
+	n, err := StateSpaceSize([]int{2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 36 { // (2+1)(2+1)(3+1)
+		t.Errorf("size = %d, want 36", n)
+	}
+	if n, err := StateSpaceSize(nil); err != nil || n != 1 {
+		t.Errorf("empty caps: size = %d, err = %v, want 1, nil", n, err)
+	}
+}
+
+func TestStateSpaceSizeOverflow(t *testing.T) {
+	// The product (2^31)^3 wraps int64; the checked route must report a
+	// typed too-large error instead of a bogus (possibly small positive)
+	// size that a later allocation would act on.
+	_, err := StateSpaceSize([]int{1 << 31, 1 << 31, 1 << 31})
+	if !errors.Is(err, wfmserr.ErrStateSpaceTooLarge) {
+		t.Errorf("overflowing caps: err = %v, want ErrStateSpaceTooLarge", err)
+	}
+}
+
+func TestStateSpaceSizeNegativeCap(t *testing.T) {
+	_, err := StateSpaceSize([]int{2, -1})
+	if !errors.Is(err, wfmserr.ErrInvalidModel) {
+		t.Errorf("negative cap: err = %v, want ErrInvalidModel", err)
+	}
+}
+
+func TestNewStateEncoderChecked(t *testing.T) {
+	enc, err := NewStateEncoderChecked([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Size() != 6 {
+		t.Errorf("states = %d, want 6", enc.Size())
+	}
+	if _, err := NewStateEncoderChecked([]int{-3}); !errors.Is(err, wfmserr.ErrInvalidModel) {
+		t.Errorf("negative cap: err = %v, want ErrInvalidModel", err)
+	}
+	if _, err := NewStateEncoderChecked([]int{1 << 40, 1 << 40}); !errors.Is(err, wfmserr.ErrStateSpaceTooLarge) {
+		t.Errorf("huge caps: err = %v, want ErrStateSpaceTooLarge", err)
+	}
+}

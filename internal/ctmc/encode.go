@@ -1,6 +1,10 @@
 package ctmc
 
-import "fmt"
+import (
+	"fmt"
+
+	"performa/internal/wfmserr"
+)
 
 // StateEncoder maps k-tuples (X_1, ..., X_k) with 0 <= X_j <= Y_j to the
 // consecutive integers the availability CTMC of Section 5.2 is indexed
@@ -16,23 +20,54 @@ type StateEncoder struct {
 	size    int
 }
 
-// NewStateEncoder returns an encoder for tuples bounded by the given
-// capacities (the configuration vector Y). It panics if any capacity is
-// negative or the state space would overflow an int.
-func NewStateEncoder(caps []int) *StateEncoder {
-	e := &StateEncoder{caps: append([]int(nil), caps...), weights: make([]int, len(caps))}
+// StateSpaceSize returns the number of states Π (Y_j + 1) the given
+// capacities span, as a typed error when a capacity is negative or the
+// product overflows the encodable range. This is the pre-flight check
+// for untrusted configurations: it costs O(k) and allocates nothing.
+func StateSpaceSize(caps []int) (int, error) {
 	size := 1
 	for j, y := range caps {
 		if y < 0 {
-			panic(fmt.Sprintf("ctmc: negative capacity Y[%d] = %d", j, y))
+			return 0, wfmserr.New(wfmserr.CodeInvalidModel, "ctmc",
+				"negative capacity Y[%d] = %d", j, y)
 		}
-		e.weights[j] = size
 		if size > (1<<62)/(y+1) {
-			panic("ctmc: state space too large to encode")
+			return 0, wfmserr.New(wfmserr.CodeStateSpaceTooLarge, "ctmc",
+				"state space overflows the encodable range").With("dimension", j)
 		}
 		size *= y + 1
 	}
+	return size, nil
+}
+
+// NewStateEncoderChecked returns an encoder for tuples bounded by the
+// given capacities (the configuration vector Y), reporting a typed
+// error instead of panicking when the capacities are invalid or the
+// state space overflows. This is the constructor for the untrusted
+// input route.
+func NewStateEncoderChecked(caps []int) (*StateEncoder, error) {
+	if _, err := StateSpaceSize(caps); err != nil {
+		return nil, err
+	}
+	e := &StateEncoder{caps: append([]int(nil), caps...), weights: make([]int, len(caps))}
+	size := 1
+	for j, y := range caps {
+		e.weights[j] = size
+		size *= y + 1
+	}
 	e.size = size
+	return e, nil
+}
+
+// NewStateEncoder returns an encoder for tuples bounded by the given
+// capacities (the configuration vector Y). It panics if any capacity is
+// negative or the state space would overflow an int; callers handling
+// untrusted input should use NewStateEncoderChecked instead.
+func NewStateEncoder(caps []int) *StateEncoder {
+	e, err := NewStateEncoderChecked(caps)
+	if err != nil {
+		panic(fmt.Sprintf("ctmc: %v", err))
+	}
 	return e
 }
 

@@ -1,10 +1,12 @@
 package ctmc
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"performa/internal/linalg"
+	"performa/internal/wfmserr"
 )
 
 // SteadyState solves π Q = 0, Σ π_i = 1 for an ergodic CTMC given by its
@@ -33,18 +35,26 @@ func SteadyState(q *linalg.Matrix) (linalg.Vector, error) {
 	b[n-1] = 1
 	pi, err := linalg.Solve(a, b)
 	if err != nil {
-		return nil, fmt.Errorf("ctmc: steady-state solve (is the chain irreducible?): %w", err)
+		code := wfmserr.CodeInvalidModel
+		if errors.Is(err, linalg.ErrNoConvergence) {
+			code = wfmserr.CodeNoConvergence
+		}
+		return nil, wfmserr.Wrap(err, code, "ctmc", "steady-state solve (is the chain irreducible?)")
 	}
 	// Clean tiny negative round-off and renormalize.
 	for i, p := range pi {
 		if p < 0 {
 			if p < -1e-9 {
-				return nil, fmt.Errorf("ctmc: steady-state probability π[%d] = %v is negative; chain is likely not ergodic", i, p)
+				return nil, wfmserr.New(wfmserr.CodeInvalidModel, "ctmc",
+					"steady-state probability π[%d] = %v is negative; chain is likely not ergodic", i, p)
 			}
 			pi[i] = 0
 		}
 	}
-	pi.Normalize()
+	pi, err = pi.Normalized()
+	if err != nil {
+		return nil, wfmserr.Wrap(err, wfmserr.CodeInvalidModel, "ctmc", "steady-state distribution is degenerate")
+	}
 	return pi, nil
 }
 

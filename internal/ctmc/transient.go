@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"performa/internal/linalg"
+	"performa/internal/wfmserr"
 )
 
 // FirstPassageTimes computes the mean first-passage time m_iA from every
@@ -101,7 +102,8 @@ type SeriesOptions struct {
 	// below the model's other approximations.
 	Coverage float64
 	// HardCap bounds the adaptive rule to protect against chains with
-	// near-1 self-loop mass. Zero means the default 1_000_000.
+	// near-1 self-loop mass. Zero means the budget default
+	// (wfmserr.Default.MaxUniformizationSteps, normally 1_000_000).
 	HardCap int
 }
 
@@ -110,7 +112,9 @@ func (o SeriesOptions) withDefaults() SeriesOptions {
 		o.Coverage = 0.9999
 	}
 	if o.HardCap <= 0 {
-		o.HardCap = 1_000_000
+		if o.HardCap = wfmserr.Default.MaxUniformizationSteps; o.HardCap <= 0 {
+			o.HardCap = 1_000_000
+		}
 	}
 	return o
 }
@@ -164,7 +168,9 @@ func ExpectedVisitsSeries(c *Chain, opts SeriesOptions) (*SeriesResult, error) {
 			break
 		}
 		if z >= opts.HardCap {
-			return nil, fmt.Errorf("ctmc: series did not absorb %.4g of the mass within %d steps", residual, opts.HardCap)
+			return nil, wfmserr.New(wfmserr.CodeBudgetExceeded, "ctmc",
+				"uniformized series did not absorb %.4g of the mass within the step budget", residual).
+				With("steps", opts.HardCap)
 		}
 		for a := 0; a < abs; a++ {
 			ua := u[a]

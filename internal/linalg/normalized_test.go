@@ -1,0 +1,32 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+// TestNormalizedChecked pins the error-returning route under the
+// panicking Normalize: degenerate vectors — all-zero, NaN-poisoned, or
+// overflowed to Inf — must come back as a plain error the caller can
+// wrap, leaving the panic for the internal-invariant call sites only.
+func TestNormalizedChecked(t *testing.T) {
+	v := Vector{1, 3}
+	out, err := v.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0.25 || out[1] != 0.75 {
+		t.Errorf("normalized = %v, want [0.25 0.75]", out)
+	}
+
+	for name, bad := range map[string]Vector{
+		"zero":       {0, 0, 0},
+		"nan":        {1, math.NaN()},
+		"inf":        {1, math.Inf(1)},
+		"cancelling": {1, -1},
+	} {
+		if _, err := bad.Normalized(); err == nil {
+			t.Errorf("%s vector: Normalized accepted %v", name, bad)
+		}
+	}
+}

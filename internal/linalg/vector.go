@@ -124,13 +124,25 @@ func (v Vector) Norm1() float64 {
 
 // Normalize scales v in place so its components sum to one and returns v.
 // It panics if the component sum is zero or not finite, since such a
-// vector cannot represent a probability distribution.
+// vector cannot represent a probability distribution. Callers on the
+// untrusted-input route should use Normalized instead.
 func (v Vector) Normalize() Vector {
+	w, err := v.Normalized()
+	if err != nil {
+		panic(err.Error())
+	}
+	return w
+}
+
+// Normalized scales v in place so its components sum to one, reporting
+// an error instead of panicking when the component sum is zero or not
+// finite (the vector then cannot represent a probability distribution).
+func (v Vector) Normalized() (Vector, error) {
 	s := v.Sum()
 	if s == 0 || math.IsNaN(s) || math.IsInf(s, 0) {
-		panic(fmt.Sprintf("linalg: cannot normalize vector with component sum %v", s))
+		return nil, fmt.Errorf("linalg: cannot normalize vector with component sum %v", s)
 	}
-	return v.Scale(1 / s)
+	return v.Scale(1 / s), nil
 }
 
 // String renders v in a compact bracketed form.

@@ -10,6 +10,7 @@ import (
 
 	"performa/internal/linalg"
 	"performa/internal/spec"
+	"performa/internal/wfmserr"
 )
 
 // Config is a system configuration: the vector of replication degrees
@@ -92,7 +93,7 @@ func (c Config) validate(k int) error {
 	}
 	for x, y := range c.Replicas {
 		if y < 0 {
-			return fmt.Errorf("perf: negative replication degree Y[%d] = %d", x, y)
+			return wfmserr.New(wfmserr.CodeInvalidModel, "perf", "negative replication degree Y[%d] = %d", x, y)
 		}
 	}
 	seen := make(map[int]bool)
@@ -430,7 +431,7 @@ func (a *Analysis) DegradedWaiting(replicas []int, dst []float64) ([]float64, er
 	dst = dst[:k]
 	for x := 0; x < k; x++ {
 		if replicas[x] < 0 {
-			return nil, fmt.Errorf("perf: negative replication degree Y[%d] = %d", x, replicas[x])
+			return nil, wfmserr.New(wfmserr.CodeInvalidModel, "perf", "negative replication degree Y[%d] = %d", x, replicas[x])
 		}
 		st := a.env.Type(x)
 		lx := a.arrivalRates[x]

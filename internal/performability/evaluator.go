@@ -13,6 +13,7 @@ import (
 	"performa/internal/ctmc"
 	"performa/internal/linalg"
 	"performa/internal/perf"
+	"performa/internal/wfmserr"
 )
 
 // StateKey returns a compact, unambiguous byte-string key for a system
@@ -143,6 +144,17 @@ func (e *Evaluator) EvaluateContext(ctx context.Context, cfg perf.Config, worker
 	}
 	if cfg.Speeds != nil {
 		return nil, fmt.Errorf("performability: heterogeneous replica speeds are not supported (degraded states cannot tell which replica failed)")
+	}
+	// Pre-flight: reject configurations whose degraded-state space the
+	// budget cannot admit before any marginal, joint vector, or solver
+	// state is allocated. This is the first line of defense for the
+	// untrusted /v1/assess route.
+	size, err := ctmc.StateSpaceSize(cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	if err := wfmserr.Default.CheckStates("performability", size); err != nil {
+		return nil, err
 	}
 	env := e.a.Env()
 	params, err := avail.ParamsFromEnvironment(env, cfg.Replicas)
@@ -300,11 +312,11 @@ func (e *Evaluator) solveStates(ctx context.Context, enc *ctmc.StateEncoder, mis
 		workers = len(misses)
 	}
 	if workers <= 1 {
-		for _, code := range misses {
+		for i, code := range misses {
 			if err := ctx.Err(); err != nil {
-				return err
+				return e.interrupted(err, i, len(misses))
 			}
-			w, err := e.stateWaiting(enc.Decode(code))
+			w, err := e.solveOne(enc, code)
 			if err != nil {
 				return err
 			}
@@ -328,7 +340,7 @@ func (e *Evaluator) solveStates(ctx context.Context, enc *ctmc.StateEncoder, mis
 					return
 				}
 				code := misses[j]
-				w, err := e.stateWaiting(enc.Decode(code))
+				w, err := e.solveOne(enc, code)
 				if err != nil {
 					errs[j] = err
 					continue
@@ -339,7 +351,13 @@ func (e *Evaluator) solveStates(ctx context.Context, enc *ctmc.StateEncoder, mis
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return err
+		done := 0
+		for _, code := range misses {
+			if ws[code] != nil {
+				done++
+			}
+		}
+		return e.interrupted(err, done, len(misses))
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -347,4 +365,29 @@ func (e *Evaluator) solveStates(ctx context.Context, enc *ctmc.StateEncoder, mis
 		}
 	}
 	return nil
+}
+
+// solveOne resolves w^X for one state code, containing any panic that
+// escapes the analytic stack: a panicking worker goroutine would kill
+// the whole process (no recover() middleware can reach it), so it is
+// converted here into a typed internal error and reported like any
+// other per-state failure.
+func (e *Evaluator) solveOne(enc *ctmc.StateEncoder, code int) (w []float64, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = wfmserr.New(wfmserr.CodeInternal, "performability",
+				"panic while solving degraded state %v: %v", enc.Decode(code), p)
+		}
+	}()
+	return e.stateWaiting(enc.Decode(code))
+}
+
+// interrupted wraps a context error with partial-progress information:
+// the evaluation stopped cleanly (all workers joined), done of total
+// degraded-state solves finished, and those stay cached for the next
+// attempt. The cause remains visible to errors.Is, so deadline and
+// cancellation mappings still work.
+func (e *Evaluator) interrupted(cause error, done, total int) error {
+	return wfmserr.Wrap(cause, wfmserr.CodeBudgetExceeded, "performability",
+		"evaluation interrupted after %d of %d degraded-state solves; completed states stay cached", done, total)
 }

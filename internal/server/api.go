@@ -313,6 +313,11 @@ type StatsResponse struct {
 	Evaluators []EvaluatorStatsJSON         `json:"evaluators"`
 	Admission  AdmissionStatsJSON           `json:"admission"`
 	Endpoints  map[string]EndpointStatsJSON `json:"endpoints"`
+	// Errors counts error responses by machine-readable code.
+	Errors map[string]uint64 `json:"errors,omitempty"`
+	// Panics counts handler panics recovered by the containment
+	// middleware (each one is a bug, logged with its stack).
+	Panics uint64 `json:"panics"`
 }
 
 // AdmissionStatsJSON reports the admission semaphore.
@@ -327,7 +332,11 @@ type AdmissionStatsJSON struct {
 	Waiting int `json:"waiting"`
 }
 
-// ErrorResponse is every non-2xx JSON body.
+// ErrorResponse is every non-2xx JSON body. Code carries the
+// machine-readable error category (the wfmserr code of a typed pipeline
+// error, or a transport-level category like "bad_request"); clients
+// should branch on it rather than on the human-readable Error text.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }

@@ -30,6 +30,8 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -41,6 +43,7 @@ import (
 	"performa/internal/config"
 	"performa/internal/perf"
 	"performa/internal/wfjson"
+	"performa/internal/wfmserr"
 )
 
 // maxConcurrentHeavy caps how many planner runs share the worker budget
@@ -87,6 +90,12 @@ type Server struct {
 	reqID    atomic.Uint64
 
 	endpoints map[string]*endpointMetrics
+
+	// panics counts handler panics recovered by the containment
+	// middleware; errMu/errCodes count error responses by code.
+	panics   atomic.Uint64
+	errMu    sync.Mutex
+	errCodes map[string]uint64
 }
 
 // New builds the service.
@@ -120,6 +129,7 @@ func New(opts Options) *Server {
 		mux:        http.NewServeMux(),
 		start:      time.Now(),
 		endpoints:  make(map[string]*endpointMetrics),
+		errCodes:   make(map[string]uint64),
 	}
 	s.route("POST /v1/assess", s.handleAssess)
 	s.route("POST /v1/recommend", s.handleRecommend)
@@ -172,7 +182,28 @@ func (s *Server) route(pattern string, h func(http.ResponseWriter, *http.Request
 		began := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		id := s.reqID.Add(1)
-		h(rec, r.WithContext(context.WithValue(r.Context(), ctxKeyReqID{}, id)))
+		func() {
+			// Panic containment: a residual panic in a handler (one the
+			// typed-error routes did not intercept) must cost one 500,
+			// never the process. The stack is logged for the bug report;
+			// the daemon keeps serving.
+			defer func() {
+				if p := recover(); p != nil {
+					s.panics.Add(1)
+					s.log.LogAttrs(r.Context(), slog.LevelError, "handler panic",
+						slog.Uint64("id", id),
+						slog.String("path", r.URL.Path),
+						slog.String("panic", fmt.Sprint(p)),
+						slog.String("stack", string(debug.Stack())),
+					)
+					if !rec.written {
+						s.writeError(rec, r, http.StatusInternalServerError,
+							wfmserr.New(wfmserr.CodeInternal, "server", "internal error (panic recovered; this is a bug)"))
+					}
+				}
+			}()
+			h(rec, r.WithContext(context.WithValue(r.Context(), ctxKeyReqID{}, id)))
+		}()
 		elapsed := time.Since(began)
 		m.observe(rec.status, elapsed)
 		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
@@ -495,6 +526,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Endpoints[name] = st
 	}
+	resp.Errors = s.errorCounts()
+	resp.Panics = s.panics.Load()
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -529,6 +562,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "wfmsd_evaluator_state_hits_total %d\n", hits)
 	fmt.Fprintf(&b, "# TYPE wfmsd_evaluator_state_misses_total counter\n")
 	fmt.Fprintf(&b, "wfmsd_evaluator_state_misses_total %d\n", misses)
+	errCounts := s.errorCounts()
+	if len(errCounts) > 0 {
+		fmt.Fprintf(&b, "# HELP wfmsd_errors_total Error responses by machine-readable code.\n")
+		fmt.Fprintf(&b, "# TYPE wfmsd_errors_total counter\n")
+		codes := make([]string, 0, len(errCounts))
+		for c := range errCounts {
+			codes = append(codes, c)
+		}
+		sort.Strings(codes)
+		for _, c := range codes {
+			fmt.Fprintf(&b, "wfmsd_errors_total{code=%q} %d\n", c, errCounts[c])
+		}
+	}
+	fmt.Fprintf(&b, "# HELP wfmsd_panics_total Handler panics recovered by the containment middleware.\n")
+	fmt.Fprintf(&b, "# TYPE wfmsd_panics_total counter\n")
+	fmt.Fprintf(&b, "wfmsd_panics_total %d\n", s.panics.Load())
 	fmt.Fprintf(&b, "# HELP wfmsd_admission_in_use Planner-worker tokens currently held.\n")
 	fmt.Fprintf(&b, "# TYPE wfmsd_admission_in_use gauge\n")
 	fmt.Fprintf(&b, "wfmsd_admission_in_use %d\n", s.admission.InUse())
@@ -553,14 +602,53 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
 	}
 }
 
-// writeError emits the JSON error body and notes it in the log line's
-// status via the recorder.
+// writeError emits the JSON error body (with its machine-readable code)
+// and counts it in the per-code error metrics.
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
-	s.writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	code := errorCode(status, err)
+	s.errMu.Lock()
+	s.errCodes[code]++
+	s.errMu.Unlock()
+	s.writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
+}
+
+// errorCode derives the machine-readable code of an error response: the
+// wfmserr taxonomy code when the pipeline produced a typed error, else a
+// transport-level category from the HTTP status.
+func errorCode(status int, err error) string {
+	if c := wfmserr.CodeOf(err); c != "" {
+		return string(c)
+	}
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusGatewayTimeout:
+		return "deadline_exceeded"
+	case statusClientClosedRequest:
+		return "client_closed_request"
+	case http.StatusUnprocessableEntity:
+		return "unprocessable"
+	default:
+		return "internal"
+	}
+}
+
+// errorCounts snapshots the per-code error counters.
+func (s *Server) errorCounts() map[string]uint64 {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	out := make(map[string]uint64, len(s.errCodes))
+	for k, v := range s.errCodes {
+		out[k] = v
+	}
+	return out
 }
 
 // statusForError maps pipeline errors onto HTTP statuses: timeouts to
-// 504, client disconnects to 499, everything else (infeasible goals,
+// 504, client disconnects to 499, recovered internal errors to 500, and
+// everything else (invalid models, blown budgets, infeasible goals,
 // exceeded iteration budgets) to 422.
 func statusForError(err error) int {
 	switch {
@@ -568,18 +656,29 @@ func statusForError(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return statusClientClosedRequest
+	case wfmserr.CodeOf(err) == wfmserr.CodeInternal:
+		return http.StatusInternalServerError
 	default:
 		return http.StatusUnprocessableEntity
 	}
 }
 
-// badRequestOr maps an error to 400 unless it is a context error, which
-// keeps its timeout/disconnect status.
+// badRequestOr maps a model-resolution error to 400 — the document
+// itself is malformed — except that context errors keep their
+// timeout/disconnect status and resource rejections (a well-formed
+// model the budget cannot admit) map to 422 like their planner-path
+// counterparts.
 func badRequestOr(err error) int {
-	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 		return statusForError(err)
+	case errors.Is(err, wfmserr.ErrStateSpaceTooLarge) || errors.Is(err, wfmserr.ErrBudgetExceeded):
+		return http.StatusUnprocessableEntity
+	case wfmserr.CodeOf(err) == wfmserr.CodeInternal:
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
 	}
-	return http.StatusBadRequest
 }
 
 // typeNames lists the entry's server-type names in index order.

@@ -1,0 +1,30 @@
+package spec
+
+import (
+	"errors"
+	"testing"
+
+	"performa/internal/wfmserr"
+)
+
+// TestBuildRejectsOversizedChart: an Erlang stage count that expands
+// the flow chart past the dense-solver budget must be refused before
+// the n×n generator matrix is allocated — a 10-million-stage activity
+// would otherwise ask for a ~10^14-entry matrix.
+func TestBuildRejectsOversizedChart(t *testing.T) {
+	env := testEnv(t)
+	_, err := Build(stagedWorkflow(10_000_000), env)
+	if !errors.Is(err, wfmserr.ErrBudgetExceeded) {
+		t.Fatalf("oversized chart: err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+// TestBuildStageSumOverflowClamped: stage sums that wrap int64 must not
+// sneak back under the budget as a small positive total.
+func TestBuildStageSumOverflowClamped(t *testing.T) {
+	env := testEnv(t)
+	w := stagedWorkflow(1 << 62)
+	if _, err := Build(w, env); !errors.Is(err, wfmserr.ErrBudgetExceeded) {
+		t.Fatalf("overflowing stage count: err = %v, want ErrBudgetExceeded", err)
+	}
+}

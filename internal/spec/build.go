@@ -6,6 +6,7 @@ import (
 	"performa/internal/ctmc"
 	"performa/internal/linalg"
 	"performa/internal/statechart"
+	"performa/internal/wfmserr"
 )
 
 // Model is the stochastic model of one workflow type: the absorbing CTMC
@@ -95,11 +96,27 @@ func buildChart(chart *statechart.Chart, profiles map[string]ActivityProfile, en
 	total := 0
 	for _, name := range order {
 		first[name] = total
-		total += stageCount(name)
+		k := stageCount(name)
+		// Guard the running sum against overflow from adversarial
+		// DurationStages values; the budget check below then rejects
+		// any total it cannot admit.
+		if k > (1<<62)-total {
+			total = 1 << 62
+			break
+		}
+		total += k
 		last[name] = total - 1
 	}
 	abs := total
 	n := total + 1 // + absorbing state
+
+	// Pre-flight: the chart maps to dense n×n matrices (including the
+	// Erlang stage expansion, which multiplies states by DurationStages),
+	// so the dimension must fit the budget before anything is allocated.
+	if err := wfmserr.Default.CheckMatrixDim("spec", n); err != nil {
+		return nil, wfmserr.Wrap(err, wfmserr.CodeOf(err), "spec",
+			"chart %q expands to too many CTMC states", chart.Name)
+	}
 
 	p := linalg.NewMatrix(n, n)
 	h := linalg.NewVector(n)

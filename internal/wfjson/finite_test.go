@@ -1,0 +1,38 @@
+package wfjson
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"performa/internal/wfmserr"
+)
+
+// TestDecodeRejectsNonFiniteParameters pins the validation that keeps
+// non-finite numbers out of the model stack: values that are finite on
+// the wire but derive to Inf (a subnormal mttf whose 1/mttf overflows,
+// a mean service whose second moment overflows) must be refused at the
+// door with a typed invalid-model error — they used to sail through and
+// blow up deep inside the availability solver.
+func TestDecodeRejectsNonFiniteParameters(t *testing.T) {
+	cases := map[string]string{
+		"overflowing 1/mttf": strings.Replace(sampleDoc,
+			`"mttf": 43200`, `"mttf": 1e-320`, 1),
+		"overflowing 1/mttr": strings.Replace(sampleDoc,
+			`"mttf": 10080, "mttr": 10`, `"mttf": 10080, "mttr": 1e-320`, 1),
+		"overflowing second moment": strings.Replace(sampleDoc,
+			`"mean_service": 0.0015`, `"mean_service": 1e200`, 1),
+	}
+	// The mttr replacement needs the field order as written; skip cases
+	// whose needle did not match so the test fails loudly instead of
+	// silently passing the unmodified document.
+	for name, doc := range cases {
+		if doc == sampleDoc {
+			t.Fatalf("%s: mutation did not apply", name)
+		}
+		_, _, err := Decode(strings.NewReader(doc))
+		if !errors.Is(err, wfmserr.ErrInvalidModel) {
+			t.Errorf("%s: err = %v, want ErrInvalidModel", name, err)
+		}
+	}
+}

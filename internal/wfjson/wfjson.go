@@ -46,9 +46,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"performa/internal/spec"
 	"performa/internal/statechart"
+	"performa/internal/wfmserr"
 )
 
 // Document is the top-level JSON structure.
@@ -163,6 +165,17 @@ func Decode(r io.Reader) (*spec.Environment, []*spec.Workflow, error) {
 	return FromDocument(&doc)
 }
 
+// finiteField rejects non-finite user-supplied (or derived) numeric
+// fields with a typed error: downstream solvers assume finite inputs,
+// and a derived Inf (e.g. an overflowed second moment or a 1/MTTF that
+// rounds to +Inf) would otherwise slip past range checks like x > 0.
+func finiteField(owner, field string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return wfmserr.New(wfmserr.CodeInvalidModel, "wfjson", "%s: %s %v is not finite", owner, field, v)
+	}
+	return nil
+}
+
 // FromDocument converts a parsed document into model inputs.
 func FromDocument(doc *Document) (*spec.Environment, []*spec.Workflow, error) {
 	types := make([]spec.ServerType, 0, len(doc.Environment.Types))
@@ -178,17 +191,40 @@ func FromDocument(doc *Document) (*spec.Environment, []*spec.Workflow, error) {
 		if scv < 0 {
 			return nil, nil, fmt.Errorf("wfjson: server type %q: negative service scv %v", st.Name, scv)
 		}
+		owner := fmt.Sprintf("server type %q", st.Name)
+		for _, f := range []struct {
+			name string
+			v    float64
+		}{
+			{"mean_service", st.MeanService},
+			{"service_scv", scv},
+			{"mttf", st.MTTF},
+			{"mttr", st.MTTR},
+		} {
+			if err := finiteField(owner, f.name, f.v); err != nil {
+				return nil, nil, err
+			}
+		}
 		out := spec.ServerType{
 			Name:                st.Name,
 			Kind:                kind,
 			MeanService:         st.MeanService,
 			ServiceSecondMoment: (1 + scv) * st.MeanService * st.MeanService,
 		}
+		if err := finiteField(owner, "derived service second moment", out.ServiceSecondMoment); err != nil {
+			return nil, nil, err
+		}
 		if st.MTTF > 0 {
 			out.FailureRate = 1 / st.MTTF
 		}
 		if st.MTTR > 0 {
 			out.RepairRate = 1 / st.MTTR
+		}
+		if err := finiteField(owner, "derived failure rate (1/mttf)", out.FailureRate); err != nil {
+			return nil, nil, err
+		}
+		if err := finiteField(owner, "derived repair rate (1/mttr)", out.RepairRate); err != nil {
+			return nil, nil, err
 		}
 		types = append(types, out)
 	}
@@ -205,12 +241,24 @@ func FromDocument(doc *Document) (*spec.Environment, []*spec.Workflow, error) {
 		}
 		profiles := make(map[string]spec.ActivityProfile, len(w.Activities))
 		for _, act := range w.Activities {
+			owner := fmt.Sprintf("workflow %q: activity %q", w.Name, act.Name)
+			if err := finiteField(owner, "mean_duration", act.MeanDuration); err != nil {
+				return nil, nil, err
+			}
+			for serverType, l := range act.Load {
+				if err := finiteField(owner, "load["+serverType+"]", l); err != nil {
+					return nil, nil, err
+				}
+			}
 			profiles[act.Name] = spec.ActivityProfile{
 				Name:           act.Name,
 				MeanDuration:   act.MeanDuration,
 				DurationStages: act.Stages,
 				Load:           act.Load,
 			}
+		}
+		if err := finiteField(fmt.Sprintf("workflow %q", w.Name), "arrival_rate", w.ArrivalRate); err != nil {
+			return nil, nil, err
 		}
 		flow := &spec.Workflow{
 			Name:        w.Name,

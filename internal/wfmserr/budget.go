@@ -1,0 +1,74 @@
+package wfmserr
+
+// Budget is the pre-flight resource budget for a single analysis
+// request. It is checked BEFORE any state space is enumerated, matrix
+// allocated, or uniformization series expanded, so that an adversarial
+// or simply over-ambitious model is rejected with a typed error instead
+// of exhausting memory or CPU. A zero field disables that check.
+type Budget struct {
+	// MaxStates caps the size of an enumerated degraded-state or joint
+	// availability state space, Π_x (Y_x + 1).
+	MaxStates int
+	// MaxMatrixDim caps the dimension of any dense linear system
+	// (workflow-chart generators including Erlang stage expansion,
+	// exact joint availability models, single-crew repair chains).
+	MaxMatrixDim int
+	// MaxUniformizationSteps caps the uniformization series length
+	// (the z_max work estimate) in transient CTMC analysis.
+	MaxUniformizationSteps int
+}
+
+// DefaultBudget returns the stock budget used by the daemon and CLIs.
+// The defaults admit every model in the paper's experiments with two
+// orders of magnitude of headroom while keeping the worst admissible
+// dense solve (2048³ ≈ 8.6e9 flops) around a second of CPU and the
+// largest product-form vector (256 Ki states) under a few MiB.
+func DefaultBudget() Budget {
+	return Budget{
+		MaxStates:              1 << 18, // 262144 degraded states
+		MaxMatrixDim:           2048,    // dense n×n systems
+		MaxUniformizationSteps: 1_000_000,
+	}
+}
+
+// Default is the process-wide budget applied by entry points that do
+// not thread an explicit one. Tests may override it locally.
+var Default = DefaultBudget()
+
+// CheckStates validates an enumerated state-space size against the
+// budget. n < 0 signals arithmetic overflow during the size product
+// and is always rejected.
+func (b Budget) CheckStates(op string, n int) error {
+	if n < 0 {
+		return New(CodeStateSpaceTooLarge, op, "state-space size overflows").With("limit", b.MaxStates)
+	}
+	if b.MaxStates > 0 && n > b.MaxStates {
+		return New(CodeStateSpaceTooLarge, op, "state space exceeds budget").
+			With("states", n).With("limit", b.MaxStates)
+	}
+	return nil
+}
+
+// CheckMatrixDim validates a dense linear-system dimension.
+func (b Budget) CheckMatrixDim(op string, n int) error {
+	if n < 0 {
+		return New(CodeBudgetExceeded, op, "matrix dimension overflows").With("limit", b.MaxMatrixDim)
+	}
+	if b.MaxMatrixDim > 0 && n > b.MaxMatrixDim {
+		return New(CodeBudgetExceeded, op, "dense system dimension exceeds budget").
+			With("dim", n).With("limit", b.MaxMatrixDim)
+	}
+	return nil
+}
+
+// CheckSteps validates a uniformization series length estimate.
+func (b Budget) CheckSteps(op string, n int) error {
+	if n < 0 {
+		return New(CodeBudgetExceeded, op, "uniformization work estimate overflows").With("limit", b.MaxUniformizationSteps)
+	}
+	if b.MaxUniformizationSteps > 0 && n > b.MaxUniformizationSteps {
+		return New(CodeBudgetExceeded, op, "uniformization series exceeds budget").
+			With("steps", n).With("limit", b.MaxUniformizationSteps)
+	}
+	return nil
+}
