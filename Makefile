@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check build vet test race bench crossval fuzz-crash
+.PHONY: check build vet test race bench crossval fuzz-crash replay-smoke
 
 check: build vet test race
 
@@ -31,6 +31,13 @@ bench:
 crossval:
 	$(GO) run ./cmd/wfmscheck -systems 200 -seed 1 -out crossval-corpus
 	$(GO) run ./cmd/wfmscheck -systems 25 -seed 1 -mutate
+
+# Online-calibration smoke: the wfmssim → wfmsreplay → wfmsd loop run
+# in-process — a simulated trail whose behavior drifts from the designed
+# model must invalidate the warm model and trigger a recalibrated
+# rebuild on the next assessment.
+replay-smoke:
+	$(GO) test ./internal/replay -run TestReplaySmoke -v -count=1
 
 # Crash-safety fuzz: mutated request bodies through the full /v1/assess
 # handler. The server must answer every input with well-formed JSON (a

@@ -10,8 +10,10 @@
 //	wfmsd -addr :8080 -workers 8 -cache-size 64 -request-timeout 30s
 //
 // Endpoints: POST /v1/assess, POST /v1/recommend, POST /v1/calibrate,
-// GET /v1/stats, GET /metrics, GET /healthz. See internal/server for
-// the request schemas and DESIGN.md §7 for the serving architecture.
+// POST /v1/events, GET /v1/drift, GET /v1/stats, GET /metrics,
+// GET /healthz. See internal/server for the request schemas and
+// DESIGN.md §7 (serving) and §10 (online calibration) for the
+// architecture.
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"time"
 
 	"performa/internal/server"
+	"performa/internal/stream"
 	"performa/internal/wfmserr"
 )
 
@@ -42,6 +45,11 @@ func main() {
 		maxStates  = flag.Int("max-states", wfmserr.Default.MaxStates, "state-space size admitted per model (0 = unlimited)")
 		maxDim     = flag.Int("max-matrix-dim", wfmserr.Default.MaxMatrixDim, "dense linear-system dimension admitted per solve (0 = unlimited)")
 		maxSteps   = flag.Int("max-solver-steps", wfmserr.Default.MaxUniformizationSteps, "uniformization step budget per transient solve (0 = library default)")
+
+		driftThreshold = flag.Float64("drift-threshold", 0, "relative parameter change at which streamed events invalidate a warm model (0 = per-dimension defaults)")
+		driftMinSample = flag.Uint64("drift-min-samples", 0, "observations required before an estimate is drift-scored (0 = defaults)")
+		streamHalfLife = flag.Float64("stream-half-life", 0, "exponential-decay half-life of the ingestion estimators in trail time-units (0 = keep all history)")
+		maxStreams     = flag.Int("max-streams", 0, "per-system ingestion streams kept resident (0 = 64)")
 	)
 	flag.Parse()
 
@@ -68,6 +76,16 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		RequestTimeout: *reqTimeout,
 		Logger:         logger,
+		Drift: stream.Thresholds{
+			Transition:    *driftThreshold,
+			Residence:     *driftThreshold,
+			Service:       *driftThreshold,
+			Arrival:       *driftThreshold,
+			MinDepartures: *driftMinSample,
+			MinSamples:    *driftMinSample,
+		},
+		StreamHalfLife: *streamHalfLife,
+		MaxStreams:     *maxStreams,
 	})
 	httpServer := &http.Server{
 		Addr:              *addr,

@@ -8,6 +8,7 @@
 //	wfmssim -workload ep -rate 3 -config 2,2,2 -horizon 20000
 //	wfmssim -workload mix -rate 6 -config 2,2,3 -failures -accel 100
 //	wfmssim -workload ep -rate 3 -config 2,2,2 -replications 8 -workers 4
+//	wfmssim -workload ep -rate 3 -config 2,2,2 -trail run.jsonl
 //
 // A single simulation run is inherently sequential (one event clock),
 // so -workers parallelizes across independent replications: with
@@ -27,6 +28,7 @@ import (
 	"sync"
 
 	"performa"
+	"performa/internal/audit"
 	"performa/internal/sim"
 	"performa/internal/spec"
 	"performa/internal/wfjson"
@@ -47,6 +49,7 @@ func main() {
 		dispatch     = flag.String("dispatch", "random", "load partitioning: random, rr (round-robin), or shared (one queue per type)")
 		replications = flag.Int("replications", 1, "independent replications under seeds seed, seed+1, ... (aggregated)")
 		workers      = flag.Int("workers", 0, "parallel replication workers (0 = all CPUs, capped at -replications)")
+		trailFile    = flag.String("trail", "", "write the run's audit trail as JSON lines (\"-\" for stdout; single replication only)")
 	)
 	flag.Parse()
 	if *warmup <= 0 {
@@ -109,9 +112,23 @@ func main() {
 	if *replications < 1 {
 		fail(fmt.Errorf("-replications must be positive, got %d", *replications))
 	}
+	var trail *audit.Trail
+	if *trailFile != "" {
+		if *replications > 1 {
+			fail(fmt.Errorf("-trail records a single run; it cannot be combined with -replications %d", *replications))
+		}
+		trail = audit.NewTrail()
+		params.Trail = trail
+	}
 	res, err := runReplications(sys, params, *replications, *workers)
 	if err != nil {
 		fail(err)
+	}
+	if trail != nil {
+		if err := writeTrail(*trailFile, trail); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d audit records to %s\n", trail.Len(), *trailFile)
 	}
 	rep, err := sys.Analysis().Evaluate(cfg)
 	if err != nil {
@@ -257,6 +274,23 @@ func parseConfig(s string, k int) (performa.Configuration, error) {
 		replicas[i] = v
 	}
 	return performa.Configuration{Replicas: replicas}, nil
+}
+
+// writeTrail dumps the recorded audit trail as JSON lines, the format
+// wfmsreplay and POST /v1/events consume.
+func writeTrail(path string, trail *audit.Trail) error {
+	if path == "-" {
+		return trail.WriteJSONLines(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trail.WriteJSONLines(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) {

@@ -7,12 +7,18 @@ package audit
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
 )
+
+// MaxLineBytes bounds one JSON-lines record on the read path (16 MiB).
+// Longer lines fail the parse with a line-numbered error instead of
+// silently truncating.
+const MaxLineBytes = 16 * 1024 * 1024
 
 // EventKind enumerates audit record types.
 type EventKind string
@@ -63,20 +69,45 @@ type Record struct {
 	Service float64 `json:"service,omitempty"`
 }
 
-// Trail is a concurrency-safe collector of audit records.
+// Trail is a concurrency-safe collector of audit records. Appends from a
+// live system arrive in time order, so the trail tracks sortedness
+// instead of re-sorting on every read: an in-order append stream (the
+// common case — simulator runs, engine runtimes, streaming ingestion)
+// never pays for a sort at all, and an out-of-order trail is sorted once
+// under the lock on the next read, not once per read.
 type Trail struct {
 	mu      sync.Mutex
 	records []Record
+	sorted  bool // records are in nondecreasing Time order
 }
 
 // NewTrail returns an empty trail.
-func NewTrail() *Trail { return &Trail{} }
+func NewTrail() *Trail { return &Trail{sorted: true} }
 
 // Append adds one record.
 func (t *Trail) Append(r Record) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.sorted && len(t.records) > 0 && r.Time < t.records[len(t.records)-1].Time {
+		t.sorted = false
+	}
 	t.records = append(t.records, r)
+}
+
+// AppendBatch adds records in order with one lock acquisition — the
+// ingestion-path variant of Append.
+func (t *Trail) AppendBatch(recs []Record) {
+	if len(recs) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range recs {
+		if t.sorted && len(t.records) > 0 && r.Time < t.records[len(t.records)-1].Time {
+			t.sorted = false
+		}
+		t.records = append(t.records, r)
+	}
 }
 
 // Len returns the number of records.
@@ -86,20 +117,34 @@ func (t *Trail) Len() int {
 	return len(t.records)
 }
 
+// ensureSortedLocked sorts the backing slice in place once (stable, so
+// equal timestamps keep append order) and remembers that it did.
+// Callers must hold t.mu.
+func (t *Trail) ensureSortedLocked() {
+	if !t.sorted {
+		sort.SliceStable(t.records, func(i, j int) bool { return t.records[i].Time < t.records[j].Time })
+		t.sorted = true
+	}
+}
+
 // Records returns a copy of all records in time order (stable for equal
 // timestamps).
 func (t *Trail) Records() []Record {
 	t.mu.Lock()
-	out := append([]Record(nil), t.records...)
-	t.mu.Unlock()
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
-	return out
+	defer t.mu.Unlock()
+	t.ensureSortedLocked()
+	return append([]Record(nil), t.records...)
 }
 
-// Filter returns the records of one kind, in time order.
+// Filter returns the records of one kind, in time order. The filtering
+// happens under the lock against the (once-)sorted backing slice, so it
+// copies only the matching records instead of the whole trail.
 func (t *Trail) Filter(kind EventKind) []Record {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ensureSortedLocked()
 	var out []Record
-	for _, r := range t.Records() {
+	for _, r := range t.records {
 		if r.Kind == kind {
 			out = append(out, r)
 		}
@@ -119,25 +164,51 @@ func (t *Trail) WriteJSONLines(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadJSONLines parses a JSON-lines stream into a trail.
-func ReadJSONLines(r io.Reader) (*Trail, error) {
-	t := NewTrail()
+// ReadRecords parses a JSON-lines stream into a record slice, in input
+// order. Lines that are empty after trimming whitespace (including
+// carriage returns from CRLF files) are skipped; a malformed line fails
+// the parse with its line number and (truncated) content. Lines longer
+// than MaxLineBytes abort with a line-numbered error.
+func ReadRecords(r io.Reader) ([]Record, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	sc.Buffer(make([]byte, 0, 64*1024), MaxLineBytes)
 	line := 0
+	var out []Record
 	for sc.Scan() {
 		line++
-		if len(sc.Bytes()) == 0 {
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
 			continue
 		}
 		var rec Record
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			return nil, fmt.Errorf("audit: line %d: %w", line, err)
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("audit: line %d (%s): %w", line, truncateForError(b), err)
 		}
-		t.Append(rec)
+		out = append(out, rec)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("audit: reading trail: %w", err)
+		return nil, fmt.Errorf("audit: reading trail after line %d: %w", line, err)
 	}
+	return out, nil
+}
+
+// ReadJSONLines parses a JSON-lines stream into a trail.
+func ReadJSONLines(r io.Reader) (*Trail, error) {
+	recs, err := ReadRecords(r)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTrail()
+	t.AppendBatch(recs)
 	return t, nil
+}
+
+// truncateForError quotes a line's content for an error message, capped
+// so a multi-megabyte line cannot balloon the error.
+func truncateForError(b []byte) string {
+	const max = 120
+	if len(b) <= max {
+		return fmt.Sprintf("%q", b)
+	}
+	return fmt.Sprintf("%q... (%d bytes)", b[:max], len(b))
 }

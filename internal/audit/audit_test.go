@@ -74,9 +74,151 @@ func TestReadJSONLinesSkipsBlank(t *testing.T) {
 }
 
 func TestReadJSONLinesBadInput(t *testing.T) {
-	if _, err := ReadJSONLines(strings.NewReader("not json\n")); err == nil {
-		t.Error("bad input accepted")
+	_, err := ReadJSONLines(strings.NewReader("not json\n"))
+	if err == nil {
+		t.Fatal("bad input accepted")
 	}
+	if !strings.Contains(err.Error(), "line 1") || !strings.Contains(err.Error(), `"not json"`) {
+		t.Errorf("error should name the line and its content, got: %v", err)
+	}
+}
+
+func TestReadJSONLinesWhitespaceOnlyLines(t *testing.T) {
+	// Whitespace-only lines (spaces, tabs, CR from CRLF files) must be
+	// skipped like empty lines, not fail the whole parse.
+	in := `{"kind":"instance_started","time":1}` + "\r\n" +
+		"   \t \n" +
+		`{"kind":"instance_completed","time":2}` + "\r\n"
+	tr, err := ReadJSONLines(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tr.Len())
+	}
+}
+
+func TestReadJSONLinesOverlongLine(t *testing.T) {
+	// A line beyond MaxLineBytes aborts with a line-numbered error
+	// rather than a silent truncation or an unbounded allocation.
+	var b strings.Builder
+	b.WriteString(`{"kind":"instance_started","time":1}` + "\n")
+	b.WriteString(`{"kind":"service_request","workflow":"`)
+	b.WriteString(strings.Repeat("x", MaxLineBytes))
+	b.WriteString(`"}` + "\n")
+	_, err := ReadJSONLines(strings.NewReader(b.String()))
+	if err == nil {
+		t.Fatal("overlong line accepted")
+	}
+	if !strings.Contains(err.Error(), "after line 1") {
+		t.Errorf("error should locate the overlong line, got: %v", err)
+	}
+}
+
+func TestReadJSONLinesErrorTruncatesContent(t *testing.T) {
+	long := strings.Repeat("z", 4096) + "{"
+	_, err := ReadJSONLines(strings.NewReader(long + "\n"))
+	if err == nil {
+		t.Fatal("bad input accepted")
+	}
+	if len(err.Error()) > 512 {
+		t.Errorf("error message not truncated: %d bytes", len(err.Error()))
+	}
+	if !strings.Contains(err.Error(), "4097 bytes") {
+		t.Errorf("error should report the line length, got: %v", err)
+	}
+}
+
+func TestRecordsOutOfOrderThenSorted(t *testing.T) {
+	tr := NewTrail()
+	for i := 9; i >= 0; i-- {
+		tr.Append(Record{Kind: ServiceRequest, Time: float64(i), Server: i})
+	}
+	recs := tr.Records()
+	for i := range recs {
+		if recs[i].Time != float64(i) {
+			t.Fatalf("recs[%d].Time = %v, want %d", i, recs[i].Time, i)
+		}
+	}
+	// A subsequent in-order append keeps the trail sorted without work.
+	tr.Append(Record{Kind: ServiceRequest, Time: 100})
+	if got := tr.Records(); got[len(got)-1].Time != 100 {
+		t.Errorf("last = %v", got[len(got)-1].Time)
+	}
+}
+
+func TestEqualTimestampStability(t *testing.T) {
+	// Equal timestamps must keep append order (stable sort), even when
+	// an out-of-order record forces a sort.
+	tr := NewTrail()
+	for i := 0; i < 5; i++ {
+		tr.Append(Record{Kind: StateEntered, Time: 5, Server: i})
+	}
+	tr.Append(Record{Kind: InstanceStarted, Time: 1}) // forces sort
+	recs := tr.Records()
+	if recs[0].Kind != InstanceStarted {
+		t.Fatalf("first record = %v", recs[0].Kind)
+	}
+	for i := 0; i < 5; i++ {
+		if recs[i+1].Server != i {
+			t.Errorf("equal-timestamp order broken at %d: got server %d", i, recs[i+1].Server)
+		}
+	}
+}
+
+func TestAppendBatchRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Kind: InstanceStarted, Time: 3, Instance: 2},
+		{Kind: InstanceStarted, Time: 1, Instance: 1},
+		{Kind: InstanceCompleted, Time: 2, Instance: 1},
+	}
+	tr := NewTrail()
+	tr.AppendBatch(recs)
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONLines(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONLines(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Records(), back.Records()) {
+		t.Error("round trip lost data")
+	}
+	if got := back.Records(); got[0].Instance != 1 || got[2].Instance != 2 {
+		t.Errorf("order after round trip: %+v", got)
+	}
+}
+
+func FuzzReadJSONLines(f *testing.F) {
+	f.Add(`{"kind":"instance_started","time":1,"workflow":"EP","instance":7}`)
+	f.Add("{\"kind\":\"state_entered\",\"time\":2.5,\"chart\":\"EP\",\"state\":\"A\"}\n\n{\"kind\":\"state_left\",\"time\":3,\"chart\":\"EP\",\"state\":\"A\"}")
+	f.Add("  \t\r\n{\"kind\":\"service_request\",\"time\":1e308,\"server_type\":\"orb\",\"waiting\":0.5,\"service\":0.1}\r\n")
+	f.Add(`{"kind":"instance_completed","time":-1}`)
+	f.Add("not json at all")
+	f.Add(`{"kind":"service_request","time":NaN}`)
+	f.Add("{}\n{}\n{}")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadJSONLines(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must re-encode and re-parse to the same records.
+		var buf bytes.Buffer
+		if err := tr.WriteJSONLines(&buf); err != nil {
+			t.Fatalf("re-encoding parsed trail: %v", err)
+		}
+		back, err := ReadJSONLines(&buf)
+		if err != nil {
+			t.Fatalf("re-parsing encoded trail: %v", err)
+		}
+		if a, b := tr.Records(), back.Records(); !reflect.DeepEqual(a, b) {
+			t.Fatalf("round trip diverged: %d vs %d records", len(a), len(b))
+		}
+	})
 }
 
 func TestConcurrentAppend(t *testing.T) {

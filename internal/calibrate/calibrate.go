@@ -8,13 +8,13 @@
 package calibrate
 
 import (
-	"fmt"
 	"math"
 	"sort"
 
 	"performa/internal/audit"
 	"performa/internal/spec"
 	"performa/internal/statechart"
+	"performa/internal/wfmserr"
 )
 
 // MomentPair is a sample mean and second moment.
@@ -29,6 +29,18 @@ func (m *MomentPair) add(x float64) {
 	d := float64(m.N)
 	m.Mean += (x - m.Mean) / d
 	m.SecondMoment += (x*x - m.SecondMoment) / d
+}
+
+// Variance returns the (population) variance E[X²] − E[X]², clamped at
+// zero: with a single sample — or duplicated observations — floating
+// cancellation can leave the raw difference a hair negative, and a
+// negative variance NaN-poisons every downstream square root.
+func (m *MomentPair) Variance() float64 {
+	v := m.SecondMoment - m.Mean*m.Mean
+	if v < 0 || m.N < 2 {
+		return 0
+	}
+	return v
 }
 
 // TransitionKey identifies a chart transition.
@@ -56,6 +68,9 @@ type Estimates struct {
 	Turnarounds map[string]*MomentPair
 	// ArrivalRates estimates ξ_t per workflow type.
 	ArrivalRates map[string]float64
+	// Starts counts observed instance starts per workflow type — the
+	// sample size behind ArrivalRates.
+	Starts map[string]uint64
 	// Window is the observation window (first to last record time).
 	Window float64
 }
@@ -65,7 +80,7 @@ type Estimates struct {
 func FromTrail(trail *audit.Trail) (*Estimates, error) {
 	recs := trail.Records()
 	if len(recs) == 0 {
-		return nil, fmt.Errorf("calibrate: empty trail")
+		return nil, wfmserr.New(wfmserr.CodeInvalidModel, "calibrate", "empty trail: no records to estimate from")
 	}
 	e := &Estimates{
 		TransitionCounts:  map[TransitionKey]uint64{},
@@ -76,6 +91,7 @@ func FromTrail(trail *audit.Trail) (*Estimates, error) {
 		WaitingMoments:    map[string]*MomentPair{},
 		Turnarounds:       map[string]*MomentPair{},
 		ArrivalRates:      map[string]float64{},
+		Starts:            map[string]uint64{},
 	}
 
 	type instChart struct {
@@ -180,6 +196,7 @@ func FromTrail(trail *audit.Trail) (*Estimates, error) {
 	// span. Dividing n by the full trail window would bias the estimate
 	// low by the drain tail after the last arrival.
 	for wf, n := range startCount {
+		e.Starts[wf] = n
 		if span := lastStart[wf] - firstStart[wf]; n >= 2 && span > 0 {
 			e.ArrivalRates[wf] = float64(n-1) / span
 		}
@@ -235,12 +252,21 @@ func (e *Estimates) ApplyToWorkflow(w *spec.Workflow, env *spec.Environment, opt
 			continue
 		}
 		if prof, ok := w.Profiles[act]; ok {
+			// A zero or non-finite measured duration cannot drive the
+			// CTMC (residence rates are 1/H): reject it as a typed error
+			// instead of letting NaN rates poison the model downstream.
+			if !(mp.Mean > 0) || math.IsInf(mp.Mean, 0) {
+				return wfmserr.New(wfmserr.CodeInvalidModel, "calibrate",
+					"activity %q: measured mean duration %v from %d observations is not a positive finite time",
+					act, mp.Mean, mp.N)
+			}
 			prof.MeanDuration = mp.Mean
 			w.Profiles[act] = prof
 		}
 	}
 	if err := w.Validate(env); err != nil {
-		return fmt.Errorf("calibrate: workflow invalid after applying estimates (consider Smoothing > 0): %w", err)
+		return wfmserr.Wrap(err, wfmserr.CodeInvalidModel, "calibrate",
+			"workflow invalid after applying estimates (consider Smoothing > 0)")
 	}
 	return nil
 }
@@ -265,8 +291,9 @@ func (e *Estimates) applyChart(w *spec.Workflow, chart *statechart.Chart, opts O
 			tr.Prob = p
 			sum += p
 		}
-		if sum <= 0 {
-			return fmt.Errorf("calibrate: state %q of chart %q has departures but no usable branch estimates", state, chart.Name)
+		if !(sum > 0) || math.IsInf(sum, 0) {
+			return wfmserr.New(wfmserr.CodeInvalidModel, "calibrate",
+				"state %q of chart %q has departures but no usable branch estimates (sum %v)", state, chart.Name, sum)
 		}
 		for _, tr := range out {
 			tr.Prob /= sum
@@ -284,16 +311,59 @@ func (e *Estimates) applyChart(w *spec.Workflow, chart *statechart.Chart, opts O
 
 // ServerTypesWithMeasuredService returns a copy of the environment's
 // server types with service-time moments replaced by measured ones where
-// available.
+// available. Degenerate measurements are never applied: a zero or
+// non-finite mean (all-zero service durations in the trail) keeps the
+// declared moment, and a second moment below mean² — impossible for a
+// real distribution, but reachable through single-sample floating
+// cancellation — is clamped up to mean² so downstream variance terms
+// stay nonnegative.
 func (e *Estimates) ServerTypesWithMeasuredService(env *spec.Environment) []spec.ServerType {
 	types := env.Types()
 	for i := range types {
-		if mp, ok := e.ServiceMoments[types[i].Name]; ok && mp.N > 0 {
-			types[i].MeanService = mp.Mean
-			types[i].ServiceSecondMoment = mp.SecondMoment
+		mp, ok := e.ServiceMoments[types[i].Name]
+		if !ok || mp.N == 0 {
+			continue
 		}
+		if !(mp.Mean > 0) || math.IsInf(mp.Mean, 0) || math.IsInf(mp.SecondMoment, 0) || math.IsNaN(mp.SecondMoment) {
+			continue
+		}
+		types[i].MeanService = mp.Mean
+		types[i].ServiceSecondMoment = math.Max(mp.SecondMoment, mp.Mean*mp.Mean)
 	}
 	return types
+}
+
+// MeasuredEnvironment rebuilds the environment with measured service
+// moments applied, re-validating the result. A measurement set that the
+// environment's own validation rejects comes back as a typed
+// invalid_model error.
+func (e *Estimates) MeasuredEnvironment(env *spec.Environment) (*spec.Environment, error) {
+	out, err := spec.NewEnvironment(e.ServerTypesWithMeasuredService(env)...)
+	if err != nil {
+		return nil, wfmserr.Wrap(err, wfmserr.CodeInvalidModel, "calibrate",
+			"environment invalid after applying measured service moments")
+	}
+	return out, nil
+}
+
+// ApplySystem rewrites a whole decoded system with the estimates: every
+// workflow's transition probabilities, activity durations, and arrival
+// rate are replaced by measured values in place (where observations
+// suffice), and the returned environment carries the measured
+// service-time moments. This is the one-call form of the paper's
+// feedback loop that the streaming recalibration path (wfmsd's
+// drift-triggered rebuilds) and the batch CLIs share, so both produce
+// bit-identical models from the same estimates.
+func (e *Estimates) ApplySystem(env *spec.Environment, flows []*spec.Workflow, opts Options) (*spec.Environment, error) {
+	for _, w := range flows {
+		if err := e.ApplyToWorkflow(w, env, opts); err != nil {
+			return nil, err
+		}
+		if rate, ok := e.ArrivalRates[w.Name]; ok && rate > 0 {
+			w.ArrivalRate = rate
+		}
+	}
+	return e.MeasuredEnvironment(env)
 }
 
 // ObservedServerTypes lists server types seen in the trail, sorted.

@@ -8,6 +8,7 @@ import (
 	"performa/internal/audit"
 	"performa/internal/spec"
 	"performa/internal/statechart"
+	"performa/internal/wfmserr"
 )
 
 func testEnv(t *testing.T) *spec.Environment {
@@ -258,6 +259,119 @@ func TestServerTypesWithMeasuredService(t *testing.T) {
 	// The environment itself is untouched.
 	if env.Type(0).MeanService != 0.1 {
 		t.Error("environment mutated")
+	}
+}
+
+func TestFromTrailEmptyTypedError(t *testing.T) {
+	_, err := FromTrail(audit.NewTrail())
+	if wfmserr.CodeOf(err) != wfmserr.CodeInvalidModel {
+		t.Errorf("empty-trail error code = %q, want invalid_model (err: %v)", wfmserr.CodeOf(err), err)
+	}
+}
+
+func TestVarianceSingleSampleNonNegative(t *testing.T) {
+	// One sample: E[X²] − E[X]² cancels exactly in theory, but the
+	// clamp must hold even when floating cancellation leaves dust.
+	var mp MomentPair
+	mp.add(0.1234567891234567)
+	if v := mp.Variance(); v != 0 {
+		t.Errorf("single-sample variance = %v, want exactly 0", v)
+	}
+	if v := (&MomentPair{N: 3, Mean: 2, SecondMoment: 3.999999999999999}).Variance(); v != 0 {
+		t.Errorf("cancellation dust variance = %v, want clamped 0", v)
+	}
+	mp2 := MomentPair{}
+	mp2.add(1)
+	mp2.add(3)
+	if v := mp2.Variance(); math.Abs(v-1) > 1e-12 {
+		t.Errorf("two-sample variance = %v, want 1", v)
+	}
+}
+
+func TestApplyToWorkflowZeroDurationTypedError(t *testing.T) {
+	// A trail whose activity starts and completes at the same instant
+	// estimates a zero mean duration; applying it would put H = 0 into
+	// the CTMC. The apply must fail with a typed invalid_model error,
+	// not hand a NaN-rate model downstream.
+	env := testEnv(t)
+	w := branchWorkflow()
+	tr := audit.NewTrail()
+	for i := uint64(1); i <= 3; i++ {
+		now := float64(i) * 10
+		tr.Append(audit.Record{Kind: audit.InstanceStarted, Time: now, Workflow: "wf", Instance: i})
+		tr.Append(audit.Record{Kind: audit.ActivityStarted, Time: now, Instance: i, Activity: "A"})
+		tr.Append(audit.Record{Kind: audit.ActivityCompleted, Time: now, Instance: i, Activity: "A"})
+		tr.Append(audit.Record{Kind: audit.InstanceCompleted, Time: now, Workflow: "wf", Instance: i})
+	}
+	e, err := FromTrail(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.ApplyToWorkflow(w, env, Options{})
+	if wfmserr.CodeOf(err) != wfmserr.CodeInvalidModel {
+		t.Errorf("zero-duration apply error code = %q, want invalid_model (err: %v)", wfmserr.CodeOf(err), err)
+	}
+}
+
+func TestApplyToWorkflowOneSidedBranchTypedError(t *testing.T) {
+	env := testEnv(t)
+	w := branchWorkflow()
+	e, err := FromTrail(syntheticTrail(10, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.ApplyToWorkflow(w, env, Options{})
+	if wfmserr.CodeOf(err) != wfmserr.CodeInvalidModel {
+		t.Errorf("one-sided branch error code = %q, want invalid_model (err: %v)", wfmserr.CodeOf(err), err)
+	}
+}
+
+func TestServerTypesWithMeasuredServiceDegenerate(t *testing.T) {
+	env := testEnv(t)
+	// All-zero service durations: the measured mean is 0, which would
+	// make every waiting-time formula divide by zero. The declared
+	// moment must survive.
+	e := &Estimates{ServiceMoments: map[string]*MomentPair{
+		"eng": {N: 5, Mean: 0, SecondMoment: 0},
+	}}
+	types := e.ServerTypesWithMeasuredService(env)
+	if types[0].MeanService != 0.1 {
+		t.Errorf("zero-mean measurement applied: MeanService = %v", types[0].MeanService)
+	}
+	// Second moment below mean² (impossible; cancellation artifact) is
+	// clamped up to mean², never applied as a negative variance.
+	e = &Estimates{ServiceMoments: map[string]*MomentPair{
+		"eng": {N: 1, Mean: 0.2, SecondMoment: 0.2*0.2 - 1e-18},
+	}}
+	types = e.ServerTypesWithMeasuredService(env)
+	if got := types[0].ServiceSecondMoment; got < types[0].MeanService*types[0].MeanService {
+		t.Errorf("second moment %v below mean² %v", got, types[0].MeanService*types[0].MeanService)
+	}
+	// Non-finite moments are rejected wholesale.
+	e = &Estimates{ServiceMoments: map[string]*MomentPair{
+		"eng": {N: 2, Mean: math.Inf(1), SecondMoment: math.Inf(1)},
+	}}
+	types = e.ServerTypesWithMeasuredService(env)
+	if types[0].MeanService != 0.1 {
+		t.Errorf("infinite measurement applied: MeanService = %v", types[0].MeanService)
+	}
+}
+
+func TestMeasuredEnvironment(t *testing.T) {
+	env := testEnv(t)
+	e, err := FromTrail(syntheticTrail(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	menv, err := e.MeasuredEnvironment(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(menv.Type(0).MeanService-0.2) > 1e-12 {
+		t.Errorf("measured env mean service = %v, want 0.2", menv.Type(0).MeanService)
+	}
+	if env.Type(0).MeanService != 0.1 {
+		t.Error("source environment mutated")
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"performa/internal/audit"
 	"performa/internal/spec"
 	"performa/internal/statechart"
+	"performa/internal/wfmserr"
 )
 
 // edgeKey identifies an observed control-flow transition.
@@ -31,7 +32,7 @@ type edgeKey struct{ from, to string }
 func DiscoverWorkflow(trail *audit.Trail, workflowName string, env *spec.Environment) (*spec.Workflow, error) {
 	recs := trail.Records()
 	if len(recs) == 0 {
-		return nil, fmt.Errorf("calibrate: empty trail")
+		return nil, wfmserr.New(wfmserr.CodeInvalidModel, "calibrate", "empty trail: nothing to discover from")
 	}
 
 	transitions := map[edgeKey]uint64{}

@@ -1,0 +1,183 @@
+package replay
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"performa"
+	"performa/internal/audit"
+	"performa/internal/server"
+	"performa/internal/spec"
+	"performa/internal/wfjson"
+	"performa/internal/workload"
+)
+
+// TestReplaySmoke is the end-to-end loop of the online calibration
+// design run in-process: the discrete-event simulator (wfmssim -trail)
+// produces an audit trail of the paper's EP workflow arriving six times
+// faster than the designed model assumes, the replayer (wfmsreplay)
+// streams it into the advisory daemon (wfmsd), and the daemon notices
+// the drift, evicts the warm model, and rebuilds from the streamed
+// estimates on the next assessment.
+func TestReplaySmoke(t *testing.T) {
+	env := workload.PaperEnvironment()
+	designed := workload.EPWorkflow(0.5)
+	doc, err := wfjson.ToDocument(env, []*spec.Workflow{designed})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reality: the same workflow arriving at 3/min instead of 0.5/min.
+	sys, err := performa.NewSystem(env, workload.EPWorkflow(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trail := audit.NewTrail()
+	if _, err := sys.Simulate(performa.SimParams{
+		Replicas: []int{3, 3, 4},
+		Seed:     11,
+		Horizon:  100,
+		Warmup:   10,
+		Trail:    trail,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	recs := trail.Records()
+	if len(recs) < 1000 {
+		t.Fatalf("simulation produced only %d records", len(recs))
+	}
+
+	svc := server.New(server.Options{
+		Workers: 2,
+		Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// Register the designed system: /v1/assess warms the model the
+	// streamed events are scored against.
+	fp, _ := assess(t, ts.URL, doc)
+
+	sum, err := Replay(context.Background(), recs, Options{
+		BaseURL:     ts.URL,
+		Fingerprint: fp,
+		BatchSize:   1000,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Records != len(recs) {
+		t.Errorf("delivered %d records, want %d", sum.Records, len(recs))
+	}
+	if sum.Invalidations < 1 || sum.Generation < 1 {
+		t.Fatalf("replay did not trigger drift invalidation: %+v", sum)
+	}
+	if sum.Final.TotalEvents != uint64(len(recs)) {
+		t.Errorf("daemon counted %d events, want %d", sum.Final.TotalEvents, len(recs))
+	}
+
+	// The next assessment misses the evicted entry and rebuilds from the
+	// streamed estimates.
+	if _, warm := assess(t, ts.URL, doc); warm {
+		t.Error("post-drift assess hit a warm cache; invalidation had no effect")
+	}
+}
+
+// assess posts the document at config {3,3,4} and returns its
+// fingerprint plus whether the model cache was already warm.
+func assess(t *testing.T, baseURL string, doc *wfjson.Document) (string, bool) {
+	t.Helper()
+	body, err := json.Marshal(server.AssessRequest{
+		System: *doc,
+		Config: []int{3, 3, 4},
+		Goals:  server.GoalsJSON{MaxWaiting: 10, MaxUnavailability: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v1/assess", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("assess status %d: %s", resp.StatusCode, raw)
+	}
+	var out server.AssessResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Fingerprint, out.CacheWarm
+}
+
+func TestReplayPacesBatches(t *testing.T) {
+	var batches int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		batches++
+		json.NewEncoder(w).Encode(server.EventsResponse{})
+	}))
+	defer ts.Close()
+
+	// Three batches of one record each, one trail time-unit apart, at
+	// 20 units/s: the last batch is due 100ms in.
+	recs := []audit.Record{
+		{Kind: audit.InstanceStarted, Time: 0, Workflow: "wf", Instance: 1},
+		{Kind: audit.InstanceStarted, Time: 1, Workflow: "wf", Instance: 2},
+		{Kind: audit.InstanceStarted, Time: 2, Workflow: "wf", Instance: 3},
+	}
+	start := time.Now()
+	sum, err := Replay(context.Background(), recs, Options{
+		BaseURL:     ts.URL,
+		Fingerprint: "f",
+		BatchSize:   1,
+		SpeedUp:     20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Batches != 3 || batches != 3 {
+		t.Errorf("batches = %d/%d, want 3", sum.Batches, batches)
+	}
+	if elapsed := time.Since(start); elapsed < 90*time.Millisecond {
+		t.Errorf("replay finished in %s; pacing at 20 units/s should take ≈100ms", elapsed)
+	}
+}
+
+func TestReplayStopsOnServerError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(server.ErrorResponse{Error: "no warm model", Code: "not_found"})
+	}))
+	defer ts.Close()
+
+	recs := []audit.Record{{Kind: audit.InstanceStarted, Time: 0, Workflow: "wf", Instance: 1}}
+	_, err := Replay(context.Background(), recs, Options{BaseURL: ts.URL, Fingerprint: "f"})
+	if err == nil {
+		t.Fatal("server error not surfaced")
+	}
+}
+
+func TestReplayValidatesOptions(t *testing.T) {
+	recs := []audit.Record{{Kind: audit.InstanceStarted}}
+	if _, err := Replay(context.Background(), recs, Options{Fingerprint: "f"}); err == nil {
+		t.Error("missing base URL accepted")
+	}
+	if _, err := Replay(context.Background(), recs, Options{BaseURL: "http://x"}); err == nil {
+		t.Error("missing fingerprint accepted")
+	}
+	if _, err := Replay(context.Background(), nil, Options{BaseURL: "http://x", Fingerprint: "f"}); err == nil {
+		t.Error("empty trail accepted")
+	}
+}

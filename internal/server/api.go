@@ -14,6 +14,7 @@ import (
 	"performa/internal/avail"
 	"performa/internal/config"
 	"performa/internal/performability"
+	"performa/internal/stream"
 	"performa/internal/wfjson"
 )
 
@@ -279,6 +280,75 @@ type CalibrateResponse struct {
 	ArrivalRates map[string]float64 `json:"arrival_rates,omitempty"`
 }
 
+// EventsResponse is the /v1/events reply: the ingestion accounting for
+// the batch plus the system's current drift state.
+type EventsResponse struct {
+	// Fingerprint identifies the system the events were scored against.
+	Fingerprint string `json:"fingerprint"`
+	// Records is the number of records in this batch.
+	Records int `json:"records"`
+	// TotalEvents is the stream's lifetime record count.
+	TotalEvents uint64 `json:"total_events"`
+	// Dropped counts instance starts whose per-instance tracking was
+	// skipped by the in-flight bound.
+	Dropped uint64 `json:"dropped,omitempty"`
+	// Drift is the score of the running estimates against the model
+	// baseline after this batch.
+	Drift stream.Score `json:"drift"`
+	// Drifted reports whether the stream currently exceeds thresholds
+	// (cleared when a post-drift rebuild re-baselines).
+	Drifted bool `json:"drifted"`
+	// Generation is the drift-rebuild generation; the next /v1/assess
+	// over the system builds (or reuses) this generation's model.
+	Generation uint64 `json:"generation"`
+	// Invalidated reports whether THIS batch crossed the threshold and
+	// evicted the warm models.
+	Invalidated bool `json:"invalidated"`
+	// Invalidations counts the stream's lifetime threshold crossings.
+	Invalidations uint64 `json:"invalidations"`
+	// Evicted is the number of cache entries dropped by this batch's
+	// invalidation (0 unless Invalidated).
+	Evicted int `json:"evicted,omitempty"`
+}
+
+// DriftThresholdsJSON reports the effective drift thresholds.
+type DriftThresholdsJSON struct {
+	Transition    float64 `json:"transition"`
+	Residence     float64 `json:"residence"`
+	Service       float64 `json:"service"`
+	Arrival       float64 `json:"arrival"`
+	MinDepartures uint64  `json:"min_departures"`
+	MinSamples    uint64  `json:"min_samples"`
+}
+
+// DriftStreamJSON reports one ingestion stream on /v1/drift.
+type DriftStreamJSON struct {
+	Fingerprint   string       `json:"fingerprint"`
+	Events        uint64       `json:"events"`
+	Batches       uint64       `json:"batches"`
+	Dropped       uint64       `json:"dropped,omitempty"`
+	InFlight      int          `json:"in_flight"`
+	Score         stream.Score `json:"score"`
+	MaxScore      float64      `json:"max_score"`
+	Drifted       bool         `json:"drifted"`
+	Generation    uint64       `json:"generation"`
+	Invalidations uint64       `json:"invalidations"`
+}
+
+// DriftResponse is the /v1/drift reply.
+type DriftResponse struct {
+	Thresholds DriftThresholdsJSON `json:"thresholds"`
+	Streams    []DriftStreamJSON   `json:"streams"`
+}
+
+// IngestStatsJSON summarizes the ingestion path on /v1/stats.
+type IngestStatsJSON struct {
+	Streams       int    `json:"streams"`
+	Events        uint64 `json:"events"`
+	Batches       uint64 `json:"batches"`
+	Invalidations uint64 `json:"invalidations"`
+}
+
 // EvaluatorStatsJSON reports one warm model entry on /v1/stats.
 type EvaluatorStatsJSON struct {
 	Fingerprint string         `json:"fingerprint"`
@@ -312,6 +382,7 @@ type StatsResponse struct {
 	} `json:"model_cache"`
 	Evaluators []EvaluatorStatsJSON         `json:"evaluators"`
 	Admission  AdmissionStatsJSON           `json:"admission"`
+	Ingest     IngestStatsJSON              `json:"ingest"`
 	Endpoints  map[string]EndpointStatsJSON `json:"endpoints"`
 	// Errors counts error responses by machine-readable code.
 	Errors map[string]uint64 `json:"errors,omitempty"`

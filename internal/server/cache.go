@@ -10,6 +10,7 @@ import (
 	"performa/internal/perf"
 	"performa/internal/performability"
 	"performa/internal/spec"
+	"performa/internal/stream"
 	"performa/internal/wfjson"
 )
 
@@ -143,6 +144,35 @@ func (c *modelCache) evictOverflow() {
 	}
 }
 
+// invalidateFingerprint removes every ready entry built for the given
+// system fingerprint (all evaluation-option and generation variants),
+// returning how many were dropped. In-flight builds are skipped — they
+// are pinned by the single-flight protocol; a stale in-flight build is
+// keyed by an old generation, so the post-drift request simply misses
+// past it to a fresh key. Used by drift-triggered invalidation: the
+// next /v1/assess over the system rebuilds from fresh estimates.
+func (c *modelCache) invalidateFingerprint(fp string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	var next *list.Element
+	for elem := c.ll.Front(); elem != nil; elem = next {
+		next = elem.Next()
+		e := elem.Value.(*modelEntry)
+		select {
+		case <-e.ready:
+		default:
+			continue
+		}
+		if e.err == nil && e.fingerprint == fp {
+			c.ll.Remove(elem)
+			delete(c.entries, e.key)
+			n++
+		}
+	}
+	return n
+}
+
 // snapshot returns the resident entries, most recently used first.
 func (c *modelCache) snapshot() []*modelEntry {
 	c.mu.Lock()
@@ -197,6 +227,13 @@ func buildEntry(e *modelEntry, fingerprint string, env *spec.Environment, flows 
 
 // resolveEntry decodes and fingerprints the request's system document
 // and returns the warm (or freshly built) model entry for it.
+//
+// When the system's ingestion stream has detected drift, the entry key
+// carries the stream's rebuild generation and the build recalibrates
+// the posted document with the streamed estimates before deriving the
+// models — the drift-triggered half of the paper's feedback loop. The
+// entry keeps the posted fingerprint, so clients keep addressing the
+// system by the document they posted.
 func (s *Server) resolveEntry(ctx context.Context, doc *wfjson.Document, opts performability.Options) (*modelEntry, bool, error) {
 	env, flows, err := wfjson.FromDocument(doc)
 	if err != nil {
@@ -206,7 +243,38 @@ func (s *Server) resolveEntry(ctx context.Context, doc *wfjson.Document, opts pe
 	if err != nil {
 		return nil, false, err
 	}
-	return s.models.getOrBuild(ctx, entryKey(fp, opts), func(e *modelEntry) error {
-		return buildEntry(e, fp, env, flows, opts)
+	key := entryKey(fp, opts)
+	var gen uint64
+	st := s.streams.lookup(fp)
+	if st != nil {
+		gen = st.generationNow()
+	}
+	if gen > 0 {
+		key = fmt.Sprintf("%s|gen=%d", key, gen)
+	}
+	entry, warm, err := s.models.getOrBuild(ctx, key, func(e *modelEntry) error {
+		benv, bflows := env, flows
+		if gen > 0 {
+			var rerr error
+			benv, bflows, rerr = s.recalibratedSystem(st, env, flows)
+			if rerr != nil {
+				// A drifted model that cannot be re-estimated degrades to
+				// the posted parameters instead of failing the request;
+				// the next drift crossing bumps the generation and
+				// retries.
+				s.log.Warn("drift recalibration failed; building from posted document",
+					"fingerprint", fp, "err", rerr)
+			}
+		}
+		return buildEntry(e, fp, benv, bflows, opts)
 	})
+	if err != nil {
+		return nil, false, err
+	}
+	if gen > 0 && !warm {
+		// A fresh post-drift build defines the new comparison point:
+		// drift is re-armed against the recalibrated parameters.
+		st.rebaseline(stream.NewBaseline(entry.env, entry.flows), gen)
+	}
+	return entry, warm, nil
 }

@@ -42,6 +42,7 @@ import (
 	"performa/internal/calibrate"
 	"performa/internal/config"
 	"performa/internal/perf"
+	"performa/internal/stream"
 	"performa/internal/wfjson"
 	"performa/internal/wfmserr"
 )
@@ -71,6 +72,19 @@ type Options struct {
 	// Logger receives one structured line per request; nil means
 	// slog.Default().
 	Logger *slog.Logger
+	// Drift sets the relative-change thresholds at which streamed
+	// estimates invalidate a warm model; zero fields take
+	// stream.DefaultThresholds.
+	Drift stream.Thresholds
+	// StreamHalfLife enables exponential decay on the ingestion
+	// estimators (trail-time units); 0 keeps all history.
+	StreamHalfLife float64
+	// MaxStreams bounds the per-system ingestion streams (LRU);
+	// 0 means 64.
+	MaxStreams int
+	// Recalibration tunes the drift-triggered rebuild; a zero value
+	// means Laplace smoothing 0.5 (the /v1/calibrate default).
+	Recalibration calibrate.Options
 }
 
 // Server is the advisory service. Create with New, mount via Handler,
@@ -90,6 +104,16 @@ type Server struct {
 	reqID    atomic.Uint64
 
 	endpoints map[string]*endpointMetrics
+
+	// Online calibration: per-system ingestion streams, the drift
+	// thresholds they are scored under, and the recalibration options
+	// for drift-triggered rebuilds.
+	streams            *streamRegistry
+	driftThresholds    stream.Thresholds
+	recalOpts          calibrate.Options
+	eventsIngested     atomic.Uint64
+	eventBatches       atomic.Uint64
+	driftInvalidations atomic.Uint64
 
 	// panics counts handler panics recovered by the containment
 	// middleware; errMu/errCodes count error responses by code.
@@ -119,21 +143,34 @@ func New(opts Options) *Server {
 	if logger == nil {
 		logger = slog.Default()
 	}
+	maxStreams := opts.MaxStreams
+	if maxStreams == 0 {
+		maxStreams = 64
+	}
+	recal := opts.Recalibration
+	if recal == (calibrate.Options{}) {
+		recal = defaultRecalibration()
+	}
 	s := &Server{
-		opts:       opts,
-		workers:    workers,
-		perRequest: workers / slots,
-		admission:  newSemaphore(workers),
-		models:     newModelCache(cacheSize),
-		log:        logger,
-		mux:        http.NewServeMux(),
-		start:      time.Now(),
-		endpoints:  make(map[string]*endpointMetrics),
-		errCodes:   make(map[string]uint64),
+		opts:            opts,
+		workers:         workers,
+		perRequest:      workers / slots,
+		admission:       newSemaphore(workers),
+		models:          newModelCache(cacheSize),
+		log:             logger,
+		mux:             http.NewServeMux(),
+		start:           time.Now(),
+		endpoints:       make(map[string]*endpointMetrics),
+		errCodes:        make(map[string]uint64),
+		streams:         newStreamRegistry(maxStreams),
+		driftThresholds: opts.Drift.WithDefaults(),
+		recalOpts:       recal,
 	}
 	s.route("POST /v1/assess", s.handleAssess)
 	s.route("POST /v1/recommend", s.handleRecommend)
 	s.route("POST /v1/calibrate", s.handleCalibrate)
+	s.route("POST /v1/events", s.handleEvents)
+	s.route("GET /v1/drift", s.handleDrift)
 	s.route("GET /v1/stats", s.handleStats)
 	s.route("GET /metrics", s.handleMetrics)
 	s.route("GET /healthz", s.handleHealthz)
@@ -526,6 +563,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Endpoints[name] = st
 	}
+	resp.Ingest = IngestStatsJSON{
+		Streams:       s.streams.len(),
+		Events:        s.eventsIngested.Load(),
+		Batches:       s.eventBatches.Load(),
+		Invalidations: s.driftInvalidations.Load(),
+	}
 	resp.Errors = s.errorCounts()
 	resp.Panics = s.panics.Load()
 	s.writeJSON(w, http.StatusOK, resp)
@@ -537,7 +580,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	b.WriteString("# TYPE wfmsd_requests_total counter\n")
 	b.WriteString("# HELP wfmsd_request_duration_seconds Request latency histogram.\n")
 	b.WriteString("# TYPE wfmsd_request_duration_seconds histogram\n")
-	for _, name := range []string{"/v1/assess", "/v1/recommend", "/v1/calibrate", "/v1/stats", "/metrics", "/healthz"} {
+	for _, name := range []string{"/v1/assess", "/v1/recommend", "/v1/calibrate", "/v1/events", "/v1/drift", "/v1/stats", "/metrics", "/healthz"} {
 		if m, ok := s.endpoints[name]; ok {
 			m.writePrometheus(&b)
 		}
@@ -562,6 +605,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "wfmsd_evaluator_state_hits_total %d\n", hits)
 	fmt.Fprintf(&b, "# TYPE wfmsd_evaluator_state_misses_total counter\n")
 	fmt.Fprintf(&b, "wfmsd_evaluator_state_misses_total %d\n", misses)
+	fmt.Fprintf(&b, "# HELP wfmsd_events_ingested_total Audit records ingested via /v1/events.\n")
+	fmt.Fprintf(&b, "# TYPE wfmsd_events_ingested_total counter\n")
+	fmt.Fprintf(&b, "wfmsd_events_ingested_total %d\n", s.eventsIngested.Load())
+	fmt.Fprintf(&b, "# TYPE wfmsd_event_batches_total counter\n")
+	fmt.Fprintf(&b, "wfmsd_event_batches_total %d\n", s.eventBatches.Load())
+	fmt.Fprintf(&b, "# HELP wfmsd_drift_invalidations_total Warm-model invalidations triggered by drift detection.\n")
+	fmt.Fprintf(&b, "# TYPE wfmsd_drift_invalidations_total counter\n")
+	fmt.Fprintf(&b, "wfmsd_drift_invalidations_total %d\n", s.driftInvalidations.Load())
+	fmt.Fprintf(&b, "# HELP wfmsd_ingest_streams Per-system ingestion streams resident.\n")
+	fmt.Fprintf(&b, "# TYPE wfmsd_ingest_streams gauge\n")
+	fmt.Fprintf(&b, "wfmsd_ingest_streams %d\n", s.streams.len())
+	if streams := s.streams.snapshot(); len(streams) > 0 {
+		fmt.Fprintf(&b, "# HELP wfmsd_drift_score Latest drift score by system fingerprint and dimension.\n")
+		fmt.Fprintf(&b, "# TYPE wfmsd_drift_score gauge\n")
+		for _, st := range streams {
+			score, _, _, _, _ := st.snapshot()
+			for _, d := range []struct {
+				name  string
+				value float64
+			}{
+				{"transition", score.Transition},
+				{"residence", score.Residence},
+				{"service", score.Service},
+				{"arrival", score.Arrival},
+			} {
+				fmt.Fprintf(&b, "wfmsd_drift_score{fingerprint=%q,dimension=%q} %g\n", st.fingerprint, d.name, d.value)
+			}
+		}
+	}
 	errCounts := s.errorCounts()
 	if len(errCounts) > 0 {
 		fmt.Fprintf(&b, "# HELP wfmsd_errors_total Error responses by machine-readable code.\n")
@@ -622,6 +694,8 @@ func errorCode(status int, err error) string {
 	switch status {
 	case http.StatusBadRequest:
 		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
 	case http.StatusServiceUnavailable:
 		return "unavailable"
 	case http.StatusGatewayTimeout:

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"performa/internal/audit"
 	"performa/internal/des"
 	"performa/internal/dist"
 	"performa/internal/spec"
@@ -59,6 +60,14 @@ type Params struct {
 	// merged request stream with type-specific service times. Waiting
 	// statistics remain per type.
 	Colocated [][]int
+	// Trail optionally collects an audit trail of the run: instance
+	// life cycles, state entries/exits on the top-level chart, activity
+	// spans, and per-request waiting/service times — the same record
+	// stream a production WFMS would emit, usable as calibration input
+	// (package calibrate, package stream) and for replay against a
+	// running daemon (cmd/wfmsreplay). Recording draws no random
+	// numbers, so enabling it does not perturb the simulated run.
+	Trail *audit.Trail
 }
 
 // DispatchPolicy selects how requests are assigned to replicas.
@@ -293,6 +302,48 @@ type runner struct {
 	turnaround []des.Tally
 	wfWaiting  []des.Tally
 	warm       bool
+
+	// Trail recording (nil when Params.Trail is unset).
+	trail   *audit.Trail
+	instSeq uint64
+	meta    []trailMeta
+}
+
+// trailMeta caches the per-model name mappings the trail recorder needs:
+// CTMC state index → chart state name and activity, plus the pseudo
+// final state to synthesize a StateEntered for (the chart's final state
+// is spliced into the absorbing s_A during the CTMC mapping, so without
+// the synthetic record the final transition of every instance would be
+// invisible to calibration).
+type trailMeta struct {
+	workflow    string
+	chart       string
+	states      []string
+	acts        []string
+	pseudoFinal string
+}
+
+func newTrailMeta(m *spec.Model) trailMeta {
+	tm := trailMeta{states: m.StateNames}
+	w := m.Workflow
+	if w == nil || w.Chart == nil {
+		return tm
+	}
+	tm.workflow = w.Name
+	if tm.workflow == "" {
+		tm.workflow = w.Chart.Name
+	}
+	tm.chart = w.Chart.Name
+	tm.acts = make([]string, len(m.StateNames))
+	for i, name := range m.StateNames {
+		if s, ok := w.Chart.States[name]; ok {
+			tm.acts[i] = s.Activity
+		}
+	}
+	if f, ok := w.Chart.States[w.Chart.Final]; ok && f.Activity == "" && len(f.Subcharts) == 0 {
+		tm.pseudoFinal = w.Chart.Final
+	}
+	return tm
 }
 
 // Run executes one simulation and returns its measurements.
@@ -311,6 +362,13 @@ func Run(p Params) (*Result, error) {
 		completed:  make([]uint64, len(p.Models)),
 		turnaround: make([]des.Tally, len(p.Models)),
 		wfWaiting:  make([]des.Tally, len(p.Models)),
+	}
+	if p.Trail != nil {
+		r.trail = p.Trail
+		r.meta = make([]trailMeta, len(p.Models))
+		for i, m := range p.Models {
+			r.meta[i] = newTrailMeta(m)
+		}
 	}
 
 	// Resolve co-location: requests of every group member run on the
@@ -460,20 +518,76 @@ func (r *runner) scheduleArrival(i int, m *spec.Model) {
 
 // startInstance begins the CTMC walk of one workflow instance.
 func (r *runner) startInstance(i int, m *spec.Model) {
-	r.enterState(i, m, 0, r.sim.Now())
+	var inst uint64
+	if r.trail != nil {
+		r.instSeq++
+		inst = r.instSeq
+		r.trail.Append(audit.Record{
+			Kind: audit.InstanceStarted, Time: r.sim.Now(),
+			Workflow: r.meta[i].workflow, Instance: inst,
+		})
+	}
+	r.enterState(i, m, 0, r.sim.Now(), inst)
+}
+
+// recordState appends a state-entry/exit record for the instance, using
+// the chart-level state name of the CTMC state.
+func (r *runner) recordState(kind audit.EventKind, i int, inst uint64, state int) {
+	tm := &r.meta[i]
+	if tm.chart == "" || state >= len(tm.states) {
+		return
+	}
+	r.trail.Append(audit.Record{
+		Kind: kind, Time: r.sim.Now(),
+		Workflow: tm.workflow, Instance: inst,
+		Chart: tm.chart, State: tm.states[state],
+	})
+}
+
+// recordActivity appends an activity-span record if the CTMC state maps
+// to a flat activity state of the chart.
+func (r *runner) recordActivity(kind audit.EventKind, i int, inst uint64, state int) {
+	tm := &r.meta[i]
+	if tm.acts == nil || state >= len(tm.acts) || tm.acts[state] == "" {
+		return
+	}
+	r.trail.Append(audit.Record{
+		Kind: kind, Time: r.sim.Now(),
+		Workflow: tm.workflow, Instance: inst, Activity: tm.acts[state],
+	})
 }
 
 // enterState processes one CTMC state visit: it draws the residence time,
 // spreads the state's service requests uniformly over the residence
 // period, and schedules the jump to the next state.
-func (r *runner) enterState(i int, m *spec.Model, state int, born float64) {
+func (r *runner) enterState(i int, m *spec.Model, state int, born float64, inst uint64) {
 	abs := m.Chain.Absorbing()
 	if state == abs {
 		if r.warm {
 			r.completed[i]++
 			r.turnaround[i].Add(r.sim.Now() - born)
 		}
+		if r.trail != nil {
+			// The chart's pseudo final state was spliced into s_A by the
+			// CTMC mapping; synthesize its entry so the trail shows the
+			// final chart transition.
+			if tm := &r.meta[i]; tm.pseudoFinal != "" {
+				r.trail.Append(audit.Record{
+					Kind: audit.StateEntered, Time: r.sim.Now(),
+					Workflow: tm.workflow, Instance: inst,
+					Chart: tm.chart, State: tm.pseudoFinal,
+				})
+			}
+			r.trail.Append(audit.Record{
+				Kind: audit.InstanceCompleted, Time: r.sim.Now(),
+				Workflow: r.meta[i].workflow, Instance: inst,
+			})
+		}
 		return
+	}
+	if r.trail != nil {
+		r.recordState(audit.StateEntered, i, inst, state)
+		r.recordActivity(audit.ActivityStarted, i, inst, state)
 	}
 	h := m.Chain.H[state]
 	residence := r.rng.Exp(1 / h)
@@ -500,8 +614,12 @@ func (r *runner) enterState(i int, m *spec.Model, state int, born float64) {
 	}
 
 	r.sim.Schedule(residence, func() {
+		if r.trail != nil {
+			r.recordActivity(audit.ActivityCompleted, i, inst, state)
+			r.recordState(audit.StateLeft, i, inst, state)
+		}
 		next := r.pickNext(m, state)
-		r.enterState(i, m, next, born)
+		r.enterState(i, m, next, born, inst)
 	})
 }
 
@@ -588,13 +706,21 @@ func (r *runner) beginService(sv *server) {
 	sv.current = req
 	pl.busyNow++
 	pl.busyAvg.Set(r.sim.Now(), float64(pl.busyNow))
+	w := r.sim.Now() - req.arrived
 	if r.warm {
-		w := r.sim.Now() - req.arrived
 		typed.waiting.Add(w)
 		typed.waitQ.Add(w)
 		r.wfWaiting[req.wfIdx].Add(w)
 	}
 	svcTime := r.svcDists[req.typeIdx].Sample(r.rng)
+	if r.trail != nil {
+		r.trail.Append(audit.Record{
+			Kind: audit.ServiceRequest, Time: r.sim.Now(),
+			Workflow:   r.meta[req.wfIdx].workflow,
+			ServerType: r.p.Env.Type(req.typeIdx).Name, Server: sv.id,
+			Waiting: w, Service: svcTime,
+		})
+	}
 	sv.svcEvent = r.sim.Schedule(svcTime, func() {
 		sv.svcEvent = nil
 		sv.busy = false

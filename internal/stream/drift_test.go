@@ -1,0 +1,244 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"performa/internal/audit"
+	"performa/internal/calibrate"
+	"performa/internal/spec"
+	"performa/internal/workload"
+)
+
+func TestBaselineCoversSystem(t *testing.T) {
+	env := workload.PaperEnvironment()
+	ep := workload.EPWorkflow(5)
+	ord := workload.OrderWorkflow(3)
+	b := NewBaseline(env, []*spec.Workflow{ep, ord})
+
+	// Every top-level transition of both charts is present with its
+	// declared probability.
+	for _, w := range []*spec.Workflow{ep, ord} {
+		for _, tr := range w.Chart.Transitions {
+			key := calibrate.TransitionKey{Chart: w.Chart.Name, From: tr.From, To: tr.To}
+			if got, ok := b.Transitions[key]; !ok || got != tr.Prob {
+				t.Errorf("baseline transition %v = %v (present %v), want %v", key, got, ok, tr.Prob)
+			}
+		}
+		for name, prof := range w.Profiles {
+			if b.Activities[name] != prof.MeanDuration {
+				t.Errorf("baseline activity %q = %v, want %v", name, b.Activities[name], prof.MeanDuration)
+			}
+		}
+		if b.Arrivals[w.Name] != w.ArrivalRate {
+			t.Errorf("baseline arrival %q = %v, want %v", w.Name, b.Arrivals[w.Name], w.ArrivalRate)
+		}
+	}
+	for _, st := range env.Types() {
+		if b.Service[st.Name] != st.MeanService {
+			t.Errorf("baseline service %q = %v, want %v", st.Name, b.Service[st.Name], st.MeanService)
+		}
+	}
+	// Nested subcharts contribute their transitions under their own
+	// chart names (the EP workflow embeds subworkflows).
+	sawNested := false
+	for key := range b.Transitions {
+		if key.Chart != ep.Chart.Name && key.Chart != ord.Chart.Name {
+			sawNested = true
+			break
+		}
+	}
+	if !sawNested {
+		t.Error("baseline has no nested-chart transitions; expected subchart coverage")
+	}
+}
+
+// driftTrail emits n departures from state "init" of chart "wf" with the
+// given split between branches A and B, plus enough samples on the other
+// dimensions to clear MinSamples gates when needed.
+func driftTrail(n int, probA float64) []audit.Record {
+	var recs []audit.Record
+	tm := 0.0
+	for i := 0; i < n; i++ {
+		inst := uint64(i + 1)
+		to := "A"
+		if float64(i%10) >= probA*10 {
+			to = "B"
+		}
+		recs = append(recs,
+			audit.Record{Kind: audit.InstanceStarted, Time: tm, Workflow: "wf", Instance: inst},
+			audit.Record{Kind: audit.StateEntered, Time: tm, Workflow: "wf", Instance: inst, Chart: "wf", State: "init"},
+			audit.Record{Kind: audit.StateLeft, Time: tm + 0.25, Workflow: "wf", Instance: inst, Chart: "wf", State: "init"},
+			audit.Record{Kind: audit.StateEntered, Time: tm + 0.25, Workflow: "wf", Instance: inst, Chart: "wf", State: to},
+			audit.Record{Kind: audit.StateLeft, Time: tm + 0.5, Workflow: "wf", Instance: inst, Chart: "wf", State: to},
+			audit.Record{Kind: audit.StateEntered, Time: tm + 0.5, Workflow: "wf", Instance: inst, Chart: "wf", State: "final"},
+			audit.Record{Kind: audit.InstanceCompleted, Time: tm + 0.6, Workflow: "wf", Instance: inst},
+		)
+		tm += 1.0
+	}
+	return recs
+}
+
+func baselineAB(probA float64) *Baseline {
+	return &Baseline{
+		Transitions: map[calibrate.TransitionKey]float64{
+			{Chart: "wf", From: "init", To: "A"}: probA,
+			{Chart: "wf", From: "init", To: "B"}: 1 - probA,
+		},
+		Activities: map[string]float64{},
+		Service:    map[string]float64{},
+		Arrivals:   map[string]float64{"wf": 1.0},
+	}
+}
+
+func TestScoreDetectsTransitionDrift(t *testing.T) {
+	est := NewEstimator(Options{})
+	est.ObserveBatch(driftTrail(100, 0.5)) // observed 50/50
+	base := baselineAB(0.9)                // model says 90/10
+
+	s := est.ScoreAgainst(base, Thresholds{})
+	// Branch B: baseline 0.1, observed 0.5 → change (0.4)/0.1 = 4.
+	if s.Transition < 3.9 {
+		t.Errorf("transition drift = %v, want ≈ 4", s.Transition)
+	}
+	if !s.Exceeds(Thresholds{}) {
+		t.Error("drift should exceed default thresholds")
+	}
+	if len(s.Top) == 0 {
+		t.Fatal("no contributions reported")
+	}
+	if s.Top[0].Dimension != "transition" {
+		t.Errorf("worst contribution dimension = %q, want transition", s.Top[0].Dimension)
+	}
+	for i := 1; i < len(s.Top); i++ {
+		if s.Top[i].Change > s.Top[i-1].Change {
+			t.Error("contributions not sorted worst-first")
+		}
+	}
+}
+
+func TestScoreMatchingBehaviorStaysUnderThreshold(t *testing.T) {
+	est := NewEstimator(Options{})
+	est.ObserveBatch(driftTrail(100, 0.9))
+	base := baselineAB(0.9)
+	s := est.ScoreAgainst(base, Thresholds{})
+	if s.Exceeds(Thresholds{}) {
+		t.Errorf("matching behavior flagged as drift: %v", s)
+	}
+}
+
+func TestMinDeparturesGatesTransitionScoring(t *testing.T) {
+	est := NewEstimator(Options{})
+	est.ObserveBatch(driftTrail(10, 0.5)) // drifted but only 10 departures
+	base := baselineAB(0.9)
+	s := est.ScoreAgainst(base, Thresholds{MinDepartures: 50})
+	if s.Transition != 0 {
+		t.Errorf("transition scored with only 10 departures: %v", s.Transition)
+	}
+	// Lowering the gate exposes the drift.
+	s = est.ScoreAgainst(base, Thresholds{MinDepartures: 5})
+	if s.Transition < 3.9 {
+		t.Errorf("transition drift with low gate = %v, want ≈ 4", s.Transition)
+	}
+}
+
+func TestScoreArrivalDrift(t *testing.T) {
+	est := NewEstimator(Options{})
+	// 50 starts one time unit apart → observed rate ≈ 1.0.
+	est.ObserveBatch(driftTrail(50, 0.9))
+	base := baselineAB(0.9)
+	base.Arrivals["wf"] = 4.0 // model built for 4/s, observed 1/s
+	s := est.ScoreAgainst(base, Thresholds{})
+	if want := 0.75; math.Abs(s.Arrival-want) > 1e-9 {
+		t.Errorf("arrival drift = %v, want %v", s.Arrival, want)
+	}
+	if !s.Exceeds(Thresholds{}) {
+		t.Error("arrival drift 0.75 should exceed default 0.5 threshold")
+	}
+}
+
+func TestScoreServiceAndResidenceDrift(t *testing.T) {
+	var recs []audit.Record
+	for i := 0; i < 30; i++ {
+		tm := float64(i)
+		inst := uint64(i + 1)
+		recs = append(recs,
+			audit.Record{Kind: audit.ActivityStarted, Time: tm, Instance: inst, Activity: "a"},
+			audit.Record{Kind: audit.ActivityCompleted, Time: tm + 2.0, Instance: inst, Activity: "a"},
+			audit.Record{Kind: audit.ServiceRequest, Time: tm, ServerType: "srv", Service: 0.3},
+		)
+	}
+	est := NewEstimator(Options{})
+	est.ObserveBatch(recs)
+	base := &Baseline{
+		Transitions: map[calibrate.TransitionKey]float64{},
+		Activities:  map[string]float64{"a": 1.0}, // observed 2.0 → change 1.0
+		Service:     map[string]float64{"srv": 0.2},
+		Arrivals:    map[string]float64{},
+	}
+	s := est.ScoreAgainst(base, Thresholds{})
+	if math.Abs(s.Residence-1.0) > 1e-9 {
+		t.Errorf("residence drift = %v, want 1.0", s.Residence)
+	}
+	if want := 0.5; math.Abs(s.Service-want) > 1e-9 {
+		t.Errorf("service drift = %v, want %v", s.Service, want)
+	}
+}
+
+func TestScoreIgnoresUnknownParameters(t *testing.T) {
+	// Records for charts/activities/servers the baseline does not know
+	// must not contribute drift (foreign trails cannot evict models).
+	var recs []audit.Record
+	for i := 0; i < 200; i++ {
+		tm := float64(i)
+		recs = append(recs, driftTrail(1, 0.5)...)
+		recs = append(recs,
+			audit.Record{Kind: audit.ServiceRequest, Time: tm, ServerType: "mystery", Service: 99},
+			audit.Record{Kind: audit.ActivityStarted, Time: tm, Instance: uint64(1000 + i), Activity: "ghost"},
+			audit.Record{Kind: audit.ActivityCompleted, Time: tm + 50, Instance: uint64(1000 + i), Activity: "ghost"},
+		)
+	}
+	est := NewEstimator(Options{})
+	est.ObserveBatch(recs)
+	base := &Baseline{
+		Transitions: map[calibrate.TransitionKey]float64{},
+		Activities:  map[string]float64{},
+		Service:     map[string]float64{},
+		Arrivals:    map[string]float64{},
+	}
+	s := est.ScoreAgainst(base, Thresholds{})
+	if s.Max() != 0 {
+		t.Errorf("unknown parameters contributed drift: %v", s)
+	}
+}
+
+func TestThresholdDefaults(t *testing.T) {
+	d := Thresholds{}.WithDefaults()
+	want := DefaultThresholds()
+	if d != want {
+		t.Errorf("WithDefaults() = %+v, want %+v", d, want)
+	}
+	// Partial overrides keep the rest at defaults.
+	p := Thresholds{Transition: 0.1}.WithDefaults()
+	if p.Transition != 0.1 || p.Residence != want.Residence || p.MinSamples != want.MinSamples {
+		t.Errorf("partial override broke defaults: %+v", p)
+	}
+}
+
+func TestScoreMaxAndString(t *testing.T) {
+	s := Score{Transition: 0.1, Residence: 0.7, Service: 0.2, Arrival: 0.3}
+	if s.Max() != 0.7 {
+		t.Errorf("Max = %v, want 0.7", s.Max())
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestProbFloorBoundsRareBranchDrift(t *testing.T) {
+	// Baseline probability 0.01 observed at 0.06: with the 0.05 floor
+	// the change is (0.05)/0.05 = 1, not 5.
+	if got := relChange(0.06, 0.01, probFloor); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("floored relChange = %v, want 1.0", got)
+	}
+}

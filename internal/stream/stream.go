@@ -1,0 +1,421 @@
+// Package stream is the online half of the paper's calibration loop
+// (Sections 3.2 and 7.1): where package calibrate re-scans a complete
+// audit trail, stream maintains the same estimates incrementally, one
+// audit.Record at a time, so a long-running advisory service can ingest
+// a live event feed without ever re-reading or re-sorting history. The
+// estimators are concurrency-safe, allocation-conscious (per-event work
+// is map lookups and Welford updates — no sorting, no copying), and
+// optionally apply exponential-decay windows so old behavior ages out.
+// A drift detector (drift.go) compares the running estimates against
+// the parameters baked into a built model and scores the relative
+// change, the trigger for invalidating warm model caches.
+package stream
+
+import (
+	"math"
+	"sync"
+
+	"performa/internal/audit"
+	"performa/internal/calibrate"
+	"performa/internal/wfmserr"
+)
+
+// Options tunes an Estimator.
+type Options struct {
+	// HalfLife enables exponential decay: an observation's weight halves
+	// every HalfLife trail-time units, so the estimates track the recent
+	// past instead of the full history. Zero keeps all history, in which
+	// case a Snapshot is bit-identical to calibrate.FromTrail over the
+	// same records in the same order.
+	HalfLife float64
+	// MaxInFlight bounds the per-instance bookkeeping (start times,
+	// entered states, pending activity starts) kept for instances that
+	// have not completed yet, protecting the ingestion path against
+	// trails that start instances and never finish them. Instances
+	// beyond the bound still contribute arrival statistics but their
+	// turnarounds and in-flight state are dropped. Zero means 65536.
+	MaxInFlight int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 1 << 16
+	}
+	return o
+}
+
+// weightedCount is a decaying event counter. With no decay the weight is
+// an exact integer count.
+type weightedCount struct {
+	w    float64
+	last float64
+}
+
+// weightedMoments tracks a decaying sample mean and second raw moment.
+// With no decay the arithmetic is exactly calibrate.MomentPair.add, so
+// snapshots reproduce the batch estimates bit for bit.
+type weightedMoments struct {
+	w    float64
+	mean float64
+	m2   float64
+	last float64
+}
+
+const ln2 = 0.6931471805599453
+
+// decayFactor returns the weight multiplier for advancing from time
+// last to now under the given half-life. Time going backwards (slightly
+// out-of-order records) never inflates weights.
+func decayFactor(halfLife, last, now float64) float64 {
+	if halfLife <= 0 || now <= last {
+		return 1
+	}
+	return math.Exp(-ln2 * (now - last) / halfLife)
+}
+
+func (c *weightedCount) observe(halfLife, now float64) {
+	c.w = c.w*decayFactor(halfLife, c.last, now) + 1
+	if now > c.last {
+		c.last = now
+	}
+}
+
+func (m *weightedMoments) observe(halfLife, now, x float64) {
+	m.w *= decayFactor(halfLife, m.last, now)
+	m.w++
+	m.mean += (x - m.mean) / m.w
+	m.m2 += (x*x - m.m2) / m.w
+	if now > m.last {
+		m.last = now
+	}
+}
+
+// instChart keys per-instance, per-chart control-flow state.
+type instChart struct {
+	instance uint64
+	chart    string
+}
+
+// instAct keys per-instance pending activity starts.
+type instAct struct {
+	instance uint64
+	activity string
+}
+
+// arrivalTrack accumulates the per-workflow arrival statistics.
+type arrivalTrack struct {
+	count       uint64
+	first, last float64
+}
+
+// Estimator consumes audit records one at a time and maintains the full
+// calibrate.Estimates state incrementally. All methods are safe for
+// concurrent use.
+type Estimator struct {
+	mu   sync.Mutex
+	opts Options
+
+	transitions map[calibrate.TransitionKey]*weightedCount
+	departures  map[[2]string]*weightedCount
+	residence   map[[2]string]*weightedMoments
+	activities  map[string]*weightedMoments
+	service     map[string]*weightedMoments
+	waiting     map[string]*weightedMoments
+	turnarounds map[string]*weightedMoments
+	starts      map[string]*arrivalTrack
+
+	// In-flight instance state, pruned on completion so a bounded
+	// instance population keeps memory bounded no matter how long the
+	// stream runs.
+	lastLeft     map[instChart]string
+	entered      map[instChart]float64
+	curState     map[instChart]string
+	actStart     map[instAct][]float64
+	instStart    map[uint64]float64
+	instWorkflow map[uint64]string
+	instCharts   map[uint64][]string
+	instActs     map[uint64][]string
+
+	events      uint64
+	dropped     uint64
+	hasSpan     bool
+	first, last float64
+}
+
+// NewEstimator returns an empty estimator.
+func NewEstimator(opts Options) *Estimator {
+	return &Estimator{
+		opts:         opts.withDefaults(),
+		transitions:  map[calibrate.TransitionKey]*weightedCount{},
+		departures:   map[[2]string]*weightedCount{},
+		residence:    map[[2]string]*weightedMoments{},
+		activities:   map[string]*weightedMoments{},
+		service:      map[string]*weightedMoments{},
+		waiting:      map[string]*weightedMoments{},
+		turnarounds:  map[string]*weightedMoments{},
+		starts:       map[string]*arrivalTrack{},
+		lastLeft:     map[instChart]string{},
+		entered:      map[instChart]float64{},
+		curState:     map[instChart]string{},
+		actStart:     map[instAct][]float64{},
+		instStart:    map[uint64]float64{},
+		instWorkflow: map[uint64]string{},
+		instCharts:   map[uint64][]string{},
+		instActs:     map[uint64][]string{},
+	}
+}
+
+// Observe folds one record into the estimates.
+func (e *Estimator) Observe(r audit.Record) {
+	e.mu.Lock()
+	e.observeLocked(r)
+	e.mu.Unlock()
+}
+
+// ObserveBatch folds a batch of records with one lock acquisition — the
+// ingestion-path variant of Observe.
+func (e *Estimator) ObserveBatch(recs []audit.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	e.mu.Lock()
+	for i := range recs {
+		e.observeLocked(recs[i])
+	}
+	e.mu.Unlock()
+}
+
+// Events returns the number of records observed so far.
+func (e *Estimator) Events() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.events
+}
+
+// InFlight returns the number of started-but-not-completed instances
+// currently tracked.
+func (e *Estimator) InFlight() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.instStart)
+}
+
+// Dropped returns how many instance starts exceeded MaxInFlight and had
+// their per-instance tracking skipped.
+func (e *Estimator) Dropped() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.dropped
+}
+
+func (e *Estimator) observeLocked(r audit.Record) {
+	e.events++
+	if !e.hasSpan {
+		e.first, e.last = r.Time, r.Time
+		e.hasSpan = true
+	}
+	if r.Time < e.first {
+		e.first = r.Time
+	}
+	if r.Time > e.last {
+		e.last = r.Time
+	}
+	hl := e.opts.HalfLife
+	switch r.Kind {
+	case audit.InstanceStarted:
+		a := e.starts[r.Workflow]
+		if a == nil {
+			a = &arrivalTrack{}
+			e.starts[r.Workflow] = a
+		}
+		if a.count == 0 || r.Time < a.first {
+			a.first = r.Time
+		}
+		if r.Time > a.last {
+			a.last = r.Time
+		}
+		a.count++
+		if len(e.instStart) >= e.opts.MaxInFlight {
+			e.dropped++
+			return
+		}
+		e.instStart[r.Instance] = r.Time
+		e.instWorkflow[r.Instance] = r.Workflow
+	case audit.InstanceCompleted:
+		if t0, ok := e.instStart[r.Instance]; ok {
+			wf := r.Workflow
+			if wf == "" {
+				wf = e.instWorkflow[r.Instance]
+			}
+			mp := e.turnarounds[wf]
+			if mp == nil {
+				mp = &weightedMoments{}
+				e.turnarounds[wf] = mp
+			}
+			mp.observe(hl, r.Time, r.Time-t0)
+		}
+		e.pruneInstanceLocked(r.Instance)
+	case audit.StateEntered:
+		key := instChart{r.Instance, r.Chart}
+		e.noteChartLocked(r.Instance, r.Chart)
+		if from, ok := e.lastLeft[key]; ok {
+			e.transitions[calibrate.TransitionKey{Chart: r.Chart, From: from, To: r.State}] = bump(e.transitions[calibrate.TransitionKey{Chart: r.Chart, From: from, To: r.State}], hl, r.Time)
+			e.departures[[2]string{r.Chart, from}] = bump(e.departures[[2]string{r.Chart, from}], hl, r.Time)
+			delete(e.lastLeft, key)
+		}
+		e.entered[key] = r.Time
+		e.curState[key] = r.State
+	case audit.StateLeft:
+		key := instChart{r.Instance, r.Chart}
+		e.noteChartLocked(r.Instance, r.Chart)
+		if t0, ok := e.entered[key]; ok && e.curState[key] == r.State {
+			sk := [2]string{r.Chart, r.State}
+			mp := e.residence[sk]
+			if mp == nil {
+				mp = &weightedMoments{}
+				e.residence[sk] = mp
+			}
+			mp.observe(hl, r.Time, r.Time-t0)
+			delete(e.entered, key)
+		}
+		e.lastLeft[key] = r.State
+	case audit.ActivityStarted:
+		k := instAct{r.Instance, r.Activity}
+		if _, ok := e.actStart[k]; !ok {
+			e.instActs[r.Instance] = append(e.instActs[r.Instance], r.Activity)
+		}
+		e.actStart[k] = append(e.actStart[k], r.Time)
+	case audit.ActivityCompleted:
+		k := instAct{r.Instance, r.Activity}
+		if starts := e.actStart[k]; len(starts) > 0 {
+			mp := e.activities[r.Activity]
+			if mp == nil {
+				mp = &weightedMoments{}
+				e.activities[r.Activity] = mp
+			}
+			mp.observe(hl, r.Time, r.Time-starts[0])
+			e.actStart[k] = starts[1:]
+		}
+	case audit.ServiceRequest:
+		mp := e.service[r.ServerType]
+		if mp == nil {
+			mp = &weightedMoments{}
+			e.service[r.ServerType] = mp
+		}
+		mp.observe(hl, r.Time, r.Service)
+		wp := e.waiting[r.ServerType]
+		if wp == nil {
+			wp = &weightedMoments{}
+			e.waiting[r.ServerType] = wp
+		}
+		wp.observe(hl, r.Time, r.Waiting)
+	}
+}
+
+func bump(c *weightedCount, halfLife, now float64) *weightedCount {
+	if c == nil {
+		c = &weightedCount{}
+	}
+	c.observe(halfLife, now)
+	return c
+}
+
+// noteChartLocked remembers that the instance touched the chart, so its
+// control-flow state can be pruned when the instance completes.
+func (e *Estimator) noteChartLocked(instance uint64, chart string) {
+	for _, c := range e.instCharts[instance] {
+		if c == chart {
+			return
+		}
+	}
+	e.instCharts[instance] = append(e.instCharts[instance], chart)
+}
+
+// pruneInstanceLocked drops all in-flight state of a completed instance.
+func (e *Estimator) pruneInstanceLocked(instance uint64) {
+	for _, chart := range e.instCharts[instance] {
+		key := instChart{instance, chart}
+		delete(e.lastLeft, key)
+		delete(e.entered, key)
+		delete(e.curState, key)
+	}
+	delete(e.instCharts, instance)
+	for _, act := range e.instActs[instance] {
+		delete(e.actStart, instAct{instance, act})
+	}
+	delete(e.instActs, instance)
+	delete(e.instStart, instance)
+	delete(e.instWorkflow, instance)
+}
+
+// roundWeight converts a decayed weight to the integral observation
+// count calibrate.MomentPair carries. Without decay the weight is an
+// exact integer already.
+func roundWeight(w float64) uint64 {
+	if w <= 0 {
+		return 0
+	}
+	n := uint64(w + 0.5)
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+func momentsPair(m *weightedMoments) *calibrate.MomentPair {
+	return &calibrate.MomentPair{N: roundWeight(m.w), Mean: m.mean, SecondMoment: m.m2}
+}
+
+// Snapshot materializes the running state as a calibrate.Estimates,
+// ready for Estimates.ApplySystem / ApplyToWorkflow. With no decay the
+// snapshot is bit-identical to calibrate.FromTrail over the same
+// records in the same order. An estimator that has seen no events
+// returns a typed invalid_model error, mirroring FromTrail on an empty
+// trail.
+func (e *Estimator) Snapshot() (*calibrate.Estimates, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.events == 0 {
+		return nil, wfmserr.New(wfmserr.CodeInvalidModel, "stream", "no events ingested: nothing to estimate from")
+	}
+	out := &calibrate.Estimates{
+		TransitionCounts:  make(map[calibrate.TransitionKey]uint64, len(e.transitions)),
+		Departures:        make(map[[2]string]uint64, len(e.departures)),
+		Residence:         make(map[[2]string]*calibrate.MomentPair, len(e.residence)),
+		ActivityDurations: make(map[string]*calibrate.MomentPair, len(e.activities)),
+		ServiceMoments:    make(map[string]*calibrate.MomentPair, len(e.service)),
+		WaitingMoments:    make(map[string]*calibrate.MomentPair, len(e.waiting)),
+		Turnarounds:       make(map[string]*calibrate.MomentPair, len(e.turnarounds)),
+		ArrivalRates:      make(map[string]float64, len(e.starts)),
+		Starts:            make(map[string]uint64, len(e.starts)),
+		Window:            e.last - e.first,
+	}
+	for k, c := range e.transitions {
+		out.TransitionCounts[k] = roundWeight(c.w)
+	}
+	for k, c := range e.departures {
+		out.Departures[k] = roundWeight(c.w)
+	}
+	for k, m := range e.residence {
+		out.Residence[k] = momentsPair(m)
+	}
+	for k, m := range e.activities {
+		out.ActivityDurations[k] = momentsPair(m)
+	}
+	for k, m := range e.service {
+		out.ServiceMoments[k] = momentsPair(m)
+	}
+	for k, m := range e.waiting {
+		out.WaitingMoments[k] = momentsPair(m)
+	}
+	for k, m := range e.turnarounds {
+		out.Turnarounds[k] = momentsPair(m)
+	}
+	for wf, a := range e.starts {
+		out.Starts[wf] = a.count
+		if span := a.last - a.first; a.count >= 2 && span > 0 {
+			out.ArrivalRates[wf] = float64(a.count-1) / span
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,275 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"performa/internal/audit"
+	"performa/internal/calibrate"
+	"performa/internal/engine"
+	"performa/internal/wfmserr"
+	"performa/internal/workload"
+)
+
+// syntheticTrail produces a small deterministic trail exercising every
+// record kind: two instances of a two-branch workflow, one taking each
+// branch, with activities and service requests.
+func syntheticTrail() []audit.Record {
+	return []audit.Record{
+		{Kind: audit.InstanceStarted, Time: 0, Workflow: "wf", Instance: 1},
+		{Kind: audit.StateEntered, Time: 0, Workflow: "wf", Instance: 1, Chart: "wf", State: "init"},
+		{Kind: audit.StateLeft, Time: 0.5, Workflow: "wf", Instance: 1, Chart: "wf", State: "init"},
+		{Kind: audit.StateEntered, Time: 0.5, Workflow: "wf", Instance: 1, Chart: "wf", State: "A"},
+		{Kind: audit.ActivityStarted, Time: 0.5, Workflow: "wf", Instance: 1, Activity: "a"},
+		{Kind: audit.ServiceRequest, Time: 1.0, ServerType: "srv", Waiting: 0.1, Service: 0.4},
+		{Kind: audit.ActivityCompleted, Time: 1.5, Workflow: "wf", Instance: 1, Activity: "a"},
+		{Kind: audit.StateLeft, Time: 1.5, Workflow: "wf", Instance: 1, Chart: "wf", State: "A"},
+		{Kind: audit.StateEntered, Time: 1.5, Workflow: "wf", Instance: 1, Chart: "wf", State: "final"},
+		{Kind: audit.InstanceCompleted, Time: 1.6, Workflow: "wf", Instance: 1},
+
+		{Kind: audit.InstanceStarted, Time: 2, Workflow: "wf", Instance: 2},
+		{Kind: audit.StateEntered, Time: 2, Workflow: "wf", Instance: 2, Chart: "wf", State: "init"},
+		{Kind: audit.StateLeft, Time: 2.25, Workflow: "wf", Instance: 2, Chart: "wf", State: "init"},
+		{Kind: audit.StateEntered, Time: 2.25, Workflow: "wf", Instance: 2, Chart: "wf", State: "B"},
+		{Kind: audit.ActivityStarted, Time: 2.25, Workflow: "wf", Instance: 2, Activity: "b"},
+		{Kind: audit.ServiceRequest, Time: 2.5, ServerType: "srv", Waiting: 0.2, Service: 0.6},
+		{Kind: audit.ActivityCompleted, Time: 3.0, Workflow: "wf", Instance: 2, Activity: "b"},
+		{Kind: audit.StateLeft, Time: 3.0, Workflow: "wf", Instance: 2, Chart: "wf", State: "B"},
+		{Kind: audit.StateEntered, Time: 3.0, Workflow: "wf", Instance: 2, Chart: "wf", State: "final"},
+		{Kind: audit.InstanceCompleted, Time: 3.1, Workflow: "wf", Instance: 2},
+	}
+}
+
+func TestSnapshotMatchesFromTrailSynthetic(t *testing.T) {
+	recs := syntheticTrail()
+	trail := audit.NewTrail()
+	trail.AppendBatch(recs)
+	want, err := calibrate.FromTrail(trail)
+	if err != nil {
+		t.Fatalf("FromTrail: %v", err)
+	}
+
+	est := NewEstimator(Options{})
+	est.ObserveBatch(recs)
+	got, err := est.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("snapshot differs from batch estimates:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestSnapshotMatchesFromTrailEngine replays a real engine trail —
+// interleaved concurrent instances, waiting times, turnarounds — and
+// requires the streaming estimates to be bit-identical to the batch
+// scan. This is the contract the server's drift-triggered rebuild path
+// depends on for reproducible models.
+func TestSnapshotMatchesFromTrailEngine(t *testing.T) {
+	env := workload.PaperEnvironment()
+	w := workload.EPWorkflow(5)
+	rt := engine.New(env, engine.Options{Seed: 7, TimeScale: 1e-5, Users: 8})
+	if _, err := rt.RunInstances(context.Background(), w, 40, 0.01); err != nil {
+		t.Fatalf("RunInstances: %v", err)
+	}
+	trail := rt.Trail()
+	want, err := calibrate.FromTrail(trail)
+	if err != nil {
+		t.Fatalf("FromTrail: %v", err)
+	}
+
+	est := NewEstimator(Options{})
+	est.ObserveBatch(trail.Records())
+	got, err := est.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("streaming snapshot differs from batch estimates over engine trail")
+	}
+	if est.Events() != uint64(trail.Len()) {
+		t.Errorf("Events() = %d, want %d", est.Events(), trail.Len())
+	}
+}
+
+func TestSnapshotEmptyIsTypedError(t *testing.T) {
+	est := NewEstimator(Options{})
+	_, err := est.Snapshot()
+	if err == nil {
+		t.Fatal("Snapshot on empty estimator: want error")
+	}
+	if !errors.Is(err, wfmserr.ErrInvalidModel) {
+		t.Errorf("error %v: want invalid_model code, got %q", err, wfmserr.CodeOf(err))
+	}
+}
+
+func TestIncrementalEqualsBatch(t *testing.T) {
+	recs := syntheticTrail()
+	one := NewEstimator(Options{})
+	for _, r := range recs {
+		one.Observe(r)
+	}
+	batch := NewEstimator(Options{})
+	batch.ObserveBatch(recs)
+	a, err := one.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := batch.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("record-at-a-time and batched ingestion disagree")
+	}
+}
+
+func TestInFlightPruning(t *testing.T) {
+	est := NewEstimator(Options{})
+	est.ObserveBatch(syntheticTrail())
+	if n := est.InFlight(); n != 0 {
+		t.Errorf("InFlight after all instances completed = %d, want 0", n)
+	}
+	est.mu.Lock()
+	defer est.mu.Unlock()
+	if len(est.entered) != 0 || len(est.curState) != 0 || len(est.actStart) != 0 ||
+		len(est.instCharts) != 0 || len(est.instActs) != 0 || len(est.instWorkflow) != 0 {
+		t.Errorf("in-flight maps not pruned: entered=%d curState=%d actStart=%d instCharts=%d instActs=%d instWorkflow=%d",
+			len(est.entered), len(est.curState), len(est.actStart),
+			len(est.instCharts), len(est.instActs), len(est.instWorkflow))
+	}
+	// lastLeft keeps one entry per completed chart traversal only if the
+	// final StateLeft was never matched by a StateEntered; pruning must
+	// have cleared those too.
+	if len(est.lastLeft) != 0 {
+		t.Errorf("lastLeft not pruned: %d entries", len(est.lastLeft))
+	}
+}
+
+func TestMaxInFlightDropsTracking(t *testing.T) {
+	est := NewEstimator(Options{MaxInFlight: 1})
+	est.ObserveBatch([]audit.Record{
+		{Kind: audit.InstanceStarted, Time: 0, Workflow: "wf", Instance: 1},
+		{Kind: audit.InstanceStarted, Time: 1, Workflow: "wf", Instance: 2},
+		{Kind: audit.InstanceStarted, Time: 2, Workflow: "wf", Instance: 3},
+	})
+	if got := est.InFlight(); got != 1 {
+		t.Errorf("InFlight = %d, want 1", got)
+	}
+	if got := est.Dropped(); got != 2 {
+		t.Errorf("Dropped = %d, want 2", got)
+	}
+	// Arrival statistics still count every start.
+	snap, err := est.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Starts["wf"] != 3 {
+		t.Errorf("Starts = %d, want 3", snap.Starts["wf"])
+	}
+	if want := 2.0 / 2.0; math.Abs(snap.ArrivalRates["wf"]-want) > 1e-12 {
+		t.Errorf("ArrivalRates = %v, want %v", snap.ArrivalRates["wf"], want)
+	}
+}
+
+func TestExponentialDecayTracksRecentPast(t *testing.T) {
+	// Service means: an old regime at 1.0, a recent regime at 2.0. With
+	// no decay the mean sits midway; with a short half-life it should be
+	// dominated by the recent regime.
+	var recs []audit.Record
+	for i := 0; i < 50; i++ {
+		recs = append(recs, audit.Record{Kind: audit.ServiceRequest, Time: float64(i), ServerType: "srv", Service: 1.0})
+	}
+	for i := 50; i < 100; i++ {
+		recs = append(recs, audit.Record{Kind: audit.ServiceRequest, Time: float64(i), ServerType: "srv", Service: 2.0})
+	}
+
+	flat := NewEstimator(Options{})
+	flat.ObserveBatch(recs)
+	fs, err := flat.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := fs.ServiceMoments["srv"].Mean; math.Abs(m-1.5) > 1e-9 {
+		t.Errorf("undecayed mean = %v, want 1.5", m)
+	}
+
+	decayed := NewEstimator(Options{HalfLife: 5})
+	decayed.ObserveBatch(recs)
+	ds, err := decayed.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := ds.ServiceMoments["srv"].Mean; m < 1.95 {
+		t.Errorf("decayed mean = %v, want > 1.95 (recent regime dominates)", m)
+	}
+	// The second moment stays consistent: variance must be nonnegative.
+	mp := ds.ServiceMoments["srv"]
+	if v := mp.SecondMoment - mp.Mean*mp.Mean; v < -1e-9 {
+		t.Errorf("decayed variance %v negative", v)
+	}
+}
+
+func TestZeroHalfLifeIsExactCounting(t *testing.T) {
+	est := NewEstimator(Options{})
+	for i := 0; i < 1000; i++ {
+		est.Observe(audit.Record{Kind: audit.ServiceRequest, Time: float64(i), ServerType: "srv", Service: 1})
+	}
+	snap, err := est.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := snap.ServiceMoments["srv"].N; n != 1000 {
+		t.Errorf("N = %d, want exactly 1000", n)
+	}
+}
+
+func TestConcurrentObserveIsRaceClean(t *testing.T) {
+	est := NewEstimator(Options{})
+	recs := syntheticTrail()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				batch := make([]audit.Record, len(recs))
+				copy(batch, recs)
+				for j := range batch {
+					batch[j].Instance += uint64(g*1000 + i*10)
+				}
+				est.ObserveBatch(batch)
+			}
+		}(g)
+	}
+	// Concurrent readers exercise Snapshot and the drift scorer.
+	base := &Baseline{
+		Transitions: map[calibrate.TransitionKey]float64{
+			{Chart: "wf", From: "init", To: "A"}: 0.5,
+			{Chart: "wf", From: "init", To: "B"}: 0.5,
+		},
+		Activities: map[string]float64{"a": 1, "b": 0.75},
+		Service:    map[string]float64{"srv": 0.5},
+		Arrivals:   map[string]float64{"wf": 0.5},
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				_, _ = est.Snapshot()
+				_ = est.ScoreAgainst(base, Thresholds{})
+				_ = est.Events()
+				_ = est.InFlight()
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := est.Events(), uint64(8*50*len(recs)); got != want {
+		t.Errorf("Events = %d, want %d", got, want)
+	}
+}
