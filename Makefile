@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check build vet test race bench crossval fuzz-crash replay-smoke
+.PHONY: check build vet test race bench bench-solver crossval solver-diff fuzz-crash replay-smoke
 
 check: build vet test race
 
@@ -25,12 +25,27 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# Steady-state solver scaling sweep (E16): dense vs sparse iterative vs
+# product form on joint availability CTMCs from 64 to ~3M states. Writes
+# the raw measurement rows to BENCH_solver.json; the biggest chain takes
+# a few minutes.
+bench-solver:
+	$(GO) run ./cmd/wfmsbench -solver-json BENCH_solver.json
+
 # Differential validation sweep: random systems cross-checked between
 # the analytic stack, the simulator, and closed-form oracles. Failing
 # systems are shrunk and written to crossval-corpus/ as reproducers.
 crossval:
 	$(GO) run ./cmd/wfmscheck -systems 200 -seed 1 -out crossval-corpus
 	$(GO) run ./cmd/wfmscheck -systems 25 -seed 1 -mutate
+
+# Solver-differential sweep: the same availability CTMCs solved dense,
+# Gauss-Seidel, Jacobi, BiCGSTAB, power, and product form must agree to
+# solver tolerance (bit-for-bit where the path is deterministic), and
+# the dense and sparse paths must reject the same degenerate chains.
+# Deterministic and simulation-free, so it sweeps many more systems.
+solver-diff:
+	$(GO) run ./cmd/wfmscheck -solver-diff -systems 500 -seed 1 -out crossval-corpus
 
 # Online-calibration smoke: the wfmssim → wfmsreplay → wfmsd loop run
 # in-process — a simulated trail whose behavior drifts from the designed

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,12 +30,14 @@ func main() {
 // exits (os.Exit skips deferred calls).
 func run() int {
 	var (
-		exp        = flag.String("exp", "all", "comma-separated experiment ids: e1..e8, a1..a4, or all")
-		seed       = flag.Uint64("seed", 42, "seed for simulation-backed experiments")
-		horizon    = flag.Float64("horizon", 20000, "simulation horizon in model minutes (e7)")
-		workers    = flag.Int("workers", 0, "planner worker-pool size (0 = all CPUs, 1 = sequential)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		exp           = flag.String("exp", "all", "comma-separated experiment ids: e1..e8, a1..a4, or all")
+		seed          = flag.Uint64("seed", 42, "seed for simulation-backed experiments")
+		horizon       = flag.Float64("horizon", 20000, "simulation horizon in model minutes (e7)")
+		workers       = flag.Int("workers", 0, "planner worker-pool size (0 = all CPUs, 1 = sequential)")
+		solverJSON    = flag.String("solver-json", "", "run only the E16 solver-scaling bench and write its rows as JSON to this file")
+		solverReduced = flag.Bool("solver-reduced", false, "with -solver-json: the reduced sweep (CI smoke sizes)")
+		cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile    = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 	experiments.PlannerWorkers = *workers
@@ -67,6 +70,10 @@ func run() int {
 		}()
 	}
 
+	if *solverJSON != "" {
+		return runSolverBench(*solverJSON, *solverReduced)
+	}
+
 	runners := map[string]func() (*experiments.Table, error){
 		"e1": experiments.E1Availability,
 		"e2": experiments.E2EPWorkflow,
@@ -85,15 +92,19 @@ func run() int {
 		"e11": experiments.E11Planners,
 		"e12": experiments.E12Extended,
 		"e13": func() (*experiments.Table, error) { return experiments.E13Discovery(*seed) },
-		"a1":  experiments.AblationSeries,
-		"a2":  experiments.AblationAvailabilitySolvers,
-		"a3":  experiments.AblationRepairDiscipline,
-		"a4":  func() (*experiments.Table, error) { return experiments.AblationDispatch(*seed) },
-		"a5":  experiments.AblationHeterogeneous,
-		"a6":  experiments.AblationTransient,
-		"a7":  func() (*experiments.Table, error) { return experiments.AblationPooling(*seed) },
+		"e16": func() (*experiments.Table, error) {
+			_, t, err := experiments.SolverBench(false)
+			return t, err
+		},
+		"a1": experiments.AblationSeries,
+		"a2": experiments.AblationAvailabilitySolvers,
+		"a3": experiments.AblationRepairDiscipline,
+		"a4": func() (*experiments.Table, error) { return experiments.AblationDispatch(*seed) },
+		"a5": experiments.AblationHeterogeneous,
+		"a6": experiments.AblationTransient,
+		"a7": func() (*experiments.Table, error) { return experiments.AblationPooling(*seed) },
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e16",
 		"a1", "a2", "a3", "a4", "a5", "a6", "a7"}
 
 	var ids []string
@@ -121,5 +132,28 @@ func run() int {
 		}
 		fmt.Print(tbl.Format())
 	}
+	return 0
+}
+
+// runSolverBench runs the E16 solver-scaling sweep, prints the table,
+// and writes the raw measurement rows as JSON (BENCH_solver.json).
+func runSolverBench(path string, reduced bool) int {
+	rows, tbl, err := experiments.SolverBench(reduced)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wfmsbench:", err)
+		return 1
+	}
+	fmt.Print(tbl.Format())
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wfmsbench:", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "wfmsbench:", err)
+		return 1
+	}
+	fmt.Printf("wrote %d rows to %s\n", len(rows), path)
 	return 0
 }

@@ -36,12 +36,20 @@ func main() {
 		mutate       = flag.Bool("mutate", false, "mutation self-test: inject a fault into the analytic route and require the harness to detect it")
 		faultName    = flag.String("fault", "service-moment", "fault injected by -mutate: arrival-rate or service-moment")
 		replay       = flag.String("replay", "", "re-check a corpus file instead of generating systems")
+		solverDiff   = flag.Bool("solver-diff", false, "solver-differential mode: cross-check dense vs sparse steady-state solvers only (deterministic, no simulation)")
 		noShrink     = flag.Bool("no-shrink", false, "skip shrinking failing systems")
 		verbose      = flag.Bool("v", false, "log every system, not just failures")
 	)
 	flag.Parse()
 
 	opt := crossval.Options{Replications: *replications}
+	check := crossval.Check
+	if *solverDiff {
+		if *mutate {
+			fatal(fmt.Errorf("-solver-diff runs the analytic solvers against each other and cannot detect -mutate faults"))
+		}
+		check = crossval.CheckSolvers
+	}
 	if *mutate {
 		fault, err := crossval.FaultByName(*faultName)
 		if err != nil {
@@ -63,9 +71,9 @@ func main() {
 			}
 		}()
 		if *replay != "" {
-			return replayFile(*replay, opt)
+			return replayFile(*replay, opt, check)
 		}
-		return run(*systems, *seed, *workers, *out, opt, *noShrink, *mutate, *verbose)
+		return run(*systems, *seed, *workers, *out, opt, check, *noShrink, *mutate, *verbose)
 	}()
 	os.Exit(code)
 }
@@ -77,7 +85,11 @@ type outcome struct {
 	err           error
 }
 
-func run(systems int, baseSeed uint64, workers int, out string, opt crossval.Options, noShrink, mutate, verbose bool) int {
+// checkFn is the per-system check: the full multi-route Check, or the
+// deterministic CheckSolvers in -solver-diff mode.
+type checkFn func(*crossval.System, crossval.Options) ([]crossval.Disagreement, error)
+
+func run(systems int, baseSeed uint64, workers int, out string, opt crossval.Options, check checkFn, noShrink, mutate, verbose bool) int {
 	if workers < 1 {
 		workers = 1
 	}
@@ -94,7 +106,7 @@ func run(systems int, baseSeed uint64, workers int, out string, opt crossval.Opt
 					results <- outcome{seed: s, err: err}
 					continue
 				}
-				ds, err := crossval.Check(sys, opt)
+				ds, err := check(sys, opt)
 				results <- outcome{seed: s, sys: sys, disagreements: ds, err: err}
 			}
 		}()
@@ -127,7 +139,7 @@ func run(systems int, baseSeed uint64, workers int, out string, opt crossval.Opt
 				fmt.Printf("  %s\n", d)
 			}
 			if out != "" {
-				reportFailure(&r, out, opt, noShrink)
+				reportFailure(&r, out, opt, check, noShrink)
 			}
 		case verbose:
 			fmt.Printf("seed %d: ok\n", res.seed)
@@ -154,15 +166,15 @@ func run(systems int, baseSeed uint64, workers int, out string, opt crossval.Opt
 }
 
 // reportFailure shrinks a failing system and writes the reproducer.
-func reportFailure(res *outcome, out string, opt crossval.Options, noShrink bool) {
+func reportFailure(res *outcome, out string, opt crossval.Options, check checkFn, noShrink bool) {
 	sys := res.sys
 	if !noShrink {
 		sys = crossval.Shrink(sys, func(c *crossval.System) bool {
-			ds, err := crossval.Check(c, opt)
+			ds, err := check(c, opt)
 			return err == nil && len(ds) > 0
 		})
 	}
-	ds, err := crossval.Check(sys, opt)
+	ds, err := check(sys, opt)
 	if err != nil {
 		ds = res.disagreements
 		sys = res.sys
@@ -177,7 +189,7 @@ func reportFailure(res *outcome, out string, opt crossval.Options, noShrink bool
 }
 
 // replayFile re-checks a corpus reproducer under its recorded fault.
-func replayFile(path string, opt crossval.Options) int {
+func replayFile(path string, opt crossval.Options, check checkFn) int {
 	sys, cf, err := crossval.ReadCorpus(path)
 	if err != nil {
 		fatal(err)
@@ -187,7 +199,7 @@ func replayFile(path string, opt crossval.Options) int {
 		fatal(err)
 	}
 	opt.Fault = fault
-	ds, err := crossval.Check(sys, opt)
+	ds, err := check(sys, opt)
 	if err != nil {
 		fatal(err)
 	}

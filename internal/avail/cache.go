@@ -16,6 +16,7 @@ type marginalKey struct {
 	replicas, stages int
 	failure, repair  float64
 	discipline       RepairDiscipline
+	solver           ctmc.SolverStrategy
 }
 
 // MarginalCache memoizes TypeMarginal solves. It is safe for concurrent
@@ -40,10 +41,17 @@ func (c *MarginalCache) Size() int {
 // TypeMarginal returns the memoized steady-state distribution of one
 // server type, computing and caching it on the first request.
 func (c *MarginalCache) TypeMarginal(p TypeParams, discipline RepairDiscipline) (linalg.Vector, error) {
+	return c.TypeMarginalSolver(p, discipline, ctmc.SolverAuto)
+}
+
+// TypeMarginalSolver is TypeMarginal with an explicit solver strategy;
+// distinct strategies cache separately, since their round-off (and thus
+// bit patterns) may differ.
+func (c *MarginalCache) TypeMarginalSolver(p TypeParams, discipline RepairDiscipline, solver ctmc.SolverStrategy) (linalg.Vector, error) {
 	key := marginalKey{
 		replicas: p.Replicas, stages: p.RepairStages,
 		failure: p.FailureRate, repair: p.RepairRate,
-		discipline: discipline,
+		discipline: discipline, solver: solver,
 	}
 	c.mu.RLock()
 	v, ok := c.m[key]
@@ -51,7 +59,7 @@ func (c *MarginalCache) TypeMarginal(p TypeParams, discipline RepairDiscipline) 
 	if ok {
 		return v, nil
 	}
-	v, err := TypeMarginal(p, discipline)
+	v, err := TypeMarginalSolver(p, discipline, solver)
 	if err != nil {
 		return nil, err
 	}
@@ -66,6 +74,14 @@ func (c *MarginalCache) TypeMarginal(p TypeParams, discipline RepairDiscipline) 
 // afresh. The report's TypeMarginals are copies, so callers may modify
 // them without corrupting the cache.
 func EvaluateProductFormCached(params []TypeParams, discipline RepairDiscipline, buildJoint bool, cache *MarginalCache) (*Report, error) {
+	return EvaluateProductFormSolver(params, discipline, buildJoint, cache, ctmc.SolverAuto)
+}
+
+// EvaluateProductFormSolver is EvaluateProductFormCached with an
+// explicit solver strategy for the per-type marginal solves (only the
+// Erlang phase expansion actually solves a system; the exponential
+// marginals are closed-form).
+func EvaluateProductFormSolver(params []TypeParams, discipline RepairDiscipline, buildJoint bool, cache *MarginalCache, solver ctmc.SolverStrategy) (*Report, error) {
 	if len(params) == 0 {
 		return nil, fmt.Errorf("avail: model needs at least one server type")
 	}
@@ -76,9 +92,9 @@ func EvaluateProductFormCached(params []TypeParams, discipline RepairDiscipline,
 		var marginal linalg.Vector
 		var err error
 		if cache != nil {
-			marginal, err = cache.TypeMarginal(p, discipline)
+			marginal, err = cache.TypeMarginalSolver(p, discipline, solver)
 		} else {
-			marginal, err = TypeMarginal(p, discipline)
+			marginal, err = TypeMarginalSolver(p, discipline, solver)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("avail: type %d: %w", x, err)

@@ -20,13 +20,28 @@ type Model struct {
 	params     []TypeParams
 	discipline RepairDiscipline
 	enc        *ctmc.StateEncoder
+	solver     ctmc.SolverStrategy
 }
 
 // NewModel builds the availability model for the given per-type
-// parameters.
+// parameters with the default (auto) solver strategy: dense direct
+// elimination for small joint chains, the sparse iterative pipeline
+// beyond that.
 func NewModel(params []TypeParams, discipline RepairDiscipline) (*Model, error) {
+	return NewModelWithSolver(params, discipline, ctmc.SolverAuto)
+}
+
+// NewModelWithSolver builds the availability model with an explicit
+// steady-state solver strategy. The pre-flight budget depends on the
+// strategy: forcing the dense path keeps the historical MaxMatrixDim
+// cap, while the sparse strategies admit up to MaxStates joint states —
+// the generator is never materialized densely there.
+func NewModelWithSolver(params []TypeParams, discipline RepairDiscipline, solver ctmc.SolverStrategy) (*Model, error) {
 	if len(params) == 0 {
 		return nil, fmt.Errorf("avail: model needs at least one server type")
+	}
+	if !solver.Valid() {
+		return nil, wfmserr.New(wfmserr.CodeInvalidModel, "avail", "unknown solver strategy %v", solver)
 	}
 	caps := make([]int, len(params))
 	for x, p := range params {
@@ -38,14 +53,17 @@ func NewModel(params []TypeParams, discipline RepairDiscipline) (*Model, error) 
 		}
 		caps[x] = p.Replicas
 	}
-	// The exact joint model solves a dense n×n system over the full
-	// state space, so both the encoder overflow check and the dense
-	// dimension budget must pass before anything is allocated.
+	// Pre-flight before anything is allocated: the overflow check always,
+	// then the budget matching the solve path.
 	size, err := ctmc.StateSpaceSize(caps)
 	if err != nil {
 		return nil, err
 	}
-	if err := wfmserr.Default.CheckMatrixDim("avail", size); err != nil {
+	if solver == ctmc.SolverDense {
+		if err := wfmserr.Default.CheckMatrixDim("avail", size); err != nil {
+			return nil, err
+		}
+	} else if err := wfmserr.Default.CheckStates("avail", size); err != nil {
 		return nil, err
 	}
 	enc, err := ctmc.NewStateEncoderChecked(caps)
@@ -56,6 +74,7 @@ func NewModel(params []TypeParams, discipline RepairDiscipline) (*Model, error) 
 		params:     append([]TypeParams(nil), params...),
 		discipline: discipline,
 		enc:        enc,
+		solver:     solver,
 	}, nil
 }
 
@@ -154,32 +173,57 @@ func (m *Model) SteadyState() (linalg.Vector, error) {
 		}
 	}
 	liveEnc := ctmc.NewStateEncoder(liveCaps)
-	q := linalg.NewMatrix(liveEnc.Size(), liveEnc.Size())
-	liveEnc.Each(func(code int, x []int) {
+	// Stream the transposed generator straight off the encoder: row i of
+	// Qᵀ lists the transitions INTO live state i, and the diagonal is
+	// state i's negated outflow. Only one CSR matrix ever exists — no
+	// dense Q, no forward copy — which is what lets the default budget
+	// admit multi-million-state joint chains.
+	x := make([]int, len(liveCaps))
+	at := ctmc.AdjointCSR(liveEnc.Size(), func(i int, emit func(j int, rate float64)) {
+		liveEnc.DecodeInto(x, i)
 		for li, t := range liveIdx {
 			p := m.params[t]
-			if x[li] > 0 {
-				rate := float64(x[li]) * p.FailureRate
-				x[li]--
-				to := liveEnc.Encode(x)
+			// Failure arrives from the state with one more available
+			// server: (X+1) servers each failing at rate λ.
+			if x[li] < p.Replicas {
 				x[li]++
-				q.Add(code, to, rate)
-				q.Add(code, code, -rate)
+				from := liveEnc.Encode(x)
+				x[li]--
+				emit(from, float64(x[li]+1)*p.FailureRate)
 			}
-			if failed := p.Replicas - x[li]; failed > 0 {
+			// Repair arrives from the state with one fewer available
+			// server, which has (Y−X+1) servers in repair.
+			if x[li] > 0 {
 				rate := p.RepairRate
 				if m.discipline == IndependentRepair {
-					rate *= float64(failed)
+					rate *= float64(p.Replicas - x[li] + 1)
 				}
-				x[li]++
-				to := liveEnc.Encode(x)
 				x[li]--
-				q.Add(code, to, rate)
-				q.Add(code, code, -rate)
+				from := liveEnc.Encode(x)
+				x[li]++
+				emit(from, rate)
 			}
 		}
+	}, func(i int) float64 {
+		liveEnc.DecodeInto(x, i)
+		var total float64
+		for li, t := range liveIdx {
+			p := m.params[t]
+			total += float64(x[li]) * p.FailureRate
+			if failed := p.Replicas - x[li]; failed > 0 {
+				if m.discipline == IndependentRepair {
+					total += float64(failed) * p.RepairRate
+				} else {
+					total += p.RepairRate
+				}
+			}
+		}
+		return total
 	})
-	livePi, err := ctmc.SteadyState(q)
+	// The live chain is irreducible by construction: every live dimension
+	// has λ > 0 and μ > 0, so every state reaches (and is reached from)
+	// the all-up corner.
+	livePi, err := ctmc.SteadyStateAdjoint(at, ctmc.SparseOptions{Strategy: m.solver, AssumeIrreducible: true})
 	if err != nil {
 		return nil, fmt.Errorf("avail: steady state of %d-state availability CTMC: %w", liveEnc.Size(), err)
 	}
@@ -229,7 +273,15 @@ func (r *Report) DowntimeSecondsPerYear() float64 {
 // report. The rates in params must share one time unit; availability is
 // unit-free.
 func Evaluate(params []TypeParams, discipline RepairDiscipline) (*Report, error) {
-	m, err := NewModel(params, discipline)
+	return EvaluateSolver(params, discipline, ctmc.SolverAuto)
+}
+
+// EvaluateSolver is Evaluate with an explicit steady-state solver
+// strategy, the entry point of the solver-differential harness: the same
+// joint CTMC solved under different strategies must agree to solver
+// tolerance.
+func EvaluateSolver(params []TypeParams, discipline RepairDiscipline, solver ctmc.SolverStrategy) (*Report, error) {
+	m, err := NewModelWithSolver(params, discipline, solver)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,83 @@
+package avail
+
+import (
+	"performa/internal/linalg"
+	"performa/internal/wfmserr"
+)
+
+// EachProductState enumerates every joint system state with positive
+// product-form probability, in ascending mixed-radix code order (the
+// same order StateEncoder.Each uses), calling fn with the state's code,
+// tuple, and joint probability Π_t marginals[t][x[t]].
+//
+// Two properties matter to callers:
+//
+//   - Subtrees whose marginal factor is zero are skipped wholesale, so
+//     the sweep costs O(support size), not O(Π(Y+1)). A configuration
+//     with never-failing types (marginal mass pinned at Y) therefore
+//     enumerates only its reachable states, and nothing the size of the
+//     full joint vector is ever allocated.
+//   - The leaf probability is computed as the plain ascending-t product,
+//     matching the rounding of the historical materialized sweep
+//     (p *= marginals[t][x[t]]) bit for bit.
+//
+// The tuple slice is reused between calls; callers must copy it if they
+// retain it.
+func EachProductState(marginals []linalg.Vector, fn func(code int, x []int, p float64)) {
+	k := len(marginals)
+	weights := make([]int, k)
+	w := 1
+	for t := 0; t < k; t++ {
+		weights[t] = w
+		w *= len(marginals[t])
+	}
+	x := make([]int, k)
+	var sweep func(t, code int)
+	sweep = func(t, code int) {
+		if t < 0 {
+			p := 1.0
+			for i := 0; i < k; i++ {
+				p *= marginals[i][x[i]]
+			}
+			fn(code, x, p)
+			return
+		}
+		m := marginals[t]
+		for v := range m {
+			if m[v] == 0 {
+				continue
+			}
+			x[t] = v
+			sweep(t-1, code+v*weights[t])
+		}
+	}
+	// Dimension k−1 varies slowest in the mixed-radix code, so it is the
+	// outermost level of the sweep.
+	sweep(k-1, 0)
+}
+
+// ProductFormSupportSize returns the number of joint states with
+// positive product-form probability, Π_t |{j : marginals[t][j] > 0}| —
+// the work EachProductState will actually do. It reports a typed error
+// on overflow so budget checks can run against it safely.
+func ProductFormSupportSize(marginals []linalg.Vector) (int, error) {
+	size := 1
+	for t, m := range marginals {
+		nnz := 0
+		for _, p := range m {
+			if p != 0 {
+				nnz++
+			}
+		}
+		if nnz == 0 {
+			return 0, wfmserr.New(wfmserr.CodeInvalidModel, "avail",
+				"type %d marginal has no positive mass", t)
+		}
+		if size > (1<<62)/nnz {
+			return 0, wfmserr.New(wfmserr.CodeStateSpaceTooLarge, "avail",
+				"product-form support overflows the encodable range").With("dimension", t)
+		}
+		size *= nnz
+	}
+	return size, nil
+}

@@ -1,0 +1,113 @@
+package avail
+
+import (
+	"math"
+	"testing"
+
+	"performa/internal/ctmc"
+	"performa/internal/linalg"
+	"performa/internal/wfmserr"
+)
+
+// TestEachProductStateMatchesEncoderSweep checks the lazy sweep against
+// the materialized reference: every joint state visited exactly once, in
+// ascending mixed-radix code order, with probability equal to the plain
+// ascending-t product — bit for bit, because the performability reducer
+// depends on that rounding.
+func TestEachProductStateMatchesEncoderSweep(t *testing.T) {
+	marginals := []linalg.Vector{
+		{0.5, 0.3, 0.2},
+		{0.9, 0.1},
+		{0.25, 0.25, 0.5},
+	}
+	enc, err := ctmc.NewStateEncoderChecked([]int{2, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastCode := -1
+	visited := 0
+	EachProductState(marginals, func(code int, x []int, p float64) {
+		if code <= lastCode {
+			t.Fatalf("code %d after %d: not ascending", code, lastCode)
+		}
+		lastCode = code
+		visited++
+		if got := enc.Encode(x); got != code {
+			t.Fatalf("tuple %v encodes to %d, callback said %d", x, got, code)
+		}
+		want := 1.0
+		for i := range x {
+			want *= marginals[i][x[i]]
+		}
+		if p != want {
+			t.Fatalf("state %v: p = %v, ascending product %v", x, p, want)
+		}
+	})
+	if visited != enc.Size() {
+		t.Fatalf("visited %d states, encoder has %d", visited, enc.Size())
+	}
+}
+
+// TestEachProductStateSkipsZeroMass checks the support-only property: a
+// frozen type (all mass pinned at one level) must prune every other
+// subtree, so the sweep never reports a zero-probability state and does
+// work proportional to the support, not the full joint space.
+func TestEachProductStateSkipsZeroMass(t *testing.T) {
+	marginals := []linalg.Vector{
+		{0.6, 0.4},
+		{0, 0, 1}, // never-failing type: mass pinned at Y
+		{0.3, 0, 0.7},
+	}
+	want, err := ProductFormSupportSize(marginals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != 2*1*2 {
+		t.Fatalf("support size %d, want 4", want)
+	}
+	visited := 0
+	EachProductState(marginals, func(code int, x []int, p float64) {
+		visited++
+		if p == 0 {
+			t.Fatalf("zero-probability state %v reported", x)
+		}
+		if x[1] != 2 {
+			t.Fatalf("state %v visits a zero-mass level of the frozen type", x)
+		}
+	})
+	if visited != want {
+		t.Fatalf("visited %d states, support is %d", visited, want)
+	}
+}
+
+func TestProductFormSupportSizeErrors(t *testing.T) {
+	if _, err := ProductFormSupportSize([]linalg.Vector{{0.5, 0.5}, {0, 0}}); wfmserr.CodeOf(err) != wfmserr.CodeInvalidModel {
+		t.Fatalf("zero-mass marginal: err = %v, want invalid-model code", err)
+	}
+	// 63 two-level marginals overflow the encodable range (2^63 > 2^62).
+	huge := make([]linalg.Vector, 63)
+	for i := range huge {
+		huge[i] = linalg.Vector{0.5, 0.5}
+	}
+	if _, err := ProductFormSupportSize(huge); wfmserr.CodeOf(err) != wfmserr.CodeStateSpaceTooLarge {
+		t.Fatalf("overflow: err = %v, want state-space-too-large code", err)
+	}
+}
+
+// TestEachProductStateProbabilitiesSum cross-checks the sweep against
+// normalization: the visited probabilities of proper marginals must sum
+// to one within round-off.
+func TestEachProductStateProbabilitiesSum(t *testing.T) {
+	params := paperParams(2, 3, 2)
+	rep, err := EvaluateProductForm(params, IndependentRepair, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	EachProductState(rep.TypeMarginals, func(code int, x []int, p float64) {
+		sum += p
+	})
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("probabilities sum to %v, want 1", sum)
+	}
+}

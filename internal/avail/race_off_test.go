@@ -1,0 +1,5 @@
+//go:build !race
+
+package avail
+
+const raceEnabled = false

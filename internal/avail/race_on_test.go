@@ -1,0 +1,7 @@
+//go:build race
+
+package avail
+
+// raceEnabled skips the million-state solver test when the race
+// detector's instrumentation would stretch it from seconds to minutes.
+const raceEnabled = true

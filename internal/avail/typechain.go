@@ -96,10 +96,21 @@ func (p TypeParams) validate() error {
 }
 
 // TypeMarginal computes the steady-state distribution of the number of
-// available servers of one type in isolation: P(X = j) for j = 0..Y.
+// available servers of one type in isolation: P(X = j) for j = 0..Y,
+// with the default (auto) solver strategy.
 func TypeMarginal(p TypeParams, discipline RepairDiscipline) (linalg.Vector, error) {
+	return TypeMarginalSolver(p, discipline, ctmc.SolverAuto)
+}
+
+// TypeMarginalSolver is TypeMarginal with an explicit solver strategy
+// for the marginals that need a linear solve (the Erlang phase
+// expansion; the exponential cases are closed-form either way).
+func TypeMarginalSolver(p TypeParams, discipline RepairDiscipline, solver ctmc.SolverStrategy) (linalg.Vector, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
+	}
+	if !solver.Valid() {
+		return nil, wfmserr.New(wfmserr.CodeInvalidModel, "avail", "unknown solver strategy %v", solver)
 	}
 	y := p.Replicas
 	// Pre-flight: the marginal itself is a (y+1)-vector, so a single
@@ -125,7 +136,7 @@ func TypeMarginal(p TypeParams, discipline RepairDiscipline) (linalg.Vector, err
 		return nil, wfmserr.New(wfmserr.CodeInvalidModel, "avail",
 			"Erlang repair stages require the single-crew discipline (the phase belongs to the one in-progress repair)")
 	}
-	return erlangSingleCrewMarginal(p)
+	return erlangSingleCrewMarginal(p, solver)
 }
 
 // exponentialMarginal solves the per-type birth-death chain analytically:
@@ -165,8 +176,10 @@ func exponentialMarginal(p TypeParams, discipline RepairDiscipline) (linalg.Vect
 // erlangSingleCrewMarginal builds the phase-expanded per-type chain:
 // states (j, ph) with j available servers and the crew's repair in phase
 // ph (0 = idle, only when j = Y; 1..k otherwise). Each stage has rate
-// k·μ so the total repair time keeps mean 1/μ.
-func erlangSingleCrewMarginal(p TypeParams) (linalg.Vector, error) {
+// k·μ so the total repair time keeps mean 1/μ. The chain is streamed in
+// CSR form (at most three transitions per state), so large expansions
+// are bounded by the MaxStates budget, not the dense MaxMatrixDim cap.
+func erlangSingleCrewMarginal(p TypeParams, solver ctmc.SolverStrategy) (linalg.Vector, error) {
 	y, k := p.Replicas, p.RepairStages
 	lambda, mu := p.FailureRate, p.RepairRate
 	stageRate := float64(k) * mu
@@ -179,43 +192,44 @@ func erlangSingleCrewMarginal(p TypeParams) (linalg.Vector, error) {
 		}
 		return 1 + j*k + (ph - 1)
 	}
-	// Pre-flight: the phase expansion builds a dense (1+y·k)² generator,
-	// so the dimension (overflow-safe) must fit the budget before any
-	// allocation happens.
+	// Pre-flight: the dimension must be overflow-safe and fit the budget
+	// matching the solve path before any allocation happens.
 	if y > 0 && k > (1<<60)/y {
 		return nil, wfmserr.New(wfmserr.CodeBudgetExceeded, "avail",
 			"phase-expanded chain dimension overflows (Y=%d, stages=%d)", y, k)
 	}
 	n := 1 + y*k
-	if err := wfmserr.Default.CheckMatrixDim("avail", n); err != nil {
+	if solver == ctmc.SolverDense {
+		if err := wfmserr.Default.CheckMatrixDim("avail", n); err != nil {
+			return nil, err
+		}
+	} else if err := wfmserr.Default.CheckStates("avail", n); err != nil {
 		return nil, err
 	}
-	q := linalg.NewMatrix(n, n)
-	add := func(from, to int, rate float64) {
-		q.Add(from, to, rate)
-		q.Add(from, from, -rate)
-	}
-	// Full state: failures only.
-	add(idx(y, 0), idx(y-1, 1), float64(y)*lambda)
-	for j := 0; j < y; j++ {
-		for ph := 1; ph <= k; ph++ {
-			from := idx(j, ph)
-			if j > 0 {
-				add(from, idx(j-1, ph), float64(j)*lambda)
-			}
-			if ph < k {
-				add(from, idx(j, ph+1), stageRate)
-				continue
-			}
-			// Final stage completes: one server comes back.
-			if j+1 == y {
-				add(from, idx(y, 0), stageRate)
-			} else {
-				add(from, idx(j+1, 1), stageRate)
-			}
+	q := ctmc.GeneratorCSR(n, func(i int, emit func(to int, rate float64)) {
+		if i == 0 {
+			// Full state: failures only.
+			emit(idx(y-1, 1), float64(y)*lambda)
+			return
 		}
-	}
-	pi, err := ctmc.SteadyState(q)
+		j, ph := (i-1)/k, (i-1)%k+1
+		if j > 0 {
+			emit(idx(j-1, ph), float64(j)*lambda)
+		}
+		if ph < k {
+			emit(idx(j, ph+1), stageRate)
+			return
+		}
+		// Final stage completes: one server comes back.
+		if j+1 == y {
+			emit(idx(y, 0), stageRate)
+		} else {
+			emit(idx(j+1, 1), stageRate)
+		}
+	})
+	// Irreducible by construction: λ, μ > 0 here, so every (j, ph) state
+	// drains back to full and is reachable from it.
+	pi, err := ctmc.SteadyStateCSR(q, ctmc.SparseOptions{Strategy: solver, AssumeIrreducible: true})
 	if err != nil {
 		return nil, fmt.Errorf("avail: phase-expanded chain: %w", err)
 	}

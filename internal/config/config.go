@@ -13,6 +13,7 @@ import (
 	"runtime"
 
 	"performa/internal/avail"
+	"performa/internal/linalg"
 	"performa/internal/perf"
 	"performa/internal/performability"
 	"performa/internal/wfmserr"
@@ -233,6 +234,14 @@ type Recommendation struct {
 	// solves actually performed, Hits the number served from cache. The
 	// sequential pre-cache planner performed Hits+Misses solves.
 	Cache performability.CacheStats
+	// Solvers reports, per linear-system solver, how many steady-state
+	// and first-passage solves ran during this search, their iteration
+	// totals, and how many were fallbacks after a preferred solver
+	// failed. The counters are process-global underneath, so on a
+	// server handling concurrent searches the delta may attribute an
+	// overlapping request's solves here too; it is a diagnostic trace,
+	// not an exact accounting.
+	Solvers map[string]linalg.SolverCounter
 }
 
 // Assess evaluates one candidate configuration against the goals — the

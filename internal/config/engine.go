@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"performa/internal/linalg"
 	"performa/internal/perf"
 	"performa/internal/performability"
 	"performa/internal/wfmserr"
@@ -30,6 +31,9 @@ type engine struct {
 	// start snapshots the evaluator's cache counters at engine creation
 	// so stamp reports per-search deltas even on a shared evaluator.
 	start performability.CacheStats
+	// solverStart snapshots the process-wide solver counters so stamp
+	// can report which linear solvers this search exercised.
+	solverStart map[string]linalg.SolverCounter
 
 	mu   sync.Mutex
 	memo map[string]*Assessment
@@ -60,6 +64,7 @@ func newEngine(a *perf.Analysis, goals Goals, opts Options, stateWorkers int) (*
 		ev:           ev,
 		stateWorkers: stateWorkers,
 		start:        ev.Stats(),
+		solverStart:  linalg.SolverCounters(),
 		memo:         make(map[string]*Assessment),
 	}, nil
 }
@@ -151,6 +156,7 @@ func (e *engine) compute(ctx context.Context, cfg perf.Config) (*Assessment, err
 // recommendation.
 func (e *engine) stamp(rec *Recommendation) {
 	rec.Cache = e.ev.Stats().Sub(e.start)
+	rec.Solvers = linalg.SolverCountersDelta(e.solverStart)
 }
 
 // assessContained is assess with panic containment for worker

@@ -153,6 +153,10 @@ func Check(sys *System, opt Options) ([]Disagreement, error) {
 	if err != nil {
 		return nil, err
 	}
+	ds, err = solverRoute(ds, analytic, opt)
+	if err != nil {
+		return nil, err
+	}
 	ds = oracleRoute(ds, analytic, modelsA, report)
 	return ds, nil
 }

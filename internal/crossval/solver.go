@@ -1,0 +1,212 @@
+package crossval
+
+import (
+	"fmt"
+	"math"
+
+	"performa/internal/avail"
+	"performa/internal/ctmc"
+	"performa/internal/linalg"
+	"performa/internal/wfmserr"
+)
+
+// Solver-differential tolerances. tolSolver bounds the disagreement
+// between the dense direct reference and an iterative solver that
+// stopped at its residual tolerance; tolBitwise admits no deviation at
+// all and guards the paths that are deterministic by construction (a
+// dense repeat, and SolverAuto below its dense cutover).
+var (
+	tolSolver  = Tol{Rel: 1e-8, Abs: 1e-10}
+	tolBitwise = Tol{}
+)
+
+// solverAutoDenseLimit mirrors ctmc's dense auto-cutover: joint chains
+// at or below this size take the dense path under SolverAuto, so auto
+// and forced-dense must agree bit for bit there.
+const solverAutoDenseLimit = 512
+
+// powerStateLimit caps the chain size on which the power-iteration
+// comparison runs: the uniformized iteration needs O(Λ/gap) sweeps and
+// is a diagnostic solver, not a production path.
+const powerStateLimit = 512
+
+// CheckSolvers runs only the solver-differential route over the system:
+// the same availability CTMC solved dense, Gauss-Seidel, Jacobi,
+// BiCGSTAB, power, and product form, plus rejection-parity probes on
+// reducible and ill-conditioned chains. It is fully deterministic — no
+// simulation — so it is cheap enough to sweep many systems.
+func CheckSolvers(sys *System, opt Options) ([]Disagreement, error) {
+	opt.setDefaults()
+	return solverRoute(nil, sys, opt)
+}
+
+// solverRoute cross-checks every steady-state solver strategy against
+// the dense direct path on the system's joint availability CTMC. The
+// dense solve is the reference: systems beyond its budget are covered by
+// the scaling experiments, not this route.
+func solverRoute(ds []Disagreement, analytic *System, opt Options) ([]Disagreement, error) {
+	params, err := avail.ParamsFromEnvironment(analytic.Env, analytic.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	dense, err := avail.EvaluateSolver(params, avail.IndependentRepair, ctmc.SolverDense)
+	if err != nil {
+		if wfmserr.CodeOf(err) == wfmserr.CodeBudgetExceeded {
+			return rejectionParity(ds), nil // dense can't handle it; nothing to reference
+		}
+		return nil, fmt.Errorf("crossval: solver route dense reference: %w", err)
+	}
+
+	// The dense path is one fixed sequence of floating-point operations;
+	// a repeat must reproduce it bit for bit.
+	repeat, err := avail.EvaluateSolver(params, avail.IndependentRepair, ctmc.SolverDense)
+	if err != nil {
+		return nil, fmt.Errorf("crossval: solver route dense repeat: %w", err)
+	}
+	ds = compare(ds, "solver", "unavailability[dense-repeat]",
+		dense.Unavailability, repeat.Unavailability, 0, tolBitwise)
+
+	n := len(dense.StateProbs)
+	type probe struct {
+		strategy ctmc.SolverStrategy
+		tol      Tol
+		// optional reports whether a no_convergence outcome is tolerated:
+		// Jacobi and power iteration are diagnostic solvers without a
+		// convergence guarantee on every chain the dense path handles.
+		optional bool
+		run      bool
+	}
+	probes := []probe{
+		{strategy: ctmc.SolverAuto, tol: tolSolver, run: true},
+		{strategy: ctmc.SolverGaussSeidel, tol: tolSolver, run: true},
+		{strategy: ctmc.SolverJacobi, tol: tolSolver, optional: true, run: true},
+		{strategy: ctmc.SolverBiCGSTAB, tol: tolSolver, run: true},
+		{strategy: ctmc.SolverPower, tol: tolSolver, optional: true, run: n <= powerStateLimit},
+	}
+	if n <= solverAutoDenseLimit {
+		// Below the cutover SolverAuto IS the dense path: bit-identical.
+		probes[0].tol = tolBitwise
+	}
+	for _, p := range probes {
+		if !p.run {
+			continue
+		}
+		rep, err := avail.EvaluateSolver(params, avail.IndependentRepair, p.strategy)
+		if err != nil {
+			if p.optional && wfmserr.CodeOf(err) == wfmserr.CodeNoConvergence {
+				continue // a diagnostic solver timing out is not a disagreement
+			}
+			return nil, fmt.Errorf("crossval: solver route %v: %w", p.strategy, err)
+		}
+		tag := p.strategy.String()
+		ds = compare(ds, "solver", fmt.Sprintf("unavailability[%s-vs-dense]", tag),
+			dense.Unavailability, rep.Unavailability, 0, p.tol)
+		ds = compare(ds, "solver", fmt.Sprintf("statevec-maxdiff[%s-vs-dense]", tag),
+			0, maxAbsDiff(dense.StateProbs, rep.StateProbs), 0, p.tol)
+	}
+
+	// Product form under a forced sparse marginal solver must match the
+	// dense-marginal product form: the per-type chains are tiny, so every
+	// strategy is obliged to solve them.
+	pfDense, err := avail.EvaluateProductFormSolver(params, avail.IndependentRepair, false, nil, ctmc.SolverDense)
+	if err != nil {
+		return nil, fmt.Errorf("crossval: solver route product form dense: %w", err)
+	}
+	for _, s := range []ctmc.SolverStrategy{ctmc.SolverGaussSeidel, ctmc.SolverBiCGSTAB} {
+		pf, err := avail.EvaluateProductFormSolver(params, avail.IndependentRepair, false, nil, s)
+		if err != nil {
+			return nil, fmt.Errorf("crossval: solver route product form %v: %w", s, err)
+		}
+		ds = compare(ds, "solver", fmt.Sprintf("pf-unavailability[%v-vs-dense]", s),
+			pfDense.Unavailability, pf.Unavailability, 0, tolSolver)
+	}
+
+	return rejectionParity(ds), nil
+}
+
+// maxAbsDiff returns the infinity-norm distance between two equal-length
+// vectors (NaN on length mismatch, which compare flags).
+func maxAbsDiff(a, b linalg.Vector) float64 {
+	if len(a) != len(b) {
+		return math.NaN()
+	}
+	var worst float64
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// rejectionParity probes fixed degenerate chains on which the dense and
+// sparse paths must agree about solvability: a chain with two
+// disconnected recurrent classes (every path must reject — BiCGSTAB
+// would otherwise converge silently to an arbitrary mixture of the two
+// classes) and an ill-conditioned but irreducible chain (the paths must
+// agree on whether it is solvable, and on the dominant entry when it
+// is). The probes are deterministic and a handful of states, so running
+// them on every check costs nothing.
+func rejectionParity(ds []Disagreement) []Disagreement {
+	strategies := []ctmc.SolverStrategy{
+		ctmc.SolverDense, ctmc.SolverGaussSeidel, ctmc.SolverJacobi, ctmc.SolverBiCGSTAB, ctmc.SolverPower,
+	}
+
+	// Two disconnected 2-cycles: 0↔1 and 2↔3.
+	reducible := ctmc.GeneratorCSR(4, func(i int, emit func(j int, rate float64)) {
+		emit(i^1, 1)
+	})
+	for _, s := range strategies {
+		if _, err := ctmc.SteadyStateCSR(reducible, ctmc.SparseOptions{Strategy: s}); err == nil {
+			ds = append(ds, Disagreement{
+				Route: "solver-reject", Metric: fmt.Sprintf("reducible[%v]", s), Ref: 1, Obs: 0,
+			})
+		}
+	}
+	// The pre-refactor dense entry point must reject it too (its singular
+	// normalized system has no unique solution).
+	if _, err := ctmc.SteadyState(reducible.Dense()); err == nil {
+		ds = append(ds, Disagreement{
+			Route: "solver-reject", Metric: "reducible[legacy-dense]", Ref: 1, Obs: 0,
+		})
+	}
+
+	// Stiff birth–death chain: forward rates 1e3, backward 1e-3, so the
+	// stationary masses span twelve orders of magnitude.
+	stiff := ctmc.GeneratorCSR(3, func(i int, emit func(j int, rate float64)) {
+		if i < 2 {
+			emit(i+1, 1e3)
+		}
+		if i > 0 {
+			emit(i-1, 1e-3)
+		}
+	})
+	denseV, denseErr := ctmc.SteadyStateCSR(stiff, ctmc.SparseOptions{Strategy: ctmc.SolverDense})
+	for _, s := range []ctmc.SolverStrategy{ctmc.SolverGaussSeidel, ctmc.SolverBiCGSTAB} {
+		v, err := ctmc.SteadyStateCSR(stiff, ctmc.SparseOptions{Strategy: s})
+		switch {
+		case (err == nil) != (denseErr == nil):
+			ds = append(ds, Disagreement{
+				Route: "solver-reject", Metric: fmt.Sprintf("ill-conditioned[%v-vs-dense]", s),
+				Ref: flag(denseErr == nil), Obs: flag(err == nil),
+			})
+		case err == nil:
+			ds = compare(ds, "solver", fmt.Sprintf("ill-conditioned-dominant[%v-vs-dense]", s),
+				denseV[2], v[2], 0, tolSolver)
+		}
+	}
+	return ds
+}
+
+// flag maps a solvability outcome to the Ref/Obs convention of the
+// rejection-parity disagreements: 1 = solved, 0 = rejected.
+func flag(ok bool) float64 {
+	if ok {
+		return 1
+	}
+	return 0
+}

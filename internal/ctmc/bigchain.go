@@ -122,28 +122,57 @@ func (c *BigChain) absorbingReachable() bool {
 	return true
 }
 
-// FirstPassageTimes solves the Section 4.1 system on the sparse chain
-// with sparse Gauss-Seidel; (I − P_T) is an M-matrix for substochastic
-// P_T, for which the iteration provably converges.
+// transientSystem builds (I − P_T) over the transient states in CSR
+// form, streaming rows straight off the adjacency lists. Both
+// first-passage and expected-visit solves share this one matrix shape
+// (the latter transposes it in O(nnz)), so the repo has a single sparse
+// representation instead of per-call entry maps.
+func (c *BigChain) transientSystem() *linalg.Sparse {
+	abs := c.Absorbing()
+	return linalg.BuildCSR(abs, func(i int, emit func(j int, v float64)) {
+		emit(i, 1)
+		for _, a := range c.Arcs[i] {
+			if a.To != abs {
+				emit(a.To, -a.Prob)
+			}
+		}
+	})
+}
+
+// solveTransient solves a transient-chain system, preferring sparse
+// Gauss-Seidel (provably convergent on these M-matrix systems) and
+// falling back to diagonally preconditioned BiCGSTAB — recording both
+// outcomes in the solver counters rather than failing or falling back
+// silently.
+func solveTransient(a *linalg.Sparse, rhs linalg.Vector, what string) (linalg.Vector, error) {
+	x, iters, err := linalg.SparseGaussSeidel(a, rhs, nil, linalg.GaussSeidelOptions{})
+	if err == nil {
+		linalg.RecordSolve("sparse_gauss_seidel", iters, false)
+		return x, nil
+	}
+	x, iters, kerr := linalg.BiCGSTAB(a, rhs, nil, linalg.BiCGSTABOptions{Precond: a.Diag()})
+	if kerr != nil {
+		return nil, fmt.Errorf("ctmc: sparse %s solve: gauss-seidel failed (%v), bicgstab failed: %w", what, err, kerr)
+	}
+	linalg.RecordSolve("bicgstab", iters, true)
+	return x, nil
+}
+
+// FirstPassageTimes solves the Section 4.1 system on the sparse chain;
+// (I − P_T) is an M-matrix for substochastic P_T, for which the
+// Gauss-Seidel iteration provably converges.
 func (c *BigChain) FirstPassageTimes() (linalg.Vector, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
 	abs := c.Absorbing()
-	b := linalg.NewSparseBuilder(abs)
 	rhs := linalg.NewVector(abs)
 	for i := 0; i < abs; i++ {
-		b.Add(i, i, 1)
-		for _, a := range c.Arcs[i] {
-			if a.To != abs {
-				b.Add(i, a.To, -a.Prob)
-			}
-		}
 		rhs[i] = c.H[i]
 	}
-	m, _, err := linalg.SparseGaussSeidel(b.Build(), rhs, nil, linalg.GaussSeidelOptions{})
+	m, err := solveTransient(c.transientSystem(), rhs, "first-passage")
 	if err != nil {
-		return nil, fmt.Errorf("ctmc: sparse first-passage solve: %w", err)
+		return nil, err
 	}
 	out := linalg.NewVector(c.N())
 	copy(out, m)
@@ -160,26 +189,18 @@ func (c *BigChain) MeanTurnaround() (float64, error) {
 	return m[0], nil
 }
 
-// ExpectedVisits solves the transposed visit-count system sparsely.
+// ExpectedVisits solves the transposed visit-count system sparsely,
+// reusing the shared (I − P_T) build and transposing it in O(nnz).
 func (c *BigChain) ExpectedVisits() (linalg.Vector, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
 	abs := c.Absorbing()
-	b := linalg.NewSparseBuilder(abs)
 	rhs := linalg.NewVector(abs)
-	for i := 0; i < abs; i++ {
-		b.Add(i, i, 1)
-		for _, a := range c.Arcs[i] {
-			if a.To != abs {
-				b.Add(a.To, i, -a.Prob) // transpose
-			}
-		}
-	}
 	rhs[0] = 1
-	n, _, err := linalg.SparseGaussSeidel(b.Build(), rhs, nil, linalg.GaussSeidelOptions{})
+	n, err := solveTransient(c.transientSystem().Transpose(), rhs, "expected-visits")
 	if err != nil {
-		return nil, fmt.Errorf("ctmc: sparse expected-visits solve: %w", err)
+		return nil, err
 	}
 	out := linalg.NewVector(c.N())
 	copy(out, n)

@@ -109,6 +109,23 @@ func (e *StateEncoder) Decode(code int) []int {
 	return x
 }
 
+// DecodeInto decodes code into the provided tuple slice (length k) and
+// returns it, so row-streaming callers decoding millions of states reuse
+// one buffer instead of allocating per state. It panics if the code is
+// out of range or the buffer has the wrong arity.
+func (e *StateEncoder) DecodeInto(x []int, code int) []int {
+	if code < 0 || code >= e.size {
+		panic(fmt.Sprintf("ctmc: code %d out of range [0,%d)", code, e.size))
+	}
+	if len(x) != len(e.caps) {
+		panic(fmt.Sprintf("ctmc: decoding into tuple of arity %d with %d dimensions", len(x), len(e.caps)))
+	}
+	for j := range e.caps {
+		x[j] = code / e.weights[j] % (e.caps[j] + 1)
+	}
+	return x
+}
+
 // Each calls fn for every encodable tuple in code order. The tuple slice
 // is reused between calls; callers must copy it if they retain it.
 func (e *StateEncoder) Each(fn func(code int, x []int)) {

@@ -1,0 +1,514 @@
+package ctmc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"performa/internal/linalg"
+	"performa/internal/wfmserr"
+)
+
+// SolverStrategy selects how steady-state systems are solved. The zero
+// value (SolverAuto) picks the dense direct path for small systems —
+// keeping exact agreement with the historical solver where it is cheap —
+// and the sparse Gauss-Seidel iteration with a BiCGSTAB fallback beyond
+// that.
+type SolverStrategy int
+
+const (
+	// SolverAuto picks dense for small systems, sparse Gauss-Seidel
+	// with a BiCGSTAB fallback for large ones.
+	SolverAuto SolverStrategy = iota
+	// SolverDense forces the dense transpose-and-eliminate path
+	// (subject to the MaxMatrixDim budget).
+	SolverDense
+	// SolverGaussSeidel forces the sparse Gauss-Seidel iteration.
+	SolverGaussSeidel
+	// SolverJacobi forces the sparse Jacobi iteration.
+	SolverJacobi
+	// SolverPower forces power iteration on the uniformized chain.
+	SolverPower
+	// SolverBiCGSTAB forces the diagonally preconditioned BiCGSTAB
+	// Krylov iteration.
+	SolverBiCGSTAB
+)
+
+// denseAutoCutover is the dimension up to which SolverAuto stays on the
+// dense path: below it the O(n³) elimination is cheap, bit-stable, and
+// serves as the crossval reference.
+const denseAutoCutover = 512
+
+// String returns the canonical flag spelling of the strategy.
+func (s SolverStrategy) String() string {
+	switch s {
+	case SolverAuto:
+		return "auto"
+	case SolverDense:
+		return "dense"
+	case SolverGaussSeidel:
+		return "gauss_seidel"
+	case SolverJacobi:
+		return "jacobi"
+	case SolverPower:
+		return "power"
+	case SolverBiCGSTAB:
+		return "bicgstab"
+	default:
+		return fmt.Sprintf("solver(%d)", int(s))
+	}
+}
+
+// Valid reports whether s is a known strategy.
+func (s SolverStrategy) Valid() bool {
+	return s >= SolverAuto && s <= SolverBiCGSTAB
+}
+
+// ParseSolverStrategy maps a flag/JSON spelling to a strategy. The empty
+// string means SolverAuto.
+func ParseSolverStrategy(name string) (SolverStrategy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "auto":
+		return SolverAuto, nil
+	case "dense", "lu":
+		return SolverDense, nil
+	case "gauss_seidel", "gauss-seidel", "gs":
+		return SolverGaussSeidel, nil
+	case "jacobi":
+		return SolverJacobi, nil
+	case "power":
+		return SolverPower, nil
+	case "bicgstab", "krylov":
+		return SolverBiCGSTAB, nil
+	}
+	return 0, wfmserr.New(wfmserr.CodeInvalidModel, "ctmc",
+		"unknown solver strategy %q (want auto, dense, gauss_seidel, jacobi, power, or bicgstab)", name)
+}
+
+// SparseOptions configures the sparse steady-state solvers.
+type SparseOptions struct {
+	// Strategy selects the solver; the zero value is SolverAuto.
+	Strategy SolverStrategy
+	// AssumeIrreducible skips the strong-connectivity pre-check. Set it
+	// only for chains that are irreducible by construction (e.g. the
+	// availability birth–death products with all rates positive): the
+	// Krylov solver can silently return one recurrent class's mixture
+	// on a reducible chain, so external input must keep the check on.
+	AssumeIrreducible bool
+}
+
+// RateEmitter enumerates the transitions attached to state i as
+// (neighbor, rate) pairs with rate > 0.
+type RateEmitter func(i int, emit func(j int, rate float64))
+
+// GeneratorCSR materializes an infinitesimal generator Q in CSR form
+// from an outgoing-transition emitter: out(i) emits each transition
+// i → j with its rate, and the diagonal is filled with the negated row
+// sum. Rows are generated lazily in state order — typically straight
+// off a mixed-radix StateEncoder — so no dense matrix and no entry map
+// ever exist.
+func GeneratorCSR(n int, out RateEmitter) *linalg.Sparse {
+	return linalg.BuildCSR(n, func(i int, emit func(j int, v float64)) {
+		var total float64
+		out(i, func(j int, rate float64) {
+			if rate == 0 || j == i {
+				return
+			}
+			emit(j, rate)
+			total += rate
+		})
+		if total != 0 {
+			emit(i, -total)
+		}
+	})
+}
+
+// AdjointCSR materializes the transposed generator Qᵀ directly from an
+// incoming-transition emitter: in(i) emits (j, q_{j→i}) for every
+// transition into state i, and outflow(i) returns state i's total
+// outgoing rate for the diagonal. Building the adjoint in one pass
+// halves peak memory on the steady-state path versus building Q and
+// transposing it.
+func AdjointCSR(n int, in RateEmitter, outflow func(i int) float64) *linalg.Sparse {
+	return linalg.BuildCSR(n, func(i int, emit func(j int, v float64)) {
+		in(i, func(j int, rate float64) {
+			if rate == 0 || j == i {
+				return
+			}
+			emit(j, rate)
+		})
+		if total := outflow(i); total != 0 {
+			emit(i, -total)
+		}
+	})
+}
+
+// SteadyStateCSR solves π Q = 0, Σ π = 1 for an ergodic CTMC given by
+// its sparse generator. It is the sparse counterpart of SteadyState:
+// the generator is validated in O(nnz), checked for strong connectivity
+// (unless opts.AssumeIrreducible), transposed, and handed to the
+// strategy-selected solver.
+func SteadyStateCSR(q *linalg.Sparse, opts SparseOptions) (linalg.Vector, error) {
+	n := q.N()
+	if n == 0 {
+		return nil, fmt.Errorf("ctmc: empty generator")
+	}
+	if err := validateGeneratorCSR(q); err != nil {
+		return nil, err
+	}
+	at := q.Transpose()
+	if !opts.AssumeIrreducible {
+		if err := checkIrreducible(q, at); err != nil {
+			return nil, err
+		}
+		opts.AssumeIrreducible = true // already verified; don't redo from the adjoint
+	}
+	return SteadyStateAdjoint(at, opts)
+}
+
+// SteadyStateAdjoint solves the steady state given the transposed
+// generator Qᵀ in CSR form. Callers that can emit incoming transitions
+// directly (AdjointCSR) use this entry point to avoid materializing Q
+// at all. The adjoint is validated in O(nnz); unless
+// opts.AssumeIrreducible is set, strong connectivity is verified (at
+// the cost of one transpose back to Q).
+func SteadyStateAdjoint(at *linalg.Sparse, opts SparseOptions) (linalg.Vector, error) {
+	n := at.N()
+	if n == 0 {
+		return nil, fmt.Errorf("ctmc: empty generator")
+	}
+	if !opts.Strategy.Valid() {
+		return nil, wfmserr.New(wfmserr.CodeInvalidModel, "ctmc", "unknown solver strategy %v", opts.Strategy)
+	}
+	if err := validateAdjointCSR(at); err != nil {
+		return nil, err
+	}
+	if !opts.AssumeIrreducible {
+		if err := checkIrreducible(at.Transpose(), at); err != nil {
+			return nil, err
+		}
+	}
+
+	strategy := opts.Strategy
+	if strategy == SolverAuto && n <= denseAutoCutover {
+		strategy = SolverDense
+	}
+
+	var (
+		pi       linalg.Vector
+		err      error
+		fellBack bool
+	)
+	switch strategy {
+	case SolverDense:
+		return steadyFromAdjointDense(at)
+	case SolverGaussSeidel:
+		pi, err = solveNormalized(at, "sparse_gauss_seidel", false)
+	case SolverJacobi:
+		pi, err = solveNormalized(at, "sparse_jacobi", false)
+	case SolverBiCGSTAB:
+		pi, err = solveNormalized(at, "bicgstab", false)
+	case SolverPower:
+		pi, err = steadyAdjointPower(at)
+	case SolverAuto:
+		pi, err = solveNormalized(at, "sparse_gauss_seidel", false)
+		if err != nil {
+			pi, err = solveNormalized(at, "bicgstab", true)
+			fellBack = true
+		}
+	}
+	if err != nil {
+		code := wfmserr.CodeInvalidModel
+		if errors.Is(err, linalg.ErrNoConvergence) {
+			code = wfmserr.CodeNoConvergence
+		}
+		e := wfmserr.Wrap(err, code, "ctmc", "sparse steady-state solve (is the chain irreducible?)").
+			With("states", n).With("solver", strategy.String())
+		if fellBack {
+			e = e.With("fallback", "bicgstab")
+		}
+		return nil, e
+	}
+	return cleanDistribution(pi)
+}
+
+// solveNormalized runs one iterative solver on the normalized system
+// A x = e_{n-1}, A = Qᵀ with implicit ones row, verifies the residual,
+// and records the outcome in the solver counters.
+func solveNormalized(at *linalg.Sparse, solver string, fellBack bool) (linalg.Vector, error) {
+	sys := linalg.OnesRow{A: at}
+	var (
+		x     linalg.Vector
+		iters int
+		err   error
+	)
+	switch solver {
+	case "sparse_gauss_seidel":
+		x, iters, err = linalg.OnesRowGaussSeidel(at, nil, linalg.GaussSeidelOptions{})
+	case "sparse_jacobi":
+		x, iters, err = linalg.OnesRowJacobi(at, nil, linalg.GaussSeidelOptions{})
+	case "bicgstab":
+		// Start from the uniform distribution: it already satisfies the
+		// normalization row, which BiCGSTAB preserves only weakly.
+		n := at.N()
+		x0 := linalg.NewVector(n)
+		x0.Fill(1 / float64(n))
+		x, iters, err = linalg.BiCGSTAB(sys, sys.Rhs(), x0, linalg.BiCGSTABOptions{Precond: sys.PrecondDiag()})
+	default:
+		return nil, fmt.Errorf("ctmc: unknown normalized solver %q", solver)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := normalizedResidualOK(sys, x); err != nil {
+		return nil, err
+	}
+	linalg.RecordSolve(solver, iters, fellBack)
+	return x, nil
+}
+
+// normalizedResidualOK verifies A x ≈ e_{n-1} for the normalized
+// steady-state system, mirroring the dense path's residual check so an
+// iterative solver cannot hand back a vector that merely stopped moving.
+func normalizedResidualOK(sys linalg.OnesRow, x linalg.Vector) error {
+	n := sys.N()
+	r := linalg.NewVector(n)
+	sys.Apply(r, x)
+	r[n-1] -= 1
+	var worst float64
+	for _, v := range r {
+		if a := math.Abs(v); a > worst {
+			worst = a
+		}
+	}
+	// Scale by the largest rate magnitude so fast chains are not held
+	// to an absolute tolerance their entries cannot meet.
+	var scale float64
+	for _, d := range sys.A.Diag() {
+		if a := math.Abs(d); a > scale {
+			scale = a
+		}
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	if worst > 1e-8*scale || math.IsNaN(worst) {
+		return fmt.Errorf("ctmc: steady-state residual %v exceeds tolerance: %w", worst, linalg.ErrNoConvergence)
+	}
+	return nil
+}
+
+// steadyFromAdjointDense converts the adjoint to dense form and runs the
+// historical dense solve (normalization row, Gauss-Seidel with LU
+// fallback), keeping small systems on the exact path that crossval
+// treats as the reference.
+func steadyFromAdjointDense(at *linalg.Sparse) (linalg.Vector, error) {
+	n := at.N()
+	if err := wfmserr.Default.CheckMatrixDim("ctmc", n); err != nil {
+		return nil, err
+	}
+	a := at.Dense()
+	last := a.Row(n - 1)
+	for j := range last {
+		last[j] = 1
+	}
+	b := linalg.NewVector(n)
+	b[n-1] = 1
+	pi, err := linalg.Solve(a, b)
+	if err != nil {
+		code := wfmserr.CodeInvalidModel
+		if errors.Is(err, linalg.ErrNoConvergence) {
+			code = wfmserr.CodeNoConvergence
+		}
+		return nil, wfmserr.Wrap(err, code, "ctmc", "steady-state solve (is the chain irreducible?)")
+	}
+	return cleanDistribution(pi)
+}
+
+// steadyAdjointPower runs power iteration on the uniformized chain
+// P = I + Q/Λ without materializing P: π_{k+1} = π_k + (Qᵀ π_k)/Λ.
+func steadyAdjointPower(at *linalg.Sparse) (linalg.Vector, error) {
+	n := at.N()
+	var lambda float64
+	for _, d := range at.Diag() {
+		if a := math.Abs(d); a > lambda {
+			lambda = a
+		}
+	}
+	if lambda == 0 {
+		// All rates zero: every state is absorbing; only n = 1 is ergodic.
+		if n == 1 {
+			return linalg.Vector{1}, nil
+		}
+		return nil, fmt.Errorf("ctmc: generator has no transitions; chain is not irreducible")
+	}
+	lambda *= 1.1 // keep P's diagonal strictly positive (aperiodic)
+	pi := linalg.NewVector(n)
+	pi.Fill(1 / float64(n))
+	scratch := linalg.NewVector(n)
+	const maxIter = 1_000_000
+	for iter := 1; iter <= maxIter; iter++ {
+		at.Apply(scratch, pi)
+		var delta, sum float64
+		for i := range scratch {
+			next := pi[i] + scratch[i]/lambda
+			delta += math.Abs(next - pi[i])
+			scratch[i] = next
+			sum += next
+		}
+		if sum <= 0 || math.IsNaN(sum) {
+			return nil, fmt.Errorf("ctmc: power iteration degenerated (mass %v): %w", sum, linalg.ErrNoConvergence)
+		}
+		for i := range scratch {
+			scratch[i] /= sum
+		}
+		pi, scratch = scratch, pi
+		if delta <= 1e-12 {
+			linalg.RecordSolve("power", iter, false)
+			return pi, nil
+		}
+	}
+	return nil, fmt.Errorf("ctmc: power iteration exhausted %d sweeps: %w", maxIter, linalg.ErrNoConvergence)
+}
+
+// cleanDistribution clamps round-off negatives and renormalizes, exactly
+// as the dense path does.
+func cleanDistribution(pi linalg.Vector) (linalg.Vector, error) {
+	for i, p := range pi {
+		if p < 0 {
+			if p < -1e-9 {
+				return nil, wfmserr.New(wfmserr.CodeInvalidModel, "ctmc",
+					"steady-state probability π[%d] = %v is negative; chain is likely not ergodic", i, p)
+			}
+			pi[i] = 0
+		}
+	}
+	out, err := pi.Normalized()
+	if err != nil {
+		return nil, wfmserr.Wrap(err, wfmserr.CodeInvalidModel, "ctmc", "steady-state distribution is degenerate")
+	}
+	return out, nil
+}
+
+// validateGeneratorCSR checks a sparse generator the way
+// ValidateGenerator checks a dense one: finite entries, nonnegative
+// off-diagonal rates, rows summing to zero (relative to the row scale).
+func validateGeneratorCSR(q *linalg.Sparse) error {
+	n := q.N()
+	var err error
+	for i := 0; i < n && err == nil; i++ {
+		var sum, scale float64
+		q.Row(i, func(j int, x float64) {
+			if err != nil {
+				return
+			}
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				err = fmt.Errorf("ctmc: generator entry q[%d][%d] = %v", i, j, x)
+				return
+			}
+			if j != i && x < 0 {
+				err = fmt.Errorf("ctmc: negative off-diagonal rate q[%d][%d] = %v", i, j, x)
+				return
+			}
+			sum += x
+			if a := math.Abs(x); a > scale {
+				scale = a
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if scale == 0 {
+			scale = 1
+		}
+		if math.Abs(sum) > 1e-9*scale {
+			return fmt.Errorf("ctmc: generator row %d sums to %v, want 0", i, sum)
+		}
+	}
+	return err
+}
+
+// validateAdjointCSR checks the transposed generator: finite entries,
+// nonnegative off-diagonal rates, and columns of Qᵀ (= rows of Q)
+// summing to zero relative to their scale. One O(nnz) pass with two
+// O(n) accumulators.
+func validateAdjointCSR(at *linalg.Sparse) error {
+	n := at.N()
+	sums := make([]float64, n)
+	scales := make([]float64, n)
+	var err error
+	for i := 0; i < n && err == nil; i++ {
+		at.Row(i, func(j int, x float64) {
+			if err != nil {
+				return
+			}
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				err = fmt.Errorf("ctmc: generator entry q[%d][%d] = %v", j, i, x)
+				return
+			}
+			if j != i && x < 0 {
+				err = fmt.Errorf("ctmc: negative off-diagonal rate q[%d][%d] = %v", j, i, x)
+				return
+			}
+			sums[j] += x
+			if a := math.Abs(x); a > scales[j] {
+				scales[j] = a
+			}
+		})
+	}
+	if err != nil {
+		return err
+	}
+	for j := 0; j < n; j++ {
+		scale := scales[j]
+		if scale == 0 {
+			scale = 1
+		}
+		if math.Abs(sums[j]) > 1e-9*scale {
+			return fmt.Errorf("ctmc: generator row %d sums to %v, want 0", j, sums[j])
+		}
+	}
+	return nil
+}
+
+// checkIrreducible verifies strong connectivity of the transition graph:
+// state 0 reaches every state (BFS over Q's rows) and every state
+// reaches state 0 (BFS over Qᵀ's rows). Reducible chains must be
+// rejected here because BiCGSTAB can converge to a single recurrent
+// class's mixture with a zero residual, silently disagreeing with the
+// dense path's rejection.
+func checkIrreducible(q, at *linalg.Sparse) error {
+	if !allReachable(q) {
+		return wfmserr.New(wfmserr.CodeInvalidModel, "ctmc",
+			"chain is not irreducible: some states are unreachable from state 0")
+	}
+	if !allReachable(at) {
+		return wfmserr.New(wfmserr.CodeInvalidModel, "ctmc",
+			"chain is not irreducible: some states cannot reach state 0")
+	}
+	return nil
+}
+
+// allReachable reports whether a BFS over m's adjacency (off-diagonal
+// nonzeros) starting at state 0 visits every state.
+func allReachable(m *linalg.Sparse) bool {
+	n := m.N()
+	visited := make([]bool, n)
+	queue := make([]int, 0, 64)
+	visited[0] = true
+	queue = append(queue, 0)
+	count := 1
+	for len(queue) > 0 {
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		m.Row(i, func(j int, v float64) {
+			if j != i && v != 0 && !visited[j] {
+				visited[j] = true
+				count++
+				queue = append(queue, j)
+			}
+		})
+	}
+	return count == n
+}

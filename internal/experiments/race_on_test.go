@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled skips the solver-bench sweep under the race detector —
+// CI covers that combination with a dedicated `go run -race` smoke step.
+const raceEnabled = true

@@ -1,0 +1,240 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Operator is a square linear operator y = A v presented matrix-free.
+// Iterative solvers accept an Operator instead of an explicit matrix so
+// that callers can fold structural modifications — e.g. the implicit
+// normalization row of a steady-state system — into Apply without
+// materializing a second matrix.
+type Operator interface {
+	// N is the operator dimension.
+	N() int
+	// Apply computes dst = A v. dst and v have length N and do not alias.
+	Apply(dst, v Vector)
+}
+
+// Apply computes dst = s*v, making *Sparse an Operator.
+func (s *Sparse) Apply(dst, v Vector) {
+	if len(v) != s.n || len(dst) != s.n {
+		panic(fmt.Sprintf("linalg: apply of %dx%d sparse matrix with dst length %d, v length %d", s.n, s.n, len(dst), len(v)))
+	}
+	for i := 0; i < s.n; i++ {
+		var sum float64
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			sum += s.val[k] * v[s.colIdx[k]]
+		}
+		dst[i] = sum
+	}
+}
+
+// BiCGSTABOptions controls the BiCGSTAB iteration.
+type BiCGSTABOptions struct {
+	// Tol is the convergence tolerance on the preconditioned residual
+	// 2-norm relative to the right-hand side. Zero means 1e-12.
+	Tol float64
+	// MaxIter bounds the iterations. Zero means 10000.
+	MaxIter int
+	// Precond holds the diagonal of a Jacobi preconditioner M ≈ A; each
+	// entry must be nonzero. Nil means no preconditioning.
+	Precond []float64
+}
+
+func (o BiCGSTABOptions) withDefaults() BiCGSTABOptions {
+	if o.Tol <= 0 {
+		o.Tol = 1e-12
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 10000
+	}
+	return o
+}
+
+// BiCGSTAB solves A x = b with the stabilized bi-conjugate gradient
+// method of van der Vorst, optionally right-preconditioned by a diagonal
+// (Jacobi) preconditioner. It is the Krylov complement to Gauss-Seidel
+// for the large nonsymmetric steady-state systems the sparse CTMC path
+// produces: convergence does not require diagonal dominance, memory is
+// seven vectors, and each iteration costs two operator applications.
+// The start vector x0 may be nil for the zero vector. Breakdown or an
+// exhausted iteration budget returns ErrNoConvergence.
+func BiCGSTAB(a Operator, b Vector, x0 Vector, opts BiCGSTABOptions) (Vector, int, error) {
+	n := a.N()
+	if len(b) != n {
+		return nil, 0, fmt.Errorf("linalg: bicgstab rhs length %d does not match operator size %d", len(b), n)
+	}
+	opts = opts.withDefaults()
+	if opts.Precond != nil {
+		if len(opts.Precond) != n {
+			return nil, 0, fmt.Errorf("linalg: bicgstab preconditioner length %d does not match operator size %d", len(opts.Precond), n)
+		}
+		for i, d := range opts.Precond {
+			if d == 0 {
+				return nil, 0, fmt.Errorf("linalg: bicgstab preconditioner has zero diagonal at %d: %w", i, ErrSingular)
+			}
+		}
+	}
+	applyPrecond := func(dst, v Vector) {
+		if opts.Precond == nil {
+			copy(dst, v)
+			return
+		}
+		for i := range dst {
+			dst[i] = v[i] / opts.Precond[i]
+		}
+	}
+
+	x := NewVector(n)
+	if x0 != nil {
+		if len(x0) != n {
+			return nil, 0, fmt.Errorf("linalg: bicgstab start vector length %d does not match operator size %d", len(x0), n)
+		}
+		copy(x, x0)
+	}
+
+	r := NewVector(n)
+	a.Apply(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	bnorm := norm2(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	if norm2(r)/bnorm <= opts.Tol {
+		return x, 0, nil
+	}
+
+	rhat := append(Vector(nil), r...) // fixed shadow residual
+	var (
+		p    = NewVector(n)
+		v    = NewVector(n)
+		phat = NewVector(n)
+		s    = NewVector(n)
+		shat = NewVector(n)
+		t    = NewVector(n)
+	)
+	rho, alpha, omega := 1.0, 1.0, 1.0
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		rho1 := dot(rhat, r)
+		if rho1 == 0 || math.IsNaN(rho1) {
+			return nil, iter, fmt.Errorf("linalg: bicgstab breakdown (rho=%v) at iteration %d: %w", rho1, iter, ErrNoConvergence)
+		}
+		if iter == 1 {
+			copy(p, r)
+		} else {
+			beta := (rho1 / rho) * (alpha / omega)
+			for i := range p {
+				p[i] = r[i] + beta*(p[i]-omega*v[i])
+			}
+		}
+		applyPrecond(phat, p)
+		a.Apply(v, phat)
+		den := dot(rhat, v)
+		if den == 0 || math.IsNaN(den) {
+			return nil, iter, fmt.Errorf("linalg: bicgstab breakdown (rhat·v=%v) at iteration %d: %w", den, iter, ErrNoConvergence)
+		}
+		alpha = rho1 / den
+		for i := range s {
+			s[i] = r[i] - alpha*v[i]
+		}
+		if norm2(s)/bnorm <= opts.Tol {
+			for i := range x {
+				x[i] += alpha * phat[i]
+			}
+			return x, iter, nil
+		}
+		applyPrecond(shat, s)
+		a.Apply(t, shat)
+		tt := dot(t, t)
+		if tt == 0 || math.IsNaN(tt) {
+			return nil, iter, fmt.Errorf("linalg: bicgstab breakdown (t·t=%v) at iteration %d: %w", tt, iter, ErrNoConvergence)
+		}
+		omega = dot(t, s) / tt
+		if omega == 0 || math.IsNaN(omega) {
+			return nil, iter, fmt.Errorf("linalg: bicgstab stagnated (omega=%v) at iteration %d: %w", omega, iter, ErrNoConvergence)
+		}
+		for i := range x {
+			x[i] += alpha*phat[i] + omega*shat[i]
+		}
+		for i := range r {
+			r[i] = s[i] - omega*t[i]
+		}
+		if nr := norm2(r) / bnorm; nr <= opts.Tol {
+			return x, iter, nil
+		} else if math.IsNaN(nr) || math.IsInf(nr, 0) {
+			return nil, iter, fmt.Errorf("linalg: bicgstab diverged at iteration %d: %w", iter, ErrNoConvergence)
+		}
+		rho = rho1
+	}
+	return nil, opts.MaxIter, fmt.Errorf("linalg: bicgstab exhausted %d iterations: %w", opts.MaxIter, ErrNoConvergence)
+}
+
+// SparseJacobi solves A x = b with the Jacobi iteration on a sparse
+// matrix. Unlike Gauss-Seidel every component update reads only the
+// previous iterate, which keeps each sweep embarrassingly parallel in
+// principle; it converges on strictly diagonally dominant systems but
+// usually needs more sweeps than Gauss-Seidel.
+func SparseJacobi(a *Sparse, b Vector, x0 Vector, opts GaussSeidelOptions) (Vector, int, error) {
+	n := a.N()
+	if len(b) != n {
+		return nil, 0, fmt.Errorf("linalg: sparse jacobi rhs length %d does not match matrix size %d", len(b), n)
+	}
+	opts = opts.withDefaults()
+	x := NewVector(n)
+	if x0 != nil {
+		if len(x0) != n {
+			return nil, 0, fmt.Errorf("linalg: sparse jacobi start vector length %d does not match matrix size %d", len(x0), n)
+		}
+		copy(x, x0)
+	}
+	for i := 0; i < n; i++ {
+		if a.diag[i] == 0 {
+			return nil, 0, fmt.Errorf("linalg: sparse jacobi requires nonzero diagonal, a[%d][%d]=0: %w", i, i, ErrSingular)
+		}
+	}
+	next := NewVector(n)
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		var delta float64
+		for i := 0; i < n; i++ {
+			sum := b[i]
+			for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+				if j := a.colIdx[k]; j != i {
+					sum -= a.val[k] * x[j]
+				}
+			}
+			nx := sum / a.diag[i]
+			if d := math.Abs(nx - x[i]); d > delta {
+				delta = d
+			}
+			next[i] = nx
+		}
+		x, next = next, x
+		if math.IsNaN(delta) || math.IsInf(delta, 0) {
+			return nil, iter, fmt.Errorf("linalg: sparse jacobi diverged at sweep %d: %w", iter, ErrNoConvergence)
+		}
+		if delta <= opts.Tol {
+			return x, iter, nil
+		}
+	}
+	return x, opts.MaxIter, ErrNoConvergence
+}
+
+func dot(a, b Vector) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm2(v Vector) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,225 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomDominantSparse builds a strictly diagonally dominant random
+// sparse system (with its dense mirror) so every iterative solver is
+// guaranteed a solution to find.
+func randomDominantSparse(rng *rand.Rand, n int, density float64) (*Sparse, *Matrix) {
+	b := NewSparseBuilder(n)
+	d := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		var rowSum float64
+		for j := 0; j < n; j++ {
+			if i == j || rng.Float64() > density {
+				continue
+			}
+			x := rng.Float64()*2 - 1
+			b.Set(i, j, x)
+			d.Set(i, j, x)
+			rowSum += math.Abs(x)
+		}
+		diag := rowSum + 1 + rng.Float64()
+		b.Set(i, i, diag)
+		d.Set(i, i, diag)
+	}
+	return b.Build(), d
+}
+
+func TestBuildCSRMatchesBuilder(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(12)
+		sb := NewSparseBuilder(n)
+		entries := make([][]float64, n)
+		for i := range entries {
+			entries[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					x := rng.NormFloat64()
+					entries[i][j] = x
+					sb.Set(i, j, x)
+				}
+			}
+		}
+		want := sb.Build()
+		got := BuildCSR(n, func(i int, emit func(j int, v float64)) {
+			// Emit in descending column order to exercise the row sort.
+			for j := n - 1; j >= 0; j-- {
+				if entries[i][j] != 0 {
+					emit(j, entries[i][j])
+				}
+			}
+		})
+		if got.N() != want.N() || got.NNZ() != want.NNZ() {
+			t.Fatalf("trial %d: shape (%d, %d nnz) != builder (%d, %d nnz)",
+				trial, got.N(), got.NNZ(), want.N(), want.NNZ())
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if got.At(i, j) != want.At(i, j) {
+					t.Fatalf("trial %d: at(%d,%d) = %v, builder %v", trial, i, j, got.At(i, j), want.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestBuildCSRMergesDuplicateColumns(t *testing.T) {
+	s := BuildCSR(2, func(i int, emit func(j int, v float64)) {
+		if i == 0 {
+			emit(1, 2)
+			emit(1, 3)
+			emit(0, -5)
+		}
+	})
+	if got := s.At(0, 1); got != 5 {
+		t.Fatalf("duplicate emits: at(0,1) = %v, want 5", got)
+	}
+	if got := s.At(0, 0); got != -5 {
+		t.Fatalf("at(0,0) = %v, want -5", got)
+	}
+	if s.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2 after merging", s.NNZ())
+	}
+}
+
+func TestSparseTransposeMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		s, d := randomSparse(r, n, 0.35)
+		st := s.Transpose()
+		dt := d.Transpose()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if st.At(i, j) != dt.At(i, j) {
+					return false
+				}
+			}
+		}
+		// Transposing twice must give back the original entries.
+		back := st.Transpose()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if back.At(i, j) != s.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rng}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBiCGSTABMatchesLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(20)
+		s, d := randomDominantSparse(rng, n, 0.4)
+		b := NewVector(n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		lu, err := FactorLU(d)
+		if err != nil {
+			t.Fatalf("trial %d: LU factor: %v", trial, err)
+		}
+		want, err := lu.Solve(b)
+		if err != nil {
+			t.Fatalf("trial %d: LU solve: %v", trial, err)
+		}
+		for _, precond := range [][]float64{nil, s.Diag()} {
+			got, iters, err := BiCGSTAB(s, b, nil, BiCGSTABOptions{Precond: precond})
+			if err != nil {
+				t.Fatalf("trial %d (precond=%v): %v", trial, precond != nil, err)
+			}
+			if iters <= 0 {
+				t.Fatalf("trial %d: reported %d iterations", trial, iters)
+			}
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-8 {
+					t.Fatalf("trial %d (precond=%v): x[%d] = %v, LU %v", trial, precond != nil, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBiCGSTABWarmStartAndErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s, d := randomDominantSparse(rng, 8, 0.5)
+	b := NewVector(8)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	lu, _ := FactorLU(d)
+	want, _ := lu.Solve(b)
+
+	// Starting at the exact solution must converge immediately.
+	_, iters, err := BiCGSTAB(s, b, want, BiCGSTABOptions{})
+	if err != nil {
+		t.Fatalf("warm start: %v", err)
+	}
+	if iters > 1 {
+		t.Fatalf("warm start took %d iterations", iters)
+	}
+
+	if _, _, err := BiCGSTAB(s, NewVector(3), nil, BiCGSTABOptions{}); err == nil {
+		t.Fatal("mismatched rhs length accepted")
+	}
+	if _, _, err := BiCGSTAB(s, b, NewVector(3), BiCGSTABOptions{}); err == nil {
+		t.Fatal("mismatched start vector length accepted")
+	}
+	if _, _, err := BiCGSTAB(s, b, nil, BiCGSTABOptions{MaxIter: 1, Tol: 1e-30}); !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("exhausted budget: err = %v, want ErrNoConvergence", err)
+	}
+}
+
+func TestSparseJacobiMatchesGaussSeidel(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(15)
+		s, _ := randomDominantSparse(rng, n, 0.4)
+		b := NewVector(n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		gs, _, err := SparseGaussSeidel(s, b, nil, GaussSeidelOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: gauss-seidel: %v", trial, err)
+		}
+		ja, iters, err := SparseJacobi(s, b, nil, GaussSeidelOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: jacobi: %v", trial, err)
+		}
+		if iters <= 0 {
+			t.Fatalf("trial %d: jacobi reported %d iterations", trial, iters)
+		}
+		for i := range gs {
+			if math.Abs(ja[i]-gs[i]) > 1e-8 {
+				t.Fatalf("trial %d: x[%d] jacobi %v, gauss-seidel %v", trial, i, ja[i], gs[i])
+			}
+		}
+	}
+}
+
+func TestSparseJacobiZeroDiagonal(t *testing.T) {
+	b := NewSparseBuilder(2)
+	b.Set(0, 1, 1)
+	b.Set(1, 0, 1)
+	b.Set(1, 1, 2)
+	if _, _, err := SparseJacobi(b.Build(), Vector{1, 1}, nil, GaussSeidelOptions{}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("zero diagonal: err = %v, want ErrSingular", err)
+	}
+}

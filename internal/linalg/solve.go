@@ -201,27 +201,61 @@ func (f *LU) Det() float64 {
 	return d
 }
 
+// SolveStats reports which solver produced a Solve result and at what
+// cost, so callers can surface the (previously silent) Gauss-Seidel →
+// LU fallback instead of guessing why timings or conditioning changed.
+type SolveStats struct {
+	// Solver is the method that produced the returned solution:
+	// "gauss_seidel" or "lu".
+	Solver string
+	// Iterations is the sweep count for an iterative solver; zero for
+	// a direct one.
+	Iterations int
+	// FellBack is true when Gauss-Seidel failed (divergence, zero
+	// diagonal, or a residual check miss) and LU produced the result.
+	FellBack bool
+}
+
 // Solve solves A x = b, preferring the Gauss-Seidel iteration the paper
 // prescribes and falling back to a direct LU solve when the iteration
 // fails to converge (e.g. for systems that are not diagonally dominant).
 // The returned vector always satisfies the system to a small residual;
-// an error is returned only if both methods fail.
+// an error is returned only if both methods fail. The solve is recorded
+// in the process-wide solver counters; use SolveWithStats to observe the
+// outcome per call.
 func Solve(a *Matrix, b Vector) (Vector, error) {
-	x, _, err := GaussSeidel(a, b, nil, GaussSeidelOptions{})
+	x, _, err := SolveWithStats(a, b)
+	return x, err
+}
+
+// SolveWithStats is Solve with an explicit account of which solver
+// converged and in how many iterations. Every outcome is also recorded
+// in the process-wide solver counters (see SolverCounters).
+func SolveWithStats(a *Matrix, b Vector) (Vector, SolveStats, error) {
+	x, iters, err := GaussSeidel(a, b, nil, GaussSeidelOptions{})
 	if err == nil {
 		scratch := NewVector(a.Rows())
 		if residualOK(a, x, b, scratch) {
-			return x, nil
+			stats := SolveStats{Solver: "gauss_seidel", Iterations: iters}
+			RecordSolve(stats.Solver, iters, false)
+			return x, stats, nil
 		}
+		err = fmt.Errorf("linalg: gauss-seidel met tolerance but failed the residual check: %w", ErrNoConvergence)
 	}
 	lu, ferr := FactorLU(a)
 	if ferr != nil {
 		if err != nil {
-			return nil, fmt.Errorf("linalg: gauss-seidel failed (%v) and LU failed: %w", err, ferr)
+			return nil, SolveStats{}, fmt.Errorf("linalg: gauss-seidel failed (%v) and LU failed: %w", err, ferr)
 		}
-		return nil, ferr
+		return nil, SolveStats{}, ferr
 	}
-	return lu.Solve(b)
+	x, serr := lu.Solve(b)
+	if serr != nil {
+		return nil, SolveStats{}, serr
+	}
+	stats := SolveStats{Solver: "lu", FellBack: true}
+	RecordSolve(stats.Solver, 0, true)
+	return x, stats, nil
 }
 
 // residualOK reports whether a*x is close to b relative to the magnitudes

@@ -92,6 +92,107 @@ func (b *SparseBuilder) Build() *Sparse {
 	return s
 }
 
+// BuildCSR constructs an n-by-n CSR matrix by asking row(i) for the
+// entries of each row in order, i = 0..n-1. Entries are emitted in any
+// column order; duplicates within a row are summed and zeros dropped.
+// This is the lazy-generation path: callers stream rows straight out of
+// a model (e.g. a mixed-radix state encoder) without materializing a
+// dense matrix or an intermediate entry map, so construction is
+// O(nnz log rowlen) time and O(nnz) memory.
+func BuildCSR(n int, row func(i int, emit func(j int, v float64))) *Sparse {
+	if n < 0 {
+		panic(fmt.Sprintf("linalg: invalid sparse dimension %d", n))
+	}
+	s := &Sparse{
+		n:      n,
+		rowPtr: make([]int, n+1),
+		diag:   make([]float64, n),
+	}
+	// Scratch for the row under construction, reused across rows.
+	cols := make([]int, 0, 16)
+	vals := make([]float64, 0, 16)
+	for i := 0; i < n; i++ {
+		cols, vals = cols[:0], vals[:0]
+		row(i, func(j int, v float64) {
+			if j < 0 || j >= n {
+				panic(fmt.Sprintf("linalg: sparse index (%d,%d) out of range for %dx%d matrix", i, j, n, n))
+			}
+			if v == 0 {
+				return
+			}
+			cols = append(cols, j)
+			vals = append(vals, v)
+		})
+		if len(cols) > 1 {
+			sort.Sort(&rowSorter{cols, vals})
+		}
+		// Merge duplicates, drop entries that cancel to zero.
+		for k := 0; k < len(cols); {
+			j, v := cols[k], vals[k]
+			k++
+			for k < len(cols) && cols[k] == j {
+				v += vals[k]
+				k++
+			}
+			if v == 0 {
+				continue
+			}
+			s.colIdx = append(s.colIdx, j)
+			s.val = append(s.val, v)
+			if i == j {
+				s.diag[i] = v
+			}
+		}
+		s.rowPtr[i+1] = len(s.colIdx)
+	}
+	return s
+}
+
+// rowSorter sorts one row's (column, value) pairs by column.
+type rowSorter struct {
+	cols []int
+	vals []float64
+}
+
+func (r *rowSorter) Len() int           { return len(r.cols) }
+func (r *rowSorter) Less(i, j int) bool { return r.cols[i] < r.cols[j] }
+func (r *rowSorter) Swap(i, j int) {
+	r.cols[i], r.cols[j] = r.cols[j], r.cols[i]
+	r.vals[i], r.vals[j] = r.vals[j], r.vals[i]
+}
+
+// Transpose returns sᵀ in CSR form, in O(n + nnz) time via a counting
+// pass over the column indices.
+func (s *Sparse) Transpose() *Sparse {
+	t := &Sparse{
+		n:      s.n,
+		rowPtr: make([]int, s.n+1),
+		colIdx: make([]int, len(s.colIdx)),
+		val:    make([]float64, len(s.val)),
+		diag:   append([]float64(nil), s.diag...),
+	}
+	for _, j := range s.colIdx {
+		t.rowPtr[j+1]++
+	}
+	for i := 0; i < s.n; i++ {
+		t.rowPtr[i+1] += t.rowPtr[i]
+	}
+	next := append([]int(nil), t.rowPtr[:s.n]...)
+	for i := 0; i < s.n; i++ {
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			j := s.colIdx[k]
+			t.colIdx[next[j]] = i
+			t.val[next[j]] = s.val[k]
+			next[j]++
+		}
+	}
+	return t
+}
+
+// Diag returns the cached diagonal. The returned slice is shared;
+// treat it as read-only.
+func (s *Sparse) Diag() []float64 { return s.diag }
+
 // N returns the matrix dimension.
 func (s *Sparse) N() int { return s.n }
 

@@ -145,15 +145,13 @@ func (e *Evaluator) EvaluateContext(ctx context.Context, cfg perf.Config, worker
 	if cfg.Speeds != nil {
 		return nil, fmt.Errorf("performability: heterogeneous replica speeds are not supported (degraded states cannot tell which replica failed)")
 	}
-	// Pre-flight: reject configurations whose degraded-state space the
-	// budget cannot admit before any marginal, joint vector, or solver
-	// state is allocated. This is the first line of defense for the
-	// untrusted /v1/assess route.
-	size, err := ctmc.StateSpaceSize(cfg.Replicas)
-	if err != nil {
-		return nil, err
-	}
-	if err := wfmserr.Default.CheckStates("performability", size); err != nil {
+	// Pre-flight: the encoder overflow check runs against the nominal
+	// state space before anything is allocated; the budget check below
+	// runs against the product-form SUPPORT (states with positive
+	// probability), which is what the evaluation actually enumerates —
+	// a configuration with never-failing types only pays for its
+	// reachable states.
+	if _, err := ctmc.StateSpaceSize(cfg.Replicas); err != nil {
 		return nil, err
 	}
 	env := e.a.Env()
@@ -161,8 +159,19 @@ func (e *Evaluator) EvaluateContext(ctx context.Context, cfg perf.Config, worker
 	if err != nil {
 		return nil, err
 	}
-	availRep, err := avail.EvaluateProductFormCached(params, e.opts.Discipline, true, e.marginals)
+	// Product-form fast path: the per-type marginals are exact here
+	// (failures and repairs never couple types), so the joint chain is
+	// never built or solved — and since the joint distribution is a
+	// product, it is swept lazily below instead of being materialized.
+	availRep, err := avail.EvaluateProductFormSolver(params, e.opts.Discipline, false, e.marginals, e.opts.Solver)
 	if err != nil {
+		return nil, err
+	}
+	support, err := avail.ProductFormSupportSize(availRep.TypeMarginals)
+	if err != nil {
+		return nil, err
+	}
+	if err := wfmserr.Default.CheckStates("performability", support); err != nil {
 		return nil, err
 	}
 
@@ -181,28 +190,36 @@ func (e *Evaluator) EvaluateContext(ctx context.Context, cfg perf.Config, worker
 		Availability:  availRep.Availability,
 	}
 
-	enc := availRep.Encoder
+	enc, err := ctmc.NewStateEncoderChecked(cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
 	fullCode := enc.Encode(cfg.Replicas)
 
 	// Phase 1: resolve w^X for every positive-probability state, from the
-	// cache where possible and via the worker pool otherwise.
-	ws := make([][]float64, enc.Size())
-	var misses []int // codes needing a fresh solve, in code order
-	enc.Each(func(code int, x []int) {
-		if availRep.StateProbs[code] == 0 {
-			return
+	// cache where possible and via the worker pool otherwise. The lazy
+	// sweep visits states in ascending code order, so the support lists
+	// are ordered exactly like the historical full-vector scan.
+	states := make([]weightedState, 0, support)
+	ws := make([][]float64, 0, support)
+	var misses []int // positions in states needing a fresh solve, in code order
+	avail.EachProductState(availRep.TypeMarginals, func(code int, x []int, p float64) {
+		if p == 0 {
+			return // marginal product underflowed; same skip as the materialized path
 		}
+		states = append(states, weightedState{code: code, p: p})
 		if code == fullCode {
-			ws[code] = fullUp
+			ws = append(ws, fullUp)
 			return
 		}
 		if w, ok := e.lookup(StateKey(x)); ok {
-			ws[code] = w
+			ws = append(ws, w)
 			return
 		}
-		misses = append(misses, code)
+		ws = append(ws, nil)
+		misses = append(misses, len(states)-1)
 	})
-	if err := e.solveStates(ctx, enc, misses, ws, workers); err != nil {
+	if err := e.solveStates(ctx, enc, states, misses, ws, workers); err != nil {
 		return nil, err
 	}
 
@@ -210,11 +227,12 @@ func (e *Evaluator) EvaluateContext(ctx context.Context, cfg perf.Config, worker
 	// float operations in the same order as the sequential sweep.
 	waiting := linalg.NewVector(k)
 	var included float64
-	for code, w := range ws {
+	for i, st := range states {
+		w := ws[i]
 		if w == nil {
 			continue
 		}
-		pi := availRep.StateProbs[code]
+		code, pi := st.code, st.p
 		if code != fullCode {
 			res.DegradationShare += pi
 		}
@@ -296,12 +314,20 @@ func (e *Evaluator) stateWaiting(x []int) ([]float64, error) {
 	return w, nil
 }
 
-// solveStates fills ws[code] for every code in misses, spreading the
-// solves over the worker pool. Errors are reported deterministically:
-// the one attached to the lowest state code wins, except that a context
-// cancellation always wins (the remaining solves were abandoned, so any
-// later per-state error is an artifact of where the workers stopped).
-func (e *Evaluator) solveStates(ctx context.Context, enc *ctmc.StateEncoder, misses []int, ws [][]float64, workers int) error {
+// weightedState is one positive-probability joint state of the lazy
+// product-form sweep: its mixed-radix code and probability.
+type weightedState struct {
+	code int
+	p    float64
+}
+
+// solveStates fills ws[idx] for every support-list position in misses,
+// spreading the solves over the worker pool. Errors are reported
+// deterministically: the one attached to the lowest state code wins,
+// except that a context cancellation always wins (the remaining solves
+// were abandoned, so any later per-state error is an artifact of where
+// the workers stopped).
+func (e *Evaluator) solveStates(ctx context.Context, enc *ctmc.StateEncoder, states []weightedState, misses []int, ws [][]float64, workers int) error {
 	if len(misses) == 0 {
 		return nil
 	}
@@ -312,15 +338,15 @@ func (e *Evaluator) solveStates(ctx context.Context, enc *ctmc.StateEncoder, mis
 		workers = len(misses)
 	}
 	if workers <= 1 {
-		for i, code := range misses {
+		for i, idx := range misses {
 			if err := ctx.Err(); err != nil {
 				return e.interrupted(err, i, len(misses))
 			}
-			w, err := e.solveOne(enc, code)
+			w, err := e.solveOne(enc, states[idx].code)
 			if err != nil {
 				return err
 			}
-			ws[code] = w
+			ws[idx] = w
 		}
 		return nil
 	}
@@ -339,21 +365,20 @@ func (e *Evaluator) solveStates(ctx context.Context, enc *ctmc.StateEncoder, mis
 				if j >= len(misses) {
 					return
 				}
-				code := misses[j]
-				w, err := e.solveOne(enc, code)
+				w, err := e.solveOne(enc, states[misses[j]].code)
 				if err != nil {
 					errs[j] = err
 					continue
 				}
-				ws[code] = w
+				ws[misses[j]] = w
 			}
 		}()
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		done := 0
-		for _, code := range misses {
-			if ws[code] != nil {
+		for _, idx := range misses {
+			if ws[idx] != nil {
 				done++
 			}
 		}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"performa/internal/avail"
+	"performa/internal/ctmc"
 	"performa/internal/linalg"
 	"performa/internal/perf"
 )
@@ -58,11 +59,18 @@ type Options struct {
 	PenaltyValue float64
 	// Discipline is the repair discipline of the availability model.
 	Discipline avail.RepairDiscipline
+	// Solver selects the steady-state solver strategy for the
+	// availability chains backing the evaluation (the zero value is
+	// auto: dense for small chains, sparse iterative beyond).
+	Solver ctmc.SolverStrategy
 }
 
 func (o Options) validate() error {
 	if o.Policy == Penalty && !(o.PenaltyValue > 0) {
 		return fmt.Errorf("performability: Penalty policy needs a positive PenaltyValue, got %v", o.PenaltyValue)
+	}
+	if !o.Solver.Valid() {
+		return fmt.Errorf("performability: unknown solver strategy %v", o.Solver)
 	}
 	return nil
 }

@@ -13,6 +13,8 @@ import (
 	"performa/internal/audit"
 	"performa/internal/avail"
 	"performa/internal/config"
+	"performa/internal/ctmc"
+	"performa/internal/linalg"
 	"performa/internal/performability"
 	"performa/internal/stream"
 	"performa/internal/wfjson"
@@ -113,6 +115,10 @@ type ModelJSON struct {
 	PenaltyValue float64 `json:"penalty_value,omitempty"`
 	// Discipline is "independent" (default) or "single-crew".
 	Discipline string `json:"discipline,omitempty"`
+	// Solver selects the steady-state solver strategy: "auto"
+	// (default), "dense", "gauss_seidel", "jacobi", "power", or
+	// "bicgstab".
+	Solver string `json:"solver,omitempty"`
 }
 
 func (m ModelJSON) toOptions() (performability.Options, error) {
@@ -135,6 +141,11 @@ func (m ModelJSON) toOptions() (performability.Options, error) {
 	default:
 		return out, fmt.Errorf("unknown repair discipline %q (want independent or single-crew)", m.Discipline)
 	}
+	solver, err := ctmc.ParseSolverStrategy(m.Solver)
+	if err != nil {
+		return out, err
+	}
+	out.Solver = solver
 	return out, nil
 }
 
@@ -236,17 +247,20 @@ type CacheStatsJSON struct {
 
 // RecommendResponse is the /v1/recommend reply.
 type RecommendResponse struct {
-	Fingerprint string          `json:"fingerprint"`
-	Planner     string          `json:"planner"`
-	ServerTypes []string        `json:"server_types"`
-	Config      []int           `json:"config"`
-	Cost        int             `json:"cost"`
-	Evaluations int             `json:"evaluations"`
-	Cache       CacheStatsJSON  `json:"cache"`
-	Assessment  AssessmentJSON  `json:"assessment"`
-	Trace       []TraceStepJSON `json:"trace,omitempty"`
-	CacheWarm   bool            `json:"cache_warm"`
-	ElapsedMS   float64         `json:"elapsed_ms"`
+	Fingerprint string         `json:"fingerprint"`
+	Planner     string         `json:"planner"`
+	ServerTypes []string       `json:"server_types"`
+	Config      []int          `json:"config"`
+	Cost        int            `json:"cost"`
+	Evaluations int            `json:"evaluations"`
+	Cache       CacheStatsJSON `json:"cache"`
+	// Solvers traces which linear-system solvers ran during this
+	// search (process-global counters, delta over the request).
+	Solvers    map[string]linalg.SolverCounter `json:"solvers,omitempty"`
+	Assessment AssessmentJSON                  `json:"assessment"`
+	Trace      []TraceStepJSON                 `json:"trace,omitempty"`
+	CacheWarm  bool                            `json:"cache_warm"`
+	ElapsedMS  float64                         `json:"elapsed_ms"`
 }
 
 // CalibrateRequest feeds an audit trail through the calibration
@@ -389,6 +403,10 @@ type StatsResponse struct {
 	// Panics counts handler panics recovered by the containment
 	// middleware (each one is a bug, logged with its stack).
 	Panics uint64 `json:"panics"`
+	// Solvers reports the process-wide per-solver solve counters: how
+	// many steady-state and first-passage systems each linear solver
+	// handled, total iterations, and fallback counts.
+	Solvers map[string]linalg.SolverCounter `json:"solvers,omitempty"`
 }
 
 // AdmissionStatsJSON reports the admission semaphore.

@@ -41,6 +41,7 @@ import (
 	"performa/internal/audit"
 	"performa/internal/calibrate"
 	"performa/internal/config"
+	"performa/internal/linalg"
 	"performa/internal/perf"
 	"performa/internal/stream"
 	"performa/internal/wfjson"
@@ -423,6 +424,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		Cost:        rec.Cost,
 		Evaluations: rec.Evaluations,
 		Cache:       CacheStatsJSON{Hits: rec.Cache.Hits, Misses: rec.Cache.Misses},
+		Solvers:     rec.Solvers,
 		Assessment:  assessmentJSON(rec.Assessment),
 		CacheWarm:   warm,
 		ElapsedMS:   float64(time.Since(began).Microseconds()) / 1e3,
@@ -571,6 +573,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Errors = s.errorCounts()
 	resp.Panics = s.panics.Load()
+	resp.Solvers = linalg.SolverCounters()
 	s.writeJSON(w, http.StatusOK, resp)
 }
 

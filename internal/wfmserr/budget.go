@@ -19,13 +19,16 @@ type Budget struct {
 }
 
 // DefaultBudget returns the stock budget used by the daemon and CLIs.
-// The defaults admit every model in the paper's experiments with two
-// orders of magnitude of headroom while keeping the worst admissible
-// dense solve (2048³ ≈ 8.6e9 flops) around a second of CPU and the
-// largest product-form vector (256 Ki states) under a few MiB.
+// The defaults admit every model in the paper's experiments with orders
+// of magnitude of headroom. MaxStates sizes the sparse steady-state
+// path, whose per-state cost is a handful of CSR entries (~16 bytes
+// each) and a few solution vectors: 2^23 states stay in the low
+// hundreds of MiB and solve in seconds with the iterative solvers.
+// MaxMatrixDim still caps the dense direct path, whose worst admissible
+// solve (2048³ ≈ 8.6e9 flops) is around a second of CPU.
 func DefaultBudget() Budget {
 	return Budget{
-		MaxStates:              1 << 18, // 262144 degraded states
+		MaxStates:              1 << 23, // 8388608 states on the sparse path
 		MaxMatrixDim:           2048,    // dense n×n systems
 		MaxUniformizationSteps: 1_000_000,
 	}
