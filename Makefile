@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check build vet test race bench bench-solver crossval solver-diff fuzz-crash replay-smoke
+.PHONY: check build vet test race bench bench-solver crossval solver-diff fuzz-crash replay-smoke corpus-check
 
 check: build vet test race
 
@@ -53,6 +53,14 @@ solver-diff:
 # rebuild on the next assessment.
 replay-smoke:
 	$(GO) test ./internal/replay -run TestReplaySmoke -v -count=1
+
+# Corpus reproducibility gate: re-convert every entry of the
+# imported-workflow corpus from corpus/manifest.json and diff against
+# the checked-in wfjson byte for byte. A mismatch means the converter's
+# output changed — either fix the regression or deliberately regenerate
+# with `go run ./cmd/wfmsimport -rebuild corpus` and commit the diff.
+corpus-check:
+	$(GO) run ./cmd/wfmsimport -rebuild corpus -check
 
 # Crash-safety fuzz: mutated request bodies through the full /v1/assess
 # handler. The server must answer every input with well-formed JSON (a

@@ -10,6 +10,7 @@
 //	wfmscheck -systems 200 -seed 1 -workers 8 -out corpus/
 //	wfmscheck -systems 25 -mutate            # self-test: must detect the fault
 //	wfmscheck -replay corpus/crossval-seed7.json
+//	wfmscheck -corpus corpus                 # check the imported-workflow corpus
 //
 // Exit status: 0 when every system agrees (or, with -mutate, when the
 // injected fault was detected in at least one system), 1 otherwise.
@@ -18,11 +19,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 
 	"performa/internal/crossval"
+	"performa/internal/wfcommons"
+	"performa/internal/wfjson"
 	"performa/internal/wfmserr"
 )
 
@@ -36,6 +42,7 @@ func main() {
 		mutate       = flag.Bool("mutate", false, "mutation self-test: inject a fault into the analytic route and require the harness to detect it")
 		faultName    = flag.String("fault", "service-moment", "fault injected by -mutate: arrival-rate or service-moment")
 		replay       = flag.String("replay", "", "re-check a corpus file instead of generating systems")
+		corpusDir    = flag.String("corpus", "", "check every wfjson system under this directory's systems/ instead of generating")
 		solverDiff   = flag.Bool("solver-diff", false, "solver-differential mode: cross-check dense vs sparse steady-state solvers only (deterministic, no simulation)")
 		noShrink     = flag.Bool("no-shrink", false, "skip shrinking failing systems")
 		verbose      = flag.Bool("v", false, "log every system, not just failures")
@@ -72,6 +79,9 @@ func main() {
 		}()
 		if *replay != "" {
 			return replayFile(*replay, opt, check)
+		}
+		if *corpusDir != "" {
+			return runCorpus(*corpusDir, *workers, opt, check, *verbose)
 		}
 		return run(*systems, *seed, *workers, *out, opt, check, *noShrink, *mutate, *verbose)
 	}()
@@ -186,6 +196,104 @@ func reportFailure(res *outcome, out string, opt crossval.Options, check checkFn
 	}
 	fmt.Printf("  reproducer: %s (%d workflow(s), %d server type(s))\n",
 		path, len(sys.Flows), sys.Env.K())
+}
+
+// runCorpus checks every wfjson system under dir/systems/ through the
+// differential harness: each file decodes to a system with the default
+// corpus replica vector, a seed derived from its name, and the same
+// multi-route check as generated systems. Any disagreement, decode
+// failure, or silently empty directory exits non-zero.
+func runCorpus(dir string, workers int, opt crossval.Options, check checkFn, verbose bool) int {
+	paths, err := filepath.Glob(filepath.Join(dir, "systems", "*.wfjson"))
+	if err != nil {
+		fatal(err)
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		fmt.Fprintf(os.Stderr, "wfmscheck: no wfjson systems under %s\n", filepath.Join(dir, "systems"))
+		return 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	type corpusOutcome struct {
+		path          string
+		disagreements []crossval.Disagreement
+		err           error
+	}
+	jobs := make(chan string)
+	results := make(chan corpusOutcome)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range jobs {
+				sys, err := loadCorpusSystem(p)
+				if err != nil {
+					results <- corpusOutcome{path: p, err: err}
+					continue
+				}
+				ds, err := check(sys, opt)
+				results <- corpusOutcome{path: p, disagreements: ds, err: err}
+			}
+		}()
+	}
+	go func() {
+		for _, p := range paths {
+			jobs <- p
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	checked, failing, errored := 0, 0, 0
+	for res := range results {
+		checked++
+		switch {
+		case res.err != nil:
+			errored++
+			fmt.Fprintf(os.Stderr, "wfmscheck: %s: %v\n", res.path, res.err)
+		case len(res.disagreements) > 0:
+			failing++
+			fmt.Printf("%s: %d disagreement(s)\n", res.path, len(res.disagreements))
+			for _, d := range res.disagreements {
+				fmt.Printf("  %s\n", d)
+			}
+		case verbose:
+			fmt.Printf("%s: ok\n", res.path)
+		}
+	}
+	fmt.Printf("wfmscheck: %d corpus systems checked, %d disagreeing, %d errored\n",
+		checked, failing, errored)
+	if failing > 0 || errored > 0 {
+		return 1
+	}
+	return 0
+}
+
+// loadCorpusSystem decodes one corpus wfjson file into a checkable
+// system: the corpus default replica vector and a name-derived seed.
+func loadCorpusSystem(path string) (*crossval.System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	env, flows, err := wfjson.Decode(f)
+	if err != nil {
+		return nil, err
+	}
+	h := fnv.New64a()
+	h.Write([]byte(filepath.Base(path)))
+	return &crossval.System{
+		Seed:     h.Sum64(),
+		Env:      env,
+		Flows:    flows,
+		Replicas: wfcommons.Replicas(env),
+	}, nil
 }
 
 // replayFile re-checks a corpus reproducer under its recorded fault.

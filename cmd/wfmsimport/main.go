@@ -1,0 +1,211 @@
+// Command wfmsimport converts WfCommons-format workflow traces into
+// wfjson system documents, generates parametric topology variants, and
+// maintains the checked-in corpus.
+//
+// Usage:
+//
+//	wfmsimport -in trace.json -out system.wfjson
+//	wfmsimport -in run1.json -in run2.json -out system.wfjson   # branch freqs from multiplicity
+//	wfmsimport -gen epigenomics -tasks 200 -seed 7 -out system.wfjson
+//	wfmsimport -gen montage -tasks 120 -seed 3 -trace-out trace.json
+//	wfmsimport -scale trace.json -tasks 400 -seed 5 -out system.wfjson
+//	wfmsimport -rebuild corpus            # regenerate the corpus from manifest.json
+//	wfmsimport -rebuild corpus -check     # diff only; non-zero exit on drift
+//	wfmsimport -list-recipes
+//
+// Exit status: 0 on success, 1 on conversion or check failure, 2 on
+// usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"performa/internal/wfcommons"
+	"performa/internal/wfmserr"
+)
+
+// multiFlag collects repeated -in flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return fmt.Sprint([]string(*m)) }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	var ins multiFlag
+	flag.Var(&ins, "in", "WfCommons trace file to convert (repeatable: several runs of one workflow type)")
+	var (
+		out         = flag.String("out", "", "wfjson output path (default stdout)")
+		traceOut    = flag.String("trace-out", "", "write the generated/scaled WfCommons trace here instead of converting")
+		gen         = flag.String("gen", "", "generate a parametric instance from this recipe (see -list-recipes)")
+		scale       = flag.String("scale", "", "generate a parametric variant of this trace file")
+		tasks       = flag.Int("tasks", 0, "target task count for -gen/-scale")
+		fanout      = flag.Float64("fanout", 0, "fan-out boost for -gen/-scale (default 1)")
+		seed        = flag.Uint64("seed", 1, "generator seed for -gen/-scale")
+		name        = flag.String("name", "", "workflow name override")
+		timeUnit    = flag.Float64("time-unit", 0, "trace seconds per model time unit (default 60)")
+		rho         = flag.Float64("rho", 0, "target bottleneck utilization per replica (default 0.30)")
+		rebuild     = flag.String("rebuild", "", "regenerate the corpus in this directory from its manifest.json")
+		check       = flag.Bool("check", false, "with -rebuild: only diff against the checked-in files, write nothing")
+		listRecipes = flag.Bool("list-recipes", false, "list the built-in topology recipes")
+		verbose     = flag.Bool("v", false, "log collapse statistics")
+	)
+	flag.Parse()
+
+	switch {
+	case *listRecipes:
+		for _, r := range wfcommons.Recipes() {
+			fmt.Println(r)
+		}
+		os.Exit(0)
+	case *rebuild != "":
+		os.Exit(runRebuild(*rebuild, *check))
+	}
+
+	modes := 0
+	if len(ins) > 0 {
+		modes++
+	}
+	if *gen != "" {
+		modes++
+	}
+	if *scale != "" {
+		modes++
+	}
+	if modes != 1 {
+		fmt.Fprintln(os.Stderr, "wfmsimport: exactly one of -in, -gen, or -scale is required (or -rebuild/-list-recipes)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var instances []*wfcommons.Instance
+	params := wfcommons.GenParams{Tasks: *tasks, Fanout: *fanout, Seed: *seed}
+	switch {
+	case *gen != "":
+		in, err := wfcommons.GenerateInstance(*gen, params)
+		if err != nil {
+			fatal(err)
+		}
+		instances = append(instances, in)
+	case *scale != "":
+		base, err := parseFile(*scale)
+		if err != nil {
+			fatal(err)
+		}
+		in, err := wfcommons.ScaleInstance(base, params)
+		if err != nil {
+			fatal(err)
+		}
+		instances = append(instances, in)
+	default:
+		for _, path := range ins {
+			in, err := parseFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			instances = append(instances, in)
+		}
+	}
+
+	if *traceOut != "" {
+		if len(instances) != 1 {
+			fatal(fmt.Errorf("-trace-out writes exactly one instance, have %d", len(instances)))
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := wfcommons.EncodeInstance(f, instances[0]); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wfmsimport: wrote %s (%d tasks)\n", *traceOut, len(instances[0].Tasks))
+		return
+	}
+
+	conv, err := wfcommons.Convert(instances, wfcommons.Options{
+		Name:      *name,
+		TimeUnit:  *timeUnit,
+		TargetRho: *rho,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		s := conv.Stats
+		fmt.Fprintf(os.Stderr, "wfmsimport: %d instance(s), %d tasks → %d levels (%d parallel, %d optional), %d activities, %d server types\n",
+			s.Instances, s.Tasks, s.Levels, s.Parallel, s.Optional, s.Activities, s.ServerTypes)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(conv.Doc); err != nil {
+		fatal(err)
+	}
+}
+
+func parseFile(path string) (*wfcommons.Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	in, err := wfcommons.ParseInstance(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return in, nil
+}
+
+func runRebuild(dir string, checkOnly bool) int {
+	if checkOnly {
+		mismatches, err := wfcommons.CheckCorpus(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wfmsimport:", wfmserr.Describe(err))
+			return 1
+		}
+		if len(mismatches) > 0 {
+			for _, m := range mismatches {
+				fmt.Fprintf(os.Stderr, "wfmsimport: corpus drift: %s (%s): %s\n", m.Name, m.Out, m.Err)
+			}
+			fmt.Fprintf(os.Stderr, "wfmsimport: %d corpus file(s) out of date — run `wfmsimport -rebuild %s`\n", len(mismatches), dir)
+			return 1
+		}
+		fmt.Println("wfmsimport: corpus is exactly reproducible from its manifest")
+		return 0
+	}
+	paths, err := wfcommons.RebuildCorpus(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wfmsimport:", wfmserr.Describe(err))
+		return 1
+	}
+	for _, p := range paths {
+		fmt.Println(p)
+	}
+	fmt.Printf("wfmsimport: rebuilt %d corpus system(s)\n", len(paths))
+	return 0
+}
+
+// fatal prints a one-line diagnostic with the error's taxonomy code and
+// exits non-zero.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wfmsimport:", wfmserr.Describe(err))
+	os.Exit(1)
+}

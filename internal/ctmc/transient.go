@@ -89,6 +89,42 @@ func ExpectedVisits(c *Chain) (linalg.Vector, error) {
 	return out, nil
 }
 
+// TurnaroundVariance returns Var[T], the variance of the first-passage
+// time from state 0 into the absorbing state. With exponential residence
+// times the second moments s_i = E[T_i²] satisfy
+//
+//	s_i = 2H_i² + 2H_i Σ_j p_ij m_j + Σ_j p_ij s_j
+//
+// (condition on the residence R_i ~ Exp(1/H_i) and the next state), i.e.
+// (I - P_T) s = 2H∘H + 2H∘(P m), another dense solve over the transient
+// states. The variance is s_0 - m_0².
+func TurnaroundVariance(c *Chain) (float64, error) {
+	m, err := FirstPassageTimes(c) // validates the chain
+	if err != nil {
+		return 0, err
+	}
+	abs := c.Absorbing()
+	a := linalg.NewMatrix(abs, abs)
+	b := linalg.NewVector(abs)
+	for i := 0; i < abs; i++ {
+		var next float64 // Σ_j p_ij m_j over transient j (m[abs] = 0)
+		for j := 0; j < abs; j++ {
+			v := -c.P.At(i, j)
+			if i == j {
+				v += 1
+			}
+			a.Set(i, j, v)
+			next += c.P.At(i, j) * m[j]
+		}
+		b[i] = 2*c.H[i]*c.H[i] + 2*c.H[i]*next
+	}
+	s, err := linalg.Solve(a, b)
+	if err != nil {
+		return 0, fmt.Errorf("ctmc: second-moment solve: %w", err)
+	}
+	return s[0] - m[0]*m[0], nil
+}
+
 // SeriesOptions controls the truncated uniformized series of Section
 // 4.2.1.
 type SeriesOptions struct {

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"performa/internal/dist"
 	"performa/internal/linalg"
 )
 
@@ -283,5 +284,79 @@ func TestQuickTurnaroundEqualsVisitWeightedResidence(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// erlangChain returns k chained states, each with residence h: the
+// turnaround is Erlang-k with mean k·h and variance k·h².
+func erlangChain(k int, h float64) *Chain {
+	p := linalg.NewMatrix(k+1, k+1)
+	hs := make(linalg.Vector, k+1)
+	for i := 0; i < k; i++ {
+		p.Set(i, i+1, 1)
+		hs[i] = h
+	}
+	return &Chain{P: p, H: hs}
+}
+
+func TestTurnaroundVarianceExact(t *testing.T) {
+	cases := []struct {
+		name  string
+		chain *Chain
+		want  float64
+	}{
+		// A single exponential state: Var = h².
+		{"exponential", twoState(2.5), 2.5 * 2.5},
+		// Erlang-4 of rate 1/1.5 stages: Var = 4·1.5².
+		{"erlang4", erlangChain(4, 1.5), 4 * 1.5 * 1.5},
+		// Branch: T = Exp(1) + S, S = Exp(2) w.p. 0.3 else Exp(3).
+		// Var = 1 + Var(S) = 1 + (0.3·8 + 0.7·18) − (0.3·2 + 0.7·3)².
+		{"branch", branchChain(0.3), 1 + 15 - 2.7*2.7},
+	}
+	for _, tc := range cases {
+		v, err := TurnaroundVariance(tc.chain)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if math.Abs(v-tc.want) > 1e-9 {
+			t.Errorf("%s: variance = %v, want %v", tc.name, v, tc.want)
+		}
+	}
+}
+
+func TestTurnaroundVarianceMatchesMonteCarlo(t *testing.T) {
+	c := loopChain(0.25, 1, 2)
+	want, err := TurnaroundVariance(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := MeanTurnaround(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := dist.NewRNG(7)
+	const samples = 400_000
+	var sum, sumSq float64
+	for i := 0; i < samples; i++ {
+		x, err := SampleTurnaround(c, rng, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += x
+		sumSq += x * x
+	}
+	mcMean := sum / samples
+	mcVar := sumSq/samples - mcMean*mcMean
+	if math.Abs(mcMean-mean) > 0.05*mean {
+		t.Errorf("Monte Carlo mean %v vs analytic %v", mcMean, mean)
+	}
+	if math.Abs(mcVar-want) > 0.05*want {
+		t.Errorf("Monte Carlo variance %v vs analytic %v", mcVar, want)
+	}
+}
+
+func TestTurnaroundVarianceRejectsInvalidChain(t *testing.T) {
+	if _, err := TurnaroundVariance(twoState(-1)); err == nil {
+		t.Error("invalid chain accepted")
 	}
 }

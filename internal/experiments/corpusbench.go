@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"performa/internal/ctmc"
+	"performa/internal/perf"
+	"performa/internal/performability"
+	"performa/internal/spec"
+	"performa/internal/wfcommons"
+	"performa/internal/wfjson"
+)
+
+// CorpusBenchRow is one measured performability assessment of E17, the
+// record format of BENCH_corpus.json: one imported-workflow corpus
+// system evaluated end to end under one steady-state solver strategy.
+type CorpusBenchRow struct {
+	// System is the corpus file's base name without extension.
+	System string `json:"system"`
+	// WFStates is the total CTMC state count across the system's
+	// workflow models (Erlang stage expansion included).
+	WFStates int `json:"wf_states"`
+	// Types is the number of server types K.
+	Types int `json:"types"`
+	// Solver names the steady-state strategy backing the availability
+	// chain ("dense", "gauss_seidel", "bicgstab").
+	Solver string `json:"solver"`
+	// WallMS is the performability evaluation time (model build
+	// excluded; the build is shared across solvers).
+	WallMS float64 `json:"wall_ms"`
+	// MaxWaiting is W^Y's largest per-type entry under the
+	// exclude-down policy.
+	MaxWaiting float64 `json:"max_waiting"`
+	// Unavail is 1 minus the configuration's steady-state availability.
+	Unavail float64 `json:"unavail"`
+	// RelErr is the relative error of MaxWaiting against the dense
+	// solver's result on the same system (0 for the dense row itself).
+	RelErr float64 `json:"rel_err"`
+}
+
+// corpusBenchSolvers is the E17 strategy sweep: the dense direct solve
+// is the reference; the two production sparse iterative strategies must
+// reproduce it on every corpus system.
+var corpusBenchSolvers = []string{"dense", "gauss_seidel", "bicgstab"}
+
+// CorpusBench runs the E17 sweep: every imported-workflow system under
+// dir/systems/ is assessed through the full performability stack
+// (Section 6) once per steady-state solver strategy. limit > 0 caps the
+// number of systems (for smoke runs); 0 means all.
+func CorpusBench(dir string, limit int) ([]CorpusBenchRow, *Table, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "systems", "*.wfjson"))
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, nil, fmt.Errorf("experiments: no corpus systems under %s", filepath.Join(dir, "systems"))
+	}
+	if limit > 0 && len(paths) > limit {
+		paths = paths[:limit]
+	}
+
+	t := &Table{
+		ID:      "E17",
+		Title:   "solver strategies on the imported-workflow corpus (performability, exclude-down)",
+		Columns: []string{"system", "wf states", "types", "solver", "wall", "max waiting", "unavail", "rel err"},
+	}
+	var rows []CorpusBenchRow
+	for _, path := range paths {
+		system := filepath.Base(path)
+		system = system[:len(system)-len(filepath.Ext(system))]
+		a, wfStates, err := loadCorpusAnalysis(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: corpus system %s: %w", system, err)
+		}
+		cfg := perf.Config{Replicas: wfcommons.Replicas(a.Env())}
+		var ref float64
+		for _, solver := range corpusBenchSolvers {
+			strategy, err := ctmc.ParseSolverStrategy(solver)
+			if err != nil {
+				return nil, nil, err
+			}
+			t0 := time.Now()
+			res, err := performability.Evaluate(a, cfg, performability.Options{
+				Policy: performability.ExcludeDown,
+				Solver: strategy,
+			})
+			wall := float64(time.Since(t0)) / float64(time.Millisecond)
+			if err != nil {
+				return nil, nil, fmt.Errorf("experiments: corpus system %s, solver %s: %w", system, solver, err)
+			}
+			row := CorpusBenchRow{
+				System:     system,
+				WFStates:   wfStates,
+				Types:      a.Env().K(),
+				Solver:     solver,
+				WallMS:     wall,
+				MaxWaiting: res.MaxWaiting(),
+				Unavail:    1 - res.Availability,
+			}
+			if solver == "dense" {
+				ref = row.MaxWaiting
+			} else {
+				row.RelErr = relErr(ref, row.MaxWaiting)
+			}
+			rows = append(rows, row)
+			t.AddRow(row.System, fmt.Sprintf("%d", row.WFStates), fmt.Sprintf("%d", row.Types),
+				row.Solver, fmtWall(row.WallMS), fmt.Sprintf("%.4f", row.MaxWaiting),
+				fmt.Sprintf("%.3e", row.Unavail), fmt.Sprintf("%.1e", row.RelErr))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"every system uses the corpus replica vector (2 per type) and its converted MTTF/MTTR rates",
+		"waiting under the exclude-down policy: expectation over operational, non-saturated states",
+		"rel err: MaxWaiting against the dense direct solve of the same system",
+		"wall time covers the performability evaluation; the workflow model build is shared")
+	return rows, t, nil
+}
+
+// loadCorpusAnalysis decodes one corpus wfjson file and builds the
+// performance analysis all E17 solver rows share.
+func loadCorpusAnalysis(path string) (*perf.Analysis, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	env, flows, err := wfjson.Decode(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	models := make([]*spec.Model, len(flows))
+	wfStates := 0
+	for i, flow := range flows {
+		m, err := spec.Build(flow, env)
+		if err != nil {
+			return nil, 0, err
+		}
+		models[i] = m
+		wfStates += m.Chain.N()
+	}
+	a, err := perf.NewAnalysis(env, models)
+	if err != nil {
+		return nil, 0, err
+	}
+	return a, wfStates, nil
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCorpusBenchSmoke runs E17 over a slice of the checked-in corpus:
+// every solver strategy must produce a finite, positive assessment and
+// the sparse strategies must reproduce the dense reference.
+func TestCorpusBenchSmoke(t *testing.T) {
+	rows, tbl, err := CorpusBench("../../corpus", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * len(corpusBenchSolvers); len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	if tbl.ID != "E17" {
+		t.Errorf("table id = %q", tbl.ID)
+	}
+	for _, r := range rows {
+		if !(r.MaxWaiting > 0) || math.IsInf(r.MaxWaiting, 0) || math.IsNaN(r.MaxWaiting) {
+			t.Errorf("%s/%s: max waiting = %v", r.System, r.Solver, r.MaxWaiting)
+		}
+		if !(r.Unavail > 0 && r.Unavail < 1) {
+			t.Errorf("%s/%s: unavailability = %v", r.System, r.Solver, r.Unavail)
+		}
+		if r.RelErr > 1e-6 {
+			t.Errorf("%s/%s: rel err %v against dense", r.System, r.Solver, r.RelErr)
+		}
+		if r.WFStates <= 0 || r.Types < 2 {
+			t.Errorf("%s/%s: states %d, types %d", r.System, r.Solver, r.WFStates, r.Types)
+		}
+	}
+}
+
+func TestCorpusBenchMissingDir(t *testing.T) {
+	if _, _, err := CorpusBench("does-not-exist", 0); err == nil {
+		t.Error("missing corpus directory accepted")
+	}
+}

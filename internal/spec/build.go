@@ -2,11 +2,27 @@ package spec
 
 import (
 	"fmt"
+	"math"
 
 	"performa/internal/ctmc"
 	"performa/internal/linalg"
 	"performa/internal/statechart"
 	"performa/internal/wfmserr"
+)
+
+// Bounds on the moment-matched Erlang expansion of a collapsed
+// subworkflow state. Collapses whose matched stage count falls below
+// minCollapseStages keep the paper's single exponential state (Section
+// 4.2.2) — the expansion only kicks in when the subworkflow's duration is
+// markedly sub-exponential, where one exponential state would let short
+// residence draws compress the subworkflow's whole request load into a
+// burst. The cap only limits how faithfully a very low-variance
+// subworkflow's duration shape is preserved; all mean quantities are
+// exact for any stage count, and the overall chain size is still
+// governed by wfmserr.Default.CheckMatrixDim.
+const (
+	minCollapseStages = 4
+	maxCollapseStages = 256
 )
 
 // Model is the stochastic model of one workflow type: the absorbing CTMC
@@ -78,9 +94,66 @@ func buildChart(chart *statechart.Chart, profiles map[string]ActivityProfile, en
 			order = append(order, name)
 		}
 	}
-	// Each chart state occupies one CTMC state, except activity states
-	// with DurationStages > 1, which expand into an Erlang phase
-	// sequence (same mean, tighter distribution). Incoming transitions
+
+	// Collapse nested subworkflows first (Section 4.2.2): the parent
+	// state's residence time is the maximum of the parallel subworkflows'
+	// turnaround times and its load is the sum of their expected request
+	// vectors. The collapsed residence keeps the dominant subworkflow's
+	// turnaround *distribution* shape as well: an Erlang stage count
+	// moment-matched to that subworkflow (k ≈ mean²/variance) replaces
+	// the single exponential state, so a subworkflow made of long
+	// low-variance phases does not degenerate into a heavy-tailed
+	// exponential whose short draws compress all of its service requests
+	// into a burst. Every collapsed quantity the analytic routes consume
+	// (mean residence, visits, expected requests) is invariant in k.
+	type collapsed struct {
+		maxR   float64
+		stages int
+		load   linalg.Vector
+	}
+	subs := make(map[string]*collapsed)
+	for _, name := range order {
+		s := chart.States[name]
+		if len(s.Subcharts) == 0 {
+			continue
+		}
+		info := &collapsed{stages: 1, load: linalg.NewVector(env.K())}
+		var dominant *Model
+		for _, sub := range s.Subcharts {
+			subModel, err := buildChart(sub, profiles, env)
+			if err != nil {
+				return nil, err
+			}
+			if r := subModel.Turnaround(); r > info.maxR {
+				info.maxR = r
+				dominant = subModel
+			}
+			for x := 0; x < env.K(); x++ {
+				info.load[x] += subModel.requests[x]
+			}
+		}
+		if dominant != nil && info.maxR > 0 {
+			variance, err := ctmc.TurnaroundVariance(dominant.Chain)
+			if err != nil {
+				return nil, fmt.Errorf("spec: chart %q state %q: %w", chart.Name, name, err)
+			}
+			if variance > 0 {
+				k := int(math.Round(info.maxR * info.maxR / variance))
+				if k > maxCollapseStages {
+					k = maxCollapseStages
+				}
+				if k >= minCollapseStages {
+					info.stages = k
+				}
+			}
+		}
+		subs[name] = info
+	}
+
+	// Each chart state occupies one CTMC state, except states that expand
+	// into an Erlang phase sequence (same mean, tighter distribution):
+	// activity states with DurationStages > 1 and collapsed subworkflow
+	// states with a moment-matched stage count. Incoming transitions
 	// enter the first stage, outgoing transitions leave the last.
 	stageCount := func(name string) int {
 		s := chart.States[name]
@@ -88,6 +161,9 @@ func buildChart(chart *statechart.Chart, profiles map[string]ActivityProfile, en
 			if k := profiles[s.Activity].DurationStages; k > 1 {
 				return k
 			}
+		}
+		if info := subs[name]; info != nil {
+			return info.stages
 		}
 		return 1
 	}
@@ -142,30 +218,32 @@ func buildChart(chart *statechart.Chart, profiles map[string]ActivityProfile, en
 				h[i+stage] = prof.MeanDuration / float64(k)
 			}
 			// The activity's service requests belong to the whole
-			// execution, so they attach to the first stage (visited
-			// exactly once per execution).
+			// execution. Every stage of the chain is visited exactly
+			// once per execution, so dividing the load equally across
+			// stages preserves all expected-request quantities while
+			// letting the simulator spread the requests over the whole
+			// execution instead of bursting them into the first stage's
+			// residence.
 			for serverType, l := range prof.Load {
 				x, _ := env.Index(serverType)
-				load.Set(x, i, l)
+				for stage := 0; stage < k; stage++ {
+					load.Set(x, i+stage, l/float64(k))
+				}
 			}
 		default: // nested subworkflows, possibly parallel
-			// Section 4.2.2: residence time is the maximum of the
-			// parallel subworkflows' turnaround times; the load is
-			// the sum of their expected request vectors.
-			var maxR float64
-			for _, sub := range s.Subcharts {
-				subModel, err := buildChart(sub, profiles, env)
-				if err != nil {
-					return nil, err
-				}
-				if r := subModel.Turnaround(); r > maxR {
-					maxR = r
-				}
-				for x := 0; x < env.K(); x++ {
-					load.Add(x, i, subModel.requests[x])
+			// Collapsed above; spread the residence and the summed load
+			// across the moment-matched stages exactly like an activity.
+			info := subs[name]
+			for stage := 0; stage < k; stage++ {
+				h[i+stage] = info.maxR / float64(k)
+			}
+			for x := 0; x < env.K(); x++ {
+				if l := info.load[x]; l != 0 {
+					for stage := 0; stage < k; stage++ {
+						load.Add(x, i+stage, l/float64(k))
+					}
 				}
 			}
-			h[i] = maxR
 		}
 	}
 

@@ -66,15 +66,76 @@ func TestStageExpansionStateLayout(t *testing.T) {
 			t.Errorf("StateNames[%d] = %q, want %q", i, m.StateNames[i], name)
 		}
 	}
-	// Residence 4/3 per stage; load only on the first stage.
+	// Residence 4/3 per stage; the activity's load divides equally
+	// across the stages (each visited once per execution), so the
+	// simulator spreads requests over the whole execution while every
+	// expected-request quantity keeps its total.
+	var total float64
 	for i := 0; i < 3; i++ {
 		if math.Abs(m.Chain.H[i]-4.0/3) > 1e-12 {
 			t.Errorf("H[%d] = %v", i, m.Chain.H[i])
 		}
+		if math.Abs(m.Load.At(1, i)-2.0/3) > 1e-12 {
+			t.Errorf("load[stage %d] = %v, want %v", i, m.Load.At(1, i), 2.0/3)
+		}
+		total += m.Load.At(1, i)
 	}
-	if m.Load.At(1, 0) != 2 || m.Load.At(1, 1) != 0 || m.Load.At(1, 2) != 0 {
-		t.Errorf("load distribution across stages wrong: %v %v %v",
-			m.Load.At(1, 0), m.Load.At(1, 1), m.Load.At(1, 2))
+	if math.Abs(total-2) > 1e-12 {
+		t.Errorf("total load across stages = %v, want 2", total)
+	}
+}
+
+// TestCollapsedSubworkflowStageExpansion: a parallel state whose dominant
+// subworkflow is a low-variance Erlang activity must itself expand into a
+// moment-matched Erlang sequence instead of one exponential state, while
+// every mean quantity (turnaround, expected requests) stays exact.
+func TestCollapsedSubworkflowStageExpansion(t *testing.T) {
+	env := testEnv(t)
+	sub := statechart.NewBuilder("inner").
+		Initial("i").Activity("w", "act").Final("d").
+		Transition("i", "w", 1).Transition("w", "d", 1).
+		MustBuild()
+	chart := statechart.NewBuilder("outer").
+		Initial("init").
+		Nested("par", sub).
+		Final("done").
+		Transition("init", "par", 1).
+		Transition("par", "done", 1).
+		MustBuild()
+	w := &Workflow{
+		Name:  "outer",
+		Chart: chart,
+		Profiles: map[string]ActivityProfile{
+			"act": {Name: "act", MeanDuration: 4, DurationStages: 16,
+				Load: map[string]float64{"eng": 8}},
+		},
+	}
+	m, err := Build(w, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The inner chain is Erlang-16: mean 4, variance 16·(1/4)² = 1, so
+	// the moment-matched parent stage count is mean²/var = 16.
+	if got, want := m.Chain.N(), 17; got != want {
+		t.Fatalf("N = %d, want %d (16 collapsed stages + s_A)", got, want)
+	}
+	if math.Abs(m.Turnaround()-4) > 1e-9 {
+		t.Errorf("turnaround = %v, want 4", m.Turnaround())
+	}
+	r := m.ExpectedRequests()
+	if math.Abs(r[1]-8) > 1e-9 {
+		t.Errorf("eng requests = %v, want 8", r[1])
+	}
+	// Residence and load spread evenly over the 16 stages.
+	var totalLoad float64
+	for i := 0; i < 16; i++ {
+		if math.Abs(m.Chain.H[i]-0.25) > 1e-12 {
+			t.Errorf("H[%d] = %v, want 0.25", i, m.Chain.H[i])
+		}
+		totalLoad += m.Load.At(1, i)
+	}
+	if math.Abs(totalLoad-8) > 1e-9 {
+		t.Errorf("total load = %v, want 8", totalLoad)
 	}
 }
 

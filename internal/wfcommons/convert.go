@@ -1,0 +1,670 @@
+package wfcommons
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"performa/internal/spec"
+	"performa/internal/statechart"
+	"performa/internal/wfjson"
+)
+
+// Options tunes the trace→spec conversion. The zero value selects the
+// documented defaults (DESIGN.md §12); every default is deterministic.
+type Options struct {
+	// Name overrides the workflow name (default: the instance name).
+	Name string
+	// TimeUnit is the number of trace seconds per model time unit
+	// (default 60: models run in minutes, like the examples).
+	TimeUnit float64
+	// TargetRho is the maximum per-replica utilization the arrival
+	// rate is scaled to, assuming Replicas servers per type (default
+	// 0.30 — loaded enough for measurable waiting, stable enough for
+	// every solver and the simulator).
+	TargetRho float64
+	// Replicas is the per-type replica count assumed by the arrival
+	// scaling (default DefaultReplicas).
+	Replicas int
+	// MaxComputeTypes bounds the number of application server types
+	// synthesized from the task categories (default 3): categories are
+	// clustered into runtime bands, widest-gap first.
+	MaxComputeTypes int
+	// MaxBranches bounds the orthogonal branches of one collapsed
+	// parallel level (default 6); excess categories merge into a
+	// pooled "mixed" branch.
+	MaxBranches int
+	// MaxStages caps the Erlang stage expansion estimated from the
+	// pooled runtime second moments (default 192): a pooled fan-out
+	// wants ≈ one stage per task so its requests spread over the whole
+	// serial execution with ≲ 1 request per stage — bursts of several
+	// requests inside one exponential stage draw are exactly what the
+	// analytic Poisson-arrival model cannot see.
+	MaxStages int
+	// MaxSCV caps the service-time squared coefficient of variation of
+	// synthesized server types (default 4).
+	MaxSCV float64
+	// Dilation stretches every collapsed level's residence time beyond
+	// its serial work (default 24): tasks on a shared cluster do not run
+	// back to back, and the stretch puts the converted system in the
+	// many-concurrent-instances regime where each instance offers a
+	// small fraction of one server and the aggregate request process is
+	// near-Poisson — the operating region of the paper's queueing model
+	// (and of the differential harness's tolerances).
+	Dilation float64
+	// EngineServiceFrac sizes the workflow-engine service time as a
+	// fraction of the global mean task runtime (default 0.02).
+	EngineServiceFrac float64
+	// MTTF and MTTR are the per-server failure and repair times in
+	// model time units applied to every synthesized type (defaults
+	// 2000 and 4; traces carry no failure data). MTTF 0 disables
+	// failures.
+	MTTF, MTTR float64
+}
+
+// DefaultReplicas is the per-type replica count corpus tooling assumes
+// when a converted document is checked or assessed: conversion scales
+// arrival rates so this configuration sits at Options.TargetRho.
+const DefaultReplicas = 2
+
+func (o *Options) setDefaults() {
+	if o.TimeUnit <= 0 {
+		o.TimeUnit = 60
+	}
+	if o.TargetRho <= 0 {
+		o.TargetRho = 0.30
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = DefaultReplicas
+	}
+	if o.MaxComputeTypes <= 0 {
+		o.MaxComputeTypes = 3
+	}
+	if o.MaxBranches <= 0 {
+		o.MaxBranches = 6
+	}
+	if o.MaxStages <= 0 {
+		o.MaxStages = 192
+	}
+	if o.MaxSCV <= 0 {
+		o.MaxSCV = 4
+	}
+	if o.Dilation <= 0 {
+		o.Dilation = 24
+	}
+	if o.EngineServiceFrac <= 0 {
+		o.EngineServiceFrac = 0.02
+	}
+	if o.MTTF == 0 && o.MTTR == 0 {
+		o.MTTF, o.MTTR = 2000, 4
+	}
+}
+
+// Converted is the result of one conversion: the validated model inputs
+// plus the canonical wfjson document and collapse statistics.
+type Converted struct {
+	Env  *spec.Environment
+	Flow *spec.Workflow
+	Doc  *wfjson.Document
+	// Stats summarizes the collapse.
+	Stats ConvertStats
+}
+
+// ConvertStats reports how the trace collapsed.
+type ConvertStats struct {
+	Instances   int
+	Tasks       int
+	Levels      int
+	Parallel    int // levels collapsed into orthogonal subworkflows
+	Optional    int // levels entered with probability < 1
+	Activities  int
+	ServerTypes int
+}
+
+// group aggregates the tasks of one (level, category) cell across every
+// imported instance: the unit that becomes one activity.
+type group struct {
+	level    int
+	category string
+
+	samples  int     // task executions pooled
+	sumRT    float64 // Σ runtime (trace seconds)
+	sumRT2   float64 // Σ runtime²
+	presence int     // instances containing the group
+	sumCount int     // Σ per-instance multiplicity (over present instances)
+}
+
+func (g *group) meanRT() float64 { return g.sumRT / float64(g.samples) }
+
+func (g *group) scv() float64 {
+	m := g.meanRT()
+	if m <= 0 || g.samples < 2 {
+		return 1
+	}
+	m2 := g.sumRT2 / float64(g.samples)
+	scv := m2/(m*m) - 1
+	if scv < 0 {
+		scv = 0
+	}
+	return scv
+}
+
+// meanMult is the mean multiplicity over the instances that contain the
+// group (the fan-out degree of the collapsed branch).
+func (g *group) meanMult() float64 { return float64(g.sumCount) / float64(g.presence) }
+
+// Convert maps one or more WfCommons instances of the same workflow
+// type onto a spec/statechart system per the paper's §3 abstraction.
+// The collapse policy is deterministic and documented in DESIGN.md §12:
+//
+//   - Tasks are grouped by (topological level, category). Each group
+//     becomes one activity whose mean duration is the group's serial
+//     work (mean multiplicity × mean task runtime) and whose Erlang
+//     stage count is estimated from the pooled runtime second moment.
+//   - A level with one group becomes a plain activity state; a level
+//     with several groups becomes a state embedding one orthogonal
+//     subchart per group — the paper's parallel subworkflow, whose
+//     collapsed residence time is the maximum of the branch
+//     turnarounds (AND-join policy, spec.Build §4.2.2).
+//   - Branch frequencies come from trace multiplicity: with several
+//     imported instances, a single-group level present in only m of n
+//     instances is entered with probability m/n and skipped otherwise;
+//     optional groups inside parallel levels fold their frequency into
+//     the branch's expected load instead. Levels are aligned across
+//     instances first: a category occupying one level per instance
+//     anchors at its deepest observed level, so a stage skipped by some
+//     runs surfaces as an optional level instead of shifting the levels
+//     of everything downstream.
+//   - Server types are synthesized from the runtime distribution:
+//     categories cluster into at most MaxComputeTypes application
+//     types (runtime bands split at the widest log-mean gaps) plus one
+//     workflow-engine type; each task contributes one engine request
+//     and runtime/service work-preserving compute requests.
+//   - The arrival rate is scaled so the bottleneck type sits at
+//     TargetRho per replica under the assumed replica count.
+func Convert(instances []*Instance, opts Options) (*Converted, error) {
+	opts.setDefaults()
+	if len(instances) == 0 {
+		return nil, invalid("no instances to convert")
+	}
+	name := opts.Name
+	if name == "" {
+		name = instances[0].Name
+	}
+
+	// Align levels across instances: a stage skipped by some runs shifts
+	// the raw topological levels of everything downstream in the runs
+	// that include it. A category occupying exactly one level in every
+	// instance therefore anchors at its deepest observed level, so the
+	// shared tail of the runs pools into shared groups and the skipped
+	// stage surfaces as an optional level. Categories spanning several
+	// levels within one instance (chained same-category stages) keep
+	// their raw levels — anchoring would fold the chain.
+	multi := map[string]bool{}
+	canonical := map[string]int{}
+	instLevels := make([]map[string]int, len(instances))
+	for i, in := range instances {
+		if len(in.Tasks) == 0 {
+			return nil, invalid("instance %q has no tasks", in.Name)
+		}
+		instLevels[i] = in.Levels()
+		seen := map[string]int{} // category → first level in this instance
+		for _, t := range in.Tasks {
+			l := instLevels[i][t.ID]
+			if prev, ok := seen[t.Category]; ok && prev != l {
+				multi[t.Category] = true
+			} else {
+				seen[t.Category] = l
+			}
+			if l > canonical[t.Category] {
+				canonical[t.Category] = l
+			}
+		}
+	}
+
+	// Pool (level, category) groups across instances.
+	groups := map[[2]string]*group{} // key: (zero-padded level, category)
+	var maxLevel int
+	totalTasks := 0
+	for i, in := range instances {
+		levels := instLevels[i]
+		perInstance := map[[2]string]int{}
+		for _, t := range in.Tasks {
+			// ParseInstance guarantees this; re-check for instances built
+			// in code so bad runtimes become typed errors, never NaN
+			// moments.
+			if math.IsNaN(t.Runtime) || math.IsInf(t.Runtime, 0) || t.Runtime <= 0 {
+				return nil, invalid("instance %q: task %q runtime %v must be positive and finite", in.Name, t.ID, t.Runtime)
+			}
+			l := levels[t.ID]
+			if !multi[t.Category] {
+				l = canonical[t.Category]
+			}
+			if l > maxLevel {
+				maxLevel = l
+			}
+			key := [2]string{fmt.Sprintf("%06d", l), t.Category}
+			g := groups[key]
+			if g == nil {
+				g = &group{level: l, category: t.Category}
+				groups[key] = g
+			}
+			g.samples++
+			g.sumRT += t.Runtime
+			g.sumRT2 += t.Runtime * t.Runtime
+			perInstance[key]++
+			totalTasks++
+		}
+		for key, c := range perInstance {
+			groups[key].presence++
+			groups[key].sumCount += c
+		}
+	}
+
+	// Deterministic group order: by level, then category.
+	ordered := make([]*group, 0, len(groups))
+	for _, g := range groups {
+		ordered = append(ordered, g)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].level != ordered[j].level {
+			return ordered[i].level < ordered[j].level
+		}
+		return ordered[i].category < ordered[j].category
+	})
+
+	// Bucket the levels.
+	byLevel := make([][]*group, maxLevel+1)
+	for _, g := range ordered {
+		byLevel[g.level] = append(byLevel[g.level], g)
+	}
+
+	// Cap parallel width: beyond MaxBranches-1 named branches the
+	// remaining (narrowest-first) groups pool into one mixed branch.
+	stats := ConvertStats{Instances: len(instances), Tasks: totalTasks / len(instances), Levels: maxLevel + 1}
+	for l, gs := range byLevel {
+		if len(gs) <= opts.MaxBranches {
+			continue
+		}
+		sort.Slice(gs, func(i, j int) bool {
+			if gs[i].sumCount != gs[j].sumCount {
+				return gs[i].sumCount > gs[j].sumCount
+			}
+			return gs[i].category < gs[j].category
+		})
+		keep := gs[:opts.MaxBranches-1]
+		mixed := &group{level: l, category: "mixed", presence: len(instances)}
+		for _, g := range gs[opts.MaxBranches-1:] {
+			mixed.samples += g.samples
+			mixed.sumRT += g.sumRT
+			mixed.sumRT2 += g.sumRT2
+			mixed.sumCount += g.sumCount
+		}
+		gs = append(append([]*group(nil), keep...), mixed)
+		sort.Slice(gs, func(i, j int) bool { return gs[i].category < gs[j].category })
+		byLevel[l] = gs
+	}
+
+	// Synthesize the environment from the (possibly merged) groups.
+	var final []*group
+	for _, gs := range byLevel {
+		final = append(final, gs...)
+	}
+	env, computeType, err := synthesizeEnvironment(final, opts)
+	if err != nil {
+		return nil, err
+	}
+	stats.ServerTypes = env.K()
+	stats.Activities = len(final)
+
+	// Build the chart: a chain over levels with probabilistic skip
+	// edges for optional levels.
+	n := len(instances)
+	chart := &statechart.Chart{
+		Name:    name,
+		Initial: "init",
+		Final:   "done",
+		States: map[string]*statechart.State{
+			"init": {Name: "init"},
+			"done": {Name: "done"},
+		},
+	}
+	profiles := make(map[string]spec.ActivityProfile)
+
+	type levelNode struct {
+		state string
+		prob  float64 // probability the level executes (m/n)
+	}
+	var nodes []levelNode
+	for l, gs := range byLevel {
+		if len(gs) == 0 {
+			continue
+		}
+		stateName := fmt.Sprintf("L%02d_%s", l, gs[0].category)
+		prob := 1.0
+		st := &statechart.State{Name: stateName}
+		if len(gs) == 1 {
+			g := gs[0]
+			act := activityName(g)
+			st.Activity = act
+			profiles[act] = makeProfile(act, g, false, n, env, computeType, opts)
+			if g.presence < n {
+				prob = float64(g.presence) / float64(n)
+				stats.Optional++
+			}
+		} else {
+			// Parallel level: one orthogonal subchart per group. A
+			// group absent from some instances keeps probability one in
+			// the chart; its frequency folds into the expected load.
+			stateName = fmt.Sprintf("L%02d_par", l)
+			st.Name = stateName
+			stats.Parallel++
+			for _, g := range gs {
+				act := activityName(g)
+				profiles[act] = makeProfile(act, g, true, n, env, computeType, opts)
+				sub := &statechart.Chart{
+					Name:    fmt.Sprintf("%s_%s", stateName, g.category),
+					Initial: "init",
+					Final:   "done",
+					States: map[string]*statechart.State{
+						"init": {Name: "init"},
+						"run":  {Name: "run", Activity: act},
+						"done": {Name: "done"},
+					},
+					Transitions: []*statechart.Transition{
+						{From: "init", To: "run", Prob: 1},
+						{From: "run", To: "done", Prob: 1},
+					},
+				}
+				st.Subcharts = append(st.Subcharts, sub)
+			}
+		}
+		chart.States[st.Name] = st
+		nodes = append(nodes, levelNode{state: st.Name, prob: prob})
+	}
+	if len(nodes) == 0 {
+		return nil, invalid("instance %q collapses to no activity levels", name)
+	}
+
+	// Transitions: from each anchor (init or a level state), enter the
+	// next level with its presence probability, or skip past it — the
+	// skip mass cascades over consecutive optional levels.
+	addOutgoing := func(from string, start int) {
+		rem := 1.0
+		for j := start; j < len(nodes); j++ {
+			p := rem * nodes[j].prob
+			if p > 0 {
+				chart.Transitions = append(chart.Transitions,
+					&statechart.Transition{From: from, To: nodes[j].state, Prob: p})
+			}
+			rem -= p
+			if rem <= 1e-12 {
+				return
+			}
+		}
+		if rem > 0 {
+			chart.Transitions = append(chart.Transitions,
+				&statechart.Transition{From: from, To: "done", Prob: rem})
+		}
+	}
+	addOutgoing("init", 0)
+	for i := range nodes {
+		addOutgoing(nodes[i].state, i+1)
+	}
+
+	flow := &spec.Workflow{
+		Name:        name,
+		Chart:       chart,
+		Profiles:    profiles,
+		ArrivalRate: 1, // provisional; scaled to TargetRho below
+	}
+
+	model, err := spec.Build(flow, env)
+	if err != nil {
+		return nil, fmt.Errorf("wfcommons: building model for %q: %w", name, err)
+	}
+
+	// Scale the arrival rate so the bottleneck type runs at TargetRho
+	// per replica under the assumed configuration.
+	req := model.ExpectedRequests()
+	maxRho := 0.0
+	for x := 0; x < env.K(); x++ {
+		rho := req[x] * env.Type(x).MeanService / float64(opts.Replicas)
+		if rho > maxRho {
+			maxRho = rho
+		}
+	}
+	if !(maxRho > 0) {
+		return nil, invalid("converted system %q induces no load on any server type", name)
+	}
+	flow.ArrivalRate = opts.TargetRho / maxRho
+
+	doc, err := wfjson.ToDocument(env, []*spec.Workflow{flow})
+	if err != nil {
+		return nil, fmt.Errorf("wfcommons: encoding %q: %w", name, err)
+	}
+	// The document stores scv, the environment stores the second moment;
+	// the round trip reintroduces float noise around the snapped values
+	// (0.4999999999999998). Snap half-integer scv back for clean corpus
+	// files — ServiceDists' 1e-9 tolerance accepts either form.
+	for i := range doc.Environment.Types {
+		t := &doc.Environment.Types[i]
+		if half := math.Round(t.ServiceSCV*2) / 2; math.Abs(t.ServiceSCV-half) < 1e-9 {
+			t.ServiceSCV = half
+		}
+	}
+	return &Converted{Env: env, Flow: flow, Doc: doc, Stats: stats}, nil
+}
+
+func activityName(g *group) string {
+	return fmt.Sprintf("%s.l%02d", g.category, g.level)
+}
+
+// makeProfile maps one group onto an activity profile. The pooled
+// activity's residence time is the group's serial work — multiplicity ×
+// mean task runtime — not a single task's runtime: the activity issues
+// one engine and ≈ one compute request per task, and the simulator
+// spreads requests uniformly over the residence, so serial-work
+// residence keeps the instantaneous offered load near one server per
+// active instance, inside the moderate-burst region the analytic
+// queueing model (and the paper's measured systems) assume. Erlang
+// stages come from the pooled sum's SCV: summing mult i.i.d. runtimes
+// divides the single-task SCV by the multiplicity.
+func makeProfile(act string, g *group, parallel bool, instances int, env *spec.Environment, computeType map[string]string, opts Options) spec.ActivityProfile {
+	mult := g.meanMult()
+	if parallel && g.presence < instances {
+		// Optional branch inside a parallel level: frequency folds into
+		// the expected fan-out degree.
+		mult *= float64(g.presence) / float64(instances)
+	}
+	mean := g.meanRT() / opts.TimeUnit
+	duration := mult * mean * opts.Dilation
+	// Erlang-k residence with k ≈ mult/scv models the serial sum of the
+	// pooled tasks; the load divides across the stages (spec.Build), so
+	// each stage issues ≈ load/k requests over one task-sized window —
+	// the renewal-like request process the queueing model assumes.
+	scvSum := g.scv() / math.Max(mult, 1)
+	stages := int(math.Round(1 / math.Max(scvSum, 1.0/float64(opts.MaxStages))))
+	if stages > opts.MaxStages {
+		stages = opts.MaxStages
+	}
+	if stages < 1 {
+		stages = 1
+	}
+	ct := computeType[g.category]
+	x, _ := env.Index(ct)
+	load := map[string]float64{
+		engineTypeName: mult,
+		ct:             mult * mean / env.Type(x).MeanService,
+	}
+	return spec.ActivityProfile{
+		Name:           act,
+		MeanDuration:   duration,
+		DurationStages: stages,
+		Load:           load,
+	}
+}
+
+const engineTypeName = "wf-engine"
+
+// synthesizeEnvironment clusters the groups' categories into at most
+// MaxComputeTypes application server types by runtime band (split at
+// the widest gaps in log mean runtime) plus one workflow-engine type,
+// and returns the environment and the category→type assignment.
+func synthesizeEnvironment(groups []*group, opts Options) (*spec.Environment, map[string]string, error) {
+	// Pool per category (a category can span several levels).
+	type catStat struct {
+		name    string
+		samples int
+		sumRT   float64
+		sumRT2  float64
+	}
+	byCat := map[string]*catStat{}
+	var totalRT float64
+	var totalN int
+	for _, g := range groups {
+		c := byCat[g.category]
+		if c == nil {
+			c = &catStat{name: g.category}
+			byCat[g.category] = c
+		}
+		c.samples += g.samples
+		c.sumRT += g.sumRT
+		c.sumRT2 += g.sumRT2
+		totalRT += g.sumRT
+		totalN += g.samples
+	}
+	cats := make([]*catStat, 0, len(byCat))
+	for _, c := range byCat {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool {
+		mi := cats[i].sumRT / float64(cats[i].samples)
+		mj := cats[j].sumRT / float64(cats[j].samples)
+		if mi != mj {
+			return mi < mj
+		}
+		return cats[i].name < cats[j].name
+	})
+
+	// Split the mean-runtime-sorted categories at the widest log gaps.
+	nTypes := opts.MaxComputeTypes
+	if nTypes > len(cats) {
+		nTypes = len(cats)
+	}
+	type gap struct {
+		at    int // split before cats[at]
+		width float64
+	}
+	var gaps []gap
+	for i := 1; i < len(cats); i++ {
+		mi := cats[i-1].sumRT / float64(cats[i-1].samples)
+		mj := cats[i].sumRT / float64(cats[i].samples)
+		gaps = append(gaps, gap{at: i, width: math.Log(mj) - math.Log(mi)})
+	}
+	sort.Slice(gaps, func(i, j int) bool {
+		if gaps[i].width != gaps[j].width {
+			return gaps[i].width > gaps[j].width
+		}
+		return gaps[i].at < gaps[j].at
+	})
+	splitAt := map[int]bool{}
+	for i := 0; i < nTypes-1 && i < len(gaps); i++ {
+		splitAt[gaps[i].at] = true
+	}
+
+	computeType := map[string]string{}
+	var types []spec.ServerType
+	bucketIdx := 0
+	start := 0
+	flush := func(end int) error {
+		if end == start {
+			return nil
+		}
+		name := fmt.Sprintf("compute%d", bucketIdx)
+		var sumRT, sumRT2 float64
+		var n int
+		for _, c := range cats[start:end] {
+			computeType[c.name] = name
+			sumRT += c.sumRT
+			sumRT2 += c.sumRT2
+			n += c.samples
+		}
+		b := sumRT / float64(n) / opts.TimeUnit
+		m2 := sumRT2 / float64(n) / (opts.TimeUnit * opts.TimeUnit)
+		scv := 1.0
+		if b > 0 {
+			scv = m2/(b*b) - 1
+		}
+		// Snap to a simulable service distribution: Erlang-2 (0.5),
+		// exponential (1), or hyperexponential (> 1, capped).
+		switch {
+		case scv < 0.75:
+			scv = 0.5
+		case scv <= 1.25:
+			scv = 1
+		case scv > opts.MaxSCV:
+			scv = opts.MaxSCV
+		}
+		st := spec.ServerType{
+			Name:                name,
+			Kind:                spec.Application,
+			MeanService:         b,
+			ServiceSecondMoment: (1 + scv) * b * b,
+		}
+		if opts.MTTF > 0 {
+			st.FailureRate = 1 / opts.MTTF
+			st.RepairRate = 1 / opts.MTTR
+		}
+		types = append(types, st)
+		bucketIdx++
+		start = end
+		return nil
+	}
+	for i := 1; i < len(cats); i++ {
+		if splitAt[i] {
+			if err := flush(i); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if err := flush(len(cats)); err != nil {
+		return nil, nil, err
+	}
+
+	// Engine type: dispatch overhead, a small fraction of the global
+	// mean task runtime.
+	meanRT := totalRT / float64(totalN) / opts.TimeUnit
+	eb := opts.EngineServiceFrac * meanRT
+	if eb <= 0 {
+		eb = 1e-6
+	}
+	engine := spec.ServerType{
+		Name:                engineTypeName,
+		Kind:                spec.Engine,
+		MeanService:         eb,
+		ServiceSecondMoment: 2 * eb * eb, // exponential
+	}
+	if opts.MTTF > 0 {
+		engine.FailureRate = 1 / opts.MTTF
+		engine.RepairRate = 1 / opts.MTTR
+	}
+	types = append([]spec.ServerType{engine}, types...)
+
+	env, err := spec.NewEnvironment(types...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wfcommons: synthesized environment invalid: %w", err)
+	}
+	return env, computeType, nil
+}
+
+// Replicas returns the replica vector corpus tooling assumes for a
+// converted environment: DefaultReplicas per type (what the arrival
+// scaling targeted).
+func Replicas(env *spec.Environment) []int {
+	out := make([]int, env.K())
+	for i := range out {
+		out[i] = DefaultReplicas
+	}
+	return out
+}

@@ -1,0 +1,343 @@
+package wfcommons
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"performa/internal/spec"
+	"performa/internal/wfjson"
+)
+
+// makeInstance builds an in-code instance from (id, category, runtime,
+// children) rows, wiring parents symmetrically.
+func makeInstance(name string, rows []struct {
+	id       string
+	category string
+	runtime  float64
+	children []string
+}) *Instance {
+	in := &Instance{Name: name, byID: map[string]*Task{}}
+	for _, r := range rows {
+		t := &Task{ID: r.id, Name: r.id, Category: r.category, Runtime: r.runtime}
+		in.byID[r.id] = t
+		in.Tasks = append(in.Tasks, t)
+	}
+	for _, r := range rows {
+		for _, c := range r.children {
+			in.byID[r.id].Children = append(in.byID[r.id].Children, c)
+			in.byID[c].Parents = append(in.byID[c].Parents, r.id)
+		}
+	}
+	return in
+}
+
+type row = struct {
+	id       string
+	category string
+	runtime  float64
+	children []string
+}
+
+func TestConvertNoInstances(t *testing.T) {
+	_, err := Convert(nil, Options{})
+	mustInvalid(t, err, "no instances")
+}
+
+func TestConvertEmptyInstance(t *testing.T) {
+	in := &Instance{Name: "empty", byID: map[string]*Task{}}
+	_, err := Convert([]*Instance{in}, Options{})
+	mustInvalid(t, err, "no tasks")
+}
+
+func TestConvertSingleTask(t *testing.T) {
+	in := makeInstance("one", []row{{id: "solo_1", category: "solo", runtime: 120}})
+	conv, err := Convert([]*Instance{in}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv.Stats.Activities != 1 || conv.Stats.Levels != 1 {
+		t.Errorf("stats = %+v", conv.Stats)
+	}
+	model, err := spec.Build(conv.Flow, conv.Env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta := model.Turnaround()
+	// 120 s at the default 60 s/unit is 2 units of serial work, dilated
+	// by the default factor 24.
+	if !(ta >= 48 && ta < 50) {
+		t.Errorf("turnaround = %v, want ≈ 48", ta)
+	}
+}
+
+// TestConvertDisconnectedSubgraphs: two independent chains share the
+// levels, so each level collapses to a parallel state with one branch
+// per chain.
+func TestConvertDisconnectedSubgraphs(t *testing.T) {
+	in := makeInstance("disc", []row{
+		{id: "a_1", category: "a", runtime: 60, children: []string{"a_2"}},
+		{id: "a_2", category: "aTail", runtime: 30},
+		{id: "b_1", category: "b", runtime: 90, children: []string{"b_2"}},
+		{id: "b_2", category: "bTail", runtime: 45},
+	})
+	conv, err := Convert([]*Instance{in}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv.Stats.Parallel != 2 {
+		t.Errorf("want both levels parallel, stats = %+v", conv.Stats)
+	}
+	if _, err := spec.Build(conv.Flow, conv.Env); err != nil {
+		t.Fatalf("disconnected-subgraph model does not build: %v", err)
+	}
+}
+
+// TestConvertBadRuntimes: converter-level guard for instances built in
+// code (parse already rejects these): typed error, never NaN moments.
+func TestConvertBadRuntimes(t *testing.T) {
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		in := makeInstance("bad", []row{{id: "x_1", category: "x", runtime: bad}})
+		_, err := Convert([]*Instance{in}, Options{})
+		mustInvalid(t, err, "must be positive")
+	}
+}
+
+// TestConvertOptionalLevels: a level present in one of two imported
+// instances is entered with probability 1/2; the skip mass cascades.
+func TestConvertOptionalLevels(t *testing.T) {
+	full := makeInstance("run1", []row{
+		{id: "prep_1", category: "prep", runtime: 30, children: []string{"fix_1"}},
+		{id: "fix_1", category: "fix", runtime: 60, children: []string{"pub_1"}},
+		{id: "pub_1", category: "pub", runtime: 20},
+	})
+	short := makeInstance("run2", []row{
+		{id: "prep_1", category: "prep", runtime: 34, children: []string{"pub_1"}},
+		{id: "pub_1", category: "pub", runtime: 22},
+	})
+	conv, err := Convert([]*Instance{full, short}, Options{Name: "opt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv.Stats.Optional < 1 {
+		t.Fatalf("want ≥ 1 optional level, stats = %+v", conv.Stats)
+	}
+	// prep must branch: P(fix) = 1/2, and the remaining mass must land
+	// on a later level, not vanish.
+	var probs []float64
+	for _, tr := range conv.Flow.Chart.Transitions {
+		if tr.From == "L00_prep" {
+			probs = append(probs, tr.Prob)
+		}
+	}
+	if len(probs) != 2 {
+		t.Fatalf("prep should have 2 outgoing branches, has %d", len(probs))
+	}
+	sum := 0.0
+	for _, p := range probs {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("branch probabilities sum to %v", sum)
+	}
+	if _, err := spec.Build(conv.Flow, conv.Env); err != nil {
+		t.Fatalf("optional-level model does not build: %v", err)
+	}
+}
+
+// TestConvertDeterminism is the determinism pin the corpus depends on:
+// same trace + seed → byte-identical wfjson, across fresh generation,
+// encode/parse round trips, and repeated conversion.
+func TestConvertDeterminism(t *testing.T) {
+	encode := func(doc *wfjson.Document) []byte {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	gen := func() []byte {
+		in, err := GenerateInstance("epidemiology", GenParams{Tasks: 70, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conv, err := Convert([]*Instance{in}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return encode(conv.Doc)
+	}
+	first, second := gen(), gen()
+	if !bytes.Equal(first, second) {
+		t.Fatal("same recipe + seed produced different wfjson bytes")
+	}
+
+	// Through a trace-file round trip as well: emit the instance as a
+	// WfCommons trace, re-parse, convert — still byte-identical.
+	in, err := GenerateInstance("epidemiology", GenParams{Tasks: 70, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace bytes.Buffer
+	if err := EncodeInstance(&trace, in); err != nil {
+		t.Fatal(err)
+	}
+	reparsed, err := ParseInstance(&trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv, err := Convert([]*Instance{reparsed}, Options{Name: in.Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, encode(conv.Doc)) {
+		t.Fatal("conversion differs after an EncodeInstance/ParseInstance round trip")
+	}
+
+	// Different seed must differ (the pin would be vacuous otherwise).
+	in2, err := GenerateInstance("epidemiology", GenParams{Tasks: 70, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv2, err := Convert([]*Instance{in2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(first, encode(conv2.Doc)) {
+		t.Fatal("different seeds produced identical wfjson bytes")
+	}
+}
+
+// TestGenerateRecipesEndToEnd runs every built-in recipe through the
+// whole pipe: generate → convert → encode → decode → build → finite
+// turnaround, at two sizes.
+func TestGenerateRecipesEndToEnd(t *testing.T) {
+	for _, r := range Recipes() {
+		name := r[:strings.Index(r, ":")]
+		for _, tasks := range []int{25, 120} {
+			t.Run(fmt.Sprintf("%s-%d", name, tasks), func(t *testing.T) {
+				in, err := GenerateInstance(name, GenParams{Tasks: tasks, Seed: 42})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(in.Tasks) == 0 {
+					t.Fatal("no tasks generated")
+				}
+				conv, err := Convert([]*Instance{in}, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := wfjson.Encode(&buf, conv.Env, []*spec.Workflow{conv.Flow}); err != nil {
+					t.Fatal(err)
+				}
+				env, flows, err := wfjson.Decode(&buf)
+				if err != nil {
+					t.Fatalf("converted document fails wfjson validation: %v", err)
+				}
+				model, err := spec.Build(flows[0], env)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ta := model.Turnaround()
+				if math.IsNaN(ta) || math.IsInf(ta, 0) || ta <= 0 {
+					t.Fatalf("turnaround = %v", ta)
+				}
+				// Arrival scaling promise: bottleneck utilization equals
+				// TargetRho under DefaultReplicas.
+				req := model.ExpectedRequests()
+				maxRho := 0.0
+				for x := 0; x < env.K(); x++ {
+					rho := flows[0].ArrivalRate * req[x] * env.Type(x).MeanService / DefaultReplicas
+					if rho > maxRho {
+						maxRho = rho
+					}
+				}
+				if math.Abs(maxRho-0.30) > 1e-6 {
+					t.Errorf("bottleneck rho = %v, want 0.30", maxRho)
+				}
+			})
+		}
+	}
+}
+
+func TestGenerateUnknownRecipe(t *testing.T) {
+	_, err := GenerateInstance("nope", GenParams{})
+	mustInvalid(t, err, "unknown recipe")
+}
+
+func TestScaleInstance(t *testing.T) {
+	base, err := GenerateInstance("blast", GenParams{Tasks: 40, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := ScaleInstance(base, GenParams{Tasks: 160, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(scaled.Tasks); got < 120 || got > 200 {
+		t.Fatalf("scaled task count = %d, want ≈ 160", got)
+	}
+	// Fixed single-task stages must stay single.
+	perCat := map[string]int{}
+	for _, task := range scaled.Tasks {
+		perCat[task.Category]++
+	}
+	if perCat["splitFasta"] != 1 || perCat["catBlast"] != 1 || perCat["cat"] != 1 {
+		t.Errorf("fixed stages scaled: %v", perCat)
+	}
+	// And the result must still convert and build.
+	conv, err := Convert([]*Instance{scaled}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.Build(conv.Flow, conv.Env); err != nil {
+		t.Fatal(err)
+	}
+	// Determinism of scaling too.
+	again, err := ScaleInstance(base, GenParams{Tasks: 160, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 bytes.Buffer
+	if err := EncodeInstance(&b1, scaled); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeInstance(&b2, again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("ScaleInstance is not deterministic for a fixed seed")
+	}
+}
+
+// TestConvertParallelBand: recipes with AND-split sibling stages
+// (cycles, ml-pipeline) must produce at least one parallel level whose
+// state embeds one subchart per category.
+func TestConvertParallelBand(t *testing.T) {
+	in, err := GenerateInstance("cycles", GenParams{Tasks: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv, err := Convert([]*Instance{in}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv.Stats.Parallel < 1 {
+		t.Fatalf("cycles should collapse to ≥ 1 parallel level, stats = %+v", conv.Stats)
+	}
+	found := false
+	for _, st := range conv.Flow.Chart.States {
+		if len(st.Subcharts) >= 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no state embeds ≥ 2 orthogonal subcharts")
+	}
+}

@@ -1,0 +1,201 @@
+package wfcommons
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ManifestEntry describes one corpus system: where it comes from (one
+// or more trace files, a recipe, or a scaled trace) and how it is
+// converted. Exactly one of Sources, Recipe, or Scale must be set.
+type ManifestEntry struct {
+	// Name identifies the system; it becomes the workflow name.
+	Name string `json:"name"`
+	// Out is the wfjson output path relative to the corpus directory.
+	Out string `json:"out"`
+	// Sources lists WfCommons trace files (relative to the corpus
+	// directory) converted together: multiplicity across the traces
+	// yields branch frequencies.
+	Sources []string `json:"sources,omitempty"`
+	// Recipe generates a parametric instance from a built-in family.
+	Recipe string `json:"recipe,omitempty"`
+	// Scale generates a parametric variant of a source trace file.
+	Scale string `json:"scale,omitempty"`
+	// Tasks and Fanout parameterize Recipe/Scale generation.
+	Tasks  int     `json:"tasks,omitempty"`
+	Fanout float64 `json:"fanout,omitempty"`
+	// Seed makes generation reproducible.
+	Seed uint64 `json:"seed,omitempty"`
+	// TimeUnit/TargetRho override the conversion defaults.
+	TimeUnit  float64 `json:"time_unit,omitempty"`
+	TargetRho float64 `json:"target_rho,omitempty"`
+}
+
+// Manifest is corpus/manifest.json: the recorded recipe for every
+// checked-in system, so `make corpus-check` can re-derive the corpus
+// and diff it against the tree.
+type Manifest struct {
+	Systems []ManifestEntry `json:"systems"`
+}
+
+// LoadManifest reads dir/manifest.json.
+func LoadManifest(dir string) (*Manifest, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return nil, fmt.Errorf("wfcommons: parsing manifest: %w", err)
+	}
+	seen := map[string]bool{}
+	for i, e := range m.Systems {
+		if e.Name == "" || e.Out == "" {
+			return nil, fmt.Errorf("wfcommons: manifest entry %d needs name and out", i)
+		}
+		if seen[e.Out] {
+			return nil, fmt.Errorf("wfcommons: manifest entry %q: duplicate out %q", e.Name, e.Out)
+		}
+		seen[e.Out] = true
+		set := 0
+		if len(e.Sources) > 0 {
+			set++
+		}
+		if e.Recipe != "" {
+			set++
+		}
+		if e.Scale != "" {
+			set++
+		}
+		if set != 1 {
+			return nil, fmt.Errorf("wfcommons: manifest entry %q: exactly one of sources, recipe, or scale must be set", e.Name)
+		}
+	}
+	return &m, nil
+}
+
+// BuildEntry derives one corpus system's canonical wfjson bytes from
+// its manifest entry. Deterministic: the same manifest and sources
+// always produce the same bytes.
+func BuildEntry(dir string, e ManifestEntry) ([]byte, *Converted, error) {
+	var instances []*Instance
+	switch {
+	case len(e.Sources) > 0:
+		for _, src := range e.Sources {
+			f, err := os.Open(filepath.Join(dir, src))
+			if err != nil {
+				return nil, nil, err
+			}
+			in, err := ParseInstance(f)
+			f.Close()
+			if err != nil {
+				return nil, nil, fmt.Errorf("wfcommons: %s: %w", src, err)
+			}
+			instances = append(instances, in)
+		}
+	case e.Recipe != "":
+		in, err := GenerateInstance(e.Recipe, GenParams{Tasks: e.Tasks, Fanout: e.Fanout, Seed: e.Seed})
+		if err != nil {
+			return nil, nil, fmt.Errorf("wfcommons: entry %q: %w", e.Name, err)
+		}
+		instances = append(instances, in)
+	case e.Scale != "":
+		f, err := os.Open(filepath.Join(dir, e.Scale))
+		if err != nil {
+			return nil, nil, err
+		}
+		base, err := ParseInstance(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("wfcommons: %s: %w", e.Scale, err)
+		}
+		in, err := ScaleInstance(base, GenParams{Tasks: e.Tasks, Fanout: e.Fanout, Seed: e.Seed})
+		if err != nil {
+			return nil, nil, fmt.Errorf("wfcommons: entry %q: %w", e.Name, err)
+		}
+		instances = append(instances, in)
+	}
+
+	conv, err := Convert(instances, Options{
+		Name:      e.Name,
+		TimeUnit:  e.TimeUnit,
+		TargetRho: e.TargetRho,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("wfcommons: entry %q: %w", e.Name, err)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(conv.Doc); err != nil {
+		return nil, nil, err
+	}
+	return buf.Bytes(), conv, nil
+}
+
+// Mismatch reports one corpus file whose checked-in bytes differ from
+// the manifest-derived bytes (or that is missing entirely).
+type Mismatch struct {
+	Name string
+	Out  string
+	Err  string
+}
+
+// CheckCorpus re-derives every manifest entry and compares it with the
+// checked-in file, returning the mismatches (nil means the corpus is
+// exactly reproducible).
+func CheckCorpus(dir string) ([]Mismatch, error) {
+	m, err := LoadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Mismatch
+	for _, e := range m.Systems {
+		want, _, err := BuildEntry(dir, e)
+		if err != nil {
+			out = append(out, Mismatch{Name: e.Name, Out: e.Out, Err: err.Error()})
+			continue
+		}
+		got, err := os.ReadFile(filepath.Join(dir, e.Out))
+		if err != nil {
+			out = append(out, Mismatch{Name: e.Name, Out: e.Out, Err: err.Error()})
+			continue
+		}
+		if !bytes.Equal(want, got) {
+			out = append(out, Mismatch{Name: e.Name, Out: e.Out,
+				Err: fmt.Sprintf("checked-in file differs from manifest-derived conversion (%d vs %d bytes)", len(got), len(want))})
+		}
+	}
+	return out, nil
+}
+
+// RebuildCorpus regenerates every manifest entry into the corpus
+// directory, creating output directories as needed, and returns the
+// written paths sorted.
+func RebuildCorpus(dir string) ([]string, error) {
+	m, err := LoadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range m.Systems {
+		buf, _, err := BuildEntry(dir, e)
+		if err != nil {
+			return nil, err
+		}
+		p := filepath.Join(dir, e.Out)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(p, buf, 0o644); err != nil {
+			return nil, err
+		}
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}

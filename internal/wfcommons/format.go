@@ -1,0 +1,455 @@
+// Package wfcommons imports WfCommons-format scientific-workflow
+// instances (JSON task graphs with measured runtimes and dependencies;
+// see PAPERS.md: WfCommons, WfBench) and converts them into the spec/
+// statechart systems the analytic stack consumes, following the paper's
+// Section 3 abstraction: tasks become activity states, dependency
+// fan-out collapses into parallel subworkflows, measured runtimes become
+// residence-time moments, and trace multiplicity becomes branch
+// frequency. A WfBench-style seeded generator produces parametric
+// variants of the imported topologies at arbitrary task counts and
+// fan-out degrees, and a manifest-driven builder maintains the
+// checked-in corpus under corpus/.
+//
+// Two WfCommons schema generations are accepted: the legacy shape
+// (workflow.tasks carrying runtime/runtimeInSeconds inline) and the
+// 1.4+ split shape (workflow.specification.tasks for the graph,
+// workflow.execution.tasks for the measured runtimes, joined by task
+// id). Task references may use ids or names; parents and children are
+// reconciled into one symmetric dependency set.
+package wfcommons
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"performa/internal/wfmserr"
+)
+
+// Task is one node of an imported workflow instance.
+type Task struct {
+	// ID uniquely identifies the task within the instance.
+	ID string
+	// Name is the display name (defaults to ID).
+	Name string
+	// Category groups tasks of the same program/transformation. When
+	// the trace carries no explicit category it is derived from the
+	// name by stripping trailing numeric/id suffixes.
+	Category string
+	// Runtime is the measured execution time in trace seconds.
+	Runtime float64
+	// Parents and Children hold the ids of dependency neighbors,
+	// sorted, with both directions reconciled.
+	Parents  []string
+	Children []string
+	// Machine optionally names the compute node the task ran on.
+	Machine string
+}
+
+// Machine is an optional compute-node spec carried by the trace.
+type Machine struct {
+	Name     string  `json:"name"`
+	Cores    int     `json:"cores,omitempty"`
+	SpeedMHz float64 `json:"speed_mhz,omitempty"`
+}
+
+// Instance is a parsed and validated WfCommons workflow instance: an
+// acyclic task graph with runtimes.
+type Instance struct {
+	// Name is the instance (workflow) name.
+	Name string
+	// SchemaVersion is the declared WfCommons schema version, if any.
+	SchemaVersion string
+	// Tasks holds the tasks sorted by id.
+	Tasks []*Task
+	// Machines holds the optional machine specs, sorted by name.
+	Machines []Machine
+
+	byID map[string]*Task
+}
+
+// Task returns the task with the given id.
+func (in *Instance) Task(id string) (*Task, bool) {
+	t, ok := in.byID[id]
+	return t, ok
+}
+
+// wire structures: the union of the legacy and 1.4+ schemas.
+
+type wcDoc struct {
+	Name          string     `json:"name"`
+	SchemaVersion string     `json:"schemaVersion"`
+	Workflow      wcWorkflow `json:"workflow"`
+}
+
+type wcWorkflow struct {
+	Tasks         []wcTask    `json:"tasks"`
+	Jobs          []wcTask    `json:"jobs"` // oldest traces say "jobs"
+	Machines      []wcMachine `json:"machines"`
+	Specification *wcSpec     `json:"specification"`
+	Execution     *wcExec     `json:"execution"`
+}
+
+type wcSpec struct {
+	Tasks []wcTask `json:"tasks"`
+}
+
+type wcExec struct {
+	Tasks    []wcExecTask `json:"tasks"`
+	Machines []wcMachine  `json:"machines"`
+}
+
+type wcTask struct {
+	Name             string   `json:"name"`
+	ID               string   `json:"id"`
+	Category         string   `json:"category"`
+	Runtime          *float64 `json:"runtime"`
+	RuntimeInSeconds *float64 `json:"runtimeInSeconds"`
+	Children         []string `json:"children"`
+	Parents          []string `json:"parents"`
+	Machine          string   `json:"machine"`
+}
+
+type wcExecTask struct {
+	ID               string   `json:"id"`
+	Name             string   `json:"name"`
+	Runtime          *float64 `json:"runtime"`
+	RuntimeInSeconds *float64 `json:"runtimeInSeconds"`
+	Machine          string   `json:"machine"`
+}
+
+type wcMachine struct {
+	NodeName string  `json:"nodeName"`
+	Name     string  `json:"name"`
+	Cores    int     `json:"cores"`
+	CPU      *wcCPU  `json:"cpu"`
+	SpeedMHz float64 `json:"speed"`
+}
+
+type wcCPU struct {
+	Count int     `json:"count"`
+	Speed float64 `json:"speed"`
+}
+
+// invalid builds the package's typed validation error: every defect a
+// trace file can carry maps to CodeInvalidModel so CLIs and the server
+// classify importer rejections exactly like other model rejections.
+func invalid(format string, args ...any) error {
+	return wfmserr.New(wfmserr.CodeInvalidModel, "wfcommons", format, args...)
+}
+
+// ParseInstance reads one WfCommons-format JSON document and returns
+// the validated instance. Defects — no tasks, duplicate ids, dangling
+// dependency references, dependency cycles, missing or non-positive
+// runtimes — are reported as typed invalid_model errors.
+func ParseInstance(r io.Reader) (*Instance, error) {
+	dec := json.NewDecoder(r)
+	var doc wcDoc
+	if err := dec.Decode(&doc); err != nil {
+		return nil, wfmserr.Wrap(err, wfmserr.CodeInvalidModel, "wfcommons", "parsing trace document")
+	}
+	return fromDoc(&doc)
+}
+
+func fromDoc(doc *wcDoc) (*Instance, error) {
+	in := &Instance{
+		Name:          doc.Name,
+		SchemaVersion: doc.SchemaVersion,
+		byID:          make(map[string]*Task),
+	}
+	if in.Name == "" {
+		in.Name = "workflow"
+	}
+
+	raw := doc.Workflow.Tasks
+	if len(raw) == 0 {
+		raw = doc.Workflow.Jobs
+	}
+	if doc.Workflow.Specification != nil && len(doc.Workflow.Specification.Tasks) > 0 {
+		raw = doc.Workflow.Specification.Tasks
+	}
+	if len(raw) == 0 {
+		return nil, invalid("instance %q has no tasks", in.Name)
+	}
+
+	// Execution-side runtimes (1.4+ split schema), joined by id or name.
+	execRuntime := map[string]float64{}
+	execMachine := map[string]string{}
+	if doc.Workflow.Execution != nil {
+		for _, et := range doc.Workflow.Execution.Tasks {
+			key := et.ID
+			if key == "" {
+				key = et.Name
+			}
+			if v := runtimeOf(et.Runtime, et.RuntimeInSeconds); v != nil {
+				execRuntime[key] = *v
+			}
+			if et.Machine != "" {
+				execMachine[key] = et.Machine
+			}
+		}
+	}
+
+	// First pass: build tasks keyed by id (falling back to name) and a
+	// name→id alias table for legacy traces that reference by name.
+	alias := map[string]string{}
+	for i, rt := range raw {
+		id := rt.ID
+		if id == "" {
+			id = rt.Name
+		}
+		if id == "" {
+			return nil, invalid("instance %q: task %d has neither id nor name", in.Name, i)
+		}
+		if _, dup := in.byID[id]; dup {
+			return nil, invalid("instance %q: duplicate task id %q", in.Name, id)
+		}
+		t := &Task{ID: id, Name: rt.Name, Category: rt.Category, Machine: rt.Machine}
+		if t.Name == "" {
+			t.Name = id
+		}
+		if t.Category == "" {
+			t.Category = deriveCategory(t.Name)
+		}
+		if rv := runtimeOf(rt.Runtime, rt.RuntimeInSeconds); rv != nil {
+			t.Runtime = *rv
+		} else if rv, ok := execRuntime[id]; ok {
+			t.Runtime = rv
+		} else if rv, ok := execRuntime[t.Name]; ok {
+			t.Runtime = rv
+		} else {
+			return nil, invalid("instance %q: task %q has no measured runtime", in.Name, id)
+		}
+		if math.IsNaN(t.Runtime) || math.IsInf(t.Runtime, 0) || t.Runtime <= 0 {
+			return nil, invalid("instance %q: task %q runtime %v must be positive and finite", in.Name, id, t.Runtime)
+		}
+		if t.Machine == "" {
+			if m, ok := execMachine[id]; ok {
+				t.Machine = m
+			}
+		}
+		in.byID[id] = t
+		in.Tasks = append(in.Tasks, t)
+		if rt.Name != "" && rt.Name != id {
+			if _, clash := alias[rt.Name]; !clash {
+				alias[rt.Name] = id
+			}
+		}
+	}
+
+	// Second pass: resolve dependency references (by id, then by name
+	// alias) and reconcile parents/children into one symmetric set.
+	resolve := func(owner, ref string) (string, error) {
+		if _, ok := in.byID[ref]; ok {
+			return ref, nil
+		}
+		if id, ok := alias[ref]; ok {
+			return id, nil
+		}
+		return "", invalid("instance %q: task %q references unknown task %q", in.Name, owner, ref)
+	}
+	edges := map[[2]string]bool{} // parent → child
+	for _, rt := range raw {
+		id := rt.ID
+		if id == "" {
+			id = rt.Name
+		}
+		for _, c := range rt.Children {
+			cid, err := resolve(id, c)
+			if err != nil {
+				return nil, err
+			}
+			edges[[2]string{id, cid}] = true
+		}
+		for _, p := range rt.Parents {
+			pid, err := resolve(id, p)
+			if err != nil {
+				return nil, err
+			}
+			edges[[2]string{pid, id}] = true
+		}
+	}
+	for e := range edges {
+		if e[0] == e[1] {
+			return nil, invalid("instance %q: task %q depends on itself", in.Name, e[0])
+		}
+		in.byID[e[0]].Children = append(in.byID[e[0]].Children, e[1])
+		in.byID[e[1]].Parents = append(in.byID[e[1]].Parents, e[0])
+	}
+
+	sort.Slice(in.Tasks, func(i, j int) bool { return in.Tasks[i].ID < in.Tasks[j].ID })
+	for _, t := range in.Tasks {
+		sort.Strings(t.Parents)
+		sort.Strings(t.Children)
+	}
+
+	if err := in.checkAcyclic(); err != nil {
+		return nil, err
+	}
+
+	// Machines: legacy and execution-side lists, deduplicated by name.
+	seen := map[string]bool{}
+	addMachine := func(m wcMachine) {
+		name := m.NodeName
+		if name == "" {
+			name = m.Name
+		}
+		if name == "" || seen[name] {
+			return
+		}
+		seen[name] = true
+		mm := Machine{Name: name, Cores: m.Cores, SpeedMHz: m.SpeedMHz}
+		if m.CPU != nil {
+			if mm.Cores == 0 {
+				mm.Cores = m.CPU.Count
+			}
+			if mm.SpeedMHz == 0 {
+				mm.SpeedMHz = m.CPU.Speed
+			}
+		}
+		in.Machines = append(in.Machines, mm)
+	}
+	for _, m := range doc.Workflow.Machines {
+		addMachine(m)
+	}
+	if doc.Workflow.Execution != nil {
+		for _, m := range doc.Workflow.Execution.Machines {
+			addMachine(m)
+		}
+	}
+	sort.Slice(in.Machines, func(i, j int) bool { return in.Machines[i].Name < in.Machines[j].Name })
+
+	return in, nil
+}
+
+func runtimeOf(runtime, runtimeInSeconds *float64) *float64 {
+	if runtimeInSeconds != nil {
+		return runtimeInSeconds
+	}
+	return runtime
+}
+
+// checkAcyclic runs Kahn's algorithm; leftover tasks form a cycle.
+func (in *Instance) checkAcyclic() error {
+	indeg := make(map[string]int, len(in.Tasks))
+	for _, t := range in.Tasks {
+		indeg[t.ID] = len(t.Parents)
+	}
+	queue := make([]string, 0, len(in.Tasks))
+	for _, t := range in.Tasks { // sorted order keeps this deterministic
+		if indeg[t.ID] == 0 {
+			queue = append(queue, t.ID)
+		}
+	}
+	done := 0
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		done++
+		for _, c := range in.byID[id].Children {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if done != len(in.Tasks) {
+		var stuck []string
+		for _, t := range in.Tasks {
+			if indeg[t.ID] > 0 {
+				stuck = append(stuck, t.ID)
+				if len(stuck) == 4 {
+					break
+				}
+			}
+		}
+		return invalid("instance %q: dependency cycle through %s", in.Name, strings.Join(stuck, ", "))
+	}
+	return nil
+}
+
+// Levels returns the topological depth of every task: roots sit at
+// level 0, every other task one past its deepest parent. The level
+// assignment is the backbone of the converter's collapse policy.
+func (in *Instance) Levels() map[string]int {
+	level := make(map[string]int, len(in.Tasks))
+	// Tasks sorted by id do not imply topological order; iterate to a
+	// fixed point level-by-level using Kahn order instead.
+	indeg := make(map[string]int, len(in.Tasks))
+	var queue []string
+	for _, t := range in.Tasks {
+		indeg[t.ID] = len(t.Parents)
+		if indeg[t.ID] == 0 {
+			queue = append(queue, t.ID)
+			level[t.ID] = 0
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, c := range in.byID[id].Children {
+			if l := level[id] + 1; l > level[c] {
+				level[c] = l
+			}
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	return level
+}
+
+// deriveCategory strips trailing numeric/id suffixes from a task name:
+// "individuals_00000023" → "individuals", "mProject_ID0007" →
+// "mProject". The rule is deterministic and errs toward keeping the
+// name when no recognizable suffix exists.
+func deriveCategory(name string) string {
+	s := strings.TrimRight(name, "0123456789")
+	s = strings.TrimRight(s, "_-.")
+	if t := strings.TrimSuffix(strings.TrimSuffix(s, "ID"), "id"); t != s {
+		s = strings.TrimRight(t, "_-.")
+	}
+	if s == "" {
+		return name
+	}
+	return s
+}
+
+// EncodeInstance writes the instance back out in WfCommons legacy
+// format (workflow.tasks with inline runtimes), deterministically: the
+// generator uses it to emit corpus source traces, and re-encoding a
+// parsed instance is byte-stable.
+func EncodeInstance(w io.Writer, in *Instance) error {
+	doc := struct {
+		Name          string `json:"name"`
+		SchemaVersion string `json:"schemaVersion"`
+		Workflow      struct {
+			Machines []wcMachine `json:"machines,omitempty"`
+			Tasks    []wcTask    `json:"tasks"`
+		} `json:"workflow"`
+	}{Name: in.Name, SchemaVersion: "1.3"}
+	for _, m := range in.Machines {
+		doc.Workflow.Machines = append(doc.Workflow.Machines, wcMachine{
+			NodeName: m.Name, Cores: m.Cores, SpeedMHz: m.SpeedMHz,
+		})
+	}
+	for _, t := range in.Tasks {
+		rt := t.Runtime
+		jt := wcTask{
+			Name:             t.Name,
+			ID:               t.ID,
+			Category:         t.Category,
+			RuntimeInSeconds: &rt,
+			Children:         append([]string(nil), t.Children...),
+			Parents:          append([]string(nil), t.Parents...),
+			Machine:          t.Machine,
+		}
+		doc.Workflow.Tasks = append(doc.Workflow.Tasks, jt)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

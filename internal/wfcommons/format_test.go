@@ -1,0 +1,195 @@
+package wfcommons
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"performa/internal/wfmserr"
+)
+
+const legacyTrace = `{
+  "name": "toy",
+  "schemaVersion": "1.3",
+  "workflow": {
+    "machines": [{"nodeName": "node01", "cpu": {"count": 8, "speed": 2400}}],
+    "tasks": [
+      {"name": "split_1", "id": "split_1", "runtimeInSeconds": 10,
+       "children": ["work_1", "work_2"], "machine": "node01"},
+      {"name": "work_1", "id": "work_1", "runtime": 30, "parents": ["split_1"]},
+      {"name": "work_2", "id": "work_2", "runtime": 34, "parents": ["split_1"]},
+      {"name": "merge_1", "id": "merge_1", "runtime": 12,
+       "parents": ["work_1", "work_2"]}
+    ]
+  }
+}`
+
+const splitTrace = `{
+  "name": "toy14",
+  "schemaVersion": "1.4",
+  "workflow": {
+    "specification": {
+      "tasks": [
+        {"name": "split", "id": "id01", "children": ["id02", "id03"]},
+        {"name": "work_a", "id": "id02", "parents": ["id01"]},
+        {"name": "work_b", "id": "id03", "parents": ["id01"]},
+        {"name": "merge", "id": "id04", "parents": ["id02", "id03"]}
+      ]
+    },
+    "execution": {
+      "tasks": [
+        {"id": "id01", "runtimeInSeconds": 8, "machine": "n1"},
+        {"id": "id02", "runtimeInSeconds": 25},
+        {"id": "id03", "runtimeInSeconds": 27},
+        {"id": "id04", "runtimeInSeconds": 9}
+      ],
+      "machines": [{"nodeName": "n1", "cpu": {"count": 4}}]
+    }
+  }
+}`
+
+func TestParseLegacySchema(t *testing.T) {
+	in, err := ParseInstance(strings.NewReader(legacyTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Tasks) != 4 {
+		t.Fatalf("want 4 tasks, got %d", len(in.Tasks))
+	}
+	split, ok := in.Task("split_1")
+	if !ok || split.Runtime != 10 {
+		t.Fatalf("split_1: ok=%v task=%+v", ok, split)
+	}
+	if split.Category != "split" {
+		t.Errorf("derived category = %q, want split", split.Category)
+	}
+	if len(split.Children) != 2 {
+		t.Errorf("split children = %v", split.Children)
+	}
+	merge, _ := in.Task("merge_1")
+	if got := strings.Join(merge.Parents, ","); got != "work_1,work_2" {
+		t.Errorf("merge parents = %q", got)
+	}
+	if len(in.Machines) != 1 || in.Machines[0].Cores != 8 {
+		t.Errorf("machines = %+v", in.Machines)
+	}
+	lv := in.Levels()
+	if lv["split_1"] != 0 || lv["work_1"] != 1 || lv["merge_1"] != 2 {
+		t.Errorf("levels = %v", lv)
+	}
+}
+
+func TestParseSplitSchema(t *testing.T) {
+	in, err := ParseInstance(strings.NewReader(splitTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Tasks) != 4 {
+		t.Fatalf("want 4 tasks, got %d", len(in.Tasks))
+	}
+	s, ok := in.Task("id01")
+	if !ok || s.Runtime != 8 || s.Machine != "n1" {
+		t.Fatalf("id01 = %+v", s)
+	}
+	// Parents declared only on the child side must appear as children on
+	// the parent side too.
+	if got := strings.Join(s.Children, ","); got != "id02,id03" {
+		t.Errorf("id01 children = %q", got)
+	}
+	if len(in.Machines) != 1 || in.Machines[0].Cores != 4 {
+		t.Errorf("machines = %+v", in.Machines)
+	}
+}
+
+// mustInvalid asserts err is a typed invalid_model error mentioning frag.
+func mustInvalid(t *testing.T, err error, frag string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("want invalid_model error containing %q, got nil", frag)
+	}
+	if code := wfmserr.CodeOf(err); code != wfmserr.CodeInvalidModel {
+		t.Fatalf("error code = %v, want invalid_model (err: %v)", code, err)
+	}
+	if !strings.Contains(err.Error(), frag) {
+		t.Fatalf("error %q does not mention %q", err, frag)
+	}
+}
+
+func TestParseDefects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		frag string
+	}{
+		{"empty workflow", `{"name":"e","workflow":{"tasks":[]}}`, "no tasks"},
+		{"not json", `{`, "parsing trace"},
+		{"duplicate id", `{"workflow":{"tasks":[
+			{"id":"a","runtime":1},{"id":"a","runtime":2}]}}`, "duplicate task id"},
+		{"missing runtime", `{"workflow":{"tasks":[{"id":"a"}]}}`, "no measured runtime"},
+		{"zero runtime", `{"workflow":{"tasks":[{"id":"a","runtime":0}]}}`, "must be positive"},
+		{"negative runtime", `{"workflow":{"tasks":[{"id":"a","runtime":-3}]}}`, "must be positive"},
+		{"dangling ref", `{"workflow":{"tasks":[
+			{"id":"a","runtime":1,"children":["ghost"]}]}}`, "unknown task"},
+		{"self dependency", `{"workflow":{"tasks":[
+			{"id":"a","runtime":1,"children":["a"]}]}}`, "depends on itself"},
+		{"cycle", `{"workflow":{"tasks":[
+			{"id":"a","runtime":1,"children":["b"]},
+			{"id":"b","runtime":1,"children":["a"]}]}}`, "dependency cycle"},
+		{"no id or name", `{"workflow":{"tasks":[{"runtime":1}]}}`, "neither id nor name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseInstance(strings.NewReader(tc.doc))
+			mustInvalid(t, err, tc.frag)
+		})
+	}
+}
+
+func TestDeriveCategory(t *testing.T) {
+	cases := map[string]string{
+		"individuals_00000023": "individuals",
+		"mProject_ID0007":      "mProject",
+		"blastall_42":          "blastall",
+		"plain":                "plain",
+		"123":                  "123", // no stem left: keep the name
+	}
+	for name, want := range cases {
+		if got := deriveCategory(name); got != want {
+			t.Errorf("deriveCategory(%q) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+// TestEncodeRoundTrip pins EncodeInstance → ParseInstance as lossless
+// and byte-stable: re-encoding the re-parsed instance reproduces the
+// bytes exactly.
+func TestEncodeRoundTrip(t *testing.T) {
+	in, err := ParseInstance(strings.NewReader(legacyTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf1 bytes.Buffer
+	if err := EncodeInstance(&buf1, in); err != nil {
+		t.Fatal(err)
+	}
+	in2, err := ParseInstance(bytes.NewReader(buf1.Bytes()))
+	if err != nil {
+		t.Fatalf("re-parsing encoded instance: %v", err)
+	}
+	var buf2 bytes.Buffer
+	if err := EncodeInstance(&buf2, in2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Error("EncodeInstance is not byte-stable across a parse round trip")
+	}
+	if len(in2.Tasks) != len(in.Tasks) {
+		t.Fatalf("round trip lost tasks: %d vs %d", len(in2.Tasks), len(in.Tasks))
+	}
+	for i := range in.Tasks {
+		if in.Tasks[i].Runtime != in2.Tasks[i].Runtime {
+			t.Errorf("task %s runtime drifted: %v vs %v",
+				in.Tasks[i].ID, in.Tasks[i].Runtime, in2.Tasks[i].Runtime)
+		}
+	}
+}

@@ -1,0 +1,417 @@
+package wfcommons
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"performa/internal/dist"
+)
+
+// GenParams tunes parametric instance generation (WfBench-style): a
+// target task count, an optional fan-out boost for the wide stages, and
+// the seed that makes the output reproducible.
+type GenParams struct {
+	// Tasks is the approximate total task count (fixed single-task
+	// stages included). Values below a recipe's minimum clamp up.
+	Tasks int
+	// Fanout multiplies the width of every variable (fan-out) stage
+	// after the task budget is split (default 1).
+	Fanout float64
+	// Seed drives the runtime sampler; the same (recipe, params) pair
+	// always yields the same instance.
+	Seed uint64
+}
+
+func (p *GenParams) setDefaults() {
+	if p.Tasks <= 0 {
+		p.Tasks = 50
+	}
+	if p.Fanout <= 0 {
+		p.Fanout = 1
+	}
+}
+
+// stage is one phase of a recipe's fan-out/fan-in skeleton. Stages
+// marked par run in parallel with the preceding stage (same topological
+// level, shared parents and children), forming an AND-split band.
+type stage struct {
+	category string
+	fixed    int     // fixed width (>0) …
+	weight   float64 // … or share of the variable task budget
+	baseRT   float64 // base runtime in seconds
+	sigma    float64 // lognormal spread of the runtimes
+	par      bool    // parallel with the previous stage
+}
+
+// recipe is a parametric topology family modeled on the published
+// WfCommons application shapes.
+type recipe struct {
+	name   string
+	about  string
+	stages []stage
+}
+
+// recipes are the built-in topology families: epidemiology, astronomy,
+// bioinformatics, seismology, agro-ecosystem, and ML-pipeline shapes.
+// Widths fan out and back in between consecutive stages (block
+// bipartite wiring), like the real applications they are named after.
+var recipes = []recipe{
+	{
+		name:  "epigenomics",
+		about: "genome-sequencing pipeline: split → parallel filter/align chain → merge → index",
+		stages: []stage{
+			{category: "fastqSplit", fixed: 1, baseRT: 35, sigma: 0.2},
+			{category: "filterContams", weight: 1, baseRT: 140, sigma: 0.35},
+			{category: "sol2sanger", weight: 1, baseRT: 80, sigma: 0.3},
+			{category: "fast2bfq", weight: 1, baseRT: 60, sigma: 0.3},
+			{category: "map", weight: 1.5, baseRT: 420, sigma: 0.4},
+			{category: "mapMerge", fixed: 1, baseRT: 150, sigma: 0.2},
+			{category: "maqIndex", fixed: 1, baseRT: 90, sigma: 0.2},
+			{category: "pileup", fixed: 1, baseRT: 120, sigma: 0.25},
+		},
+	},
+	{
+		name:  "montage",
+		about: "astronomy mosaic: project → fit differences → background model → add/shrink",
+		stages: []stage{
+			{category: "mProject", weight: 1, baseRT: 95, sigma: 0.3},
+			{category: "mDiffFit", weight: 2, baseRT: 18, sigma: 0.4},
+			{category: "mConcatFit", fixed: 1, baseRT: 65, sigma: 0.2},
+			{category: "mBgModel", fixed: 1, baseRT: 110, sigma: 0.2},
+			{category: "mBackground", weight: 1, baseRT: 14, sigma: 0.35},
+			{category: "mImgtbl", fixed: 1, baseRT: 40, sigma: 0.2},
+			{category: "mAdd", fixed: 1, baseRT: 230, sigma: 0.25},
+			{category: "mShrink", fixed: 1, baseRT: 55, sigma: 0.2},
+			{category: "mJPEG", fixed: 1, baseRT: 22, sigma: 0.2},
+		},
+	},
+	{
+		name:  "seismology",
+		about: "seismogram deconvolution: wide parallel sG1IterDecon → misfit sift",
+		stages: []stage{
+			{category: "sG1IterDecon", weight: 1, baseRT: 33, sigma: 0.45},
+			{category: "wrapperSiftSTFByMisfit", fixed: 1, baseRT: 70, sigma: 0.2},
+		},
+	},
+	{
+		name:  "blast",
+		about: "bioinformatics search: split fasta → parallel blastall → concatenate",
+		stages: []stage{
+			{category: "splitFasta", fixed: 1, baseRT: 28, sigma: 0.2},
+			{category: "blastall", weight: 1, baseRT: 560, sigma: 0.35},
+			{category: "catBlast", fixed: 1, baseRT: 45, sigma: 0.2},
+			{category: "cat", fixed: 1, baseRT: 16, sigma: 0.2},
+		},
+	},
+	{
+		name:  "cycles",
+		about: "agro-ecosystem sweep: parallel baseline runs → parallel cycles → parser → plots",
+		stages: []stage{
+			{category: "baselineCycles", weight: 1, baseRT: 210, sigma: 0.3},
+			{category: "cycles", weight: 1, baseRT: 240, sigma: 0.3, par: true},
+			{category: "fertilizerIncreaseOutputParser", fixed: 1, baseRT: 50, sigma: 0.2},
+			{category: "cyclesPlots", fixed: 1, baseRT: 170, sigma: 0.25},
+		},
+	},
+	{
+		name:  "epidemiology",
+		about: "epidemic simulation: setup → wide parallel simulate → aggregate → plot",
+		stages: []stage{
+			{category: "setup", fixed: 1, baseRT: 60, sigma: 0.2},
+			{category: "simulate", weight: 3, baseRT: 300, sigma: 0.5},
+			{category: "aggregate", fixed: 1, baseRT: 130, sigma: 0.2},
+			{category: "plot", fixed: 1, baseRT: 75, sigma: 0.25},
+		},
+	},
+	{
+		name:  "ml-pipeline",
+		about: "ML training pipeline: ingest → parallel preprocess/augment → train folds → evaluate → select → deploy",
+		stages: []stage{
+			{category: "ingest", fixed: 1, baseRT: 45, sigma: 0.2},
+			{category: "preprocess", weight: 1.5, baseRT: 120, sigma: 0.3},
+			{category: "augment", weight: 1, baseRT: 90, sigma: 0.3, par: true},
+			{category: "trainFold", weight: 1, baseRT: 900, sigma: 0.4},
+			{category: "evaluateFold", weight: 1, baseRT: 110, sigma: 0.3},
+			{category: "selectBest", fixed: 1, baseRT: 30, sigma: 0.2},
+			{category: "deploy", fixed: 1, baseRT: 55, sigma: 0.2},
+		},
+	},
+}
+
+// Recipes lists the built-in topology families as "name: description".
+func Recipes() []string {
+	out := make([]string, len(recipes))
+	for i, r := range recipes {
+		out[i] = fmt.Sprintf("%s: %s", r.name, r.about)
+	}
+	return out
+}
+
+// GenerateInstance builds a parametric WfCommons instance from a named
+// recipe. Output is fully determined by (recipe, params).
+func GenerateInstance(name string, p GenParams) (*Instance, error) {
+	p.setDefaults()
+	var rec *recipe
+	for i := range recipes {
+		if recipes[i].name == name {
+			rec = &recipes[i]
+			break
+		}
+	}
+	if rec == nil {
+		known := make([]string, len(recipes))
+		for i, r := range recipes {
+			known[i] = r.name
+		}
+		return nil, invalid("unknown recipe %q (known: %v)", name, known)
+	}
+
+	// Split the task budget: fixed stages take theirs, the rest spreads
+	// over the variable stages by weight, boosted by Fanout.
+	fixed, totalWeight := 0, 0.0
+	for _, s := range rec.stages {
+		if s.fixed > 0 {
+			fixed += s.fixed
+		} else {
+			totalWeight += s.weight
+		}
+	}
+	variable := p.Tasks - fixed
+	if variable < 0 {
+		variable = 0
+	}
+	widths := make([]int, len(rec.stages))
+	for i, s := range rec.stages {
+		if s.fixed > 0 {
+			widths[i] = s.fixed
+			continue
+		}
+		w := int(math.Round(float64(variable) * s.weight / totalWeight * p.Fanout))
+		if w < 1 {
+			w = 1
+		}
+		widths[i] = w
+	}
+
+	rng := dist.NewRNG(p.Seed*0x9e3779b97f4a7c15 + 1)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	in := &Instance{
+		Name:          fmt.Sprintf("%s-%d", rec.name, p.Tasks),
+		SchemaVersion: "1.3",
+		byID:          make(map[string]*Task, total),
+	}
+	nMachines := 2 + int(math.Min(2, float64(total)/64))
+	for m := 0; m < nMachines; m++ {
+		in.Machines = append(in.Machines, Machine{
+			Name:  fmt.Sprintf("node%02d", m+1),
+			Cores: 8,
+		})
+	}
+
+	// Tasks band by band: a band is a stage plus any following stages
+	// marked par (AND-split siblings). Every stage in a band wires to the
+	// whole previous band by block bipartite mapping, so siblings share
+	// the same topological level and the converter sees a parallel level.
+	var prevBand []*Task
+	serial := 0
+	for si := 0; si < len(rec.stages); {
+		bi := si + 1
+		for bi < len(rec.stages) && rec.stages[bi].par {
+			bi++
+		}
+		var band []*Task
+		for k := si; k < bi; k++ {
+			s := rec.stages[k]
+			cur := make([]*Task, widths[k])
+			for j := range cur {
+				serial++
+				rt := s.baseRT * math.Exp(s.sigma*rng.Norm()-s.sigma*s.sigma/2)
+				t := &Task{
+					ID:       fmt.Sprintf("%s_%05d", s.category, serial),
+					Name:     fmt.Sprintf("%s_%05d", s.category, serial),
+					Category: s.category,
+					Runtime:  roundRT(rt),
+					Machine:  in.Machines[serial%len(in.Machines)].Name,
+				}
+				cur[j] = t
+				in.byID[t.ID] = t
+				in.Tasks = append(in.Tasks, t)
+			}
+			connectStages(prevBand, cur)
+			band = append(band, cur...)
+		}
+		prevBand = band
+		si = bi
+	}
+
+	sort.Slice(in.Tasks, func(i, j int) bool { return in.Tasks[i].ID < in.Tasks[j].ID })
+	for _, t := range in.Tasks {
+		sort.Strings(t.Parents)
+		sort.Strings(t.Children)
+	}
+	return in, nil
+}
+
+// connectStages wires two consecutive stage populations with the block
+// bipartite pattern: parent i and child j connect when their index
+// intervals [i/|A|, (i+1)/|A|) and [j/|B|, (j+1)/|B|) overlap.
+func connectStages(parents, children []*Task) {
+	na, nb := len(parents), len(children)
+	if na == 0 || nb == 0 {
+		return
+	}
+	for j, c := range children {
+		lo := j * na / nb
+		hi := ((j+1)*na - 1) / nb
+		if hi >= na {
+			hi = na - 1
+		}
+		for i := lo; i <= hi; i++ {
+			p := parents[i]
+			p.Children = append(p.Children, c.ID)
+			c.Parents = append(c.Parents, p.ID)
+		}
+	}
+}
+
+// roundRT quantizes runtimes to milliseconds so encoded traces stay
+// compact and re-parse to the exact same float.
+func roundRT(rt float64) float64 {
+	v := math.Round(rt*1000) / 1000
+	if v <= 0 {
+		v = 0.001
+	}
+	return v
+}
+
+// ScaleInstance produces a parametric variant of an imported topology:
+// the category-level structure (which categories exist at which depth,
+// and which feed which) is preserved, while per-category multiplicity
+// scales to the target task count and fan-out boost, and runtimes are
+// re-sampled around each category's empirical moments. Deterministic
+// for a fixed (instance, params) pair.
+func ScaleInstance(base *Instance, p GenParams) (*Instance, error) {
+	p.setDefaults()
+	if len(base.Tasks) == 0 {
+		return nil, invalid("instance %q has no tasks to scale", base.Name)
+	}
+	levels := base.Levels()
+
+	// Category cells: counts, runtime stats, and the category-level
+	// dependency skeleton.
+	type cell struct {
+		key      [2]string // zero-padded level, category
+		level    int
+		category string
+		count    int
+		sumRT    float64
+		sumRT2   float64
+		parents  map[[2]string]bool
+	}
+	cells := map[[2]string]*cell{}
+	keyOf := func(t *Task) [2]string {
+		return [2]string{fmt.Sprintf("%06d", levels[t.ID]), t.Category}
+	}
+	for _, t := range base.Tasks {
+		k := keyOf(t)
+		c := cells[k]
+		if c == nil {
+			c = &cell{key: k, level: levels[t.ID], category: t.Category, parents: map[[2]string]bool{}}
+			cells[k] = c
+		}
+		c.count++
+		c.sumRT += t.Runtime
+		c.sumRT2 += t.Runtime * t.Runtime
+		for _, pid := range t.Parents {
+			pt, _ := base.Task(pid)
+			c.parents[keyOf(pt)] = true
+		}
+	}
+	ordered := make([]*cell, 0, len(cells))
+	for _, c := range cells {
+		ordered = append(ordered, c)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].level != ordered[j].level {
+			return ordered[i].level < ordered[j].level
+		}
+		return ordered[i].category < ordered[j].category
+	})
+
+	factor := float64(p.Tasks) / float64(len(base.Tasks))
+	rng := dist.NewRNG(p.Seed*0x2545f4914f6cdd1d + 3)
+
+	out := &Instance{
+		Name:          fmt.Sprintf("%s-x%d", base.Name, p.Tasks),
+		SchemaVersion: base.SchemaVersion,
+		Machines:      append([]Machine(nil), base.Machines...),
+		byID:          make(map[string]*Task),
+	}
+	if len(out.Machines) == 0 {
+		out.Machines = []Machine{{Name: "node01", Cores: 8}, {Name: "node02", Cores: 8}}
+	}
+
+	newTasks := map[[2]string][]*Task{}
+	serial := 0
+	for _, c := range ordered {
+		// Single-task cells are the pipeline's fixed merge/split points
+		// and stay single; only fan-out cells scale.
+		n := c.count
+		if c.count > 1 {
+			n = int(math.Round(float64(c.count) * factor * p.Fanout))
+			if n < 1 {
+				n = 1
+			}
+		}
+		mean := c.sumRT / float64(c.count)
+		m2 := c.sumRT2 / float64(c.count)
+		sd := math.Sqrt(math.Max(m2-mean*mean, 0))
+		tasks := make([]*Task, n)
+		for j := range tasks {
+			serial++
+			rt := mean + sd*rng.Norm()
+			if rt < mean/10 {
+				rt = mean / 10
+			}
+			t := &Task{
+				ID:       fmt.Sprintf("%s_%05d", c.category, serial),
+				Name:     fmt.Sprintf("%s_%05d", c.category, serial),
+				Category: c.category,
+				Runtime:  roundRT(rt),
+				Machine:  out.Machines[serial%len(out.Machines)].Name,
+			}
+			tasks[j] = t
+			out.byID[t.ID] = t
+			out.Tasks = append(out.Tasks, t)
+		}
+		newTasks[c.key] = tasks
+	}
+
+	// Re-wire the category-level skeleton with block bipartite edges.
+	for _, c := range ordered {
+		pkeys := make([][2]string, 0, len(c.parents))
+		for k := range c.parents {
+			pkeys = append(pkeys, k)
+		}
+		sort.Slice(pkeys, func(i, j int) bool {
+			if pkeys[i][0] != pkeys[j][0] {
+				return pkeys[i][0] < pkeys[j][0]
+			}
+			return pkeys[i][1] < pkeys[j][1]
+		})
+		for _, pk := range pkeys {
+			connectStages(newTasks[pk], newTasks[c.key])
+		}
+	}
+
+	sort.Slice(out.Tasks, func(i, j int) bool { return out.Tasks[i].ID < out.Tasks[j].ID })
+	for _, t := range out.Tasks {
+		sort.Strings(t.Parents)
+		sort.Strings(t.Children)
+	}
+	return out, nil
+}

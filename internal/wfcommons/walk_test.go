@@ -1,0 +1,186 @@
+package wfcommons
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"performa/internal/spec"
+	"performa/internal/wfjson"
+)
+
+// TestCorpusTreeComplete walks the whole corpus tree and cross-checks it
+// against the manifest in both directions. The corpus tooling reaches
+// files by glob and by manifest path, so a stray or misnamed file would
+// otherwise be skipped silently — present in the repository but never
+// validated, never rebuilt, never benched. The walk turns that silence
+// into a failure.
+func TestCorpusTreeComplete(t *testing.T) {
+	dir := filepath.Join("..", "..", "corpus")
+	man, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := make(map[string]bool, len(man.Systems))
+	srcs := map[string]bool{}
+	for _, e := range man.Systems {
+		outs[filepath.ToSlash(e.Out)] = true
+		for _, s := range e.Sources {
+			srcs[filepath.ToSlash(s)] = true
+		}
+		if e.Scale != "" {
+			srcs[filepath.ToSlash(e.Scale)] = true
+		}
+	}
+
+	seen := map[string]bool{}
+	err = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		seen[rel] = true
+		switch {
+		case rel == "README.md" || rel == "manifest.json":
+		case strings.HasPrefix(rel, "systems/"):
+			if !strings.HasSuffix(rel, ".wfjson") {
+				t.Errorf("corpus/%s: not a .wfjson file; the systems glob would skip it silently", rel)
+			} else if !outs[rel] {
+				t.Errorf("corpus/%s: not listed in manifest.json; `wfmsimport -rebuild` would never regenerate it", rel)
+			}
+		case strings.HasPrefix(rel, "sources/"):
+			if !srcs[rel] {
+				t.Errorf("corpus/%s: not referenced by any manifest entry; converter regressions against it would go unnoticed", rel)
+			}
+		default:
+			t.Errorf("corpus/%s: unexpected file; nothing in the corpus tooling would ever read it", rel)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reverse direction: everything the manifest names must exist.
+	for rel := range outs {
+		if !seen[rel] {
+			t.Errorf("manifest lists %s but the file is missing", rel)
+		}
+	}
+	for rel := range srcs {
+		if !seen[rel] {
+			t.Errorf("manifest references source %s but the file is missing", rel)
+		}
+	}
+}
+
+// TestCorpusDocumentsRoundTrip re-validates every checked-in corpus
+// system against the current wfjson schema and model builder: each file
+// must decode under today's validation rules, build into spec models,
+// and survive an encode/decode cycle both byte-for-byte and
+// fingerprint-stable. This is the drift guard: a wfjson or spec change
+// that invalidates checked-in documents fails here instead of surfacing
+// as a confusing downstream error.
+func TestCorpusDocumentsRoundTrip(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "corpus", "systems", "*.wfjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 20 {
+		t.Fatalf("corpus has %d systems, want ≥ 20", len(paths))
+	}
+	for _, path := range paths {
+		name := filepath.Base(path)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, flows, err := wfjson.Decode(strings.NewReader(string(raw)))
+		if err != nil {
+			t.Errorf("%s: fails current validation: %v", name, err)
+			continue
+		}
+		for _, flow := range flows {
+			if _, err := spec.Build(flow, env); err != nil {
+				t.Errorf("%s: workflow %s no longer builds: %v", name, flow.Name, err)
+			}
+		}
+		var buf strings.Builder
+		if err := wfjson.Encode(&buf, env, flows); err != nil {
+			t.Errorf("%s: re-encode: %v", name, err)
+			continue
+		}
+		if buf.String() != string(raw) {
+			t.Errorf("%s: decode/encode cycle changed the document; re-run `go run ./cmd/wfmsimport -rebuild corpus`", name)
+		}
+		fp1, err := wfjson.Fingerprint(env, flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env2, flows2, err := wfjson.Decode(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Errorf("%s: re-decode: %v", name, err)
+			continue
+		}
+		fp2, err := wfjson.Fingerprint(env2, flows2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp1 != fp2 {
+			t.Errorf("%s: fingerprint drifts across a document round trip: %s vs %s", name, fp1, fp2)
+		}
+	}
+}
+
+// TestExamplesTreeComplete walks examples/: every example is a Go main
+// package, and any model document that ever lands there must be valid
+// wfjson — a data file nothing loads would otherwise rot silently.
+func TestExamplesTreeComplete(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			t.Errorf("examples/%s: stray file at the top level", e.Name())
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(dir, e.Name(), "main.go")); err != nil {
+			t.Errorf("examples/%s: no main.go; not a runnable example", e.Name())
+		}
+	}
+	err = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		ext := filepath.Ext(path)
+		if ext != ".json" && ext != ".wfjson" {
+			t.Errorf("%s: unexpected file in examples/; no test or example loads it", path)
+			return nil
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, _, err := wfjson.Decode(f); err != nil {
+			t.Errorf("%s: example document fails current wfjson validation: %v", path, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strconv"
 
 	"performa/internal/spec"
 	"performa/internal/statechart"
@@ -356,6 +357,53 @@ func Encode(w io.Writer, env *spec.Environment, flows []*spec.Workflow) error {
 	return enc.Encode(doc)
 }
 
+// stableSCV recovers the service squared coefficient of variation from
+// the stored second moment such that the emitted value survives the
+// document round trip: FromDocument re-derives the second moment as
+// (1+scv)·m², so the scv written here must map back to the same second
+// moment bit for bit, or every encode/decode cycle would drift the
+// value by an ulp and change the document's fingerprint. Many doubles
+// share one derived second moment; canonSCV picks the cleanest
+// representative of that preimage (0.5 rather than 0.5000000000000016),
+// and the outer loop handles second moments no scv maps onto exactly by
+// walking to a value that reproduces itself. Convergence is immediate
+// in practice; the bound is a safety valve.
+func stableSCV(secondMoment, mean float64) float64 {
+	scv := canonSCV(secondMoment, mean)
+	for i := 0; i < 8; i++ {
+		next := canonSCV((1+scv)*mean*mean, mean)
+		if next == scv {
+			break
+		}
+		scv = next
+	}
+	return scv
+}
+
+// canonSCV returns the canonical scv for a stored second moment: the
+// shortest-decimal positive double whose FromDocument image — the
+// expression (1+scv)·m², replicated operation for operation — equals
+// the second moment exactly. If no scv maps onto it (the multiply
+// leaves gaps between representable products), the plain quotient is
+// returned and stableSCV's iteration takes over. Zero is never emitted:
+// the wire format reads an absent/zero scv as the exponential default 1.
+func canonSCV(secondMoment, mean float64) float64 {
+	raw := secondMoment/(mean*mean) - 1
+	try := func(c float64) bool {
+		return c > 0 && (1+c)*mean*mean == secondMoment
+	}
+	if half := math.Round(raw*2) / 2; try(half) {
+		return half
+	}
+	for digits := 1; digits <= 17; digits++ {
+		c, err := strconv.ParseFloat(strconv.FormatFloat(raw, 'g', digits, 64), 64)
+		if err == nil && try(c) {
+			return c
+		}
+	}
+	return raw
+}
+
 // ToDocument converts model inputs into the JSON document form.
 func ToDocument(env *spec.Environment, flows []*spec.Workflow) (*Document, error) {
 	doc := &Document{}
@@ -366,7 +414,7 @@ func ToDocument(env *spec.Environment, flows []*spec.Workflow) (*Document, error
 			MeanService: st.MeanService,
 		}
 		if st.MeanService > 0 {
-			jt.ServiceSCV = st.ServiceSecondMoment/(st.MeanService*st.MeanService) - 1
+			jt.ServiceSCV = stableSCV(st.ServiceSecondMoment, st.MeanService)
 		}
 		if st.FailureRate > 0 {
 			jt.MTTF = 1 / st.FailureRate
