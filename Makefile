@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check build vet test race bench bench-solver crossval solver-diff fuzz-crash replay-smoke corpus-check
+.PHONY: check build vet test race bench bench-solver bench-serving crossval solver-diff fuzz-crash replay-smoke corpus-check
 
 check: build vet test race
 
@@ -31,6 +31,12 @@ bench:
 # a few minutes.
 bench-solver:
 	$(GO) run ./cmd/wfmsbench -solver-json BENCH_solver.json
+
+# Serving throughput sweep (E18): cold vs warm vs batched assessment
+# latency through a real wfmsd over loopback HTTP, across the imported
+# workflow corpus. Writes the raw phase rows to BENCH_serving.json.
+bench-serving:
+	$(GO) run ./cmd/wfmsbench -serving-json BENCH_serving.json
 
 # Differential validation sweep: random systems cross-checked between
 # the analytic stack, the simulator, and closed-form oracles. Failing

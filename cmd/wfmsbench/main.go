@@ -30,16 +30,18 @@ func main() {
 // exits (os.Exit skips deferred calls).
 func run() int {
 	var (
-		exp           = flag.String("exp", "all", "comma-separated experiment ids: e1..e8, a1..a4, or all")
-		seed          = flag.Uint64("seed", 42, "seed for simulation-backed experiments")
-		horizon       = flag.Float64("horizon", 20000, "simulation horizon in model minutes (e7)")
-		workers       = flag.Int("workers", 0, "planner worker-pool size (0 = all CPUs, 1 = sequential)")
-		solverJSON    = flag.String("solver-json", "", "run only the E16 solver-scaling bench and write its rows as JSON to this file")
-		solverReduced = flag.Bool("solver-reduced", false, "with -solver-json: the reduced sweep (CI smoke sizes)")
-		corpusJSON    = flag.String("corpus-json", "", "run only the E17 corpus solver sweep and write its rows as JSON to this file")
-		corpusDir     = flag.String("corpus-dir", "corpus", "imported-workflow corpus directory for E17")
-		cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile    = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		exp            = flag.String("exp", "all", "comma-separated experiment ids: e1..e8, a1..a4, or all")
+		seed           = flag.Uint64("seed", 42, "seed for simulation-backed experiments")
+		horizon        = flag.Float64("horizon", 20000, "simulation horizon in model minutes (e7)")
+		workers        = flag.Int("workers", 0, "planner worker-pool size (0 = all CPUs, 1 = sequential)")
+		solverJSON     = flag.String("solver-json", "", "run only the E16 solver-scaling bench and write its rows as JSON to this file")
+		solverReduced  = flag.Bool("solver-reduced", false, "with -solver-json: the reduced sweep (CI smoke sizes)")
+		corpusJSON     = flag.String("corpus-json", "", "run only the E17 corpus solver sweep and write its rows as JSON to this file")
+		corpusDir      = flag.String("corpus-dir", "corpus", "imported-workflow corpus directory for E17/E18")
+		servingJSON    = flag.String("serving-json", "", "run only the E18 serving bench and write its rows as JSON to this file")
+		servingReduced = flag.Bool("serving-reduced", false, "with -serving-json: the reduced sweep (CI smoke sizes)")
+		cpuprofile     = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile     = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 	experiments.PlannerWorkers = *workers
@@ -78,6 +80,9 @@ func run() int {
 	if *corpusJSON != "" {
 		return runCorpusBench(*corpusJSON, *corpusDir)
 	}
+	if *servingJSON != "" {
+		return runServingBench(*servingJSON, *corpusDir, *servingReduced)
+	}
 
 	runners := map[string]func() (*experiments.Table, error){
 		"e1": experiments.E1Availability,
@@ -105,6 +110,10 @@ func run() int {
 			_, t, err := experiments.CorpusBench(*corpusDir, 0)
 			return t, err
 		},
+		"e18": func() (*experiments.Table, error) {
+			_, t, err := experiments.ServingBench(*corpusDir, false)
+			return t, err
+		},
 		"a1": experiments.AblationSeries,
 		"a2": experiments.AblationAvailabilitySolvers,
 		"a3": experiments.AblationRepairDiscipline,
@@ -113,7 +122,7 @@ func run() int {
 		"a6": experiments.AblationTransient,
 		"a7": func() (*experiments.Table, error) { return experiments.AblationPooling(*seed) },
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e16", "e17",
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e16", "e17", "e18",
 		"a1", "a2", "a3", "a4", "a5", "a6", "a7"}
 
 	var ids []string
@@ -148,6 +157,29 @@ func run() int {
 // and writes the raw measurement rows as JSON (BENCH_solver.json).
 func runSolverBench(path string, reduced bool) int {
 	rows, tbl, err := experiments.SolverBench(reduced)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wfmsbench:", err)
+		return 1
+	}
+	fmt.Print(tbl.Format())
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wfmsbench:", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "wfmsbench:", err)
+		return 1
+	}
+	fmt.Printf("wrote %d rows to %s\n", len(rows), path)
+	return 0
+}
+
+// runServingBench runs the E18 serving throughput bench, prints the
+// table, and writes the raw phase rows as JSON (BENCH_serving.json).
+func runServingBench(path, dir string, reduced bool) int {
+	rows, tbl, err := experiments.ServingBench(dir, reduced)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wfmsbench:", err)
 		return 1

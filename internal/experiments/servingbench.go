@@ -1,0 +1,338 @@
+package experiments
+
+// E18: serving-path throughput of wfmsd — the cost of an assessment as
+// seen by an HTTP client, cold (every request builds its system model),
+// warm (models resident in the LRU), and batched (one request, builds
+// amortized across items by fingerprint grouping). The sweep runs a
+// real server over loopback HTTP against the imported-workflow corpus,
+// so the rows capture the whole serving stack: JSON decode, admission,
+// the single-flight model cache, and the evaluator fan-out.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"performa/internal/server"
+	"performa/internal/wfcommons"
+	"performa/internal/wfjson"
+)
+
+// ServingBenchRow is one measured serving phase of E18, the record
+// format of BENCH_serving.json.
+type ServingBenchRow struct {
+	// Phase is "cold" (fresh server, one assess per system), "warm"
+	// (same server, every variant config over resident models),
+	// "batch-cold" (fresh server, one assess-batch over all items), or
+	// "batch-warm" (the same batch again over resident models).
+	Phase string `json:"phase"`
+	// Systems is the number of distinct corpus systems in the phase.
+	Systems int `json:"systems"`
+	// Items is the number of assessments performed.
+	Items int `json:"items"`
+	// Requests is the number of HTTP requests carrying them.
+	Requests int `json:"requests"`
+	// WallMS is the phase's end-to-end wall time.
+	WallMS float64 `json:"wall_ms"`
+	// MeanItemMS is WallMS over Items — the amortized per-assessment
+	// latency a client observes in this phase.
+	MeanItemMS float64 `json:"mean_item_ms"`
+	// ItemsPerSec is the phase's assessment throughput.
+	ItemsPerSec float64 `json:"items_per_sec"`
+	// ModelBuilds is how many cold model builds the phase performed.
+	ModelBuilds int `json:"model_builds"`
+	// CacheWarm is how many items found their model already resident.
+	CacheWarm int `json:"cache_warm"`
+}
+
+// servingItem is one (system document, replica configuration) pair.
+type servingItem struct {
+	name   string
+	doc    wfjson.Document
+	config []int
+}
+
+// servingGoals are the assessment goals every E18 item is scored
+// against; they shape the verdict, not the work.
+var servingGoals = server.GoalsJSON{MaxWaiting: 1, MaxUnavailability: 1e-3}
+
+// ServingBench runs the E18 sweep. reduced caps the corpus at a handful
+// of systems and two configuration variants per system — the CI smoke
+// shape; the full sweep takes the whole corpus with three variants.
+func ServingBench(dir string, reduced bool) ([]ServingBenchRow, *Table, error) {
+	maxSystems, variants := 0, 3
+	if reduced {
+		maxSystems, variants = 6, 2
+	}
+	systems, err := loadServingSystems(dir, maxSystems)
+	if err != nil {
+		return nil, nil, err
+	}
+	items := servingVariants(systems, variants)
+
+	t := &Table{
+		ID:      "E18",
+		Title:   "serving throughput over the imported-workflow corpus (wfmsd, loopback HTTP)",
+		Columns: []string{"phase", "systems", "items", "requests", "wall", "mean item", "items/s", "builds", "warm"},
+	}
+	var rows []ServingBenchRow
+
+	// Cold and warm share one server: the cold pass is what builds the
+	// models the warm pass then reuses.
+	ts := newServingServer()
+	cold, err := servingSingletons(ts.URL, systems)
+	if err != nil {
+		ts.Close()
+		return nil, nil, fmt.Errorf("experiments: serving cold phase: %w", err)
+	}
+	cold.Phase = "cold"
+	rows = append(rows, cold)
+
+	warm, err := servingSingletonsConcurrent(ts.URL, items)
+	if err != nil {
+		ts.Close()
+		return nil, nil, fmt.Errorf("experiments: serving warm phase: %w", err)
+	}
+	warm.Phase = "warm"
+	rows = append(rows, warm)
+	ts.Close()
+
+	// The batch phases get their own server so "batch-cold" really is
+	// cold: every model build happens inside the one batch request.
+	ts2 := newServingServer()
+	defer ts2.Close()
+	for _, phase := range []string{"batch-cold", "batch-warm"} {
+		row, err := servingBatch(ts2.URL, items)
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: serving %s phase: %w", phase, err)
+		}
+		row.Phase = phase
+		rows = append(rows, row)
+	}
+
+	for _, row := range rows {
+		t.AddRow(row.Phase, fmt.Sprintf("%d", row.Systems), fmt.Sprintf("%d", row.Items),
+			fmt.Sprintf("%d", row.Requests), fmtWall(row.WallMS), fmtWall(row.MeanItemMS),
+			fmt.Sprintf("%.1f", row.ItemsPerSec), fmt.Sprintf("%d", row.ModelBuilds),
+			fmt.Sprintf("%d", row.CacheWarm))
+	}
+	t.Notes = append(t.Notes,
+		"cold: one /v1/assess per system on a fresh server — every request pays its model build",
+		"warm: every variant config through /v1/assess over resident models, concurrent clients",
+		"batch-cold: one /v1/assess-batch over all items on a fresh server — builds amortized by fingerprint",
+		"batch-warm: the same batch again — zero builds, pure evaluation",
+		fmt.Sprintf("configs: the corpus replica vector plus %d bumped variant(s) per system", variants-1))
+	return rows, t, nil
+}
+
+// newServingServer starts an in-process wfmsd over loopback HTTP.
+func newServingServer() *httptest.Server {
+	s := server.New(server.Options{
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	return httptest.NewServer(s.Handler())
+}
+
+// loadServingSystems reads the corpus documents; limit > 0 caps the
+// count (reduced mode).
+func loadServingSystems(dir string, limit int) ([]servingItem, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "systems", "*.wfjson"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("experiments: no corpus systems under %s", filepath.Join(dir, "systems"))
+	}
+	if limit > 0 && len(paths) > limit {
+		paths = paths[:limit]
+	}
+	out := make([]servingItem, 0, len(paths))
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		env, flows, err := wfjson.Decode(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: corpus system %s: %w", path, err)
+		}
+		doc, err := wfjson.ToDocument(env, flows)
+		if err != nil {
+			return nil, err
+		}
+		name := filepath.Base(path)
+		out = append(out, servingItem{
+			name:   name[:len(name)-len(filepath.Ext(name))],
+			doc:    *doc,
+			config: wfcommons.Replicas(env),
+		})
+	}
+	return out, nil
+}
+
+// servingVariants expands each system into variant replica vectors: the
+// corpus vector plus copies with one more replica rotated through the
+// types, so warm-phase items exercise distinct configurations.
+func servingVariants(systems []servingItem, variants int) []servingItem {
+	var out []servingItem
+	for _, sys := range systems {
+		for v := 0; v < variants; v++ {
+			cfg := append([]int(nil), sys.config...)
+			if v > 0 {
+				cfg[(v-1)%len(cfg)]++
+			}
+			out = append(out, servingItem{name: sys.name, doc: sys.doc, config: cfg})
+		}
+	}
+	return out
+}
+
+// servingPost posts body and decodes the 200 response into out.
+func servingPost(url string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, raw)
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// servingSingletons posts one /v1/assess per item sequentially — the
+// cold pass, one request per system at its corpus replica vector.
+func servingSingletons(baseURL string, items []servingItem) (ServingBenchRow, error) {
+	row := ServingBenchRow{Systems: countServingSystems(items), Items: len(items), Requests: len(items)}
+	began := time.Now()
+	for _, it := range items {
+		var resp server.AssessResponse
+		if err := servingPost(baseURL+"/v1/assess", server.AssessRequest{
+			System: it.doc, Config: it.config, Goals: servingGoals,
+		}, &resp); err != nil {
+			return row, fmt.Errorf("%s: %w", it.name, err)
+		}
+		if resp.CacheWarm {
+			row.CacheWarm++
+		} else {
+			row.ModelBuilds++
+		}
+	}
+	fillServingTiming(&row, time.Since(began))
+	return row, nil
+}
+
+// servingSingletonsConcurrent fans the items over concurrent clients —
+// the interactive many-users shape the warm cache exists for.
+func servingSingletonsConcurrent(baseURL string, items []servingItem) (ServingBenchRow, error) {
+	row := ServingBenchRow{Systems: countServingSystems(items), Items: len(items), Requests: len(items)}
+	clients := runtime.NumCPU()
+	if clients > 4 {
+		clients = 4
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		warm     int
+	)
+	next := make(chan servingItem)
+	var wg sync.WaitGroup
+	began := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range next {
+				var resp server.AssessResponse
+				err := servingPost(baseURL+"/v1/assess", server.AssessRequest{
+					System: it.doc, Config: it.config, Goals: servingGoals,
+				}, &resp)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("%s: %w", it.name, err)
+				}
+				if err == nil && resp.CacheWarm {
+					warm++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, it := range items {
+		next <- it
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return row, firstErr
+	}
+	fillServingTiming(&row, time.Since(began))
+	row.CacheWarm = warm
+	row.ModelBuilds = len(items) - warm
+	return row, nil
+}
+
+// servingBatch posts all items as one /v1/assess-batch request.
+func servingBatch(baseURL string, items []servingItem) (ServingBenchRow, error) {
+	row := ServingBenchRow{Systems: countServingSystems(items), Items: len(items), Requests: 1}
+	req := server.AssessBatchRequest{}
+	for _, it := range items {
+		req.Items = append(req.Items, server.AssessBatchItem{
+			System: it.doc, Config: it.config, Goals: servingGoals,
+		})
+	}
+	began := time.Now()
+	var resp server.AssessBatchResponse
+	if err := servingPost(baseURL+"/v1/assess-batch", req, &resp); err != nil {
+		return row, err
+	}
+	for i, item := range resp.Items {
+		if item.Error != nil {
+			return row, fmt.Errorf("item %d (%s): %s (%s)", i, items[i].name, item.Error.Error, item.Error.Code)
+		}
+	}
+	fillServingTiming(&row, time.Since(began))
+	row.ModelBuilds = resp.ModelBuilds
+	row.CacheWarm = resp.CacheWarm
+	return row, nil
+}
+
+// fillServingTiming derives the wall, per-item, and throughput fields.
+func fillServingTiming(row *ServingBenchRow, elapsed time.Duration) {
+	row.WallMS = float64(elapsed) / float64(time.Millisecond)
+	if row.Items > 0 {
+		row.MeanItemMS = row.WallMS / float64(row.Items)
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		row.ItemsPerSec = float64(row.Items) / sec
+	}
+}
+
+// countServingSystems counts distinct system names among the items.
+func countServingSystems(items []servingItem) int {
+	seen := make(map[string]struct{}, len(items))
+	for _, it := range items {
+		seen[it.name] = struct{}{}
+	}
+	return len(seen)
+}

@@ -174,6 +174,9 @@ type AssessRequest struct {
 	Config []int           `json:"config"`
 	Goals  GoalsJSON       `json:"goals"`
 	Model  ModelJSON       `json:"model,omitempty"`
+	// Tenant attributes the request for quota accounting; the X-Tenant
+	// header is the fallback, then the shared default tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // AssessmentJSON reports how a configuration fares against the goals.
@@ -227,7 +230,11 @@ type RecommendRequest struct {
 	Model       ModelJSON       `json:"model,omitempty"`
 	Annealing   AnnealingJSON   `json:"annealing,omitempty"`
 	// TimeoutMillis bounds the search; 0 inherits the server default.
+	// Negative values are rejected with a typed invalid_request error.
 	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// Tenant attributes the request for quota accounting (X-Tenant
+	// header fallback).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // TraceStepJSON mirrors config.Step.
@@ -261,6 +268,119 @@ type RecommendResponse struct {
 	Trace      []TraceStepJSON                 `json:"trace,omitempty"`
 	CacheWarm  bool                            `json:"cache_warm"`
 	ElapsedMS  float64                         `json:"elapsed_ms"`
+}
+
+// AssessBatchItem is one entry of an assess-batch: a system, the
+// configuration to evaluate, its goals, and (optionally) per-item model
+// options overriding the batch default.
+type AssessBatchItem struct {
+	System wfjson.Document `json:"system"`
+	Config []int           `json:"config"`
+	Goals  GoalsJSON       `json:"goals"`
+	Model  *ModelJSON      `json:"model,omitempty"`
+}
+
+// AssessBatchRequest evaluates many items in one admission pass,
+// amortizing model builds across items that share a system fingerprint
+// and evaluation options.
+type AssessBatchRequest struct {
+	Items []AssessBatchItem `json:"items"`
+	// Model is the default evaluation model for items that carry none.
+	Model ModelJSON `json:"model,omitempty"`
+	// TimeoutMillis bounds the whole batch; 0 inherits the server
+	// default. Negative values are rejected.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// Tenant attributes the batch for quota accounting (X-Tenant header
+	// fallback). The batch's full token weight counts against the
+	// tenant's budget.
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// AssessBatchItemJSON is one item's outcome, in input order. Exactly
+// one of Assessment and Error is set: a bad item costs an item-level
+// typed error, never the batch.
+type AssessBatchItemJSON struct {
+	Index       int             `json:"index"`
+	Fingerprint string          `json:"fingerprint,omitempty"`
+	ServerTypes []string        `json:"server_types,omitempty"`
+	Assessment  *AssessmentJSON `json:"assessment,omitempty"`
+	CacheWarm   bool            `json:"cache_warm,omitempty"`
+	Error       *ErrorResponse  `json:"error,omitempty"`
+}
+
+// AssessBatchResponse is the /v1/assess-batch reply.
+type AssessBatchResponse struct {
+	Items []AssessBatchItemJSON `json:"items"`
+	// Groups is the number of distinct (fingerprint, model-options)
+	// groups in the batch — the number of model resolutions needed.
+	Groups int `json:"groups"`
+	// ModelBuilds is how many cold model builds this batch performed;
+	// items sharing a group share one build (the amortization the
+	// endpoint exists for).
+	ModelBuilds int `json:"model_builds"`
+	// CacheWarm is how many items found their model already resident.
+	CacheWarm int     `json:"cache_warm"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// RecommendBatchItem is one entry of a recommend-batch.
+type RecommendBatchItem struct {
+	System      wfjson.Document `json:"system"`
+	Planner     string          `json:"planner,omitempty"`
+	Goals       GoalsJSON       `json:"goals"`
+	Constraints ConstraintsJSON `json:"constraints,omitempty"`
+	Model       *ModelJSON      `json:"model,omitempty"`
+	Annealing   AnnealingJSON   `json:"annealing,omitempty"`
+}
+
+// RecommendBatchRequest plans many items in one admission pass.
+type RecommendBatchRequest struct {
+	Items         []RecommendBatchItem `json:"items"`
+	Model         ModelJSON            `json:"model,omitempty"`
+	TimeoutMillis int64                `json:"timeout_ms,omitempty"`
+	Tenant        string               `json:"tenant,omitempty"`
+}
+
+// RecommendBatchItemJSON is one item's outcome, in input order.
+type RecommendBatchItemJSON struct {
+	Index          int                `json:"index"`
+	Recommendation *RecommendResponse `json:"recommendation,omitempty"`
+	Error          *ErrorResponse     `json:"error,omitempty"`
+}
+
+// RecommendBatchResponse is the /v1/recommend-batch reply.
+type RecommendBatchResponse struct {
+	Items       []RecommendBatchItemJSON `json:"items"`
+	Groups      int                      `json:"groups"`
+	ModelBuilds int                      `json:"model_builds"`
+	CacheWarm   int                      `json:"cache_warm"`
+	ElapsedMS   float64                  `json:"elapsed_ms"`
+}
+
+// JobSubmitResponse is the 202 reply of POST /v1/jobs/recommend.
+type JobSubmitResponse struct {
+	ID      string `json:"job_id"`
+	State   string `json:"state"`
+	Planner string `json:"planner"`
+}
+
+// JobStatusResponse is the GET/DELETE /v1/jobs/{id} reply. Result is
+// present once State is "done"; Error/Code once it is "failed" (or
+// "canceled", where Code is "canceled").
+type JobStatusResponse struct {
+	ID      string `json:"job_id"`
+	State   string `json:"state"`
+	Planner string `json:"planner"`
+	Tenant  string `json:"tenant,omitempty"`
+	// QueuedMS is the time spent waiting for admission; RunningMS the
+	// planner time so far (or total, once terminal).
+	QueuedMS  Float `json:"queued_ms"`
+	RunningMS Float `json:"running_ms,omitempty"`
+	// ExpiresInMS is the remaining result retention of a terminal job.
+	ExpiresInMS Float              `json:"expires_in_ms,omitempty"`
+	Result      *RecommendResponse `json:"result,omitempty"`
+	Error       string             `json:"error,omitempty"`
+	Code        string             `json:"code,omitempty"`
 }
 
 // CalibrateRequest feeds an audit trail through the calibration
@@ -363,6 +483,33 @@ type IngestStatsJSON struct {
 	Invalidations uint64 `json:"invalidations"`
 }
 
+// BatchStatsJSON summarizes the batch endpoints on /v1/stats.
+type BatchStatsJSON struct {
+	// Items is the lifetime count of batch items processed.
+	Items uint64 `json:"items"`
+	// Builds is the lifetime count of cold model builds batches
+	// performed; Items/Builds is the realized amortization ratio.
+	Builds uint64 `json:"builds"`
+}
+
+// JobsStatsJSON summarizes the async job registry on /v1/stats.
+type JobsStatsJSON struct {
+	Resident  int            `json:"resident"`
+	ByState   map[string]int `json:"by_state,omitempty"`
+	Submitted uint64         `json:"submitted"`
+	Done      uint64         `json:"done"`
+	Failed    uint64         `json:"failed"`
+	Canceled  uint64         `json:"canceled"`
+	Expired   uint64         `json:"expired"`
+}
+
+// TenantStatsJSON reports one tenant's admission accounting.
+type TenantStatsJSON struct {
+	Requests   uint64 `json:"requests"`
+	Rejections uint64 `json:"rejections"`
+	InUse      int    `json:"in_use"`
+}
+
 // EvaluatorStatsJSON reports one warm model entry on /v1/stats.
 type EvaluatorStatsJSON struct {
 	Fingerprint string         `json:"fingerprint"`
@@ -397,6 +544,9 @@ type StatsResponse struct {
 	Evaluators []EvaluatorStatsJSON         `json:"evaluators"`
 	Admission  AdmissionStatsJSON           `json:"admission"`
 	Ingest     IngestStatsJSON              `json:"ingest"`
+	Batch      BatchStatsJSON               `json:"batch"`
+	Jobs       JobsStatsJSON                `json:"jobs"`
+	Tenants    map[string]TenantStatsJSON   `json:"tenants,omitempty"`
 	Endpoints  map[string]EndpointStatsJSON `json:"endpoints"`
 	// Errors counts error responses by machine-readable code.
 	Errors map[string]uint64 `json:"errors,omitempty"`

@@ -243,6 +243,15 @@ func (s *Server) resolveEntry(ctx context.Context, doc *wfjson.Document, opts pe
 	if err != nil {
 		return nil, false, err
 	}
+	return s.resolveDecoded(ctx, env, flows, fp, opts)
+}
+
+// resolveDecoded is resolveEntry after decode and fingerprinting — the
+// entry point for batch items, whose documents are decoded up front so
+// they can be grouped by fingerprint before any model is built. The
+// returned bool is true iff the entry was already resident (this call
+// neither built nor waited on a build it started).
+func (s *Server) resolveDecoded(ctx context.Context, env *spec.Environment, flows []*spec.Workflow, fp string, opts performability.Options) (*modelEntry, bool, error) {
 	key := entryKey(fp, opts)
 	var gen uint64
 	st := s.streams.lookup(fp)

@@ -9,7 +9,9 @@ package server
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
@@ -190,6 +192,22 @@ func (s *Server) streamFor(fp string) (*ingestStream, error) {
 	}), nil
 }
 
+// limitTrackingReader records whether the underlying MaxBytesReader
+// tripped its limit, surviving whatever error the consumer reports.
+type limitTrackingReader struct {
+	r     io.Reader
+	limit int64 // the tripped limit; 0 until exceeded
+}
+
+func (t *limitTrackingReader) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	var maxErr *http.MaxBytesError
+	if errors.As(err, &maxErr) {
+		t.limit = maxErr.Limit
+	}
+	return n, err
+}
+
 // handleEvents ingests a batch of audit records for one system. The
 // body is JSON lines (one audit.Record per line, the format wfmssim
 // -trail and wfmsrun emit); the system is addressed by the fingerprint
@@ -205,9 +223,18 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if maxBytes == 0 {
 		maxBytes = 8 << 20
 	}
-	recs, err := audit.ReadRecords(http.MaxBytesReader(w, r.Body, maxBytes))
+	// The limit tracker remembers a MaxBytesError seen mid-stream: an
+	// over-limit body truncates the JSONL mid-line, so the surface error
+	// out of ReadRecords is a parse failure — which must still be
+	// reported as 413 payload_too_large, not as malformed input.
+	lr := &limitTrackingReader{r: http.MaxBytesReader(w, r.Body, maxBytes)}
+	recs, err := audit.ReadRecords(lr)
 	if err != nil {
-		s.writeError(w, r, http.StatusBadRequest, err)
+		if lr.limit > 0 {
+			err = wfmserr.New(wfmserr.CodePayloadTooLarge, "server",
+				"event batch exceeds the %d-byte limit; split it into smaller batches", lr.limit)
+		}
+		s.writeError(w, r, decodeStatus(err), err)
 		return
 	}
 	if len(recs) == 0 {

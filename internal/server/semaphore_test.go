@@ -129,6 +129,111 @@ func TestSemaphoreOversizedRequestClamps(t *testing.T) {
 	}
 }
 
+// TestSemaphoreMixedBatchSingletonFIFO interleaves wide batch-style
+// acquires with narrow singleton ones and requires strict arrival-order
+// grants: a narrow singleton behind a wide batch waits for it (no
+// starvation of wide waiters), and a wide batch behind singletons
+// cannot leapfrog them either.
+func TestSemaphoreMixedBatchSingletonFIFO(t *testing.T) {
+	const capacity = 8
+	s := newSemaphore(capacity)
+	mustAcquire(t, s, capacity)
+
+	// Queue, in order: batch(6), single(1), batch(8), single(1).
+	weights := []int{6, 1, 8, 1}
+	granted := make([]chan struct{}, len(weights))
+	var order []int
+	var mu sync.Mutex
+	for i, n := range weights {
+		granted[i] = make(chan struct{})
+		i, n := i, n
+		go func() {
+			if err := s.Acquire(context.Background(), n); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			close(granted[i])
+		}()
+		// Serialize arrival so the FIFO order under test is deterministic.
+		for s.Waiting() < i+1 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// mustStay asserts none of the still-pending waiters got granted.
+	mustStay := func(label string, pending ...int) {
+		t.Helper()
+		for _, i := range pending {
+			select {
+			case <-granted[i]:
+				t.Fatalf("%s: waiter %d (weight %d) jumped the FIFO queue", label, i, weights[i])
+			default:
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+		for _, i := range pending {
+			select {
+			case <-granted[i]:
+				t.Fatalf("%s: waiter %d (weight %d) jumped the FIFO queue", label, i, weights[i])
+			default:
+			}
+		}
+	}
+	mustGrant := func(i int) {
+		t.Helper()
+		select {
+		case <-granted[i]:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("waiter %d (weight %d) never granted", i, weights[i])
+		}
+	}
+
+	// Two free tokens fit either singleton but not the batch at the
+	// head: nobody may be granted.
+	s.Release(2)
+	mustStay("2 free, batch(6) at head", 0, 1, 2, 3)
+
+	// Four more free the head batch exactly; the singleton behind it
+	// must keep waiting (0 tokens left).
+	s.Release(4)
+	mustGrant(0)
+	mustStay("batch(6) granted, 0 free", 1, 2, 3)
+
+	// One token admits the singleton now at the head, and only it.
+	s.Release(1)
+	mustGrant(1)
+	mustStay("singleton granted, 0 free", 2, 3)
+
+	// Releasing both grants leaves 7 free: the wide batch(8) at the head
+	// still does not fit, and the trailing singleton — which would fit —
+	// must not leapfrog it.
+	s.Release(weights[0])
+	s.Release(weights[1])
+	mustStay("7 free, batch(8) at head", 2, 3)
+
+	// The final token completes the batch; its release admits the last
+	// singleton.
+	s.Release(1)
+	mustGrant(2)
+	s.Release(weights[2])
+	mustGrant(3)
+	s.Release(weights[3])
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("grant order = %v, want strict FIFO %v", order, []int{0, 1, 2, 3})
+		}
+	}
+	if s.InUse() != 0 || s.Waiting() != 0 {
+		t.Errorf("drained semaphore reports InUse=%d Waiting=%d", s.InUse(), s.Waiting())
+	}
+}
+
 // TestSemaphoreConcurrentLoad hammers the semaphore with concurrent
 // weighted acquirers and checks the capacity invariant throughout.
 func TestSemaphoreConcurrentLoad(t *testing.T) {

@@ -2,12 +2,17 @@
 // long-running HTTP/JSON service — the paper's Section 7 tool run as a
 // daemon instead of a one-shot CLI. The endpoints are
 //
-//	POST /v1/assess     evaluate a configuration Y against goals
-//	POST /v1/recommend  run a planner (greedy/exhaustive/bnb/anneal)
-//	POST /v1/calibrate  ingest audit-trail records, re-derive the models
-//	GET  /v1/stats      cache hit rates and per-endpoint latency
-//	GET  /metrics       Prometheus text exposition
-//	GET  /healthz       liveness
+//	POST /v1/assess           evaluate a configuration Y against goals
+//	POST /v1/recommend        run a planner (greedy/exhaustive/bnb/anneal)
+//	POST /v1/assess-batch     evaluate many items, amortizing model builds
+//	POST /v1/recommend-batch  plan many items, amortizing model builds
+//	POST /v1/jobs/recommend   submit an async planner job → job id
+//	GET  /v1/jobs/{id}        poll a job (queued/running/done/failed)
+//	DELETE /v1/jobs/{id}      cancel a job, or discard a finished result
+//	POST /v1/calibrate        ingest audit-trail records, re-derive the models
+//	GET  /v1/stats            cache hit rates and per-endpoint latency
+//	GET  /metrics             Prometheus text exposition
+//	GET  /healthz             liveness
 //
 // Systems ride in requests as wfjson documents. The server keys warm
 // performability evaluators (degraded-state cache + availability
@@ -43,6 +48,7 @@ import (
 	"performa/internal/config"
 	"performa/internal/linalg"
 	"performa/internal/perf"
+	"performa/internal/performability"
 	"performa/internal/stream"
 	"performa/internal/wfjson"
 	"performa/internal/wfmserr"
@@ -86,6 +92,19 @@ type Options struct {
 	// Recalibration tunes the drift-triggered rebuild; a zero value
 	// means Laplace smoothing 0.5 (the /v1/calibrate default).
 	Recalibration calibrate.Options
+	// MaxBatchItems bounds the item count of one batch request;
+	// 0 means 256.
+	MaxBatchItems int
+	// JobTTL is how long a finished async job's result stays pollable;
+	// 0 means 15 minutes.
+	JobTTL time.Duration
+	// MaxJobs bounds the resident (queued + running + retained) async
+	// jobs; 0 means 1024.
+	MaxJobs int
+	// TenantBudget is the per-tenant cap on concurrently held
+	// planner-worker tokens (the admission semaphore's currency).
+	// 0 disables tenant quotas.
+	TenantBudget int
 }
 
 // Server is the advisory service. Create with New, mount via Handler,
@@ -121,6 +140,18 @@ type Server struct {
 	panics   atomic.Uint64
 	errMu    sync.Mutex
 	errCodes map[string]uint64
+
+	// Batch + async serving: the per-tenant admission quotas, the async
+	// job registry, and the lifecycle context job runners inherit
+	// (canceled when the server shuts down so no job outlives it).
+	quotas        *tenantQuotas
+	jobs          *jobRegistry
+	jobsCtx       context.Context
+	jobsCancel    context.CancelFunc
+	jobsWG        sync.WaitGroup
+	maxBatchItems int
+	batchItems    atomic.Uint64
+	batchBuilds   atomic.Uint64
 }
 
 // New builds the service.
@@ -152,6 +183,19 @@ func New(opts Options) *Server {
 	if recal == (calibrate.Options{}) {
 		recal = defaultRecalibration()
 	}
+	maxBatch := opts.MaxBatchItems
+	if maxBatch == 0 {
+		maxBatch = 256
+	}
+	jobTTL := opts.JobTTL
+	if jobTTL == 0 {
+		jobTTL = 15 * time.Minute
+	}
+	maxJobs := opts.MaxJobs
+	if maxJobs == 0 {
+		maxJobs = 1024
+	}
+	jobsCtx, jobsCancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:            opts,
 		workers:         workers,
@@ -166,9 +210,19 @@ func New(opts Options) *Server {
 		streams:         newStreamRegistry(maxStreams),
 		driftThresholds: opts.Drift.WithDefaults(),
 		recalOpts:       recal,
+		quotas:          newTenantQuotas(opts.TenantBudget),
+		jobs:            newJobRegistry(maxJobs, jobTTL),
+		jobsCtx:         jobsCtx,
+		jobsCancel:      jobsCancel,
+		maxBatchItems:   maxBatch,
 	}
 	s.route("POST /v1/assess", s.handleAssess)
 	s.route("POST /v1/recommend", s.handleRecommend)
+	s.route("POST /v1/assess-batch", s.handleAssessBatch)
+	s.route("POST /v1/recommend-batch", s.handleRecommendBatch)
+	s.route("POST /v1/jobs/recommend", s.handleJobSubmit)
+	s.route("GET /v1/jobs/{id}", s.handleJobGet)
+	s.route("DELETE /v1/jobs/{id}", s.handleJobDelete)
 	s.route("POST /v1/calibrate", s.handleCalibrate)
 	s.route("POST /v1/events", s.handleEvents)
 	s.route("GET /v1/drift", s.handleDrift)
@@ -182,20 +236,25 @@ func New(opts Options) *Server {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Shutdown refuses new requests (503) and waits for the in-flight ones
-// to drain, or for ctx to expire. Callers cancel in-flight work by
-// shutting down the enclosing http.Server, whose base context closes
-// the request contexts.
+// — HTTP requests and async job runners both — to drain, or for ctx to
+// expire, in which case the job lifecycle context is canceled so
+// still-running searches unwind promptly. Callers cancel in-flight HTTP
+// work by shutting down the enclosing http.Server, whose base context
+// closes the request contexts.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.closed.Store(true)
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
+		s.jobsWG.Wait()
 		close(done)
 	}()
 	select {
 	case <-done:
+		s.jobsCancel()
 		return nil
 	case <-ctx.Done():
+		s.jobsCancel()
 		return ctx.Err()
 	}
 }
@@ -204,8 +263,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // per-request structured logging.
 func (s *Server) route(pattern string, h func(http.ResponseWriter, *http.Request)) {
 	endpoint := pattern[strings.LastIndex(pattern, " ")+1:]
-	m := newEndpointMetrics(endpoint)
-	s.endpoints[endpoint] = m
+	// Methods sharing a path pattern (GET and DELETE on /v1/jobs/{id})
+	// share one metrics series keyed by the path.
+	m, ok := s.endpoints[endpoint]
+	if !ok {
+		m = newEndpointMetrics(endpoint)
+		s.endpoints[endpoint] = m
+	}
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		if s.closed.Load() {
 			w.Header().Set("Connection", "close")
@@ -286,10 +350,40 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) err
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		// An over-limit body is not a malformed one: report it as 413
+		// payload_too_large (via decodeStatus), never a generic 400 —
+		// the client's remedy (shrink or split the payload) is entirely
+		// different from fixing broken JSON.
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return wfmserr.New(wfmserr.CodePayloadTooLarge, "server",
+				"request body exceeds the %d-byte limit", maxErr.Limit)
+		}
 		return fmt.Errorf("parsing request: %w", err)
 	}
 	if dec.More() {
 		return errors.New("parsing request: trailing data after JSON document")
+	}
+	return nil
+}
+
+// decodeStatus maps a decodeBody error onto its HTTP status: an
+// over-limit body is 413 Payload Too Large, everything else a 400.
+func decodeStatus(err error) int {
+	if wfmserr.CodeOf(err) == wfmserr.CodePayloadTooLarge {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// validateTimeout rejects a negative timeout_ms with a typed validation
+// error. Zero stays valid (inherit the server default); the old code
+// silently fell through `> 0` into the default, which masked client
+// bugs that meant "fail fast" and got a 60-second budget instead.
+func validateTimeout(timeoutMS int64) error {
+	if timeoutMS < 0 {
+		return wfmserr.New(wfmserr.CodeInvalidRequest, "server",
+			"timeout_ms must be non-negative, got %d", timeoutMS)
 	}
 	return nil
 }
@@ -317,10 +411,56 @@ func (s *Server) admit(ctx context.Context) (func(), error) {
 	return func() { s.admission.Release(s.perRequest) }, nil
 }
 
+// admitTenant layers the tenant quota under the admission semaphore:
+// the tenant's token budget is debited first (fail-fast, typed
+// budget_exceeded — quota breaches must surface immediately, not queue
+// until the deadline turns them into 504s), then the weighted FIFO
+// semaphore is acquired as usual. The release func returns both.
+func (s *Server) admitTenant(ctx context.Context, tenant string, n int) (func(), error) {
+	if n < 1 {
+		n = 1
+	}
+	if n > s.workers {
+		n = s.workers
+	}
+	releaseQuota, err := s.quotas.acquire(tenant, n)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.admission.Acquire(ctx, n); err != nil {
+		releaseQuota()
+		return nil, err
+	}
+	return func() {
+		s.admission.Release(n)
+		releaseQuota()
+	}, nil
+}
+
+// tenantOf resolves the request's tenant: the body field when set, else
+// the X-Tenant header, else the catch-all default tenant.
+func (s *Server) tenantOf(r *http.Request, field string) string {
+	if t := strings.TrimSpace(field); t != "" {
+		return t
+	}
+	if t := strings.TrimSpace(r.Header.Get("X-Tenant")); t != "" {
+		return t
+	}
+	return defaultTenant
+}
+
+// quotaStatus is the HTTP status of a tenant-quota rejection.
+func quotaStatus(err error) int {
+	if errors.Is(err, wfmserr.ErrBudgetExceeded) {
+		return http.StatusTooManyRequests
+	}
+	return statusForError(err)
+}
+
 func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 	var req AssessRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		s.writeError(w, r, http.StatusBadRequest, err)
+		s.writeError(w, r, decodeStatus(err), err)
 		return
 	}
 	popts, err := req.Model.toOptions()
@@ -330,9 +470,9 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, 0)
 	defer cancel()
-	release, err := s.admit(ctx)
+	release, err := s.admitTenant(ctx, s.tenantOf(r, req.Tenant), s.perRequest)
 	if err != nil {
-		s.writeError(w, r, statusForError(err), err)
+		s.writeError(w, r, quotaStatus(err), err)
 		return
 	}
 	defer release()
@@ -359,38 +499,32 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
-	var req RecommendRequest
-	if err := s.decodeBody(w, r, &req); err != nil {
-		s.writeError(w, r, http.StatusBadRequest, err)
-		return
+// validatePlanner canonicalizes a planner name ("" means greedy),
+// rejecting unknown ones with a typed validation error.
+func validatePlanner(name string) (string, error) {
+	switch name {
+	case "":
+		return "greedy", nil
+	case "greedy", "exhaustive":
+		return name, nil
+	case "bnb", "branch-and-bound":
+		return "bnb", nil
+	case "anneal", "annealing":
+		return "anneal", nil
 	}
-	popts, err := req.Model.toOptions()
-	if err != nil {
-		s.writeError(w, r, http.StatusBadRequest, err)
-		return
-	}
-	planner := req.Planner
-	if planner == "" {
-		planner = "greedy"
-	}
-	ctx, cancel := s.requestContext(r, req.TimeoutMillis)
-	defer cancel()
-	release, err := s.admit(ctx)
-	if err != nil {
-		s.writeError(w, r, statusForError(err), err)
-		return
-	}
-	defer release()
+	return "", wfmserr.New(wfmserr.CodeInvalidRequest, "server",
+		"unknown planner %q (want greedy, exhaustive, bnb, or anneal)", name)
+}
 
-	entry, warm, err := s.resolveEntry(ctx, &req.System, popts)
-	if err != nil {
-		s.writeError(w, r, badRequestOr(err), err)
-		return
-	}
+// runRecommend executes one planner search against a resolved warm
+// entry and assembles the wire response — the shared engine behind
+// /v1/recommend, /v1/recommend-batch items, and async jobs. planner
+// must already be canonical (validatePlanner) and workers is the pool
+// width this run may use; admission tokens are the caller's concern.
+func (s *Server) runRecommend(ctx context.Context, entry *modelEntry, warm bool, planner string, req *RecommendRequest, popts performability.Options, workers int) (*RecommendResponse, error) {
 	opts := config.Options{
 		Performability: popts,
-		Workers:        s.perRequest,
+		Workers:        workers,
 		Evaluator:      entry.ev,
 	}
 	goals := req.Goals.toGoals()
@@ -398,25 +532,23 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 
 	began := time.Now()
 	var rec *config.Recommendation
+	var err error
 	switch planner {
 	case "greedy":
 		rec, err = config.GreedyContext(ctx, entry.analysis, goals, cons, opts)
 	case "exhaustive":
 		rec, err = config.ExhaustiveContext(ctx, entry.analysis, goals, cons, opts)
-	case "bnb", "branch-and-bound":
+	case "bnb":
 		rec, err = config.BranchAndBoundContext(ctx, entry.analysis, goals, cons, opts)
-	case "anneal", "annealing":
+	case "anneal":
 		rec, err = config.SimulatedAnnealingContext(ctx, entry.analysis, goals, cons, opts, req.Annealing.toOptions())
 	default:
-		s.writeError(w, r, http.StatusBadRequest,
-			fmt.Errorf("unknown planner %q (want greedy, exhaustive, bnb, or anneal)", planner))
-		return
+		return nil, wfmserr.New(wfmserr.CodeInternal, "server", "unvalidated planner %q reached runRecommend", planner)
 	}
 	if err != nil {
-		s.writeError(w, r, statusForError(err), err)
-		return
+		return nil, err
 	}
-	resp := RecommendResponse{
+	resp := &RecommendResponse{
 		Fingerprint: entry.fingerprint,
 		Planner:     planner,
 		ServerTypes: typeNames(entry),
@@ -438,13 +570,55 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 			Reason:         st.Reason,
 		})
 	}
+	return resp, nil
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	var req RecommendRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeError(w, r, decodeStatus(err), err)
+		return
+	}
+	popts, err := req.Model.toOptions()
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	planner, err := validatePlanner(req.Planner)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if err := validateTimeout(req.TimeoutMillis); err != nil {
+		s.writeError(w, r, http.StatusUnprocessableEntity, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMillis)
+	defer cancel()
+	release, err := s.admitTenant(ctx, s.tenantOf(r, req.Tenant), s.perRequest)
+	if err != nil {
+		s.writeError(w, r, quotaStatus(err), err)
+		return
+	}
+	defer release()
+
+	entry, warm, err := s.resolveEntry(ctx, &req.System, popts)
+	if err != nil {
+		s.writeError(w, r, badRequestOr(err), err)
+		return
+	}
+	resp, err := s.runRecommend(ctx, entry, warm, planner, &req, popts, s.perRequest)
+	if err != nil {
+		s.writeError(w, r, statusForError(err), err)
+		return
+	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleCalibrate(w http.ResponseWriter, r *http.Request) {
 	var req CalibrateRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		s.writeError(w, r, http.StatusBadRequest, err)
+		s.writeError(w, r, decodeStatus(err), err)
 		return
 	}
 	ctx, cancel := s.requestContext(r, 0)
@@ -571,6 +745,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Batches:       s.eventBatches.Load(),
 		Invalidations: s.driftInvalidations.Load(),
 	}
+	resp.Batch = BatchStatsJSON{
+		Items:  s.batchItems.Load(),
+		Builds: s.batchBuilds.Load(),
+	}
+	resp.Jobs = s.jobs.stats()
+	resp.Tenants = s.quotas.stats()
 	resp.Errors = s.errorCounts()
 	resp.Panics = s.panics.Load()
 	resp.Solvers = linalg.SolverCounters()
@@ -583,7 +763,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	b.WriteString("# TYPE wfmsd_requests_total counter\n")
 	b.WriteString("# HELP wfmsd_request_duration_seconds Request latency histogram.\n")
 	b.WriteString("# TYPE wfmsd_request_duration_seconds histogram\n")
-	for _, name := range []string{"/v1/assess", "/v1/recommend", "/v1/calibrate", "/v1/events", "/v1/drift", "/v1/stats", "/metrics", "/healthz"} {
+	for _, name := range []string{"/v1/assess", "/v1/recommend", "/v1/assess-batch", "/v1/recommend-batch", "/v1/jobs/recommend", "/v1/jobs/{id}", "/v1/calibrate", "/v1/events", "/v1/drift", "/v1/stats", "/metrics", "/healthz"} {
 		if m, ok := s.endpoints[name]; ok {
 			m.writePrometheus(&b)
 		}
@@ -658,6 +838,42 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "wfmsd_admission_in_use %d\n", s.admission.InUse())
 	fmt.Fprintf(&b, "# TYPE wfmsd_admission_waiting gauge\n")
 	fmt.Fprintf(&b, "wfmsd_admission_waiting %d\n", s.admission.Waiting())
+	fmt.Fprintf(&b, "# HELP wfmsd_batch_items_total Items processed by the batch endpoints.\n")
+	fmt.Fprintf(&b, "# TYPE wfmsd_batch_items_total counter\n")
+	fmt.Fprintf(&b, "wfmsd_batch_items_total %d\n", s.batchItems.Load())
+	fmt.Fprintf(&b, "# HELP wfmsd_batch_builds_total Cold model builds performed by batch requests (misses after fingerprint grouping).\n")
+	fmt.Fprintf(&b, "# TYPE wfmsd_batch_builds_total counter\n")
+	fmt.Fprintf(&b, "wfmsd_batch_builds_total %d\n", s.batchBuilds.Load())
+	jobs := s.jobs.stats()
+	fmt.Fprintf(&b, "# HELP wfmsd_jobs_resident Async jobs resident (queued, running, or retained).\n")
+	fmt.Fprintf(&b, "# TYPE wfmsd_jobs_resident gauge\n")
+	fmt.Fprintf(&b, "wfmsd_jobs_resident %d\n", jobs.Resident)
+	fmt.Fprintf(&b, "# HELP wfmsd_jobs_total Async jobs by lifecycle event.\n")
+	fmt.Fprintf(&b, "# TYPE wfmsd_jobs_total counter\n")
+	fmt.Fprintf(&b, "wfmsd_jobs_total{event=\"submitted\"} %d\n", jobs.Submitted)
+	fmt.Fprintf(&b, "wfmsd_jobs_total{event=\"done\"} %d\n", jobs.Done)
+	fmt.Fprintf(&b, "wfmsd_jobs_total{event=\"failed\"} %d\n", jobs.Failed)
+	fmt.Fprintf(&b, "wfmsd_jobs_total{event=\"canceled\"} %d\n", jobs.Canceled)
+	fmt.Fprintf(&b, "wfmsd_jobs_total{event=\"expired\"} %d\n", jobs.Expired)
+	if tenants := s.quotas.stats(); len(tenants) > 0 {
+		fmt.Fprintf(&b, "# HELP wfmsd_tenant_requests_total Admissions requested per tenant.\n")
+		fmt.Fprintf(&b, "# TYPE wfmsd_tenant_requests_total counter\n")
+		fmt.Fprintf(&b, "# HELP wfmsd_tenant_rejections_total Tenant-quota rejections (budget_exceeded).\n")
+		fmt.Fprintf(&b, "# TYPE wfmsd_tenant_rejections_total counter\n")
+		fmt.Fprintf(&b, "# HELP wfmsd_tenant_in_use Planner-worker tokens held per tenant.\n")
+		fmt.Fprintf(&b, "# TYPE wfmsd_tenant_in_use gauge\n")
+		names := make([]string, 0, len(tenants))
+		for name := range tenants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			ts := tenants[name]
+			fmt.Fprintf(&b, "wfmsd_tenant_requests_total{tenant=%q} %d\n", name, ts.Requests)
+			fmt.Fprintf(&b, "wfmsd_tenant_rejections_total{tenant=%q} %d\n", name, ts.Rejections)
+			fmt.Fprintf(&b, "wfmsd_tenant_in_use{tenant=%q} %d\n", name, ts.InUse)
+		}
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	io.WriteString(w, b.String())
 }
@@ -699,6 +915,10 @@ func errorCode(status int, err error) string {
 		return "bad_request"
 	case http.StatusNotFound:
 		return "not_found"
+	case http.StatusRequestEntityTooLarge:
+		return "payload_too_large"
+	case http.StatusTooManyRequests:
+		return "rate_limited"
 	case http.StatusServiceUnavailable:
 		return "unavailable"
 	case http.StatusGatewayTimeout:

@@ -1,0 +1,123 @@
+package server
+
+// Regression coverage for the two request-validation bugfixes shipped
+// with the batch/async work:
+//
+//  1. An over-limit request body used to surface as a generic 400
+//     ("parsing request: http: request body too large"); it must be a
+//     413 with the typed payload_too_large code, on the JSON endpoints
+//     and the JSONL /v1/events path alike.
+//  2. A negative timeout_ms was silently ignored (the `> 0` check fell
+//     through to the server default, handing a fail-fast client a
+//     60-second budget); it must be rejected with a typed 422.
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"performa/internal/wfmserr"
+)
+
+// TestOversizedBodyRejected413 posts bodies beyond MaxBodyBytes and
+// requires 413/payload_too_large everywhere a body is read.
+func TestOversizedBodyRejected413(t *testing.T) {
+	doc, _ := paperSystem(t)
+	_, ts := newTestServer(t, Options{Workers: 1, MaxBodyBytes: 1024})
+
+	big := mustJSON(t, AssessRequest{
+		System: doc, Config: []int{2, 2, 2},
+		Goals: GoalsJSON{MaxUnavailability: 1e-5},
+	})
+	if len(big) <= 1024 {
+		t.Fatalf("test body is only %d bytes; raise the payload or lower the cap", len(big))
+	}
+	for _, path := range []string{"/v1/assess", "/v1/recommend", "/v1/assess-batch", "/v1/jobs/recommend", "/v1/calibrate"} {
+		status, e := postRaw(t, ts.URL+path, big)
+		if status != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s: status = %d, want 413", path, status)
+		}
+		if e.Code != string(wfmserr.CodePayloadTooLarge) {
+			t.Errorf("%s: code = %q, want %q", path, e.Code, wfmserr.CodePayloadTooLarge)
+		}
+	}
+
+	// The JSONL ingestion path reads through the same cap.
+	events := strings.Repeat("{}\n", 1024)
+	status, e := postRaw(t, ts.URL+"/v1/events?fingerprint=deadbeef", events)
+	if status != http.StatusRequestEntityTooLarge || e.Code != string(wfmserr.CodePayloadTooLarge) {
+		t.Errorf("/v1/events: status/code = %d/%q, want 413/%s", status, e.Code, wfmserr.CodePayloadTooLarge)
+	}
+
+	// The typed code reaches the operator-facing counters.
+	var stats StatsResponse
+	if st := getJSON(t, ts.URL+"/v1/stats", &stats); st != http.StatusOK {
+		t.Fatalf("stats status = %d", st)
+	}
+	if stats.Errors[string(wfmserr.CodePayloadTooLarge)] < 6 {
+		t.Errorf("errors[payload_too_large] = %d, want >= 6: %v",
+			stats.Errors[string(wfmserr.CodePayloadTooLarge)], stats.Errors)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `wfmsd_errors_total{code="payload_too_large"}`) {
+		t.Error("metrics missing the payload_too_large error series")
+	}
+
+	// An in-budget request on the same server still succeeds: the cap
+	// applies per request, and 1 KiB still fits a small valid body.
+	status, _ = postRaw(t, ts.URL+"/v1/events?fingerprint=deadbeef", "{}\n")
+	if status == http.StatusRequestEntityTooLarge {
+		t.Errorf("small body rejected as oversized (status %d)", status)
+	}
+}
+
+// TestNegativeTimeoutRejected posts timeout_ms: -1 to every endpoint
+// that honors the field and requires a typed 422 instead of the silent
+// fallthrough to the server default.
+func TestNegativeTimeoutRejected(t *testing.T) {
+	doc, _ := paperSystem(t)
+	_, ts := newTestServer(t, Options{Workers: 1})
+
+	goals := GoalsJSON{MaxUnavailability: 1e-5}
+	cases := []struct {
+		path string
+		body string
+	}{
+		{"/v1/recommend", mustJSON(t, RecommendRequest{System: doc, Goals: goals, TimeoutMillis: -1})},
+		{"/v1/jobs/recommend", mustJSON(t, RecommendRequest{System: doc, Goals: goals, TimeoutMillis: -1})},
+		{"/v1/assess-batch", mustJSON(t, AssessBatchRequest{
+			Items:         []AssessBatchItem{{System: doc, Config: []int{2, 2, 2}, Goals: goals}},
+			TimeoutMillis: -1,
+		})},
+		{"/v1/recommend-batch", mustJSON(t, RecommendBatchRequest{
+			Items:         []RecommendBatchItem{{System: doc, Goals: goals}},
+			TimeoutMillis: -1,
+		})},
+	}
+	for _, tc := range cases {
+		status, e := postRaw(t, ts.URL+tc.path, tc.body)
+		if status != http.StatusUnprocessableEntity {
+			t.Errorf("%s: status = %d, want 422", tc.path, status)
+		}
+		if e.Code != string(wfmserr.CodeInvalidRequest) {
+			t.Errorf("%s: code = %q, want %q", tc.path, e.Code, wfmserr.CodeInvalidRequest)
+		}
+	}
+
+	// Zero stays valid: it means "inherit the server default".
+	status, e := postRaw(t, ts.URL+"/v1/recommend", mustJSON(t, RecommendRequest{
+		System: doc, Goals: GoalsJSON{MaxWaiting: 0.005, MaxUnavailability: 1e-5},
+	}))
+	if status != http.StatusOK {
+		t.Errorf("timeout_ms 0: status = %d (%+v), want 200", status, e)
+	}
+}

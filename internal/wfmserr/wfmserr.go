@@ -36,8 +36,20 @@ const (
 	CodeNoConvergence Code = "no_convergence"
 	// CodeBudgetExceeded marks work that was cut off by an explicit
 	// resource budget or deadline: the model may be fine, but solving
-	// it exceeds what this service is willing to spend.
+	// it exceeds what this service is willing to spend. Per-tenant
+	// serving quotas reject with this code too — the tenant's token
+	// budget is a resource budget like any other.
 	CodeBudgetExceeded Code = "budget_exceeded"
+	// CodeInvalidRequest marks a request envelope that fails validation
+	// before any model is touched: a negative timeout, an empty or
+	// oversized batch, an unknown planner name. Distinct from
+	// CodeInvalidModel, which concerns the system document itself.
+	CodeInvalidRequest Code = "invalid_request"
+	// CodePayloadTooLarge marks a request body that exceeds the
+	// server's configured byte limit; clients should shrink or split
+	// the payload (batch endpoints accept item slices for exactly
+	// this).
+	CodePayloadTooLarge Code = "payload_too_large"
 	// CodeInternal marks a recovered invariant violation — a bug, not
 	// a bad request.
 	CodeInternal Code = "internal"
@@ -63,6 +75,8 @@ var (
 	ErrStateSpaceTooLarge = &Error{Code: CodeStateSpaceTooLarge, msg: "state space too large"}
 	ErrNoConvergence      = &Error{Code: CodeNoConvergence, msg: "no convergence"}
 	ErrBudgetExceeded     = &Error{Code: CodeBudgetExceeded, msg: "budget exceeded"}
+	ErrInvalidRequest     = &Error{Code: CodeInvalidRequest, msg: "invalid request"}
+	ErrPayloadTooLarge    = &Error{Code: CodePayloadTooLarge, msg: "payload too large"}
 	ErrInternal           = &Error{Code: CodeInternal, msg: "internal error"}
 )
 
