@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check build vet test race bench bench-solver bench-serving crossval solver-diff fuzz-crash replay-smoke corpus-check
+.PHONY: check build vet test race bench bench-solver bench-serving bench-reconfig crossval solver-diff fuzz-crash replay-smoke corpus-check
 
 check: build vet test race
 
@@ -37,6 +37,12 @@ bench-solver:
 # workflow corpus. Writes the raw phase rows to BENCH_serving.json.
 bench-serving:
 	$(GO) run ./cmd/wfmsbench -serving-json BENCH_serving.json
+
+# Reconfiguration-loop sweep (E19): drift-to-advisory latency of the
+# sensitivity-guided controller (wfmsd -reconfigure) across the imported
+# workflow corpus. Writes the raw rows to BENCH_reconfig.json.
+bench-reconfig:
+	$(GO) run ./cmd/wfmsbench -reconfig-json BENCH_reconfig.json
 
 # Differential validation sweep: random systems cross-checked between
 # the analytic stack, the simulator, and closed-form oracles. Failing

@@ -37,9 +37,11 @@ func run() int {
 		solverJSON     = flag.String("solver-json", "", "run only the E16 solver-scaling bench and write its rows as JSON to this file")
 		solverReduced  = flag.Bool("solver-reduced", false, "with -solver-json: the reduced sweep (CI smoke sizes)")
 		corpusJSON     = flag.String("corpus-json", "", "run only the E17 corpus solver sweep and write its rows as JSON to this file")
-		corpusDir      = flag.String("corpus-dir", "corpus", "imported-workflow corpus directory for E17/E18")
+		corpusDir      = flag.String("corpus-dir", "corpus", "imported-workflow corpus directory for E17/E18/E19")
 		servingJSON    = flag.String("serving-json", "", "run only the E18 serving bench and write its rows as JSON to this file")
 		servingReduced = flag.Bool("serving-reduced", false, "with -serving-json: the reduced sweep (CI smoke sizes)")
+		reconfigJSON   = flag.String("reconfig-json", "", "run only the E19 reconfiguration-loop bench and write its rows as JSON to this file")
+		reconfigRed    = flag.Bool("reconfig-reduced", false, "with -reconfig-json: the reduced sweep (CI smoke sizes)")
 		cpuprofile     = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile     = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -83,6 +85,9 @@ func run() int {
 	if *servingJSON != "" {
 		return runServingBench(*servingJSON, *corpusDir, *servingReduced)
 	}
+	if *reconfigJSON != "" {
+		return runReconfigBench(*reconfigJSON, *corpusDir, *reconfigRed)
+	}
 
 	runners := map[string]func() (*experiments.Table, error){
 		"e1": experiments.E1Availability,
@@ -114,6 +119,10 @@ func run() int {
 			_, t, err := experiments.ServingBench(*corpusDir, false)
 			return t, err
 		},
+		"e19": func() (*experiments.Table, error) {
+			_, t, err := experiments.ReconfigBench(*corpusDir, false)
+			return t, err
+		},
 		"a1": experiments.AblationSeries,
 		"a2": experiments.AblationAvailabilitySolvers,
 		"a3": experiments.AblationRepairDiscipline,
@@ -122,7 +131,7 @@ func run() int {
 		"a6": experiments.AblationTransient,
 		"a7": func() (*experiments.Table, error) { return experiments.AblationPooling(*seed) },
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e16", "e17", "e18",
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e16", "e17", "e18", "e19",
 		"a1", "a2", "a3", "a4", "a5", "a6", "a7"}
 
 	var ids []string
@@ -180,6 +189,29 @@ func runSolverBench(path string, reduced bool) int {
 // table, and writes the raw phase rows as JSON (BENCH_serving.json).
 func runServingBench(path, dir string, reduced bool) int {
 	rows, tbl, err := experiments.ServingBench(dir, reduced)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wfmsbench:", err)
+		return 1
+	}
+	fmt.Print(tbl.Format())
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wfmsbench:", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "wfmsbench:", err)
+		return 1
+	}
+	fmt.Printf("wrote %d rows to %s\n", len(rows), path)
+	return 0
+}
+
+// runReconfigBench runs the E19 reconfiguration-loop bench, prints the
+// table, and writes the raw rows as JSON (BENCH_reconfig.json).
+func runReconfigBench(path, dir string, reduced bool) int {
+	rows, tbl, err := experiments.ReconfigBench(dir, reduced)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wfmsbench:", err)
 		return 1

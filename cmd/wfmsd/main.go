@@ -12,10 +12,11 @@
 // Endpoints: POST /v1/assess, POST /v1/recommend, POST /v1/assess-batch,
 // POST /v1/recommend-batch, POST /v1/jobs/recommend, GET|DELETE
 // /v1/jobs/{id}, POST /v1/calibrate, POST /v1/events, GET /v1/drift,
+// GET /v1/sensitivity, POST|GET /v1/deployments, GET /v1/advisories,
 // GET /v1/stats, GET /metrics, GET /healthz. See internal/server for
 // the request schemas and DESIGN.md §7 (serving), §10 (online
-// calibration), and §13 (batch/async serving and tenant quotas) for the
-// architecture.
+// calibration), §13 (batch/async serving and tenant quotas), and §14
+// (sensitivity-guided reconfiguration) for the architecture.
 package main
 
 import (
@@ -57,6 +58,8 @@ func main() {
 		driftMinSample = flag.Uint64("drift-min-samples", 0, "observations required before an estimate is drift-scored (0 = defaults)")
 		streamHalfLife = flag.Float64("stream-half-life", 0, "exponential-decay half-life of the ingestion estimators in trail time-units (0 = keep all history)")
 		maxStreams     = flag.Int("max-streams", 0, "per-system ingestion streams kept resident (0 = 64)")
+
+		reconfigure = flag.Bool("reconfigure", false, "run the reconfiguration controller: drift crossings of registered deployments (POST /v1/deployments) trigger warm-started re-plans published on /v1/advisories")
 	)
 	flag.Parse()
 
@@ -97,6 +100,7 @@ func main() {
 		JobTTL:         *jobTTL,
 		MaxJobs:        *maxJobs,
 		TenantBudget:   *tenantBudget,
+		Reconfigure:    *reconfigure,
 	})
 	httpServer := &http.Server{
 		Addr:              *addr,

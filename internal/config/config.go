@@ -82,6 +82,18 @@ type Constraints struct {
 	// Fixed pins types to exact replication degrees; nil or negative
 	// entries leave the type free.
 	Fixed []int
+	// StartFrom optionally warm-starts the greedy search at an existing
+	// configuration — typically the currently deployed one, for
+	// incremental re-planning after drift — instead of the constraint
+	// floor. Entries are clamped into the [min, max] bounds. A
+	// warm-started greedy may also remove replicas: once the candidate
+	// is feasible it trims replicas whose removal keeps every goal met
+	// (one per iteration, the cut that leaves the most goal headroom
+	// first), so a drift that relaxed the load releases servers instead
+	// of only ever growing. nil preserves the classic floor start, whose
+	// result is unchanged. Exhaustive and branch-and-bound enumerate the
+	// full space regardless and ignore this field.
+	StartFrom []int
 }
 
 const defaultMaxReplicas = 64
@@ -210,11 +222,29 @@ type Step struct {
 	MaxWaiting     float64
 	Unavailability float64
 	// AddedType is the server type that received a replica after this
-	// evaluation, or -1 when the candidate was accepted.
+	// evaluation, or -1 when the candidate was accepted or a replica was
+	// removed instead.
 	AddedType int
-	// Reason explains the choice ("waiting goal" or "availability
-	// goal").
+	// RemovedType is the server type that lost a replica after this
+	// evaluation (warm-started searches trim once feasible), or -1.
+	RemovedType int
+	// Reason explains the choice ("waiting goal", "availability goal",
+	// or "cost reduction").
 	Reason string
+}
+
+// PartialTrace carries the accumulated greedy trace on a typed
+// budget_exceeded error (Detail["partial_trace"]), so callers can resume
+// from where the search stopped or report the progress made. Its String
+// keeps rendered error messages bounded — the full steps are reached by
+// type-asserting the detail value.
+type PartialTrace []Step
+
+func (p PartialTrace) String() string {
+	if len(p) == 0 {
+		return "0 steps"
+	}
+	return fmt.Sprintf("%d steps, last at %v", len(p), p[len(p)-1].Config)
 }
 
 // Recommendation is the tool's output.
@@ -280,6 +310,16 @@ func Greedy(a *perf.Analysis, goals Goals, cons Constraints, opts Options) (*Rec
 // search return ctx.Err() promptly, discarding any partial trace. The
 // shared evaluator (Options.Evaluator) keeps every per-state vector that
 // completed before the cancellation and stays reusable.
+//
+// With Constraints.StartFrom set the search warm-starts at that
+// configuration (clamped into the bounds) and, once the candidate is
+// feasible, trims replicas the goals no longer need — see
+// Constraints.StartFrom. An exhausted iteration budget returns a typed
+// budget_exceeded error carrying the partial trace (Detail
+// "partial_trace", a PartialTrace) and the best configuration reached
+// (Detail "best_config"), so callers can resume via StartFrom — unless
+// the incumbent is already feasible (a warm start caught mid-trim), in
+// which case the feasible incumbent is returned instead of the error.
 func GreedyContext(ctx context.Context, a *perf.Analysis, goals Goals, cons Constraints, opts Options) (*Recommendation, error) {
 	k := a.Env().K()
 	if err := goals.validate(k); err != nil {
@@ -296,7 +336,29 @@ func GreedyContext(ctx context.Context, a *perf.Analysis, goals Goals, cons Cons
 		return nil, err
 	}
 	cfg := perf.Config{Replicas: append([]int(nil), lo...)}
+	warmStart := cons.StartFrom != nil
+	if warmStart {
+		if len(cons.StartFrom) != k {
+			return nil, fmt.Errorf("config: %d start-from replicas for %d server types", len(cons.StartFrom), k)
+		}
+		for x, v := range cons.StartFrom {
+			if v > lo[x] {
+				cfg.Replicas[x] = v
+			}
+			if cfg.Replicas[x] > hi[x] {
+				cfg.Replicas[x] = hi[x]
+			}
+		}
+	}
 	rec := &Recommendation{}
+	accept := func(as *Assessment, step Step) *Recommendation {
+		rec.Trace = append(rec.Trace, step)
+		rec.Config = cfg.Clone()
+		rec.Cost = cfg.TotalServers()
+		rec.Assessment = as
+		eng.stamp(rec)
+		return rec
+	}
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		as, err := eng.assess(ctx, cfg.Replicas)
 		if err != nil {
@@ -308,14 +370,28 @@ func GreedyContext(ctx context.Context, a *perf.Analysis, goals Goals, cons Cons
 			MaxWaiting:     as.Perf.MaxWaiting(),
 			Unavailability: as.Unavailability,
 			AddedType:      -1,
+			RemovedType:    -1,
 		}
 		if as.Feasible() {
+			if !warmStart {
+				return accept(as, step), nil
+			}
+			// Warm start: the candidate meets the goals, but the drift
+			// that triggered the re-plan may have left it oversized. Trim
+			// the replica whose removal keeps every goal met with the
+			// most headroom; accept once no removal stays feasible.
+			target, err := bestRemoval(ctx, eng, rec, goals, cfg.Replicas, lo)
+			if err != nil {
+				return nil, err
+			}
+			if target < 0 {
+				return accept(as, step), nil
+			}
+			step.RemovedType = target
+			step.Reason = "cost reduction"
 			rec.Trace = append(rec.Trace, step)
-			rec.Config = cfg.Clone()
-			rec.Cost = cfg.TotalServers()
-			rec.Assessment = as
-			eng.stamp(rec)
-			return rec, nil
+			cfg.Replicas[target]--
+			continue
 		}
 
 		var target int
@@ -328,7 +404,8 @@ func GreedyContext(ctx context.Context, a *perf.Analysis, goals Goals, cons Cons
 			reason = "availability goal"
 		}
 		if target < 0 {
-			return nil, fmt.Errorf("config: goals unreachable within constraints at %v (max waiting %.4g, unavailability %.4g)",
+			return nil, wfmserr.New(wfmserr.CodeInfeasible, "config",
+				"goals unreachable within constraints at %v (max waiting %.4g, unavailability %.4g)",
 				cfg, as.Perf.MaxWaiting(), as.Unavailability)
 		}
 		step.AddedType = target
@@ -336,8 +413,90 @@ func GreedyContext(ctx context.Context, a *perf.Analysis, goals Goals, cons Cons
 		rec.Trace = append(rec.Trace, step)
 		cfg.Replicas[target]++
 	}
-	return nil, wfmserr.New(wfmserr.CodeBudgetExceeded, "config",
-		"greedy search exceeded its iteration budget").With("iterations", opts.MaxIterations)
+	if warmStart {
+		// The budget ran out mid-trim: if the incumbent is feasible (every
+		// removal step preserved feasibility), it is a valid — merely
+		// possibly untrimmed — recommendation, strictly more useful than a
+		// budget error. The assessment is memoized, so this costs nothing.
+		if as, err := eng.assess(ctx, cfg.Replicas); err == nil && as.Feasible() {
+			return accept(as, Step{
+				Config:         cfg.Clone(),
+				MaxWaiting:     as.Perf.MaxWaiting(),
+				Unavailability: as.Unavailability,
+				AddedType:      -1,
+				RemovedType:    -1,
+			}), nil
+		}
+	}
+	budgetErr := wfmserr.New(wfmserr.CodeBudgetExceeded, "config",
+		"greedy search exceeded its iteration budget").
+		With("iterations", opts.MaxIterations).
+		With("evaluations", rec.Evaluations).
+		With("best_config", append([]int(nil), cfg.Replicas...))
+	if len(rec.Trace) > 0 {
+		budgetErr = budgetErr.With("partial_trace", PartialTrace(rec.Trace))
+	}
+	return nil, budgetErr
+}
+
+// bestRemoval picks the server type whose single-replica removal keeps
+// the candidate feasible while leaving the most goal headroom — the
+// largest remaining slack across the active goals — tie-broken by the
+// lowest type index. It returns -1 when no removal stays feasible (or
+// none is allowed by the lower bounds). Candidate assessments count
+// toward rec.Evaluations like every other greedy evaluation.
+func bestRemoval(ctx context.Context, eng *engine, rec *Recommendation, goals Goals, replicas, lo []int) (int, error) {
+	best := -1
+	bestSlack := 0.0
+	y := append([]int(nil), replicas...)
+	for x := range y {
+		if y[x]-1 < lo[x] {
+			continue
+		}
+		y[x]--
+		as, err := eng.assess(ctx, y)
+		y[x]++
+		if err != nil {
+			return -1, err
+		}
+		rec.Evaluations++
+		if !as.Feasible() {
+			continue
+		}
+		if slack := goalSlack(eng.a, as, goals); slack > bestSlack || best < 0 {
+			bestSlack, best = slack, x
+		}
+	}
+	return best, nil
+}
+
+// goalSlack is the minimum remaining headroom of an assessment across
+// the active goals, as a fraction of each goal's limit: 0 means some
+// goal is exactly at its limit, 1 means untouched. Only finite, set
+// goals contribute.
+func goalSlack(a *perf.Analysis, as *Assessment, goals Goals) float64 {
+	slack := 1.0
+	note := func(value, limit float64) {
+		if limit <= 0 || math.IsInf(limit, 1) {
+			return
+		}
+		s := 1 - value/limit
+		if s < slack {
+			slack = s
+		}
+	}
+	for x, w := range as.Perf.Waiting {
+		note(w, goals.waitingLimit(x))
+	}
+	note(as.Unavailability, goals.MaxUnavailability)
+	if goals.PerWorkflowMaxDelay != nil && as.WorkflowDelays != nil {
+		for i, d := range as.WorkflowDelays {
+			if i < len(goals.PerWorkflowMaxDelay) {
+				note(d, goals.PerWorkflowMaxDelay[i])
+			}
+		}
+	}
+	return slack
 }
 
 // mostCriticalForWaiting picks the server type with the largest relative
@@ -502,7 +661,8 @@ func ExhaustiveContext(ctx context.Context, a *perf.Analysis, goals Goals, cons 
 			return rec, nil
 		}
 	}
-	return nil, fmt.Errorf("config: no feasible configuration within constraints (searched totals %d..%d)", minTotal, maxTotal)
+	return nil, wfmserr.New(wfmserr.CodeInfeasible, "config",
+		"no feasible configuration within constraints (searched totals %d..%d)", minTotal, maxTotal)
 }
 
 // exhaustiveParallel sweeps one total's candidates in enumeration-order

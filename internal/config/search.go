@@ -7,6 +7,7 @@ import (
 
 	"performa/internal/dist"
 	"performa/internal/perf"
+	"performa/internal/wfmserr"
 )
 
 // The paper notes that the configuration search "may eventually entail
@@ -107,7 +108,7 @@ func BranchAndBoundContext(ctx context.Context, a *perf.Analysis, goals Goals, c
 		return nil, err
 	}
 	if best == nil {
-		return nil, fmt.Errorf("config: no feasible configuration within constraints")
+		return nil, wfmserr.New(wfmserr.CodeInfeasible, "config", "no feasible configuration within constraints")
 	}
 	rec.Config = best.Config.Clone()
 	rec.Cost = best.Config.TotalServers()

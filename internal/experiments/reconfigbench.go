@@ -1,0 +1,243 @@
+package experiments
+
+// E19: drift-to-advisory latency of the reconfiguration controller —
+// how long the closed loop takes from the event batch that crosses the
+// drift threshold to the advisory carrying a warm-started re-plan, per
+// corpus system. Each system is registered as a deployment on one
+// reconfiguring wfmsd, a synthetic service-time drift (2× the designed
+// mean, far above the 0.25 relative-change threshold) is streamed, and
+// the advisory is polled. Two latencies matter: the server-measured
+// drift-to-advisory path (crossing → recalibrated rebuild → warm-start
+// greedy → sensitivity table → advisory) and the end-to-end wall a
+// polling client observes.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"performa/internal/audit"
+	"performa/internal/server"
+	"performa/internal/wfjson"
+)
+
+// ReconfigBenchRow is one system's trip through the reconfiguration
+// loop, the record format of BENCH_reconfig.json.
+type ReconfigBenchRow struct {
+	System    string `json:"system"`
+	Types     int    `json:"types"`
+	Workflows int    `json:"workflows"`
+	// DeployedConfig is the registered (corpus) replica vector;
+	// AdvisedConfig the advisory's recommendation (empty on a failed
+	// re-plan).
+	DeployedConfig []int `json:"deployed_config"`
+	AdvisedConfig  []int `json:"advised_config,omitempty"`
+	// Outcome is "advised" or "failed" (the advisory's planner error
+	// code).
+	Outcome string `json:"outcome"`
+	// Evaluations is the warm-started planner's evaluation count.
+	Evaluations int `json:"evaluations,omitempty"`
+	// AdvisoryLatencyMS is the server-measured drift-to-advisory
+	// latency; EndToEndMS the client-observed wall from posting the
+	// crossing batch to seeing the advisory.
+	AdvisoryLatencyMS float64 `json:"advisory_latency_ms"`
+	EndToEndMS        float64 `json:"end_to_end_ms"`
+	// TopFactor is the advisory's highest-ranked sensitivity
+	// attribution.
+	TopFactor string `json:"top_factor,omitempty"`
+}
+
+// reconfigDriftSamples is how many drifted service samples each system
+// streams — comfortably above the drift detector's MinSamples default
+// (25), so one batch crosses.
+const reconfigDriftSamples = 60
+
+// ReconfigBench runs the E19 sweep. reduced caps the corpus at four
+// systems (the CI smoke shape).
+func ReconfigBench(dir string, reduced bool) ([]ReconfigBenchRow, *Table, error) {
+	limit := 0
+	if reduced {
+		limit = 4
+	}
+	systems, err := loadServingSystems(dir, limit)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	s := server.New(server.Options{
+		Logger:      slog.New(slog.NewTextHandler(io.Discard, nil)),
+		Reconfigure: true,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var rows []ReconfigBenchRow
+	var sinceID uint64
+	for _, sys := range systems {
+		row, lastID, err := reconfigSystem(ts.URL, sys, sinceID)
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: reconfig %s: %w", sys.name, err)
+		}
+		sinceID = lastID
+		rows = append(rows, row)
+	}
+
+	t := &Table{
+		ID:      "E19",
+		Title:   "drift-to-advisory latency of the reconfiguration loop (wfmsd -reconfigure, loopback HTTP)",
+		Columns: []string{"system", "types", "deployed", "advised", "outcome", "evals", "advisory", "end-to-end"},
+	}
+	advised, under1s := 0, 0
+	for _, r := range rows {
+		if r.Outcome == "advised" {
+			advised++
+		}
+		if r.AdvisoryLatencyMS < 1000 {
+			under1s++
+		}
+		t.AddRow(r.System, fmt.Sprintf("%d", r.Types), fmt.Sprintf("%v", r.DeployedConfig),
+			fmt.Sprintf("%v", r.AdvisedConfig), r.Outcome, fmt.Sprintf("%d", r.Evaluations),
+			fmtWall(r.AdvisoryLatencyMS), fmtWall(r.EndToEndMS))
+	}
+	t.Notes = append(t.Notes,
+		"advisory: server-measured latency from the drift crossing to the emitted advisory",
+		"end-to-end: client wall from posting the crossing batch to seeing the advisory on /v1/advisories",
+		"drift: 2× service-time samples on the first server type (relative change 1.0 vs threshold 0.25)",
+		fmt.Sprintf("%d/%d systems advised; %d/%d advisories under 1 s", advised, len(rows), under1s, len(rows)))
+	return rows, t, nil
+}
+
+// reconfigSystem runs one system through the loop: probe the deployed
+// configuration's metrics, register the deployment with 2× headroom
+// goals, stream the drifted batch, and poll for the advisory.
+func reconfigSystem(baseURL string, sys servingItem, sinceID uint64) (ReconfigBenchRow, uint64, error) {
+	row := ReconfigBenchRow{System: sys.name, DeployedConfig: sys.config}
+	env, flows, err := wfjson.FromDocument(&sys.doc)
+	if err != nil {
+		return row, sinceID, err
+	}
+	row.Types = env.K()
+	row.Workflows = len(flows)
+
+	// Probe: the deployed configuration's metrics under an always-met
+	// goal; the deployment's real goal is 2× the observed waiting, so
+	// the registered configuration starts feasible with headroom.
+	var probe server.AssessResponse
+	if err := servingPost(baseURL+"/v1/assess", server.AssessRequest{
+		System: sys.doc, Config: sys.config, Goals: server.GoalsJSON{MaxWaiting: 1e9},
+	}, &probe); err != nil {
+		return row, sinceID, fmt.Errorf("probe assess: %w", err)
+	}
+	observed := float64(probe.Assessment.MaxWaiting)
+	if !(observed > 0) || observed > 1e8 {
+		return row, sinceID, fmt.Errorf("deployed config %v has max waiting %v; not a stable deployment", sys.config, observed)
+	}
+	goals := server.GoalsJSON{MaxWaiting: 2 * observed}
+	var reg server.DeploymentJSON
+	if err := servingPost(baseURL+"/v1/deployments", server.DeploymentRequest{
+		System: sys.doc, Config: sys.config, Goals: goals,
+	}, &reg); err != nil {
+		return row, sinceID, fmt.Errorf("register deployment: %w", err)
+	}
+
+	// Synthesize drift: service-time samples at twice the designed mean
+	// of the first server type.
+	st := env.Type(0)
+	recs := make([]audit.Record, reconfigDriftSamples)
+	for i := range recs {
+		recs[i] = audit.Record{
+			Kind:       audit.ServiceRequest,
+			Time:       float64(i),
+			ServerType: st.Name,
+			Service:    2 * st.MeanService,
+		}
+	}
+	began := time.Now()
+	ev, err := reconfigPostEvents(baseURL, reg.Fingerprint, recs)
+	if err != nil {
+		return row, sinceID, err
+	}
+	if !ev.Invalidated {
+		return row, sinceID, fmt.Errorf("drift batch did not cross: score %v", ev.Drift)
+	}
+
+	adv, err := reconfigWaitAdvisory(baseURL, reg.Fingerprint, sinceID, 30*time.Second)
+	if err != nil {
+		return row, sinceID, err
+	}
+	row.EndToEndMS = float64(time.Since(began)) / float64(time.Millisecond)
+	row.AdvisoryLatencyMS = adv.LatencyMS
+	row.Evaluations = adv.Evaluations
+	if adv.PlannerCode != "" {
+		row.Outcome = adv.PlannerCode
+	} else {
+		row.Outcome = "advised"
+		row.AdvisedConfig = adv.NewConfig
+	}
+	if len(adv.TopFactors) > 0 {
+		row.TopFactor = adv.TopFactors[0].Attribution
+	}
+	return row, adv.ID, nil
+}
+
+// reconfigPostEvents streams records to /v1/events as JSON lines.
+func reconfigPostEvents(baseURL, fingerprint string, recs []audit.Record) (server.EventsResponse, error) {
+	var out server.EventsResponse
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			return out, err
+		}
+	}
+	resp, err := http.Post(baseURL+"/v1/events?fingerprint="+fingerprint, "application/x-ndjson", &buf)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return out, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("events: status %d: %s", resp.StatusCode, raw)
+	}
+	return out, json.Unmarshal(raw, &out)
+}
+
+// reconfigWaitAdvisory polls /v1/advisories until the system's advisory
+// with ID > sinceID appears.
+func reconfigWaitAdvisory(baseURL, fingerprint string, sinceID uint64, timeout time.Duration) (server.AdvisoryJSON, error) {
+	deadline := time.Now().Add(timeout)
+	url := fmt.Sprintf("%s/v1/advisories?fingerprint=%s&since_id=%d", baseURL, fingerprint, sinceID)
+	for {
+		resp, err := http.Get(url)
+		if err != nil {
+			return server.AdvisoryJSON{}, err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return server.AdvisoryJSON{}, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return server.AdvisoryJSON{}, fmt.Errorf("advisories: status %d: %s", resp.StatusCode, raw)
+		}
+		var list server.AdvisoriesResponse
+		if err := json.Unmarshal(raw, &list); err != nil {
+			return server.AdvisoryJSON{}, err
+		}
+		if len(list.Advisories) > 0 {
+			return list.Advisories[0], nil
+		}
+		if time.Now().After(deadline) {
+			return server.AdvisoryJSON{}, fmt.Errorf("no advisory for %s within %v", fingerprint, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

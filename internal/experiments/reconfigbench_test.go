@@ -1,0 +1,29 @@
+package experiments
+
+import "testing"
+
+// The reduced E19 shape over the committed corpus: every system must
+// complete the loop and produce an advisory row.
+func TestReconfigBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reconfig bench smoke skipped in -short")
+	}
+	rows, tbl, err := ReconfigBench("../../corpus", true)
+	if err != nil {
+		t.Fatalf("ReconfigBench: %v", err)
+	}
+	if len(rows) == 0 || tbl == nil {
+		t.Fatalf("no rows")
+	}
+	for _, r := range rows {
+		if r.Outcome == "" {
+			t.Errorf("%s: empty outcome", r.System)
+		}
+		if r.AdvisoryLatencyMS <= 0 || r.EndToEndMS <= 0 {
+			t.Errorf("%s: non-positive latency (%v, %v)", r.System, r.AdvisoryLatencyMS, r.EndToEndMS)
+		}
+		if r.Outcome == "advised" && len(r.AdvisedConfig) != r.Types {
+			t.Errorf("%s: advised config %v for %d types", r.System, r.AdvisedConfig, r.Types)
+		}
+	}
+}

@@ -71,11 +71,21 @@ type Evaluator struct {
 	a         *perf.Analysis
 	opts      Options
 	marginals *avail.MarginalCache
+	states    *stateCache
+}
 
-	mu    sync.RWMutex
-	cache map[string][]float64 // StateKey(X) → w^X, read-only once stored
+// stateCache is the memo of degraded-state waiting vectors, split out of
+// the Evaluator so derived evaluators (Derive) can share it when the
+// perturbation provably leaves every w^X unchanged.
+type stateCache struct {
+	mu sync.RWMutex
+	m  map[string][]float64 // StateKey(X) → w^X, read-only once stored
 
 	hits, misses atomic.Uint64
+}
+
+func newStateCache() *stateCache {
+	return &stateCache{m: make(map[string][]float64)}
 }
 
 // NewEvaluator validates the options and returns an empty-cache
@@ -88,8 +98,38 @@ func NewEvaluator(a *perf.Analysis, opts Options) (*Evaluator, error) {
 		a:         a,
 		opts:      opts,
 		marginals: avail.NewMarginalCache(),
-		cache:     make(map[string][]float64),
+		states:    newStateCache(),
 	}, nil
+}
+
+// Derive returns an evaluator over a perturbed analysis that reuses this
+// evaluator's warm caches where sharing is sound:
+//
+//   - the availability-marginal cache is always shared — its entries are
+//     keyed by the full per-type parameter set, so a perturbed type
+//     simply misses and solves fresh while unperturbed types keep
+//     hitting;
+//   - the degraded-state waiting cache is shared only when shareStates
+//     is true, which is sound exactly when the perturbation leaves w^X
+//     unchanged for every state X: failure- and repair-rate changes
+//     qualify (w^X never reads them), service moments and arrival rates
+//     do not.
+//
+// Sharing the state cache with a perturbation that does change w^X
+// silently corrupts both evaluators' results; callers own that proof.
+func (e *Evaluator) Derive(a *perf.Analysis, shareStates bool) (*Evaluator, error) {
+	if a == nil {
+		return nil, fmt.Errorf("performability: derive needs an analysis")
+	}
+	if a.Env().K() != e.a.Env().K() {
+		return nil, fmt.Errorf("performability: derived analysis has %d server types, want %d",
+			a.Env().K(), e.a.Env().K())
+	}
+	d := &Evaluator{a: a, opts: e.opts, marginals: e.marginals, states: newStateCache()}
+	if shareStates {
+		d.states = e.states
+	}
+	return d, nil
 }
 
 // Analysis returns the analysis the evaluator was built against.
@@ -106,14 +146,14 @@ func (e *Evaluator) Marginals() *avail.MarginalCache { return e.marginals }
 // CachedStates returns the number of distinct system states whose
 // waiting vectors are currently memoized.
 func (e *Evaluator) CachedStates() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return len(e.cache)
+	e.states.mu.RLock()
+	defer e.states.mu.RUnlock()
+	return len(e.states.m)
 }
 
 // Stats returns a snapshot of the cache counters.
 func (e *Evaluator) Stats() CacheStats {
-	return CacheStats{Hits: e.hits.Load(), Misses: e.misses.Load()}
+	return CacheStats{Hits: e.states.hits.Load(), Misses: e.states.misses.Load()}
 }
 
 // Evaluate computes W^Y for one candidate, equivalent to the package
@@ -287,11 +327,11 @@ func (e *Evaluator) EvaluateContext(ctx context.Context, cfg perf.Config, worker
 
 // lookup fetches a cached w^X and counts the hit.
 func (e *Evaluator) lookup(key string) ([]float64, bool) {
-	e.mu.RLock()
-	w, ok := e.cache[key]
-	e.mu.RUnlock()
+	e.states.mu.RLock()
+	w, ok := e.states.m[key]
+	e.states.mu.RUnlock()
 	if ok {
-		e.hits.Add(1)
+		e.states.hits.Add(1)
 	}
 	return w, ok
 }
@@ -307,10 +347,10 @@ func (e *Evaluator) stateWaiting(x []int) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.misses.Add(1)
-	e.mu.Lock()
-	e.cache[key] = w
-	e.mu.Unlock()
+	e.states.misses.Add(1)
+	e.states.mu.Lock()
+	e.states.m[key] = w
+	e.states.mu.Unlock()
 	return w, nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"performa/internal/ctmc"
 	"performa/internal/linalg"
 	"performa/internal/performability"
+	"performa/internal/sensitivity"
 	"performa/internal/stream"
 	"performa/internal/wfjson"
 )
@@ -95,6 +96,10 @@ type ConstraintsJSON struct {
 	MinReplicas []int `json:"min_replicas,omitempty"`
 	MaxReplicas []int `json:"max_replicas,omitempty"`
 	Fixed       []int `json:"fixed,omitempty"`
+	// StartFrom warm-starts the greedy planner at this configuration
+	// (typically the deployed one), enabling removal steps — see
+	// config.Constraints.StartFrom.
+	StartFrom []int `json:"start_from,omitempty"`
 }
 
 func (c ConstraintsJSON) toConstraints() config.Constraints {
@@ -102,6 +107,7 @@ func (c ConstraintsJSON) toConstraints() config.Constraints {
 		MinReplicas: c.MinReplicas,
 		MaxReplicas: c.MaxReplicas,
 		Fixed:       c.Fixed,
+		StartFrom:   c.StartFrom,
 	}
 }
 
@@ -237,12 +243,15 @@ type RecommendRequest struct {
 	Tenant string `json:"tenant,omitempty"`
 }
 
-// TraceStepJSON mirrors config.Step.
+// TraceStepJSON mirrors config.Step. AddedType and RemovedType are -1
+// when the step added or removed nothing (warm-started searches emit
+// removal steps while trimming an oversized deployment).
 type TraceStepJSON struct {
 	Config         []int   `json:"config"`
 	MaxWaiting     Float   `json:"max_waiting"`
 	Unavailability float64 `json:"unavailability"`
 	AddedType      int     `json:"added_type"`
+	RemovedType    int     `json:"removed_type"`
 	Reason         string  `json:"reason,omitempty"`
 }
 
@@ -578,4 +587,147 @@ type AdmissionStatsJSON struct {
 type ErrorResponse struct {
 	Error string `json:"error"`
 	Code  string `json:"code,omitempty"`
+}
+
+// SensitivityEntryJSON mirrors sensitivity.Entry with JSON-safe floats
+// (elasticities are NaN when the base metric is zero).
+type SensitivityEntryJSON struct {
+	Kind                     string  `json:"kind"`
+	Index                    int     `json:"index"`
+	Target                   string  `json:"target"`
+	Value                    Float   `json:"value"`
+	DMaxWaiting              Float   `json:"d_max_waiting"`
+	DUnavailability          Float   `json:"d_unavailability"`
+	DWorkflowDelays          []Float `json:"d_workflow_delays,omitempty"`
+	WaitingElasticity        Float   `json:"waiting_elasticity"`
+	UnavailabilityElasticity Float   `json:"unavailability_elasticity"`
+	Rank                     Float   `json:"rank"`
+	Method                   string  `json:"method"`
+	Step                     Float   `json:"step"`
+	Attribution              string  `json:"attribution"`
+}
+
+func sensitivityEntryJSON(e sensitivity.Entry) SensitivityEntryJSON {
+	return SensitivityEntryJSON{
+		Kind:                     string(e.Kind),
+		Index:                    e.Index,
+		Target:                   e.Target,
+		Value:                    Float(e.Value),
+		DMaxWaiting:              Float(e.DMaxWaiting),
+		DUnavailability:          Float(e.DUnavailability),
+		DWorkflowDelays:          floats(e.DWorkflowDelays),
+		WaitingElasticity:        Float(e.WaitingElasticity),
+		UnavailabilityElasticity: Float(e.UnavailabilityElasticity),
+		Rank:                     Float(e.Rank),
+		Method:                   e.Method,
+		Step:                     Float(e.Step),
+		Attribution:              e.Attribution,
+	}
+}
+
+func sensitivityEntriesJSON(entries []sensitivity.Entry) []SensitivityEntryJSON {
+	out := make([]SensitivityEntryJSON, len(entries))
+	for i, e := range entries {
+		out[i] = sensitivityEntryJSON(e)
+	}
+	return out
+}
+
+// SensitivityResponse is the GET /v1/sensitivity reply: the ranked
+// finite-difference sensitivity table of the warm system model at one
+// configuration.
+type SensitivityResponse struct {
+	Fingerprint        string                 `json:"fingerprint"`
+	ServerTypes        []string               `json:"server_types"`
+	Config             []int                  `json:"config"`
+	BaseMaxWaiting     Float                  `json:"base_max_waiting"`
+	BaseUnavailability Float                  `json:"base_unavailability"`
+	BaseWorkflowDelays []Float                `json:"base_workflow_delays"`
+	Entries            []SensitivityEntryJSON `json:"entries"`
+	Summary            string                 `json:"summary"`
+	ElapsedMS          float64                `json:"elapsed_ms"`
+}
+
+// DeploymentRequest registers a deployed configuration with the
+// reconfiguration controller: the system, the configuration currently
+// running, and the goals/constraints future re-plans must satisfy.
+// Registration warms the model, creates the system's ingestion stream,
+// and assesses the deployed configuration against the goals.
+type DeploymentRequest struct {
+	System      wfjson.Document `json:"system"`
+	Config      []int           `json:"config"`
+	Goals       GoalsJSON       `json:"goals"`
+	Constraints ConstraintsJSON `json:"constraints,omitempty"`
+	Model       ModelJSON       `json:"model,omitempty"`
+	Tenant      string          `json:"tenant,omitempty"`
+}
+
+// DeploymentJSON reports one registered deployment.
+type DeploymentJSON struct {
+	Fingerprint string          `json:"fingerprint"`
+	ServerTypes []string        `json:"server_types"`
+	Config      []int           `json:"config"`
+	Goals       GoalsJSON       `json:"goals"`
+	Assessment  *AssessmentJSON `json:"assessment,omitempty"`
+	// Advisories is how many reconfiguration advisories this deployment
+	// has received.
+	Advisories uint64 `json:"advisories"`
+}
+
+// DeploymentsResponse is the GET /v1/deployments reply.
+type DeploymentsResponse struct {
+	Deployments []DeploymentJSON `json:"deployments"`
+}
+
+// AdvisoryJSON is one reconfiguration advisory: a drift crossing
+// triggered a warm-started re-plan from the deployed configuration, and
+// this is the outcome. Exactly one of NewConfig and PlannerError is
+// meaningful: a planning failure (infeasible goals, blown budget) still
+// produces an advisory so operators see the loop attempted and why it
+// could not recommend.
+type AdvisoryJSON struct {
+	ID          uint64 `json:"id"`
+	Fingerprint string `json:"fingerprint"`
+	// Generation is the drift-rebuild generation the re-plan ran
+	// against.
+	Generation uint64 `json:"generation"`
+	// Trigger is the drift score that crossed the thresholds.
+	Trigger stream.Score `json:"trigger"`
+	// OldConfig is the deployed configuration; OldAssessment its
+	// standing under the recalibrated (post-drift) model.
+	OldConfig     []int           `json:"old_config"`
+	OldAssessment *AssessmentJSON `json:"old_assessment,omitempty"`
+	// NewConfig is the recommended configuration under the
+	// recalibrated model (absent when planning failed).
+	NewConfig     []int           `json:"new_config,omitempty"`
+	NewAssessment *AssessmentJSON `json:"new_assessment,omitempty"`
+	// DeltaMaxWaiting and DeltaUnavailability are new − old: the
+	// predicted effect of applying the advisory.
+	DeltaMaxWaiting     Float `json:"delta_max_waiting,omitempty"`
+	DeltaUnavailability Float `json:"delta_unavailability,omitempty"`
+	// Justification is the sensitivity summary of the recommended
+	// configuration — why the model believes these replicas matter.
+	Justification string `json:"justification,omitempty"`
+	// TopFactors are the highest-ranked sensitivity entries at the
+	// recommended configuration.
+	TopFactors []SensitivityEntryJSON `json:"top_factors,omitempty"`
+	// PlannerError and PlannerCode report a failed re-plan (e.g. code
+	// "infeasible" when the drifted load admits no configuration
+	// within constraints).
+	PlannerError string `json:"planner_error,omitempty"`
+	PlannerCode  string `json:"planner_code,omitempty"`
+	// Evaluations is the planner's evaluation count; LatencyMS the
+	// drift-to-advisory latency.
+	Evaluations int     `json:"evaluations,omitempty"`
+	LatencyMS   float64 `json:"latency_ms"`
+	// UnixMS is the advisory's emission time.
+	UnixMS int64 `json:"unix_ms"`
+}
+
+// AdvisoriesResponse is the GET /v1/advisories reply, oldest first.
+type AdvisoriesResponse struct {
+	Advisories []AdvisoryJSON `json:"advisories"`
+	// NextSinceID is the highest advisory ID in the reply (pass as
+	// since_id to poll for newer ones); 0 when empty.
+	NextSinceID uint64 `json:"next_since_id,omitempty"`
 }

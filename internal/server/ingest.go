@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"performa/internal/audit"
 	"performa/internal/calibrate"
@@ -272,6 +273,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		s.driftInvalidations.Add(1)
 		s.log.Info("drift detected: invalidating warm models",
 			"fingerprint", fp, "score", score.String(), "generation", gen, "entries", invalidated)
+		// Hand the crossing to the reconfiguration controller (if one
+		// is running and the system has a registered deployment): the
+		// advisory loop re-plans from the recalibrated model.
+		s.notifyDrift(driftEvent{fingerprint: fp, generation: gen, score: score, at: time.Now()})
 	}
 
 	_, drifted, generation, invalidations, _ := st.snapshot()

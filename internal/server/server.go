@@ -10,6 +10,12 @@
 //	GET  /v1/jobs/{id}        poll a job (queued/running/done/failed)
 //	DELETE /v1/jobs/{id}      cancel a job, or discard a finished result
 //	POST /v1/calibrate        ingest audit-trail records, re-derive the models
+//	POST /v1/events           stream audit records, score drift against the model
+//	GET  /v1/drift            drift state of every ingestion stream
+//	GET  /v1/sensitivity      ranked finite-difference sensitivity table
+//	POST /v1/deployments      register the running configuration for reconfiguration
+//	GET  /v1/deployments      list registered deployments
+//	GET  /v1/advisories       drift-triggered reconfiguration advisories
 //	GET  /v1/stats            cache hit rates and per-endpoint latency
 //	GET  /metrics             Prometheus text exposition
 //	GET  /healthz             liveness
@@ -105,6 +111,12 @@ type Options struct {
 	// planner-worker tokens (the admission semaphore's currency).
 	// 0 disables tenant quotas.
 	TenantBudget int
+	// Reconfigure starts the reconfiguration controller: drift
+	// crossings of registered deployments (POST /v1/deployments)
+	// trigger warm-started re-plans whose outcomes are published on
+	// /v1/advisories. Off, the endpoints still serve but no advisories
+	// are produced.
+	Reconfigure bool
 }
 
 // Server is the advisory service. Create with New, mount via Handler,
@@ -152,6 +164,23 @@ type Server struct {
 	maxBatchItems int
 	batchItems    atomic.Uint64
 	batchBuilds   atomic.Uint64
+
+	// Reconfiguration controller: registered deployments, the advisory
+	// log, the drift-event queue feeding the controller goroutine, and
+	// its lifecycle. ctrlCancel is invoked at Shutdown start — before
+	// the in-flight waits — so a mid-re-plan controller unwinds
+	// promptly instead of deadlocking the drain.
+	deployments     *deploymentRegistry
+	advisories      *advisoryLog
+	driftCh         chan driftEvent
+	driftDropped    atomic.Uint64
+	ctrlCtx         context.Context
+	ctrlCancel      context.CancelFunc
+	ctrlWG          sync.WaitGroup
+	reconfigAdvised atomic.Uint64
+	reconfigFailed  atomic.Uint64
+	reconfigLatency *histogram
+	lastAdvisoryNS  atomic.Int64
 }
 
 // New builds the service.
@@ -196,6 +225,7 @@ func New(opts Options) *Server {
 		maxJobs = 1024
 	}
 	jobsCtx, jobsCancel := context.WithCancel(context.Background())
+	ctrlCtx, ctrlCancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:            opts,
 		workers:         workers,
@@ -215,6 +245,11 @@ func New(opts Options) *Server {
 		jobsCtx:         jobsCtx,
 		jobsCancel:      jobsCancel,
 		maxBatchItems:   maxBatch,
+		deployments:     newDeploymentRegistry(),
+		advisories:      newAdvisoryLog(),
+		ctrlCtx:         ctrlCtx,
+		ctrlCancel:      ctrlCancel,
+		reconfigLatency: newHistogram(),
 	}
 	s.route("POST /v1/assess", s.handleAssess)
 	s.route("POST /v1/recommend", s.handleRecommend)
@@ -226,9 +261,18 @@ func New(opts Options) *Server {
 	s.route("POST /v1/calibrate", s.handleCalibrate)
 	s.route("POST /v1/events", s.handleEvents)
 	s.route("GET /v1/drift", s.handleDrift)
+	s.route("GET /v1/sensitivity", s.handleSensitivity)
+	s.route("POST /v1/deployments", s.handleDeploymentPost)
+	s.route("GET /v1/deployments", s.handleDeploymentList)
+	s.route("GET /v1/advisories", s.handleAdvisories)
 	s.route("GET /v1/stats", s.handleStats)
 	s.route("GET /metrics", s.handleMetrics)
 	s.route("GET /healthz", s.handleHealthz)
+	if opts.Reconfigure {
+		s.driftCh = make(chan driftEvent, 64)
+		s.ctrlWG.Add(1)
+		go s.controllerLoop()
+	}
 	return s
 }
 
@@ -243,10 +287,16 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // closes the request contexts.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.closed.Store(true)
+	// Stop the reconfiguration controller before waiting on the drains:
+	// its context must close first so a mid-re-plan controller (which
+	// holds admission tokens like any client) unwinds promptly rather
+	// than racing the shutdown deadline.
+	s.ctrlCancel()
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
 		s.jobsWG.Wait()
+		s.ctrlWG.Wait()
 		close(done)
 	}()
 	select {
@@ -567,6 +617,7 @@ func (s *Server) runRecommend(ctx context.Context, entry *modelEntry, warm bool,
 			MaxWaiting:     Float(st.MaxWaiting),
 			Unavailability: st.Unavailability,
 			AddedType:      st.AddedType,
+			RemovedType:    st.RemovedType,
 			Reason:         st.Reason,
 		})
 	}
@@ -763,7 +814,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	b.WriteString("# TYPE wfmsd_requests_total counter\n")
 	b.WriteString("# HELP wfmsd_request_duration_seconds Request latency histogram.\n")
 	b.WriteString("# TYPE wfmsd_request_duration_seconds histogram\n")
-	for _, name := range []string{"/v1/assess", "/v1/recommend", "/v1/assess-batch", "/v1/recommend-batch", "/v1/jobs/recommend", "/v1/jobs/{id}", "/v1/calibrate", "/v1/events", "/v1/drift", "/v1/stats", "/metrics", "/healthz"} {
+	for _, name := range []string{"/v1/assess", "/v1/recommend", "/v1/assess-batch", "/v1/recommend-batch", "/v1/jobs/recommend", "/v1/jobs/{id}", "/v1/calibrate", "/v1/events", "/v1/drift", "/v1/sensitivity", "/v1/deployments", "/v1/advisories", "/v1/stats", "/metrics", "/healthz"} {
 		if m, ok := s.endpoints[name]; ok {
 			m.writePrometheus(&b)
 		}
@@ -796,6 +847,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# HELP wfmsd_drift_invalidations_total Warm-model invalidations triggered by drift detection.\n")
 	fmt.Fprintf(&b, "# TYPE wfmsd_drift_invalidations_total counter\n")
 	fmt.Fprintf(&b, "wfmsd_drift_invalidations_total %d\n", s.driftInvalidations.Load())
+	fmt.Fprintf(&b, "# HELP wfmsd_deployments Registered deployments under reconfiguration control.\n")
+	fmt.Fprintf(&b, "# TYPE wfmsd_deployments gauge\n")
+	fmt.Fprintf(&b, "wfmsd_deployments %d\n", s.deployments.len())
+	fmt.Fprintf(&b, "# HELP wfmsd_reconfigurations_total Drift-triggered re-plans by outcome.\n")
+	fmt.Fprintf(&b, "# TYPE wfmsd_reconfigurations_total counter\n")
+	fmt.Fprintf(&b, "wfmsd_reconfigurations_total{outcome=\"advised\"} %d\n", s.reconfigAdvised.Load())
+	fmt.Fprintf(&b, "wfmsd_reconfigurations_total{outcome=\"failed\"} %d\n", s.reconfigFailed.Load())
+	fmt.Fprintf(&b, "# HELP wfmsd_drift_events_dropped_total Drift events the full reconfiguration queue dropped.\n")
+	fmt.Fprintf(&b, "# TYPE wfmsd_drift_events_dropped_total counter\n")
+	fmt.Fprintf(&b, "wfmsd_drift_events_dropped_total %d\n", s.driftDropped.Load())
+	if last := s.lastAdvisoryNS.Load(); last > 0 {
+		fmt.Fprintf(&b, "# HELP wfmsd_advisory_age_seconds Seconds since the last reconfiguration advisory.\n")
+		fmt.Fprintf(&b, "# TYPE wfmsd_advisory_age_seconds gauge\n")
+		fmt.Fprintf(&b, "wfmsd_advisory_age_seconds %g\n", time.Since(time.Unix(0, last)).Seconds())
+	}
+	cum, total, sum := s.reconfigLatency.snapshot()
+	fmt.Fprintf(&b, "# HELP wfmsd_reconfigure_latency_seconds Drift-to-advisory latency histogram.\n")
+	fmt.Fprintf(&b, "# TYPE wfmsd_reconfigure_latency_seconds histogram\n")
+	for i, ub := range latencyBuckets {
+		fmt.Fprintf(&b, "wfmsd_reconfigure_latency_seconds_bucket{le=\"%g\"} %d\n", ub, cum[i])
+	}
+	fmt.Fprintf(&b, "wfmsd_reconfigure_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum[len(cum)-1])
+	fmt.Fprintf(&b, "wfmsd_reconfigure_latency_seconds_sum %g\n", sum)
+	fmt.Fprintf(&b, "wfmsd_reconfigure_latency_seconds_count %d\n", total)
 	fmt.Fprintf(&b, "# HELP wfmsd_ingest_streams Per-system ingestion streams resident.\n")
 	fmt.Fprintf(&b, "# TYPE wfmsd_ingest_streams gauge\n")
 	fmt.Fprintf(&b, "wfmsd_ingest_streams %d\n", s.streams.len())
@@ -946,7 +1021,10 @@ func (s *Server) errorCounts() map[string]uint64 {
 // statusForError maps pipeline errors onto HTTP statuses: timeouts to
 // 504, client disconnects to 499, recovered internal errors to 500, and
 // everything else (invalid models, blown budgets, infeasible goals,
-// exceeded iteration budgets) to 422.
+// exceeded iteration budgets) to 422. Infeasibility is listed
+// explicitly: a planner proving no configuration within constraints
+// meets the goals is a well-formed request with an unsatisfiable
+// semantic — 422 with machine-readable code "infeasible", never a 500.
 func statusForError(err error) int {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
@@ -955,6 +1033,8 @@ func statusForError(err error) int {
 		return statusClientClosedRequest
 	case wfmserr.CodeOf(err) == wfmserr.CodeInternal:
 		return http.StatusInternalServerError
+	case errors.Is(err, wfmserr.ErrInfeasible):
+		return http.StatusUnprocessableEntity
 	default:
 		return http.StatusUnprocessableEntity
 	}

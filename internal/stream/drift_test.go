@@ -242,3 +242,78 @@ func TestProbFloorBoundsRareBranchDrift(t *testing.T) {
 		t.Errorf("floored relChange = %v, want 1.0", got)
 	}
 }
+
+// relChange must switch denominators exactly at the floor: a baseline
+// below the floor divides by the floor, a baseline at or above it
+// divides by itself. These cases gate the reconfiguration trigger, so
+// the boundary is pinned.
+func TestRelChangeDenominatorBoundary(t *testing.T) {
+	cases := []struct {
+		name                  string
+		observed, base, floor float64
+		want                  float64
+	}{
+		{"base exactly at floor uses base", 0.10, 0.05, 0.05, 1.0},
+		{"base just below floor uses floor", 0.10, 0.049999, 0.05, (0.10 - 0.049999) / 0.05},
+		{"base above floor uses base", 0.30, 0.20, 0.05, 0.5},
+		{"zero base uses floor", 0.5, 0, 0.05, 10.0},
+		{"zero floor zero base", 0, 0, 0, math.NaN()},
+		{"negative delta is folded", 0.1, 0.2, 0, 0.5},
+	}
+	for _, c := range cases {
+		got := relChange(c.observed, c.base, c.floor)
+		if math.IsNaN(c.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: relChange(%v, %v, %v) = %v, want NaN", c.name, c.observed, c.base, c.floor, got)
+			}
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: relChange(%v, %v, %v) = %v, want %v", c.name, c.observed, c.base, c.floor, got, c.want)
+		}
+	}
+}
+
+// Exceeds is strict: a score sitting exactly at a threshold does not
+// trigger, one epsilon above does. The controller keys reconfiguration
+// off this comparison, so > vs ≥ is load-bearing.
+func TestExceedsIsStrictAtThreshold(t *testing.T) {
+	th := Thresholds{Transition: 0.25, Residence: 0.25, Service: 0.25, Arrival: 0.5,
+		MinDepartures: 1, MinSamples: 1}
+	at := Score{Transition: 0.25, Residence: 0.25, Service: 0.25, Arrival: 0.5}
+	if at.Exceeds(th) {
+		t.Errorf("score exactly at thresholds must not exceed: %v", at)
+	}
+	const eps = 1e-12
+	for name, s := range map[string]Score{
+		"transition": {Transition: 0.25 + eps},
+		"residence":  {Residence: 0.25 + eps},
+		"service":    {Service: 0.25 + eps},
+		"arrival":    {Arrival: 0.5 + eps},
+	} {
+		if !s.Exceeds(th) {
+			t.Errorf("%s one epsilon above threshold must exceed", name)
+		}
+	}
+}
+
+// A branch the model says is never taken (baseline probability zero)
+// that shows up in the trail must score against the probability floor —
+// finite, large, and attributable — rather than dividing by zero.
+func TestZeroBaselineTransitionScoresAgainstFloor(t *testing.T) {
+	est := NewEstimator(Options{})
+	est.ObserveBatch(driftTrail(100, 0.5)) // observed 50/50 split
+	base := baselineAB(1.0)                // model: A always, B never
+
+	s := est.ScoreAgainst(base, Thresholds{})
+	// Branch B: baseline 0, observed 0.5 → change 0.5/probFloor = 10.
+	if want := 0.5 / probFloor; math.Abs(s.Transition-want) > 1e-9 {
+		t.Errorf("zero-baseline transition drift = %v, want %v", s.Transition, want)
+	}
+	if math.IsInf(s.Transition, 1) || math.IsNaN(s.Transition) {
+		t.Fatalf("zero-baseline drift is non-finite: %v", s.Transition)
+	}
+	if len(s.Top) == 0 || s.Top[0].Baseline != 0 {
+		t.Errorf("worst contribution should be the zero-baseline branch: %+v", s.Top)
+	}
+}

@@ -40,6 +40,13 @@ const (
 	// serving quotas reject with this code too — the tenant's token
 	// budget is a resource budget like any other.
 	CodeBudgetExceeded Code = "budget_exceeded"
+	// CodeInfeasible marks a well-formed planning problem whose goals no
+	// configuration within the constraints can meet: the search space was
+	// exhausted (or provably pruned) without a feasible candidate. The
+	// request is valid and the model solvable — the remedy is relaxing the
+	// goals or widening the constraints, so the code must be
+	// distinguishable from both invalid_model and budget_exceeded.
+	CodeInfeasible Code = "infeasible"
 	// CodeInvalidRequest marks a request envelope that fails validation
 	// before any model is touched: a negative timeout, an empty or
 	// oversized batch, an unknown planner name. Distinct from
@@ -75,6 +82,7 @@ var (
 	ErrStateSpaceTooLarge = &Error{Code: CodeStateSpaceTooLarge, msg: "state space too large"}
 	ErrNoConvergence      = &Error{Code: CodeNoConvergence, msg: "no convergence"}
 	ErrBudgetExceeded     = &Error{Code: CodeBudgetExceeded, msg: "budget exceeded"}
+	ErrInfeasible         = &Error{Code: CodeInfeasible, msg: "goals infeasible within constraints"}
 	ErrInvalidRequest     = &Error{Code: CodeInvalidRequest, msg: "invalid request"}
 	ErrPayloadTooLarge    = &Error{Code: CodePayloadTooLarge, msg: "payload too large"}
 	ErrInternal           = &Error{Code: CodeInternal, msg: "internal error"}
