@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check build vet test race bench bench-solver bench-serving bench-reconfig crossval solver-diff fuzz-crash replay-smoke corpus-check
+.PHONY: check build vet test race bench bench-solver bench-serving bench-reconfig bench-netdiff crossval solver-diff netdiff fuzz-crash replay-smoke corpus-check
 
 check: build vet test race
 
@@ -44,12 +44,30 @@ bench-serving:
 bench-reconfig:
 	$(GO) run ./cmd/wfmsbench -reconfig-json BENCH_reconfig.json
 
+# Collapse-bias sweep (E20): the max-of-means parallel collapse vs the
+# free-choice net oracle's exact expected execution time, over the
+# synthetic fork-join grid (pinned to the d·H_k closed form) and every
+# corpus system. Writes the raw rows to BENCH_netdiff.json.
+bench-netdiff:
+	$(GO) run ./cmd/wfmsbench -netdiff-json BENCH_netdiff.json
+
 # Differential validation sweep: random systems cross-checked between
 # the analytic stack, the simulator, and closed-form oracles. Failing
 # systems are shrunk and written to crossval-corpus/ as reproducers.
 crossval:
 	$(GO) run ./cmd/wfmscheck -systems 200 -seed 1 -out crossval-corpus
 	$(GO) run ./cmd/wfmscheck -systems 25 -seed 1 -mutate
+
+# Net-differential sweep: the collapsed analytic turnaround, the
+# free-choice net oracle, and the true-concurrency simulator
+# cross-checked on random systems and the corpus, plus the mutation
+# self-test — standard crossval is structurally blind to a collapse
+# perturbation (it hits both sides of every legacy comparison); only
+# the net route can see it.
+netdiff:
+	$(GO) run ./cmd/wfmscheck -net -systems 50 -seed 1 -out crossval-corpus
+	$(GO) run ./cmd/wfmscheck -net -corpus corpus
+	$(GO) run ./cmd/wfmscheck -net -systems 15 -seed 1 -mutate -fault collapse-bias
 
 # Solver-differential sweep: the same availability CTMCs solved dense,
 # Gauss-Seidel, Jacobi, BiCGSTAB, power, and product form must agree to

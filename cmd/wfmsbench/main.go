@@ -42,6 +42,8 @@ func run() int {
 		servingReduced = flag.Bool("serving-reduced", false, "with -serving-json: the reduced sweep (CI smoke sizes)")
 		reconfigJSON   = flag.String("reconfig-json", "", "run only the E19 reconfiguration-loop bench and write its rows as JSON to this file")
 		reconfigRed    = flag.Bool("reconfig-reduced", false, "with -reconfig-json: the reduced sweep (CI smoke sizes)")
+		netdiffJSON    = flag.String("netdiff-json", "", "run only the E20 collapse-bias bench and write its rows as JSON to this file")
+		netdiffReduced = flag.Bool("netdiff-reduced", false, "with -netdiff-json: the reduced grid (CI smoke sizes)")
 		cpuprofile     = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile     = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -88,6 +90,9 @@ func run() int {
 	if *reconfigJSON != "" {
 		return runReconfigBench(*reconfigJSON, *corpusDir, *reconfigRed)
 	}
+	if *netdiffJSON != "" {
+		return runNetDiffBench(*netdiffJSON, *corpusDir, *netdiffReduced)
+	}
 
 	runners := map[string]func() (*experiments.Table, error){
 		"e1": experiments.E1Availability,
@@ -123,6 +128,10 @@ func run() int {
 			_, t, err := experiments.ReconfigBench(*corpusDir, false)
 			return t, err
 		},
+		"e20": func() (*experiments.Table, error) {
+			_, t, err := experiments.NetDiffBench(*corpusDir, false)
+			return t, err
+		},
 		"a1": experiments.AblationSeries,
 		"a2": experiments.AblationAvailabilitySolvers,
 		"a3": experiments.AblationRepairDiscipline,
@@ -131,7 +140,7 @@ func run() int {
 		"a6": experiments.AblationTransient,
 		"a7": func() (*experiments.Table, error) { return experiments.AblationPooling(*seed) },
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e16", "e17", "e18", "e19",
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e16", "e17", "e18", "e19", "e20",
 		"a1", "a2", "a3", "a4", "a5", "a6", "a7"}
 
 	var ids []string
@@ -212,6 +221,29 @@ func runServingBench(path, dir string, reduced bool) int {
 // table, and writes the raw rows as JSON (BENCH_reconfig.json).
 func runReconfigBench(path, dir string, reduced bool) int {
 	rows, tbl, err := experiments.ReconfigBench(dir, reduced)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wfmsbench:", err)
+		return 1
+	}
+	fmt.Print(tbl.Format())
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wfmsbench:", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "wfmsbench:", err)
+		return 1
+	}
+	fmt.Printf("wrote %d rows to %s\n", len(rows), path)
+	return 0
+}
+
+// runNetDiffBench runs the E20 collapse-bias bench, prints the table,
+// and writes the raw rows as JSON (BENCH_netdiff.json).
+func runNetDiffBench(path, dir string, reduced bool) int {
+	rows, tbl, err := experiments.NetDiffBench(dir, reduced)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wfmsbench:", err)
 		return 1

@@ -11,6 +11,8 @@
 //	wfmscheck -systems 25 -mutate            # self-test: must detect the fault
 //	wfmscheck -replay corpus/crossval-seed7.json
 //	wfmscheck -corpus corpus                 # check the imported-workflow corpus
+//	wfmscheck -net -systems 50               # net oracle vs true-concurrency sim vs collapse
+//	wfmscheck -net -mutate -fault collapse-bias
 //
 // Exit status: 0 when every system agrees (or, with -mutate, when the
 // injected fault was detected in at least one system), 1 otherwise.
@@ -40,10 +42,11 @@ func main() {
 		out          = flag.String("out", "", "directory for shrunk reproducer corpus files (empty: don't write)")
 		replications = flag.Int("replications", 0, "performance-route simulation replications (default 5)")
 		mutate       = flag.Bool("mutate", false, "mutation self-test: inject a fault into the analytic route and require the harness to detect it")
-		faultName    = flag.String("fault", "service-moment", "fault injected by -mutate: arrival-rate or service-moment")
+		faultName    = flag.String("fault", "service-moment", "fault injected by -mutate: arrival-rate, service-moment, or collapse-bias (the last needs -net)")
 		replay       = flag.String("replay", "", "re-check a corpus file instead of generating systems")
 		corpusDir    = flag.String("corpus", "", "check every wfjson system under this directory's systems/ instead of generating")
 		solverDiff   = flag.Bool("solver-diff", false, "solver-differential mode: cross-check dense vs sparse steady-state solvers only (deterministic, no simulation)")
+		netDiff      = flag.Bool("net", false, "net-differential mode: free-choice net oracle vs true-concurrency simulation vs collapsed analytic turnaround")
 		noShrink     = flag.Bool("no-shrink", false, "skip shrinking failing systems")
 		verbose      = flag.Bool("v", false, "log every system, not just failures")
 	)
@@ -51,11 +54,17 @@ func main() {
 
 	opt := crossval.Options{Replications: *replications}
 	check := crossval.Check
+	if *solverDiff && *netDiff {
+		fatal(fmt.Errorf("-solver-diff and -net are mutually exclusive modes"))
+	}
 	if *solverDiff {
 		if *mutate {
 			fatal(fmt.Errorf("-solver-diff runs the analytic solvers against each other and cannot detect -mutate faults"))
 		}
 		check = crossval.CheckSolvers
+	}
+	if *netDiff {
+		check = crossval.CheckNet
 	}
 	if *mutate {
 		fault, err := crossval.FaultByName(*faultName)
@@ -64,6 +73,12 @@ func main() {
 		}
 		if fault == crossval.FaultNone {
 			fatal(fmt.Errorf("-mutate needs a real fault, got %q", *faultName))
+		}
+		if fault == crossval.FaultCollapseBias && !*netDiff {
+			fatal(fmt.Errorf("collapse-bias perturbs the shared build path, so the legacy routes agree with themselves and are blind to it by construction — add -net"))
+		}
+		if *netDiff && fault != crossval.FaultCollapseBias {
+			fatal(fmt.Errorf("-net compares turnaround oracles only and cannot detect %q; use -fault collapse-bias", *faultName))
 		}
 		opt.Fault = fault
 	}

@@ -28,7 +28,29 @@ const (
 	// second moment by 50% in the analytic route only, shifting its
 	// M/G/1 waiting prediction by the same factor.
 	FaultServiceMoment
+	// FaultCollapseBias scales every collapsed subworkflow residence by
+	// collapseBiasScale inside spec.Build itself. Unlike the other
+	// faults it perturbs the SHARED build path: the analytic chain and
+	// the collapsed-model simulator both inherit it and keep agreeing,
+	// so Check is blind to it by construction. Only the net route
+	// (CheckNet), whose free-choice-net oracle and true-concurrency
+	// simulator bypass the collapse entirely, can detect it.
+	FaultCollapseBias
 )
+
+// collapseBiasScale is the residence perturbation FaultCollapseBias
+// applies to every collapsed subworkflow state (a −20% mean shift, far
+// outside tolExact and tolTurnaround).
+const collapseBiasScale = 0.8
+
+// buildFaultOpts returns the spec.Build options implementing
+// build-path faults; empty for the input-perturbation faults.
+func buildFaultOpts(f Fault) []spec.BuildOption {
+	if f == FaultCollapseBias {
+		return []spec.BuildOption{spec.WithCollapseResidenceScale(collapseBiasScale)}
+	}
+	return nil
+}
 
 // String names the fault.
 func (f Fault) String() string {
@@ -39,6 +61,8 @@ func (f Fault) String() string {
 		return "arrival-rate"
 	case FaultServiceMoment:
 		return "service-moment"
+	case FaultCollapseBias:
+		return "collapse-bias"
 	default:
 		return fmt.Sprintf("Fault(%d)", int(f))
 	}
@@ -109,21 +133,24 @@ func Check(sys *System, opt Options) ([]Disagreement, error) {
 	opt.setDefaults()
 
 	// The analytic route sees the (possibly faulted) copy; the
-	// simulator always runs the honest system.
+	// simulator always runs the honest system. FaultCollapseBias is the
+	// exception: a shared-build-path fault applies to BOTH routes (they
+	// keep agreeing — the blindness CheckNet exists to break).
 	analytic := sys
-	if opt.Fault != FaultNone {
+	if opt.Fault != FaultNone && opt.Fault != FaultCollapseBias {
 		var err error
 		analytic, err = applyFault(sys, opt.Fault)
 		if err != nil {
 			return nil, err
 		}
 	}
+	bopts := buildFaultOpts(opt.Fault)
 
-	models, err := BuildModels(sys)
+	models, err := BuildModels(sys, bopts...)
 	if err != nil {
 		return nil, fmt.Errorf("crossval: building simulation models: %w", err)
 	}
-	modelsA, err := BuildModels(analytic)
+	modelsA, err := BuildModels(analytic, bopts...)
 	if err != nil {
 		return nil, fmt.Errorf("crossval: building analytic models: %w", err)
 	}
@@ -141,7 +168,7 @@ func Check(sys *System, opt Options) ([]Disagreement, error) {
 	if err != nil {
 		return nil, err
 	}
-	ds, err = turnaroundRoute(ds, sys, modelsA, opt)
+	ds, err = turnaroundRoute(ds, sys, modelsA, bopts, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -308,7 +335,7 @@ func perfRoute(ds []Disagreement, sys *System, models []*spec.Model, report *per
 // asynchronously and never block the CTMC walk), so the route scales the
 // arrival rates down and the horizon up: the same number of observed
 // instances with far less horizon censoring of long-running ones.
-func turnaroundRoute(ds []Disagreement, sys *System, modelsA []*spec.Model, opt Options) ([]Disagreement, error) {
+func turnaroundRoute(ds []Disagreement, sys *System, modelsA []*spec.Model, bopts []spec.BuildOption, opt Options) ([]Disagreement, error) {
 	maxTurn, totalRate := 0.0, 0.0
 	for i, m := range modelsA {
 		if t := m.Turnaround(); t > maxTurn {
@@ -326,7 +353,9 @@ func turnaroundRoute(ds []Disagreement, sys *System, modelsA []*spec.Model, opt 
 	for _, f := range scaled.Flows {
 		f.ArrivalRate *= scale
 	}
-	models, err := BuildModels(scaled)
+	// Build-path faults reach the simulated models too: the collapsed
+	// walker replays whatever chain spec.Build produced.
+	models, err := BuildModels(scaled, bopts...)
 	if err != nil {
 		return nil, err
 	}

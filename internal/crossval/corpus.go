@@ -30,14 +30,15 @@ var faultByName = map[string]Fault{
 	"none":           FaultNone,
 	"arrival-rate":   FaultArrivalRate,
 	"service-moment": FaultServiceMoment,
+	"collapse-bias":  FaultCollapseBias,
 }
 
 // FaultByName resolves a fault name ("none", "arrival-rate",
-// "service-moment").
+// "service-moment", "collapse-bias").
 func FaultByName(name string) (Fault, error) {
 	f, ok := faultByName[name]
 	if !ok {
-		return FaultNone, fmt.Errorf("crossval: unknown fault %q (want none, arrival-rate, or service-moment)", name)
+		return FaultNone, fmt.Errorf("crossval: unknown fault %q (want none, arrival-rate, service-moment, or collapse-bias)", name)
 	}
 	return f, nil
 }

@@ -305,11 +305,12 @@ func scaleArrivals(sys *System, rng *dist.RNG) error {
 }
 
 // BuildModels maps every workflow of the system onto its stochastic
-// model.
-func BuildModels(sys *System) ([]*spec.Model, error) {
+// model. Build options (fault injection into the shared build path)
+// pass through to spec.Build.
+func BuildModels(sys *System, opts ...spec.BuildOption) ([]*spec.Model, error) {
 	models := make([]*spec.Model, len(sys.Flows))
 	for i, f := range sys.Flows {
-		m, err := spec.Build(f, sys.Env)
+		m, err := spec.Build(f, sys.Env, opts...)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,145 @@
+package crossval
+
+import (
+	"fmt"
+
+	"performa/internal/des"
+	"performa/internal/sim"
+	"performa/internal/wfnet"
+)
+
+// CheckNet is the net-differential route (wfmscheck -net): it compares
+// three independent views of the mean turnaround of every workflow.
+//
+//   - The free-choice workflow-net oracle: wfnet translates the
+//     uncollapsed statechart into a probabilistic workflow net and
+//     solves E[execution time] exactly on its marking-graph CTMC. This
+//     is the only analytic route that computes E[max of branch
+//     turnaround VARIABLES] for AND states.
+//   - The true-concurrency simulator: sim.Params.TrueConcurrency walks
+//     the same uncollapsed chart with fork/join tokens.
+//   - The production collapse: spec.Build's chain, whose AND residence
+//     is the max of branch MEANS, pinned against wfnet's independent
+//     reimplementation of the same max-of-means recursion.
+//
+// The first two must agree within the simulation tolerance; the
+// collapsed pair must agree to solver precision; and the collapse must
+// sit at or below the net oracle (Jensen: max of means ≤ mean of max).
+// The legacy Check cannot falsify the collapse because its simulator
+// replays the collapsed chain itself — this route closes that gap, and
+// FaultCollapseBias (blind in Check) is detected here by the exact
+// collapsed-turnaround pin.
+func CheckNet(sys *System, opt Options) ([]Disagreement, error) {
+	opt.setDefaults()
+	if opt.Fault != FaultNone && opt.Fault != FaultCollapseBias {
+		return nil, fmt.Errorf("crossval: the net route only injects the collapse-bias fault, not %v", opt.Fault)
+	}
+
+	// Collapsed analytic leg, through the (possibly faulted) build path.
+	models, err := BuildModels(sys, buildFaultOpts(opt.Fault)...)
+	if err != nil {
+		return nil, fmt.Errorf("crossval: building collapsed models: %w", err)
+	}
+
+	var ds []Disagreement
+	netMeans := make([]float64, len(sys.Flows))
+	for i, f := range sys.Flows {
+		net, err := wfnet.FromWorkflow(f)
+		if err != nil {
+			return nil, fmt.Errorf("crossval: translating %q to a workflow net: %w", f.Name, err)
+		}
+		res, err := wfnet.ExpectedDefault(net)
+		if err != nil {
+			return nil, fmt.Errorf("crossval: net oracle for %q: %w", f.Name, err)
+		}
+		netMeans[i] = res.Mean
+
+		// Exact pin: the production collapse against wfnet's independent
+		// max-of-means reference. A fault anywhere in spec.Build's
+		// collapse (moment matching aside — means are clamp-invariant)
+		// lands here.
+		ref, err := wfnet.CollapsedReference(f.Chart, f.Profiles)
+		if err != nil {
+			return nil, fmt.Errorf("crossval: collapsed reference for %q: %w", f.Name, err)
+		}
+		ds = compare(ds, "net", fmt.Sprintf("collapsed-turnaround[%s]", f.Name),
+			ref, models[i].Turnaround(), 0, tolExact)
+
+		// One-sided ordering: max-of-means can only UNDERestimate the
+		// true expected turnaround.
+		if slack := tolExact.Slack(res.Mean, 0); ref > res.Mean+slack {
+			ds = append(ds, Disagreement{
+				Route:  "net",
+				Metric: fmt.Sprintf("collapse-order[%s]", f.Name),
+				Ref:    res.Mean,
+				Obs:    ref,
+				Slack:  slack,
+			})
+		}
+	}
+	return netSimRoute(ds, sys, netMeans, opt)
+}
+
+// netSimRoute compares the net oracle's exact expected turnaround
+// against the true-concurrency simulator, with the same arrival-rate
+// downscaling as the collapsed turnaround route (turnaround is
+// queueing-independent in the simulator, so fewer, longer-observed
+// instances cost nothing in power). The horizon is sized from the NET
+// means: under heavy fan-out they exceed the collapsed ones.
+func netSimRoute(ds []Disagreement, sys *System, netMeans []float64, opt Options) ([]Disagreement, error) {
+	maxTurn, totalRate := 0.0, 0.0
+	for i := range netMeans {
+		if netMeans[i] > maxTurn {
+			maxTurn = netMeans[i]
+		}
+		totalRate += sys.Flows[i].ArrivalRate
+	}
+	if maxTurn <= 0 || totalRate <= 0 {
+		return ds, nil
+	}
+	horizon := 150 * maxTurn
+	scaled := sys.Clone()
+	// ~2000 instances per replication, split in the original mix.
+	scale := 2000 / (horizon * totalRate)
+	for _, f := range scaled.Flows {
+		f.ArrivalRate *= scale
+	}
+	// Honest build: the true-concurrency walker reads the raw chart and
+	// profiles off the model, never the collapsed chain.
+	models, err := BuildModels(scaled)
+	if err != nil {
+		return nil, err
+	}
+
+	const reps = 3
+	turnaround := make([]des.Tally, len(models))
+	completed := make([]uint64, len(models))
+	for r := 0; r < reps; r++ {
+		res, err := sim.Run(sim.Params{
+			Env:             scaled.Env,
+			Models:          models,
+			Replicas:        scaled.Replicas,
+			Seed:            sys.Seed*4021 + uint64(r) + 1,
+			Horizon:         horizon,
+			Warmup:          horizon / 50,
+			TrueConcurrency: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("crossval: net-route simulation: %w", err)
+		}
+		for i := range models {
+			if res.Turnaround[i].N > 0 {
+				turnaround[i].Add(res.Turnaround[i].Mean)
+			}
+			completed[i] += res.Completed[i]
+		}
+	}
+	for i := range models {
+		if completed[i] < minTurnaroundSamples || turnaround[i].N() != reps {
+			continue
+		}
+		ds = compare(ds, "net", fmt.Sprintf("turnaround[%s]", sys.Flows[i].Name),
+			netMeans[i], turnaround[i].Mean(), turnaround[i].StdErr(), tolTurnaround)
+	}
+	return ds, nil
+}

@@ -1,0 +1,153 @@
+package crossval
+
+import (
+	"strings"
+	"testing"
+
+	"performa/internal/spec"
+	"performa/internal/statechart"
+)
+
+// forkJoinSystem builds a one-type system whose single workflow is
+// init → AND(k exponential branches of mean d) → final: the smallest
+// system where the parallel collapse is biased (E[max] > max of means)
+// and where FaultCollapseBias has a collapsed residence to perturb.
+func forkJoinSystem(t *testing.T, k int, d float64) *System {
+	t.Helper()
+	env, err := spec.NewEnvironment(spec.ServerType{
+		Name:                "srv",
+		MeanService:         0.1,
+		ServiceSecondMoment: 0.02,
+		FailureRate:         1.0 / 1000,
+		RepairRate:          1.0 / 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := &statechart.State{Name: "par"}
+	for i := 0; i < k; i++ {
+		par.Subcharts = append(par.Subcharts, &statechart.Chart{
+			Name: "branch" + string(rune('a'+i)),
+			States: map[string]*statechart.State{
+				"init": {Name: "init"},
+				"work": {Name: "work", Activity: "act"},
+				"fin":  {Name: "fin"},
+			},
+			Initial: "init",
+			Final:   "fin",
+			Transitions: []*statechart.Transition{
+				{From: "init", To: "work", Prob: 1},
+				{From: "work", To: "fin", Prob: 1},
+			},
+		})
+	}
+	chart := &statechart.Chart{
+		Name: "forkjoin",
+		States: map[string]*statechart.State{
+			"init": {Name: "init"}, "par": par, "final": {Name: "final"},
+		},
+		Initial: "init",
+		Final:   "final",
+		Transitions: []*statechart.Transition{
+			{From: "init", To: "par", Prob: 1},
+			{From: "par", To: "final", Prob: 1},
+		},
+	}
+	w := &spec.Workflow{
+		Name:  "forkjoin",
+		Chart: chart,
+		Profiles: map[string]spec.ActivityProfile{
+			"act": {Name: "act", MeanDuration: d, Load: map[string]float64{"srv": 0.5}},
+		},
+		ArrivalRate: 0.05,
+	}
+	return &System{Seed: 12345, Env: env, Flows: []*spec.Workflow{w}, Replicas: []int{2}}
+}
+
+// TestCheckNetForkJoin: on a genuinely parallel workflow the three
+// turnaround views must cohere — net oracle ≈ true-concurrency sim,
+// collapse == independent max-of-means reference, collapse ≤ net.
+func TestCheckNetForkJoin(t *testing.T) {
+	sys := forkJoinSystem(t, 2, 4.0)
+	ds, err := CheckNet(sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		t.Errorf("unexpected disagreement: %s", d)
+	}
+}
+
+// TestCheckNetCleanGenerated runs the net route over generated systems
+// (subcharts included): all three views must agree within tolerance.
+func TestCheckNetCleanGenerated(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		sys, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ds, err := CheckNet(sys, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, d := range ds {
+			t.Errorf("seed %d: %s", seed, d)
+		}
+	}
+}
+
+// TestCollapseBiasBlindInCheckDetectedInNet is the point of the whole
+// route: the collapse-bias fault perturbs the shared build path, so the
+// legacy Check — whose simulator replays the collapsed chain — must
+// agree with itself and see nothing, while CheckNet's exact pin against
+// the independent max-of-means reference must fire.
+func TestCollapseBiasBlindInCheckDetectedInNet(t *testing.T) {
+	sys := forkJoinSystem(t, 2, 4.0)
+
+	ds, err := Check(sys, Options{Replications: 3, Fault: FaultCollapseBias})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		t.Errorf("legacy Check saw the collapse-bias fault (it must be blind): %s", d)
+	}
+
+	ds, err = CheckNet(sys, Options{Fault: FaultCollapseBias})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range ds {
+		if d.Route == "net" && strings.HasPrefix(d.Metric, "collapsed-turnaround[") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("CheckNet missed the collapse-bias fault; disagreements: %v", ds)
+	}
+}
+
+// TestCheckNetRejectsOtherFaults: the net route compares turnaround
+// oracles only and must refuse faults it cannot detect rather than
+// silently passing them.
+func TestCheckNetRejectsOtherFaults(t *testing.T) {
+	sys := forkJoinSystem(t, 2, 1.0)
+	if _, err := CheckNet(sys, Options{Fault: FaultArrivalRate}); err == nil {
+		t.Fatal("CheckNet accepted an arrival-rate fault it cannot detect")
+	}
+}
+
+// TestFaultCollapseBiasName pins the CLI/corpus name round trip.
+func TestFaultCollapseBiasName(t *testing.T) {
+	f, err := FaultByName("collapse-bias")
+	if err != nil || f != FaultCollapseBias {
+		t.Fatalf("FaultByName(collapse-bias) = (%v, %v)", f, err)
+	}
+	if FaultCollapseBias.String() != "collapse-bias" {
+		t.Fatalf("String() = %q", FaultCollapseBias.String())
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestNetDiffBenchReduced runs the CI-sized E20 grid (no corpus — the
+// synthetic sweep stands alone) and checks its invariants: the
+// exponential column matches the d·H_k closed form, bias is nonnegative
+// everywhere (the Jensen ordering), grows with fan-out, and shrinks as
+// the branches grow more deterministic.
+func TestNetDiffBenchReduced(t *testing.T) {
+	rows, tbl, err := NetDiffBench(t.TempDir(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "E20" {
+		t.Fatalf("table id %q, want E20", tbl.ID)
+	}
+	if len(tbl.Rows) != len(rows) {
+		t.Fatalf("table has %d rows, JSON has %d", len(tbl.Rows), len(rows))
+	}
+	bias := map[[2]int]float64{}
+	for _, r := range rows {
+		if r.Case != "fork-join" {
+			t.Fatalf("unexpected case %q with empty corpus dir", r.Case)
+		}
+		if r.BiasRel < 0 {
+			t.Fatalf("k=%d s=%d: negative bias %v violates the Jensen ordering", r.Fan, r.Stages, r.BiasRel)
+		}
+		if r.Collapsed <= 0 || r.Net < r.Collapsed || r.Markings < 4 {
+			t.Fatalf("k=%d s=%d: implausible row %+v", r.Fan, r.Stages, r)
+		}
+		if r.Stages == 1 {
+			if r.RefMean == 0 || r.RefErr > 1e-9 {
+				t.Fatalf("k=%d exponential: net %v vs closed form %v (rel err %v)", r.Fan, r.Net, r.RefMean, r.RefErr)
+			}
+		}
+		bias[[2]int{r.Fan, r.Stages}] = r.BiasRel
+	}
+	// Monotonicity of the bias envelope on the reduced grid.
+	if !(bias[[2]int{2, 1}] < bias[[2]int{4, 1}] && bias[[2]int{4, 1}] < bias[[2]int{8, 1}]) {
+		t.Fatalf("bias not increasing in fan-out: %v", bias)
+	}
+	if !(bias[[2]int{4, 4}] < bias[[2]int{4, 1}]) {
+		t.Fatalf("bias not decreasing in stages (branch determinism): %v", bias)
+	}
+}
+
+// TestHarmonic pins H_1, H_2, H_4 against hand values.
+func TestHarmonic(t *testing.T) {
+	for _, c := range []struct {
+		k    int
+		want float64
+	}{{1, 1}, {2, 1.5}, {4, 25.0 / 12}} {
+		if got := harmonic(c.k); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("H_%d = %v, want %v", c.k, got, c.want)
+		}
+	}
+}

@@ -77,6 +77,9 @@ func decodeItem(doc *wfjson.Document, model *ModelJSON, batchDefault ModelJSON) 
 	if err != nil {
 		return batchItem{err: err}
 	}
+	if err := rejectNetTurnaround(eff); err != nil {
+		return batchItem{err: err}
+	}
 	env, flows, err := wfjson.FromDocument(doc)
 	if err != nil {
 		return batchItem{err: err}

@@ -33,6 +33,21 @@ type modelEntry struct {
 	analysis *perf.Analysis
 	ev       *performability.Evaluator
 
+	// collapsedTurn snapshots each flow's collapsed mean turnaround at
+	// build time; clampedStages is the build's stage-clamp diagnostic
+	// (how many collapsed subworkflows hit the Erlang stage cap).
+	collapsedTurn []float64
+	clampedStages int
+
+	// netOnce lazily memoizes the net-oracle turnaround section on the
+	// first model.turnaround="net" request over this entry — the exact
+	// expected execution times are pure functions of the system, so one
+	// marking-graph solve serves every later request. This is the only
+	// post-ready mutation of an entry, and the Once guards it.
+	netOnce sync.Once
+	netTurn *TurnaroundJSON
+	netErr  error
+
 	ready chan struct{} // closed once build finished (ok or not)
 	err   error         // build error, set before ready closes
 }
@@ -222,6 +237,11 @@ func buildEntry(e *modelEntry, fingerprint string, env *spec.Environment, flows 
 	e.flows = flows
 	e.analysis = analysis
 	e.ev = ev
+	e.collapsedTurn = make([]float64, len(models))
+	for i, m := range models {
+		e.collapsedTurn[i] = m.Turnaround()
+		e.clampedStages += m.ClampedStages()
+	}
 	return nil
 }
 
@@ -279,6 +299,9 @@ func (s *Server) resolveDecoded(ctx context.Context, env *spec.Environment, flow
 	})
 	if err != nil {
 		return nil, false, err
+	}
+	if !warm {
+		s.noteClamped(fp, entry.clampedStages)
 	}
 	if gen > 0 && !warm {
 		// A fresh post-drift build defines the new comparison point:

@@ -328,6 +328,10 @@ func (s *Server) handleDeploymentPost(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
+	if err := rejectNetTurnaround(req.Model); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
 	env, flows, err := wfjson.FromDocument(&req.System)
 	if err != nil {
 		s.writeError(w, r, http.StatusBadRequest, err)

@@ -273,6 +273,10 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
+	if err := rejectNetTurnaround(req.Model); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
 	planner, err := validatePlanner(req.Planner)
 	if err != nil {
 		s.writeError(w, r, http.StatusBadRequest, err)

@@ -1,0 +1,256 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"testing"
+
+	"performa/internal/spec"
+	"performa/internal/statechart"
+	"performa/internal/wfjson"
+)
+
+// forkJoinDocument builds the wire document of a one-type system whose
+// workflow is init → AND(2 exponential branches of mean d) → final:
+// the smallest system where the net oracle and the collapse disagree
+// (E[max] = 1.5d vs max-of-means = d).
+func forkJoinDocument(t testing.TB, d float64) wfjson.Document {
+	t.Helper()
+	env, err := spec.NewEnvironment(spec.ServerType{
+		Name:                "srv",
+		MeanService:         0.1,
+		ServiceSecondMoment: 0.02,
+		FailureRate:         1.0 / 1000,
+		RepairRate:          1.0 / 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := &statechart.State{Name: "par"}
+	for _, b := range []string{"left", "right"} {
+		par.Subcharts = append(par.Subcharts, &statechart.Chart{
+			Name: b,
+			States: map[string]*statechart.State{
+				"init": {Name: "init"},
+				"work": {Name: "work", Activity: "act"},
+				"fin":  {Name: "fin"},
+			},
+			Initial: "init",
+			Final:   "fin",
+			Transitions: []*statechart.Transition{
+				{From: "init", To: "work", Prob: 1},
+				{From: "work", To: "fin", Prob: 1},
+			},
+		})
+	}
+	chart := &statechart.Chart{
+		Name: "forkjoin",
+		States: map[string]*statechart.State{
+			"init": {Name: "init"}, "par": par, "final": {Name: "final"},
+		},
+		Initial: "init",
+		Final:   "final",
+		Transitions: []*statechart.Transition{
+			{From: "init", To: "par", Prob: 1},
+			{From: "par", To: "final", Prob: 1},
+		},
+	}
+	w := &spec.Workflow{
+		Name:  "forkjoin",
+		Chart: chart,
+		Profiles: map[string]spec.ActivityProfile{
+			"act": {Name: "act", MeanDuration: d, Load: map[string]float64{"srv": 0.5}},
+		},
+		ArrivalRate: 0.05,
+	}
+	doc, err := wfjson.ToDocument(env, []*spec.Workflow{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return *doc
+}
+
+// TestAssessNetTurnaround: the opt-in section reports the exact
+// E[max] = 1.5d next to the collapsed d, the bias between them, and is
+// memoized across requests over the warm entry.
+func TestAssessNetTurnaround(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	const d = 4.0
+	req := AssessRequest{
+		System: forkJoinDocument(t, d),
+		Config: []int{2},
+		Goals:  GoalsJSON{MaxWaiting: 50, MaxUnavailability: 0.5},
+		Model:  ModelJSON{Turnaround: "net"},
+	}
+	var resp AssessResponse
+	if code := postJSON(t, ts.URL+"/v1/assess", req, &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Turnaround == nil {
+		t.Fatal("turnaround section missing despite model.turnaround=net")
+	}
+	if resp.Turnaround.Model != "net" || len(resp.Turnaround.Workflows) != 1 {
+		t.Fatalf("unexpected section: %+v", resp.Turnaround)
+	}
+	wt := resp.Turnaround.Workflows[0]
+	if wt.Workflow != "forkjoin" {
+		t.Errorf("workflow = %q", wt.Workflow)
+	}
+	if math.Abs(float64(wt.Net)-1.5*d) > 1e-9 {
+		t.Errorf("net = %v, want E[max] = %v", wt.Net, 1.5*d)
+	}
+	if math.Abs(float64(wt.Collapsed)-d) > 1e-9 {
+		t.Errorf("collapsed = %v, want max-of-means = %v", wt.Collapsed, d)
+	}
+	if math.Abs(float64(wt.BiasRel)-1.0/3) > 1e-9 {
+		t.Errorf("bias_rel = %v, want 1/3", wt.BiasRel)
+	}
+	if wt.Markings < 4 {
+		t.Errorf("markings = %d, want a real marking graph", wt.Markings)
+	}
+
+	// Second request hits the warm entry and the memoized oracle.
+	var again AssessResponse
+	if code := postJSON(t, ts.URL+"/v1/assess", req, &again); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !again.CacheWarm || again.Turnaround == nil {
+		t.Fatalf("warm repeat lost the section: warm=%v section=%v", again.CacheWarm, again.Turnaround)
+	}
+	if again.Turnaround.Workflows[0] != wt {
+		t.Errorf("memoized section changed: %+v vs %+v", again.Turnaround.Workflows[0], wt)
+	}
+}
+
+// TestAssessWithoutNetOmitsSection pins wire compatibility: a request
+// that does not opt in must not carry a "turnaround" key at all.
+func TestAssessWithoutNetOmitsSection(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	req := AssessRequest{System: forkJoinDocument(t, 2.0), Config: []int{2}, Goals: GoalsJSON{MaxWaiting: 50, MaxUnavailability: 0.5}}
+	buf, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/assess", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var asMap map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &asMap); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := asMap["turnaround"]; ok {
+		t.Fatalf("response carries a turnaround section without the opt-in: %s", raw)
+	}
+}
+
+// TestTurnaroundValidation: unknown values 400 everywhere; "net" is
+// rejected on endpoints that cannot honor it.
+func TestTurnaroundValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	doc := forkJoinDocument(t, 2.0)
+
+	bad := AssessRequest{System: doc, Config: []int{2}, Goals: GoalsJSON{MaxWaiting: 50, MaxUnavailability: 0.5}, Model: ModelJSON{Turnaround: "exact"}}
+	if code := postJSON(t, ts.URL+"/v1/assess", bad, nil); code != http.StatusBadRequest {
+		t.Errorf("unknown turnaround model: status %d, want 400", code)
+	}
+	rec := RecommendRequest{System: doc, Model: ModelJSON{Turnaround: "net"}}
+	if code := postJSON(t, ts.URL+"/v1/recommend", rec, nil); code != http.StatusBadRequest {
+		t.Errorf("recommend with turnaround=net: status %d, want 400", code)
+	}
+	batch := AssessBatchRequest{
+		Items: []AssessBatchItem{{System: doc, Config: []int{2}, Goals: GoalsJSON{MaxWaiting: 50, MaxUnavailability: 0.5}}},
+		Model: ModelJSON{Turnaround: "net"},
+	}
+	var bresp AssessBatchResponse
+	if code := postJSON(t, ts.URL+"/v1/assess-batch", batch, &bresp); code != http.StatusOK {
+		t.Fatalf("batch status %d", code)
+	} else if bresp.Items[0].Error == nil {
+		t.Error("batch item with turnaround=net: want item-level error")
+	}
+}
+
+// TestStatsClampedStages: building a system whose subworkflow collapse
+// clamps at the Erlang stage cap must surface in /v1/stats (the
+// near-deterministic-subworkflow diagnostic from the float→int clamp
+// bugfix).
+func TestStatsClampedStages(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	env, err := spec.NewEnvironment(spec.ServerType{
+		Name:                "srv",
+		MeanService:         0.1,
+		ServiceSecondMoment: 0.02,
+		FailureRate:         1.0 / 1000,
+		RepairRate:          1.0 / 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two Erlang-192 unit activities in sequence: subworkflow variance
+	// 2/192 → moment-matched k = 384 > the 256-stage cap.
+	sub := &statechart.Chart{
+		Name: "sub",
+		States: map[string]*statechart.State{
+			"init": {Name: "init"},
+			"s1":   {Name: "s1", Activity: "a1"},
+			"s2":   {Name: "s2", Activity: "a2"},
+			"fin":  {Name: "fin"},
+		},
+		Initial: "init",
+		Final:   "fin",
+		Transitions: []*statechart.Transition{
+			{From: "init", To: "s1", Prob: 1},
+			{From: "s1", To: "s2", Prob: 1},
+			{From: "s2", To: "fin", Prob: 1},
+		},
+	}
+	chart := &statechart.Chart{
+		Name: "parent",
+		States: map[string]*statechart.State{
+			"init": {Name: "init"},
+			"nest": {Name: "nest", Subcharts: []*statechart.Chart{sub}},
+			"fin":  {Name: "fin"},
+		},
+		Initial: "init",
+		Final:   "fin",
+		Transitions: []*statechart.Transition{
+			{From: "init", To: "nest", Prob: 1},
+			{From: "nest", To: "fin", Prob: 1},
+		},
+	}
+	w := &spec.Workflow{
+		Name:  "parent",
+		Chart: chart,
+		Profiles: map[string]spec.ActivityProfile{
+			"a1": {Name: "a1", MeanDuration: 1, DurationStages: 192, Load: map[string]float64{"srv": 0.2}},
+			"a2": {Name: "a2", MeanDuration: 1, DurationStages: 192, Load: map[string]float64{"srv": 0.2}},
+		},
+		ArrivalRate: 0.01,
+	}
+	doc, err := wfjson.ToDocument(env, []*spec.Workflow{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := AssessRequest{System: *doc, Config: []int{1}, Goals: GoalsJSON{MaxWaiting: 500, MaxUnavailability: 0.5}}
+	if code := postJSON(t, ts.URL+"/v1/assess", req, nil); code != http.StatusOK {
+		t.Fatalf("assess status %d", code)
+	}
+	var stats StatsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if stats.ClampedStages < 1 {
+		t.Fatalf("clamped_stages = %d, want >= 1", stats.ClampedStages)
+	}
+}

@@ -153,6 +153,10 @@ type Server struct {
 	errMu    sync.Mutex
 	errCodes map[string]uint64
 
+	// clampedStages counts stage-clamped subworkflow collapses across
+	// cold model builds (see noteClamped).
+	clampedStages atomic.Uint64
+
 	// Batch + async serving: the per-tenant admission quotas, the async
 	// job registry, and the lifecycle context job runners inherit
 	// (canceled when the server shuts down so no job outlives it).
@@ -541,12 +545,21 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, statusForError(err), err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, AssessResponse{
+	resp := AssessResponse{
 		Fingerprint: entry.fingerprint,
 		ServerTypes: typeNames(entry),
 		Assessment:  assessmentJSON(as),
 		CacheWarm:   warm,
-	})
+	}
+	if req.Model.netRequested() {
+		nt, err := entry.netTurnarounds()
+		if err != nil {
+			s.writeError(w, r, statusForError(err), err)
+			return
+		}
+		resp.Turnaround = nt
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // validatePlanner canonicalizes a planner name ("" means greedy),
@@ -632,6 +645,10 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	}
 	popts, err := req.Model.toOptions()
 	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if err := rejectNetTurnaround(req.Model); err != nil {
 		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
@@ -731,11 +748,13 @@ func (s *Server) handleCalibrate(w http.ResponseWriter, r *http.Request) {
 	// Warm the cache for the recalibrated system under the default
 	// evaluation options, so the follow-up what-if queries start hot.
 	popts, _ := ModelJSON{}.toOptions()
-	if _, _, err := s.models.getOrBuild(ctx, entryKey(newFP, popts), func(e *modelEntry) error {
+	if e, warmed, err := s.models.getOrBuild(ctx, entryKey(newFP, popts), func(e *modelEntry) error {
 		return buildEntry(e, newFP, env, flows, popts)
 	}); err != nil {
 		s.writeError(w, r, http.StatusBadRequest, err)
 		return
+	} else if !warmed {
+		s.noteClamped(newFP, e.clampedStages)
 	}
 	resp := CalibrateResponse{
 		Fingerprint:      newFP,
@@ -804,6 +823,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Tenants = s.quotas.stats()
 	resp.Errors = s.errorCounts()
 	resp.Panics = s.panics.Load()
+	resp.ClampedStages = s.clampedStages.Load()
 	resp.Solvers = linalg.SolverCounters()
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -908,6 +928,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# HELP wfmsd_panics_total Handler panics recovered by the containment middleware.\n")
 	fmt.Fprintf(&b, "# TYPE wfmsd_panics_total counter\n")
 	fmt.Fprintf(&b, "wfmsd_panics_total %d\n", s.panics.Load())
+	fmt.Fprintf(&b, "# HELP wfmsd_clamped_stages_total Stage-clamped subworkflow collapses across cold model builds.\n")
+	fmt.Fprintf(&b, "# TYPE wfmsd_clamped_stages_total counter\n")
+	fmt.Fprintf(&b, "wfmsd_clamped_stages_total %d\n", s.clampedStages.Load())
 	fmt.Fprintf(&b, "# HELP wfmsd_admission_in_use Planner-worker tokens currently held.\n")
 	fmt.Fprintf(&b, "# TYPE wfmsd_admission_in_use gauge\n")
 	fmt.Fprintf(&b, "wfmsd_admission_in_use %d\n", s.admission.InUse())

@@ -60,6 +60,13 @@ type Params struct {
 	// merged request stream with type-specific service times. Waiting
 	// statistics remain per type.
 	Colocated [][]int
+	// TrueConcurrency walks each instance through the UNCOLLAPSED
+	// statechart with fork/join tokens (one token per orthogonal
+	// subchart, join barriers) instead of the collapsed CTMC, so the
+	// measured turnaround carries the true E[max] of parallel branches
+	// rather than the paper's max-of-means collapse. Requires every
+	// model to carry its Workflow (chart + profiles). See concurrent.go.
+	TrueConcurrency bool
 	// Trail optionally collects an audit trail of the run: instance
 	// life cycles, state entries/exits on the top-level chart, activity
 	// spans, and per-request waiting/service times — the same record
@@ -307,6 +314,10 @@ type runner struct {
 	trail   *audit.Trail
 	instSeq uint64
 	meta    []trailMeta
+
+	// concPlans holds the per-model chart walker plans of the
+	// true-concurrency mode (nil otherwise).
+	concPlans []*chartPlan
 }
 
 // trailMeta caches the per-model name mappings the trail recorder needs:
@@ -368,6 +379,11 @@ func Run(p Params) (*Result, error) {
 		r.meta = make([]trailMeta, len(p.Models))
 		for i, m := range p.Models {
 			r.meta[i] = newTrailMeta(m)
+		}
+	}
+	if p.TrueConcurrency {
+		if err := r.buildConcurrentPlans(); err != nil {
+			return nil, err
 		}
 	}
 
@@ -516,8 +532,13 @@ func (r *runner) scheduleArrival(i int, m *spec.Model) {
 	})
 }
 
-// startInstance begins the CTMC walk of one workflow instance.
+// startInstance begins the CTMC walk of one workflow instance (or the
+// fork/join chart walk in true-concurrency mode).
 func (r *runner) startInstance(i int, m *spec.Model) {
+	if r.p.TrueConcurrency {
+		r.startInstanceConcurrent(i, m)
+		return
+	}
 	var inst uint64
 	if r.trail != nil {
 		r.instSeq++

@@ -44,9 +44,10 @@ type Model struct {
 	// StateNames labels the CTMC states with chart state names.
 	StateNames []string
 
-	turnaround float64
-	requests   linalg.Vector
-	visits     linalg.Vector
+	turnaround    float64
+	requests      linalg.Vector
+	visits        linalg.Vector
+	clampedStages int
 }
 
 // Turnaround returns R_t, the mean turnaround time of one instance.
@@ -59,13 +60,43 @@ func (m *Model) ExpectedRequests() linalg.Vector { return m.requests.Clone() }
 // ExpectedVisits returns the expected number of visits per CTMC state.
 func (m *Model) ExpectedVisits() linalg.Vector { return m.visits.Clone() }
 
+// ClampedStages reports how many collapsed subworkflow states across
+// this build (including nested subworkflow builds) had their
+// moment-matched Erlang stage count clamped at maxCollapseStages. A
+// nonzero count means the collapsed residence-time DISTRIBUTION is less
+// concentrated than the subworkflow's true one (every mean quantity is
+// still exact); operators watching simulation-vs-analytic drift on
+// burst metrics want the signal surfaced rather than silently degraded.
+func (m *Model) ClampedStages() int { return m.clampedStages }
+
+// BuildOption tweaks a Build. Options exist for the differential
+// validation harness; production callers pass none.
+type BuildOption func(*buildOptions)
+
+type buildOptions struct {
+	collapseScale float64
+}
+
+// WithCollapseResidenceScale multiplies the collapsed residence of
+// every subworkflow state (the max-of-means of Section 4.2.2) by f.
+// It simulates a broken hierarchical collapse for fault-injection
+// self-tests: the scaled model stays internally consistent, so only a
+// route that recomputes the collapse independently can notice.
+func WithCollapseResidenceScale(f float64) BuildOption {
+	return func(o *buildOptions) { o.collapseScale = f }
+}
+
 // Build maps the workflow onto its stochastic model, validating it
 // against the environment first.
-func Build(w *Workflow, env *Environment) (*Model, error) {
+func Build(w *Workflow, env *Environment, opts ...BuildOption) (*Model, error) {
 	if err := w.Validate(env); err != nil {
 		return nil, err
 	}
-	m, err := buildChart(w.Chart, w.Profiles, env)
+	opt := buildOptions{collapseScale: 1}
+	for _, o := range opts {
+		o(&opt)
+	}
+	m, err := buildChart(w.Chart, w.Profiles, env, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -73,9 +104,36 @@ func Build(w *Workflow, env *Environment) (*Model, error) {
 	return m, nil
 }
 
+// collapseStages moment-matches the Erlang stage count of a collapsed
+// subworkflow state: k ≈ mean²/variance, clamped to
+// [minCollapseStages, maxCollapseStages]. The clamping happens in FLOAT
+// space: converting mean²/variance to int first is platform-defined for
+// values beyond the int range (a near-deterministic subworkflow with
+// variance ~1e-300 produces ~1e300), and on amd64 yields the most
+// negative int — which used to skip the max clamp, fail the min check,
+// and silently degenerate the state to a single heavy-tailed
+// exponential. ok=false keeps the paper's single exponential state;
+// clamped reports a hit of the maxCollapseStages cap.
+func collapseStages(maxR, variance float64) (stages int, clamped, ok bool) {
+	if !(maxR > 0) || !(variance > 0) {
+		return 1, false, false
+	}
+	k := math.Round(maxR * maxR / variance)
+	if math.IsNaN(k) {
+		return 1, false, false
+	}
+	if k > maxCollapseStages {
+		return maxCollapseStages, true, true
+	}
+	if k < minCollapseStages {
+		return 1, false, false
+	}
+	return int(k), false, true
+}
+
 // buildChart recursively maps a chart (workflow or subworkflow) onto a
 // Model.
-func buildChart(chart *statechart.Chart, profiles map[string]ActivityProfile, env *Environment) (*Model, error) {
+func buildChart(chart *statechart.Chart, profiles map[string]ActivityProfile, env *Environment, opt buildOptions) (*Model, error) {
 	// Identify the CTMC's transient states: every chart state that
 	// invokes an activity or embeds subworkflows. Pseudo-states are
 	// allowed only as the chart's initial state (spliced out below) and
@@ -112,6 +170,7 @@ func buildChart(chart *statechart.Chart, profiles map[string]ActivityProfile, en
 		load   linalg.Vector
 	}
 	subs := make(map[string]*collapsed)
+	clampedStages := 0
 	for _, name := range order {
 		s := chart.States[name]
 		if len(s.Subcharts) == 0 {
@@ -120,7 +179,7 @@ func buildChart(chart *statechart.Chart, profiles map[string]ActivityProfile, en
 		info := &collapsed{stages: 1, load: linalg.NewVector(env.K())}
 		var dominant *Model
 		for _, sub := range s.Subcharts {
-			subModel, err := buildChart(sub, profiles, env)
+			subModel, err := buildChart(sub, profiles, env, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -131,22 +190,23 @@ func buildChart(chart *statechart.Chart, profiles map[string]ActivityProfile, en
 			for x := 0; x < env.K(); x++ {
 				info.load[x] += subModel.requests[x]
 			}
+			clampedStages += subModel.clampedStages
 		}
 		if dominant != nil && info.maxR > 0 {
 			variance, err := ctmc.TurnaroundVariance(dominant.Chain)
 			if err != nil {
 				return nil, fmt.Errorf("spec: chart %q state %q: %w", chart.Name, name, err)
 			}
-			if variance > 0 {
-				k := int(math.Round(info.maxR * info.maxR / variance))
-				if k > maxCollapseStages {
-					k = maxCollapseStages
-				}
-				if k >= minCollapseStages {
-					info.stages = k
+			if k, clamped, ok := collapseStages(info.maxR, variance); ok {
+				info.stages = k
+				if clamped {
+					clampedStages++
 				}
 			}
 		}
+		// Fault-injection hook (crossval): scale the collapsed residence
+		// after moment matching, as a broken collapse would.
+		info.maxR *= opt.collapseScale
 		subs[name] = info
 	}
 
@@ -297,12 +357,13 @@ func buildChart(chart *statechart.Chart, profiles map[string]ActivityProfile, en
 		requests[x] = total
 	}
 	return &Model{
-		Chain:      chain,
-		Load:       load,
-		StateNames: names,
-		turnaround: turnaround,
-		requests:   requests,
-		visits:     visits,
+		Chain:         chain,
+		Load:          load,
+		StateNames:    names,
+		turnaround:    turnaround,
+		requests:      requests,
+		visits:        visits,
+		clampedStages: clampedStages,
 	}, nil
 }
 

@@ -1,0 +1,183 @@
+package spec
+
+import (
+	"math"
+	"testing"
+
+	"performa/internal/statechart"
+)
+
+// TestCollapseStagesTinyVariance pins the float→int overflow bugfix: a
+// near-deterministic dominant subworkflow (variance ~1e-300) must clamp
+// at maxCollapseStages. Before the fix, int(math.Round(1/1e-300))
+// converted an out-of-int-range float first — platform-defined, the
+// most negative int on amd64 — which skipped the max clamp, failed the
+// min check, and silently degenerated the state to a single
+// exponential stage.
+func TestCollapseStagesTinyVariance(t *testing.T) {
+	k, clamped, ok := collapseStages(1.0, 1e-300)
+	if !ok || !clamped || k != maxCollapseStages {
+		t.Fatalf("collapseStages(1, 1e-300) = (%d, clamped=%v, ok=%v), want (%d, true, true)",
+			k, clamped, ok, maxCollapseStages)
+	}
+}
+
+func TestCollapseStagesRanges(t *testing.T) {
+	cases := []struct {
+		maxR, variance float64
+		wantK          int
+		wantClamped    bool
+		wantOK         bool
+	}{
+		{1, 1, 1, false, false},                // k=1 < min: keep single exponential
+		{2, 1, 4, false, true},                 // k=4 exactly at min
+		{4, 1, 16, false, true},                // interior
+		{32, 1, maxCollapseStages, true, true}, // k=1024 clamps
+		{1, math.Inf(1), 1, false, false},      // infinite variance: no expansion
+		{0, 1, 1, false, false},                // degenerate mean
+		{1, 0, 1, false, false},                // zero variance
+		{1, -1, 1, false, false},               // negative variance (numerical noise)
+	}
+	for _, c := range cases {
+		k, clamped, ok := collapseStages(c.maxR, c.variance)
+		if k != c.wantK || clamped != c.wantClamped || ok != c.wantOK {
+			t.Errorf("collapseStages(%v, %v) = (%d, %v, %v), want (%d, %v, %v)",
+				c.maxR, c.variance, k, clamped, ok, c.wantK, c.wantClamped, c.wantOK)
+		}
+	}
+}
+
+// TestClampedStagesDiagnostic: a collapsed subworkflow of long
+// low-variance phases whose moment-matched stage count exceeds
+// maxCollapseStages must surface the clamp on the model.
+func TestClampedStagesDiagnostic(t *testing.T) {
+	env, err := NewEnvironment(ServerType{
+		Name:                "srv",
+		MeanService:         0.1,
+		ServiceSecondMoment: 0.02,
+		FailureRate:         1.0 / 1000,
+		RepairRate:          1.0 / 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subworkflow: two Erlang-192 activities in sequence → turnaround
+	// mean 2, variance 2/192 → moment-matched k = 384 > 256.
+	sub := &statechart.Chart{
+		Name: "sub",
+		States: map[string]*statechart.State{
+			"init": {Name: "init"},
+			"s1":   {Name: "s1", Activity: "a1"},
+			"s2":   {Name: "s2", Activity: "a2"},
+			"fin":  {Name: "fin"},
+		},
+		Initial: "init",
+		Final:   "fin",
+		Transitions: []*statechart.Transition{
+			{From: "init", To: "s1", Prob: 1},
+			{From: "s1", To: "s2", Prob: 1},
+			{From: "s2", To: "fin", Prob: 1},
+		},
+	}
+	chart := &statechart.Chart{
+		Name: "parent",
+		States: map[string]*statechart.State{
+			"init": {Name: "init"},
+			"nest": {Name: "nest", Subcharts: []*statechart.Chart{sub}},
+			"fin":  {Name: "fin"},
+		},
+		Initial: "init",
+		Final:   "fin",
+		Transitions: []*statechart.Transition{
+			{From: "init", To: "nest", Prob: 1},
+			{From: "nest", To: "fin", Prob: 1},
+		},
+	}
+	profs := map[string]ActivityProfile{
+		"a1": {Name: "a1", MeanDuration: 1, DurationStages: 192},
+		"a2": {Name: "a2", MeanDuration: 1, DurationStages: 192},
+	}
+	w := &Workflow{Name: "parent", Chart: chart, Profiles: profs, ArrivalRate: 0.01}
+	m, err := Build(w, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ClampedStages() != 1 {
+		t.Fatalf("ClampedStages() = %d, want 1", m.ClampedStages())
+	}
+	// The clamp does not change any mean: turnaround is still 2.
+	if math.Abs(m.Turnaround()-2) > 1e-9 {
+		t.Fatalf("turnaround %v, want 2", m.Turnaround())
+	}
+
+	// A moderate-variance collapse must not report a clamp.
+	profs2 := map[string]ActivityProfile{
+		"a1": {Name: "a1", MeanDuration: 1},
+		"a2": {Name: "a2", MeanDuration: 1},
+	}
+	w2 := &Workflow{Name: "parent", Chart: chart.Clone(), Profiles: profs2, ArrivalRate: 0.01}
+	m2, err := Build(w2, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.ClampedStages() != 0 {
+		t.Fatalf("ClampedStages() = %d, want 0", m2.ClampedStages())
+	}
+}
+
+// TestCollapseResidenceScaleOption: the fault-injection hook scales the
+// collapsed residence (and hence the parent turnaround) while leaving a
+// plain build untouched.
+func TestCollapseResidenceScaleOption(t *testing.T) {
+	env, err := NewEnvironment(ServerType{
+		Name:                "srv",
+		MeanService:         0.1,
+		ServiceSecondMoment: 0.02,
+		FailureRate:         1.0 / 1000,
+		RepairRate:          1.0 / 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := &statechart.Chart{
+		Name: "sub",
+		States: map[string]*statechart.State{
+			"init": {Name: "init"},
+			"s1":   {Name: "s1", Activity: "a1"},
+			"fin":  {Name: "fin"},
+		},
+		Initial: "init",
+		Final:   "fin",
+		Transitions: []*statechart.Transition{
+			{From: "init", To: "s1", Prob: 1},
+			{From: "s1", To: "fin", Prob: 1},
+		},
+	}
+	chart := &statechart.Chart{
+		Name: "parent",
+		States: map[string]*statechart.State{
+			"init": {Name: "init"},
+			"nest": {Name: "nest", Subcharts: []*statechart.Chart{sub}},
+			"fin":  {Name: "fin"},
+		},
+		Initial: "init",
+		Final:   "fin",
+		Transitions: []*statechart.Transition{
+			{From: "init", To: "nest", Prob: 1},
+			{From: "nest", To: "fin", Prob: 1},
+		},
+	}
+	profs := map[string]ActivityProfile{"a1": {Name: "a1", MeanDuration: 2}}
+	w := &Workflow{Name: "parent", Chart: chart, Profiles: profs, ArrivalRate: 0.01}
+	plain, err := Build(w, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := Build(w, env, WithCollapseResidenceScale(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scaled.Turnaround()-0.5*plain.Turnaround()) > 1e-12 {
+		t.Fatalf("scaled turnaround %v, want half of %v", scaled.Turnaround(), plain.Turnaround())
+	}
+}

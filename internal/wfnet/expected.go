@@ -1,0 +1,349 @@
+package wfnet
+
+import (
+	"math"
+	"math/bits"
+
+	"performa/internal/wfmserr"
+)
+
+// Result reports the expected-execution-time computation over a net's
+// reachable marking graph.
+type Result struct {
+	// Mean is the expected execution time: the mean absorption time of
+	// the marking-graph CTMC from the initial marking.
+	Mean float64
+	// Markings counts reachable markings (the CTMC's states).
+	Markings int
+	// Tangible counts markings in which time passes; the rest are
+	// vanishing (resolved by immediate transitions in zero time).
+	Tangible int
+}
+
+// solver tuning for the cyclic marking-graph case (charts with loops).
+const (
+	gsTol       = 1e-13
+	gsMaxSweeps = 200_000
+)
+
+// edge is one marking-graph transition with its routing probability.
+type edge struct {
+	to int
+	p  float64
+}
+
+// marking-graph node: residence time (0 for vanishing markings) and
+// outgoing probability edges. A node with no edges is the final marking.
+type node struct {
+	h    float64
+	succ []edge
+}
+
+// Expected computes the exact expected execution time of the net by
+// enumerating its reachable marking graph and solving the absorption
+// time of the induced CTMC. The net must be safe and weakly sound along
+// every reachable path: an unsafe marking (two tokens on one place), a
+// deadlock, or a completion that leaves tokens behind is reported as a
+// typed CodeInvalidModel error; marking-count growth beyond the budget
+// is a typed CodeStateSpaceTooLarge error.
+func Expected(n *Net, budget wfmserr.Budget) (*Result, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	words := (n.Places() + 63) / 64
+
+	mark := make([]uint64, words)
+	setBit(mark, n.Initial)
+
+	ids := map[string]int{markKey(mark): 0}
+	markings := [][]uint64{append([]uint64(nil), mark...)}
+	nodes := []node{{}}
+	final := -1
+
+	for i := 0; i < len(markings); i++ {
+		m := markings[i]
+		if hasBit(m, n.Final) {
+			if popcount(m) != 1 {
+				return nil, wfmserr.New(wfmserr.CodeInvalidModel, "wfnet",
+					"net is unsound: completion leaves tokens behind (improper completion)").
+					With("marking", markingString(n, m))
+			}
+			final = i
+			continue // absorbing: no residence, no successors
+		}
+		// Enabled transitions under m.
+		var enabled []int
+		firstImmediate := -1
+		for ti := range n.Transitions {
+			t := &n.Transitions[ti]
+			ok := true
+			for _, p := range t.In {
+				if !hasBit(m, p) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			enabled = append(enabled, ti)
+			if t.Immediate() && firstImmediate < 0 {
+				firstImmediate = ti
+			}
+		}
+		if len(enabled) == 0 {
+			return nil, wfmserr.New(wfmserr.CodeInvalidModel, "wfnet",
+				"net is unsound: deadlock (no transition enabled)").
+				With("marking", markingString(n, m))
+		}
+
+		var fire []int
+		var probs []float64
+		if firstImmediate >= 0 {
+			// Vanishing marking: fire the free-choice cluster of the
+			// lowest-indexed enabled immediate. Free-choiceness makes the
+			// net confusion-free, so the order in which independent
+			// clusters resolve cannot change the distribution over
+			// tangible markings — picking the first is just a
+			// deterministic tie-break.
+			ref := &n.Transitions[firstImmediate]
+			var wsum float64
+			for _, ti := range enabled {
+				t := &n.Transitions[ti]
+				if t.Immediate() && samePlaceSet(t.In, ref.In) {
+					fire = append(fire, ti)
+					wsum += t.Weight
+				}
+			}
+			for _, ti := range fire {
+				probs = append(probs, n.Transitions[ti].Weight/wsum)
+			}
+			nodes[i].h = 0
+		} else {
+			// Tangible marking: the enabled timed transitions race.
+			var rsum float64
+			for _, ti := range enabled {
+				rsum += n.Transitions[ti].Rate
+			}
+			fire = enabled
+			for _, ti := range enabled {
+				probs = append(probs, n.Transitions[ti].Rate/rsum)
+			}
+			nodes[i].h = 1 / rsum
+		}
+
+		for fi, ti := range fire {
+			t := &n.Transitions[ti]
+			next := append([]uint64(nil), m...)
+			for _, p := range t.In {
+				clearBit(next, p)
+			}
+			for _, p := range t.Out {
+				if hasBit(next, p) {
+					return nil, wfmserr.New(wfmserr.CodeInvalidModel, "wfnet",
+						"net is unsafe: firing %q puts a second token on place %q",
+						t.Name, n.PlaceNames[p]).With("marking", markingString(n, m))
+				}
+				setBit(next, p)
+			}
+			key := markKey(next)
+			j, seen := ids[key]
+			if !seen {
+				j = len(markings)
+				if err := budget.CheckStates("wfnet", j+1); err != nil {
+					return nil, wfmserr.Wrap(err, wfmserr.CodeOf(err), "wfnet",
+						"marking graph exceeds the state budget")
+				}
+				ids[key] = j
+				markings = append(markings, next)
+				nodes = append(nodes, node{})
+			}
+			nodes[i].succ = append(nodes[i].succ, edge{to: j, p: probs[fi]})
+		}
+	}
+
+	if final < 0 {
+		return nil, wfmserr.New(wfmserr.CodeInvalidModel, "wfnet",
+			"net is unsound: the final marking is unreachable")
+	}
+	// Weak soundness: every reachable marking must be able to reach the
+	// final marking (otherwise the expected time diverges). Backward BFS
+	// over the marking graph.
+	if bad, ok := unreachableFromFinal(nodes, final); !ok {
+		return nil, wfmserr.New(wfmserr.CodeInvalidModel, "wfnet",
+			"net is unsound: a reachable marking cannot reach completion").
+			With("marking", markingString(n, markings[bad]))
+	}
+
+	tau, err := absorptionTimes(nodes, final)
+	if err != nil {
+		return nil, err
+	}
+	tangible := 0
+	for i := range nodes {
+		if nodes[i].h > 0 {
+			tangible++
+		}
+	}
+	return &Result{Mean: tau[0], Markings: len(nodes), Tangible: tangible}, nil
+}
+
+// ExpectedDefault computes Expected under the process-wide budget.
+func ExpectedDefault(n *Net) (*Result, error) {
+	return Expected(n, wfmserr.Default)
+}
+
+// unreachableFromFinal returns (index, false) for some marking that
+// cannot reach the final marking, or (0, true) if all can.
+func unreachableFromFinal(nodes []node, final int) (int, bool) {
+	pred := make([][]int, len(nodes))
+	for i := range nodes {
+		for _, e := range nodes[i].succ {
+			pred[e.to] = append(pred[e.to], i)
+		}
+	}
+	seen := make([]bool, len(nodes))
+	queue := []int{final}
+	seen[final] = true
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		for _, j := range pred[i] {
+			if !seen[j] {
+				seen[j] = true
+				queue = append(queue, j)
+			}
+		}
+	}
+	for i := range nodes {
+		if !seen[i] {
+			return i, false
+		}
+	}
+	return 0, true
+}
+
+// absorptionTimes solves τ = H + P·τ with τ(final) = 0. When the
+// marking graph is acyclic (fork-join blocks without chart loops) a
+// single backward pass in topological order is exact; otherwise
+// Gauss-Seidel iterates to gsTol, which converges because P restricted
+// to non-final markings is strictly substochastic in the limit (the
+// final marking is reachable from everywhere, checked above).
+func absorptionTimes(nodes []node, final int) ([]float64, error) {
+	n := len(nodes)
+	tau := make([]float64, n)
+	if order, ok := topoOrder(nodes); ok {
+		// Process in reverse topological order: successors first.
+		for k := n - 1; k >= 0; k-- {
+			i := order[k]
+			if i == final {
+				continue
+			}
+			t := nodes[i].h
+			for _, e := range nodes[i].succ {
+				t += e.p * tau[e.to]
+			}
+			tau[i] = t
+		}
+		return tau, nil
+	}
+	for sweep := 0; sweep < gsMaxSweeps; sweep++ {
+		var maxDelta, maxTau float64
+		// Sweep from the back: later-discovered markings tend to be
+		// closer to absorption, so updating them first propagates values
+		// toward the initial marking within one sweep.
+		for i := n - 1; i >= 0; i-- {
+			if i == final {
+				continue
+			}
+			t := nodes[i].h
+			for _, e := range nodes[i].succ {
+				t += e.p * tau[e.to]
+			}
+			if d := math.Abs(t - tau[i]); d > maxDelta {
+				maxDelta = d
+			}
+			tau[i] = t
+			if a := math.Abs(t); a > maxTau {
+				maxTau = a
+			}
+		}
+		if maxDelta <= gsTol*math.Max(1, maxTau) {
+			return tau, nil
+		}
+	}
+	return nil, wfmserr.New(wfmserr.CodeNoConvergence, "wfnet",
+		"marking-graph absorption solve did not converge").
+		With("sweeps", gsMaxSweeps).With("markings", n)
+}
+
+// topoOrder returns a topological order of the marking graph, or
+// ok=false when it contains a cycle (chart loops).
+func topoOrder(nodes []node) ([]int, bool) {
+	n := len(nodes)
+	indeg := make([]int, n)
+	for i := range nodes {
+		for _, e := range nodes[i].succ {
+			indeg[e.to]++
+		}
+	}
+	order := make([]int, 0, n)
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		order = append(order, i)
+		for _, e := range nodes[i].succ {
+			indeg[e.to]--
+			if indeg[e.to] == 0 {
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return order, len(order) == n
+}
+
+// bitset helpers over []uint64 markings.
+
+func setBit(m []uint64, p int)      { m[p/64] |= 1 << (uint(p) % 64) }
+func clearBit(m []uint64, p int)    { m[p/64] &^= 1 << (uint(p) % 64) }
+func hasBit(m []uint64, p int) bool { return m[p/64]&(1<<(uint(p)%64)) != 0 }
+
+func popcount(m []uint64) int {
+	total := 0
+	for _, w := range m {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+func markKey(m []uint64) string {
+	b := make([]byte, 8*len(m))
+	for i, w := range m {
+		for j := 0; j < 8; j++ {
+			b[8*i+j] = byte(w >> (8 * uint(j)))
+		}
+	}
+	return string(b)
+}
+
+// markingString renders a marking's place names for error details.
+func markingString(n *Net, m []uint64) string {
+	s := "{"
+	first := true
+	for p := 0; p < n.Places(); p++ {
+		if hasBit(m, p) {
+			if !first {
+				s += ", "
+			}
+			s += n.PlaceNames[p]
+			first = false
+		}
+	}
+	return s + "}"
+}

@@ -1,0 +1,166 @@
+// Package wfnet computes concurrency-true turnaround times via
+// free-choice probabilistic workflow nets, the third analytic route next
+// to the paper's collapsed CTMC (package spec) and the discrete-event
+// simulator (package sim).
+//
+// The paper's Section 4.2.2 hierarchical collapse replaces a parallel
+// AND-state by one state whose residence is the maximum of the
+// subworkflows' MEAN turnarounds. The true expected residence of a
+// fork-join is E[max of the turnaround random variables], which is
+// always ≥ the max of means (Jensen), so the collapse is systematically
+// optimistic for fork-join-heavy systems. This package translates the
+// UNCOLLAPSED statechart into a probabilistic workflow net — forks and
+// joins kept as real concurrency — and computes the exact expected
+// execution time over the net's marking graph, in the style of
+// Meyer/Esparza/Offtermatt ("Computing the Expected Execution Time of
+// Probabilistic Workflow Nets", TACAS 2019): timed transitions race
+// exponentially, immediate transitions resolve probabilistic choice and
+// fork/join synchronization, and the reachable markings of a safe
+// free-choice net form an absorbing CTMC whose mean absorption time is
+// the workflow's true expected turnaround.
+//
+// Nets that are not free-choice or not weakly sound (deadlock, token
+// left behind on completion, unsafe marking) are rejected with typed
+// wfmserr errors; marking-graph growth is gated by the process budget.
+package wfnet
+
+import (
+	"math"
+
+	"performa/internal/wfmserr"
+)
+
+// Transition is one net transition. Rate > 0 makes it timed: it fires
+// after an exponential delay with that rate, racing any other enabled
+// timed transition. Rate == 0 makes it immediate: it fires in zero time,
+// with probability Weight normalized over its free-choice cluster.
+type Transition struct {
+	// Name labels the transition for diagnostics.
+	Name string
+	// In and Out list place indices consumed and produced by firing.
+	In, Out []int
+	// Rate is the exponential firing rate; 0 means immediate.
+	Rate float64
+	// Weight resolves probabilistic choice among immediate transitions
+	// sharing their input places. Ignored for timed transitions.
+	Weight float64
+}
+
+// Immediate reports whether the transition fires in zero time.
+func (t *Transition) Immediate() bool { return t.Rate == 0 }
+
+// Net is a probabilistic workflow net: places, transitions, one source
+// place (Initial) and one sink place (Final). A single token on Initial
+// starts an instance; the instance completes when the marking is exactly
+// one token on Final.
+type Net struct {
+	// PlaceNames labels the places; the place index is the slice index.
+	PlaceNames []string
+	// Transitions is the transition list.
+	Transitions []Transition
+	// Initial is the source place (no input transitions).
+	Initial int
+	// Final is the sink place (no output transitions).
+	Final int
+}
+
+// Places returns the number of places.
+func (n *Net) Places() int { return len(n.PlaceNames) }
+
+// Validate checks structural well-formedness and the free-choice
+// property the expected-time computation relies on: whenever two
+// transitions share an input place they must have identical presets, so
+// that enabledness of a cluster is an all-or-nothing affair and choice
+// is resolved locally by rates/weights (no confusion). Violations are
+// typed CodeInvalidModel errors.
+func (n *Net) Validate() error {
+	np := n.Places()
+	if np == 0 {
+		return wfmserr.New(wfmserr.CodeInvalidModel, "wfnet", "net has no places")
+	}
+	if n.Initial < 0 || n.Initial >= np || n.Final < 0 || n.Final >= np {
+		return wfmserr.New(wfmserr.CodeInvalidModel, "wfnet",
+			"source/sink place out of range").With("initial", n.Initial).With("final", n.Final)
+	}
+	if n.Initial == n.Final {
+		return wfmserr.New(wfmserr.CodeInvalidModel, "wfnet", "source and sink are the same place")
+	}
+	// byInput[p] lists transitions consuming place p.
+	byInput := make(map[int][]int)
+	for ti := range n.Transitions {
+		t := &n.Transitions[ti]
+		if len(t.In) == 0 || len(t.Out) == 0 {
+			return wfmserr.New(wfmserr.CodeInvalidModel, "wfnet",
+				"transition %q must consume and produce at least one place", t.Name)
+		}
+		for _, p := range t.In {
+			if p < 0 || p >= np {
+				return wfmserr.New(wfmserr.CodeInvalidModel, "wfnet",
+					"transition %q input place %d out of range", t.Name, p)
+			}
+			if p == n.Final {
+				return wfmserr.New(wfmserr.CodeInvalidModel, "wfnet",
+					"transition %q consumes the sink place", t.Name)
+			}
+			byInput[p] = append(byInput[p], ti)
+		}
+		for _, p := range t.Out {
+			if p < 0 || p >= np {
+				return wfmserr.New(wfmserr.CodeInvalidModel, "wfnet",
+					"transition %q output place %d out of range", t.Name, p)
+			}
+			if p == n.Initial {
+				return wfmserr.New(wfmserr.CodeInvalidModel, "wfnet",
+					"transition %q produces the source place", t.Name)
+			}
+		}
+		if t.Rate < 0 || math.IsNaN(t.Rate) || math.IsInf(t.Rate, 0) {
+			return wfmserr.New(wfmserr.CodeInvalidModel, "wfnet",
+				"transition %q has rate %v, want finite ≥ 0", t.Name, t.Rate)
+		}
+		if t.Immediate() && (!(t.Weight > 0) || math.IsInf(t.Weight, 0)) {
+			return wfmserr.New(wfmserr.CodeInvalidModel, "wfnet",
+				"immediate transition %q has weight %v, want finite > 0", t.Name, t.Weight)
+		}
+	}
+	// Free-choice: transitions sharing any input place must share all of
+	// them, and must agree on being timed or immediate (a timed/immediate
+	// mix in one cluster has no well-defined race semantics here).
+	for _, cluster := range byInput {
+		ref := &n.Transitions[cluster[0]]
+		for _, ti := range cluster[1:] {
+			t := &n.Transitions[ti]
+			if !samePlaceSet(ref.In, t.In) {
+				return wfmserr.New(wfmserr.CodeInvalidModel, "wfnet",
+					"net is not free-choice: transitions %q and %q share an input place but have different presets",
+					ref.Name, t.Name)
+			}
+			if ref.Immediate() != t.Immediate() {
+				return wfmserr.New(wfmserr.CodeInvalidModel, "wfnet",
+					"cluster of %q mixes timed and immediate transitions (%q)", ref.Name, t.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// samePlaceSet reports whether a and b contain the same places,
+// regardless of order (presets are tiny, so quadratic is fine).
+func samePlaceSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, p := range a {
+		found := false
+		for _, q := range b {
+			if p == q {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
